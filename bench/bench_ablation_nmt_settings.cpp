@@ -1,0 +1,112 @@
+// Ablation — NMT model settings (§III-A2).
+//
+// The paper fixes 2 LSTM layers, 64 hidden units, 64-dim embeddings, 1000
+// steps, dropout 0.2, chosen for "good distinguishing ability while
+// maintaining acceptable training time". This ablation quantifies that
+// trade-off: for each setting we train one model on a *related* pair and one
+// on an *unrelated* pair and report the BLEU separation (the quantity the
+// framework actually consumes) against wall-clock cost.
+#include <chrono>
+#include <iostream>
+
+#include "common.h"
+#include "nmt/translation.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dm = desmine::nmt;
+namespace dx = desmine::text;
+namespace du = desmine::util;
+using desmine::util::Rng;
+
+namespace {
+
+struct PairData {
+  dx::Corpus train_src, train_tgt, dev_src, dev_tgt;
+};
+
+/// Related pair: deterministic word substitution. Unrelated pair: random
+/// target words (same marginals).
+void make_pairs(PairData& related, PairData& unrelated) {
+  Rng rng(1);
+  const std::vector<std::string> sw = {"sa", "sb", "sc", "sd"};
+  const std::vector<std::string> tw = {"ta", "tb", "tc", "td"};
+  auto fill = [&](dx::Corpus& src, dx::Corpus& rel, dx::Corpus& unrel,
+                  std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      dx::Sentence s, r, u;
+      for (std::size_t i = 0; i < 6; ++i) {
+        const std::size_t w = rng.index(4);
+        s.push_back(sw[w]);
+        r.push_back(tw[w]);
+        u.push_back(tw[rng.index(4)]);
+      }
+      src.push_back(s);
+      rel.push_back(r);
+      unrel.push_back(u);
+    }
+  };
+  dx::Corpus dev_unrel_tgt;
+  fill(related.train_src, related.train_tgt, unrelated.train_tgt, 96);
+  unrelated.train_src = related.train_src;
+  fill(related.dev_src, related.dev_tgt, unrelated.dev_tgt, 16);
+  unrelated.dev_src = related.dev_src;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: NMT model settings (layers/hidden/steps) ===\n";
+  PairData related, unrelated;
+  make_pairs(related, unrelated);
+
+  struct Setting {
+    std::size_t layers, hidden, steps;
+  };
+  const Setting settings[] = {
+      {1, 16, 150}, {1, 16, 600}, {1, 32, 300},  {1, 32, 600},
+      {2, 32, 600}, {1, 64, 600}, {2, 64, 1000},
+  };
+
+  du::Table t({"layers", "hidden", "steps", "BLEU related", "BLEU unrelated",
+               "separation", "runtime (s)"});
+  for (const Setting& s : settings) {
+    dm::TranslationConfig cfg;
+    cfg.model.embedding_dim = s.hidden;
+    cfg.model.hidden_dim = s.hidden;
+    cfg.model.num_layers = s.layers;
+    cfg.model.dropout = 0.1f;
+    cfg.model.max_decode_length = 8;
+    cfg.trainer.steps = s.steps;
+    cfg.trainer.batch_size = 8;
+    cfg.trainer.lr = 0.02f;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto rel_model = dm::train_translation_model(related.train_src,
+                                                 related.train_tgt, cfg, 11);
+    auto unrel_model = dm::train_translation_model(
+        unrelated.train_src, unrelated.train_tgt, cfg, 11);
+    const double rel =
+        rel_model.score(related.dev_src, related.dev_tgt).score;
+    const double unrel =
+        unrel_model.score(unrelated.dev_src, unrelated.dev_tgt).score;
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    t.add_row({std::to_string(s.layers), std::to_string(s.hidden),
+               std::to_string(s.steps), du::fixed(rel, 1),
+               du::fixed(unrel, 1), du::fixed(rel - unrel, 1),
+               du::fixed(secs, 2)});
+  }
+  std::cout << t.to_text();
+
+  db::expectation("paper's choice",
+                  "2x64, 1000 steps: good distinguishing ability at "
+                  "acceptable training time",
+                  "separation saturates well before the largest setting — "
+                  "small models already separate related from unrelated");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation — relationship scorers compared.
+//
+// The paper's key design choice is using an NMT model's BLEU as the pairwise
+// relationship metric. This ablation pits it against (a) a count-based
+// position-wise word-translation baseline (BLEU-scored the same way) and
+// (b) classical instantaneous dependence measures (normalized mutual
+// information, Cramér's V) on three pair types from the plant data:
+//   * lagged within-component pair (delayed copy — needs temporal context),
+//   * cross-component pair (weakly related),
+//   * sensor vs shuffled noise (unrelated).
+// A good scorer separates the three; instantaneous measures miss the lag
+// unless explicitly scanned, and the count baseline misses cross-position
+// structure.
+#include <chrono>
+#include <iostream>
+
+#include "common.h"
+#include "core/encryption.h"
+#include "core/language.h"
+#include "data/plant.h"
+#include "ml/dependence.h"
+#include "nmt/translation.h"
+#include "nmt/word_baseline.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dc = desmine::core;
+namespace dd = desmine::data;
+namespace dm = desmine::nmt;
+namespace ml = desmine::ml;
+namespace du = desmine::util;
+
+int main() {
+  std::cout << "=== Ablation: relationship scorers (NMT vs count baseline vs "
+               "dependence measures) ===\n";
+  const dd::PlantDataset plant = dd::generate_plant(db::mini_plant_config());
+  const auto train = plant.days_slice(0, db::kPlantTrainDays);
+  const auto dev =
+      plant.days_slice(db::kPlantTrainDays, db::kPlantDevDays);
+  const auto enc = dc::SensorEncrypter::fit(train);
+  const dc::LanguageGenerator gen(db::plant_framework_config().window);
+
+  auto events_of = [&](const dc::MultivariateSeries& series,
+                       const std::string& name) {
+    for (const auto& s : series) {
+      if (s.name == name) return s.events;
+    }
+    throw desmine::PreconditionError("sensor not found: " + name);
+  };
+
+  // Pair types: (source, target, label).
+  desmine::util::Rng rng(4);
+  dc::EventSequence shuffled = events_of(train, "c2.s2");
+  rng.shuffle(shuffled);
+  dc::EventSequence shuffled_dev = events_of(dev, "c2.s2");
+  rng.shuffle(shuffled_dev);
+
+  struct Pair {
+    std::string label;
+    dc::EventSequence train_src, train_tgt, dev_src, dev_tgt;
+  };
+  std::vector<Pair> pairs = {
+      {"within-component (lagged copy)", events_of(train, "c0.s0"),
+       events_of(train, "c0.s2"), events_of(dev, "c0.s0"),
+       events_of(dev, "c0.s2")},
+      {"cross-component", events_of(train, "c0.s0"),
+       events_of(train, "c1.s0"), events_of(dev, "c0.s0"),
+       events_of(dev, "c1.s0")},
+      {"unrelated (shuffled)", events_of(train, "c0.s0"), shuffled,
+       events_of(dev, "c0.s0"), shuffled_dev},
+  };
+
+  dm::TranslationConfig nmt_cfg = db::plant_framework_config().miner.translation;
+
+  du::Table t({"pair", "NMT BLEU", "count-baseline BLEU", "NMI",
+               "best lagged NMI (lag)", "Cramer's V", "NMT secs"});
+  for (const Pair& p : pairs) {
+    // Sensor-language corpora (encode via a per-pair encrypter fit so the
+    // shuffled pseudo-sensor gets a table too).
+    dc::MultivariateSeries pair_train = {{"src", p.train_src},
+                                         {"tgt", p.train_tgt}};
+    dc::MultivariateSeries pair_dev = {{"src", p.dev_src}, {"tgt", p.dev_tgt}};
+    const auto pair_enc = dc::SensorEncrypter::fit(pair_train);
+    const auto tr = pair_enc.encode_all(pair_train);
+    const auto dv = pair_enc.encode_all(pair_dev);
+    const auto src_train = gen.generate(tr[0]);
+    const auto tgt_train = gen.generate(tr[1]);
+    const auto src_dev = gen.generate(dv[0]);
+    const auto tgt_dev = gen.generate(dv[1]);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto nmt = dm::train_translation_model(src_train, tgt_train, nmt_cfg, 5);
+    const double nmt_bleu = nmt.score(src_dev, tgt_dev).score;
+    const double nmt_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const auto baseline = dm::WordBaseline::fit(src_train, tgt_train);
+    const double base_bleu = baseline.score(src_dev, tgt_dev).score;
+
+    const double nmi =
+        ml::normalized_mutual_information(p.dev_tgt, p.dev_src);
+    const auto lag = ml::scan_lags(p.dev_tgt, p.dev_src, 12);
+    const double v =
+        ml::cramers_v(ml::ContingencyTable(p.dev_src, p.dev_tgt));
+
+    t.add_row({p.label, du::fixed(nmt_bleu, 1), du::fixed(base_bleu, 1),
+               du::fixed(nmi, 3),
+               du::fixed(lag.best_nmi, 3) + " (" +
+                   std::to_string(lag.best_lag) + ")",
+               du::fixed(v, 3), du::fixed(nmt_secs, 1)});
+  }
+  std::cout << t.to_text();
+
+  db::expectation("NMT separation",
+                  "related >> unrelated under one architecture (§II-A3)",
+                  "NMT BLEU column is monotone across the three pair types");
+  db::expectation("instantaneous measures on lagged pairs",
+                  "miss delayed coupling unless a lag scan is added",
+                  "NMI at lag 0 underestimates the within-component pair; "
+                  "the lag scan recovers it");
+  db::expectation("count baseline",
+                  "captures word-for-word coupling only",
+                  "competitive on aligned pairs, no context for the rest");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation — word/sentence window parameters (§II-A2, §III-A1).
+//
+// The paper discusses how word length i controls vocabulary size (more
+// information vs longer training), word stride j the overlap, sentence
+// length m the context span, and sentence stride n the detection
+// granularity / corpus size trade-off. This ablation measures all four on
+// the plant data.
+#include <iostream>
+
+#include "common.h"
+#include "core/encryption.h"
+#include "core/language.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dc = desmine::core;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+
+int main() {
+  std::cout << "=== Ablation: language window parameters (i, j, m, n) ===\n";
+  const dd::PlantDataset plant = dd::generate_plant(db::full_plant_config());
+  const auto train = plant.days_slice(0, db::kPlantTrainDays);
+  const auto enc = dc::SensorEncrypter::fit(train);
+
+  // Encode once.
+  const auto chars = enc.encode_all(train);
+
+  struct Setting {
+    std::size_t i, j, m, n;
+  };
+  const Setting settings[] = {
+      {10, 1, 20, 20},  // paper defaults
+      {10, 1, 20, 1},   // per-minute detection granularity
+      {5, 1, 20, 20},   // shorter words
+      {20, 1, 20, 20},  // longer words
+      {10, 5, 20, 20},  // sparser word overlap
+      {10, 1, 7, 7},    // shorter sentences
+      {10, 1, 40, 40},  // longer sentences
+  };
+
+  du::Table t({"word i", "stride j", "sent m", "stride n", "mean vocab",
+               "max vocab", "sentences/sensor", "detections/day"});
+  for (const Setting& s : settings) {
+    dc::WindowConfig w;
+    w.word_length = s.i;
+    w.word_stride = s.j;
+    w.sentence_length = s.m;
+    w.sentence_stride = s.n;
+    const dc::LanguageGenerator gen(w);
+
+    std::vector<double> vocab;
+    vocab.reserve(chars.size());
+    for (const auto& c : chars) {
+      vocab.push_back(static_cast<double>(gen.vocabulary_size(c)));
+    }
+    const std::size_t sentences = gen.sentence_count(chars.front().size());
+    const double per_day =
+        static_cast<double>(sentences) / db::kPlantTrainDays;
+
+    t.add_row({std::to_string(s.i), std::to_string(s.j), std::to_string(s.m),
+               std::to_string(s.n), du::fixed(du::mean(vocab), 1),
+               du::fixed(*std::max_element(vocab.begin(), vocab.end()), 0),
+               std::to_string(sentences), du::fixed(per_day, 1)});
+  }
+  std::cout << t.to_text();
+
+  db::expectation("word length i", "longer words -> larger vocabulary -> "
+                                   "more information but longer training",
+                  "mean/max vocab grows with i");
+  db::expectation("sentence stride n",
+                  "n=1 gives per-minute detection (1440 sentences/day) vs "
+                  "72/day at n=20, at higher training cost",
+                  "detections/day column");
+  return 0;
+}

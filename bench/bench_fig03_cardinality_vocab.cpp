@@ -1,0 +1,76 @@
+// Figure 3 — (a) CDF of sensor event cardinality and (b) CDF of sensor
+// vocabulary size on the plant dataset.
+//
+// Paper: mean cardinality 2.07, 97.6% binary, max 7; with 10-char words
+// ~40% of sensors have vocabulary < 13, <20% exceed 100, average 707.
+#include <iostream>
+
+#include "common.h"
+#include "core/encryption.h"
+#include "core/language.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace db = desmine::bench;
+namespace dc = desmine::core;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+
+int main() {
+  std::cout << "=== Figure 3: sensor cardinality and vocabulary size ===\n";
+  const dd::PlantDataset plant = dd::generate_plant(db::full_plant_config());
+
+  // Training slice only, like the paper's offline phase.
+  const auto train = plant.days_slice(0, db::kPlantTrainDays);
+  const auto enc = dc::SensorEncrypter::fit(train);
+
+  // ---- (a) cardinality CDF ----
+  std::vector<double> cardinalities;
+  std::size_t binary = 0;
+  for (const auto& name : enc.kept_sensors()) {
+    const double c = static_cast<double>(enc.cardinality(name));
+    cardinalities.push_back(c);
+    binary += c == 2.0 ? 1 : 0;
+  }
+  db::print_cdf("Fig 3(a): CDF of sensor cardinality", cardinalities,
+                {2, 3, 4, 5, 6, 7});
+  const double mean_card = du::mean(cardinalities);
+  db::expectation("mean cardinality", "2.07", du::fixed(mean_card, 2));
+  db::expectation(
+      "% binary sensors", "97.6%",
+      du::fixed(100.0 * binary / cardinalities.size(), 1) + "%");
+  db::expectation("max cardinality", "7",
+                  du::fixed(*std::max_element(cardinalities.begin(),
+                                              cardinalities.end()),
+                            0));
+  db::expectation("filtered (constant) sensors", "excluded by §II-A1",
+                  std::to_string(enc.dropped_sensors().size()) + " dropped");
+
+  // ---- (b) vocabulary-size CDF (word = 10 chars, stride 1, §III-A1) ----
+  dc::WindowConfig wcfg;
+  wcfg.word_length = 10;
+  wcfg.word_stride = 1;
+  const dc::LanguageGenerator gen(wcfg);
+  std::vector<double> vocab_sizes;
+  for (const auto& name : enc.kept_sensors()) {
+    for (const auto& sensor : train) {
+      if (sensor.name == name) {
+        vocab_sizes.push_back(static_cast<double>(
+            gen.vocabulary_size(enc.encode(name, sensor.events))));
+      }
+    }
+  }
+  db::print_cdf("Fig 3(b): CDF of vocabulary size (word=10 chars)",
+                vocab_sizes, {1, 5, 13, 50, 100, 500, 1000});
+  db::expectation("~40% of sensors have vocab < 13", "0.40",
+                  du::fixed(du::cdf_at(vocab_sizes, 13), 2));
+  db::expectation("<20% of sensors have vocab > 100", "<0.20",
+                  du::fixed(1.0 - du::cdf_at(vocab_sizes, 100), 2));
+  db::expectation("average vocabulary size", "707",
+                  du::fixed(du::mean(vocab_sizes), 0));
+  std::cout << "  note: our wave-driven binary sensors have more regular "
+               "languages than the real plant's,\n"
+               "  so the vocabulary tail is lighter; the CDF shape "
+               "(many tiny vocabularies, long tail) matches.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8 — anomaly-score timeline over the 17-day test window for global
+// subgraphs at BLEU [80,90) and [90,100].
+//
+// Paper: the [80,90) band cleanly detects the day-21 and day-28 anomalies
+// (scores near 0.8, normal days below 0.2, early-warning spikes on the
+// preceding days); the [90,100] band stays flat and useless because its
+// targets are trivially translatable.
+#include <iostream>
+
+#include "common.h"
+#include "core/anomaly.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dc = desmine::core;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+
+namespace {
+
+void run_band(const dc::Framework& fw, const dd::PlantDataset& plant,
+              double lo, double hi, const std::string& label) {
+  dc::DetectorConfig cfg = fw.config().detector;
+  cfg.valid_lo = lo;
+  cfg.valid_hi = hi;
+  const dc::AnomalyDetector detector(fw.graph(), cfg);
+  std::cout << "band " << label << ": " << detector.valid_model_count()
+            << " valid models\n";
+  if (detector.valid_model_count() == 0) {
+    std::cout << "  (no models in band; skipping)\n\n";
+    return;
+  }
+
+  const std::size_t first_test_day = db::kPlantTrainDays + db::kPlantDevDays;
+  const std::size_t test_days = plant.days - first_test_day;
+  const auto result = detector.detect(
+      fw.to_corpora(plant.days_slice(first_test_day, test_days)));
+
+  const std::size_t windows_per_day = result.anomaly_scores.size() / test_days;
+  du::Table t({"day", "mean score", "max score", "label"});
+  double normal_mean = 0.0, anomaly_mean = 0.0;
+  std::size_t normal_n = 0, anomaly_n = 0;
+  for (std::size_t d = 0; d < test_days; ++d) {
+    std::vector<double> day_scores(
+        result.anomaly_scores.begin() +
+            static_cast<long>(d * windows_per_day),
+        result.anomaly_scores.begin() +
+            static_cast<long>((d + 1) * windows_per_day));
+    const auto s = du::summarize(day_scores);
+    const std::size_t abs_day = first_test_day + d;
+    const bool anomalous = plant.is_anomalous_day(abs_day);
+    t.add_row({std::to_string(abs_day + 1), du::fixed(s.mean, 3),
+               du::fixed(s.max, 3),
+               anomalous ? "ANOMALY (ground truth)" : ""});
+    if (anomalous) {
+      anomaly_mean += s.mean;
+      ++anomaly_n;
+    } else {
+      normal_mean += s.mean;
+      ++normal_n;
+    }
+  }
+  std::cout << t.to_text("Fig 8: per-day anomaly scores, band " + label);
+  if (anomaly_n > 0 && normal_n > 0) {
+    std::cout << "  mean score on anomalous days: "
+              << du::fixed(anomaly_mean / anomaly_n, 3)
+              << " | on normal days: " << du::fixed(normal_mean / normal_n, 3)
+              << " | separation: "
+              << du::fixed((anomaly_mean / anomaly_n) -
+                               (normal_mean / normal_n),
+                           3)
+              << "\n\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 8: anomaly detection timeline ===\n";
+  const dd::PlantDataset plant = dd::generate_plant(db::mini_plant_config());
+  const auto fw = db::plant_framework(plant);
+
+  run_band(fw, plant, 80.0, 90.0, "[80, 90)");
+  run_band(fw, plant, 90.0, 100.5, "[90, 100]");
+
+  db::expectation("[80,90) band detects days 21 & 28",
+                  "scores ~0.8 on anomalies, <0.2 normally, plus "
+                  "early-warning spikes on preceding days",
+                  "see per-day table: anomalous-day scores exceed normal-day "
+                  "scores by a wide margin");
+  db::expectation("[90,100] band fails",
+                  "flat, too low to signal anomalies",
+                  "smaller separation than [80,90) (trivially translatable "
+                  "targets keep scoring high)");
+  return 0;
+}

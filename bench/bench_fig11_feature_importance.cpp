@@ -1,0 +1,102 @@
+// Figure 11 — feature-importance analysis: (a) global subgraph of the SMART
+// relationship graph (high in-degree = critical disk-health indicator) vs
+// (b) the Random Forest importance ranking.
+//
+// Paper: the 5 high-in-degree features of the subgraph (192, 187, 198, 197,
+// 5) all appear in the RF's top-10, confirming the unsupervised graph's
+// feature-importance signal.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "common.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+namespace ml = desmine::ml;
+
+int main() {
+  std::cout << "=== Figure 11: feature importance (subgraph vs RF) ===\n";
+  const dd::SmartDataset smart = dd::generate_smart(db::smart_config());
+  const auto fw = db::smart_framework(smart);
+  const auto& g = fw.graph();
+
+  // ---- (a) subgraph in-degree ranking ----
+  // The paper reads importance off the [80,90) band; if the mini models put
+  // little mass there, widen to the strongest populated band.
+  // The paper reads importance off the [80,90) band; at mini scale the
+  // strong edges cluster near the top of the scale, so we rank over the
+  // whole strong region [80,100] (see EXPERIMENTS.md).
+  auto band = g.filter_bleu(80.0, 100.5);
+  std::string band_label = "[80, 100]";
+  const auto in_deg = band.in_degrees();
+  std::vector<std::size_t> order(g.sensor_count());
+  for (std::size_t v = 0; v < order.size(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return in_deg[a] > in_deg[b];
+  });
+
+  du::Table ta({"rank", "feature", "in-degree"});
+  std::set<std::string> graph_top5;
+  for (std::size_t r = 0; r < std::min<std::size_t>(5, order.size()); ++r) {
+    ta.add_row({std::to_string(r + 1), g.name(order[r]),
+                std::to_string(in_deg[order[r]])});
+    graph_top5.insert(g.name(order[r]));
+  }
+  std::cout << ta.to_text("Fig 11(a): subgraph " + band_label +
+                          " in-degree top-5");
+
+  // ---- (b) Random Forest importance ranking ----
+  // With only ~a dozen positive samples a single balanced subsample is
+  // noisy; average the impurity importance over several resamples (the
+  // paper notes its top features are stable "upon model retraining").
+  const auto matrix = dd::to_labeled_matrix(smart);
+  std::vector<double> importance(matrix.column_names.size(), 0.0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    desmine::util::Rng rng(seed);
+    const auto balanced = ml::balanced_indices(matrix.labels, rng);
+    ml::RandomForest forest;
+    ml::ForestConfig fcfg;
+    fcfg.num_trees = 100;
+    fcfg.seed = seed;
+    forest.fit(matrix.rows, matrix.labels, fcfg, balanced);
+    const auto imp = forest.feature_importance();
+    for (std::size_t f = 0; f < imp.size(); ++f) importance[f] += imp[f] / 5.0;
+  }
+  std::vector<std::size_t> ranked(importance.size());
+  for (std::size_t f = 0; f < ranked.size(); ++f) ranked[f] = f;
+  std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+  du::Table tb({"rank", "feature column", "importance"});
+  std::set<std::string> rf_top10_bases;
+  for (std::size_t r = 0; r < std::min<std::size_t>(10, ranked.size()); ++r) {
+    const std::string& col = matrix.column_names[ranked[r]];
+    tb.add_row({std::to_string(r + 1), col,
+                du::fixed(importance[ranked[r]], 4)});
+    // Normalize "smart_187_raw"/"smart_187_diff" -> "smart_187".
+    rf_top10_bases.insert(col.substr(0, col.rfind('_')));
+  }
+  std::cout << tb.to_text("Fig 11(b): Random Forest importance top-10");
+
+  // ---- overlap ----
+  std::size_t overlap = 0;
+  for (const auto& name : graph_top5) {
+    overlap += rf_top10_bases.count(name) ? 1 : 0;
+  }
+  db::expectation("graph top-5 found in RF top-10", "5 of 5",
+                  std::to_string(overlap) + " of " +
+                      std::to_string(graph_top5.size()));
+  db::expectation("expected key features", "192, 187, 198, 197, 5",
+                  [&] {
+                    std::string s;
+                    for (const auto& n : graph_top5) s += n + " ";
+                    return s;
+                  }());
+  return 0;
+}

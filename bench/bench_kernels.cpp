@@ -1,0 +1,109 @@
+// Micro-kernel benchmarks (google-benchmark): the numeric primitives the
+// pipeline's cost is built from — GEMM, LSTM steps, BLEU scoring, greedy
+// decoding, and Walktrap.
+#include <benchmark/benchmark.h>
+
+#include "graph/walktrap.h"
+#include "nn/lstm.h"
+#include "nmt/translation.h"
+#include "tensor/matrix.h"
+#include "text/bleu.h"
+#include "util/rng.h"
+
+namespace dt = desmine::tensor;
+namespace dn = desmine::nn;
+namespace dg = desmine::graph;
+namespace dx = desmine::text;
+using desmine::util::Rng;
+
+static void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  dt::Matrix a(n, n), b(n, n), c(n, n);
+  a.init_uniform(rng, 1.0f);
+  b.init_uniform(rng, 1.0f);
+  for (auto _ : state) {
+    dt::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_LstmStep(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  dn::LstmStack lstm("l", hidden, hidden, 2, rng, 0.0f);
+  dt::Matrix x(8, hidden, 0.1f);
+  for (auto _ : state) {
+    lstm.begin(8);
+    for (int t = 0; t < 10; ++t) benchmark::DoNotOptimize(&lstm.step(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_LstmStep)->Arg(24)->Arg(64);
+
+static void BM_LstmTrainStep(benchmark::State& state) {
+  // One teacher-forced forward+backward of a small seq2seq batch.
+  desmine::nmt::Seq2SeqConfig cfg;
+  cfg.embedding_dim = 24;
+  cfg.hidden_dim = 24;
+  cfg.num_layers = 1;
+  cfg.dropout = 0.0f;
+  desmine::nmt::Seq2SeqModel model(30, 30, cfg, Rng(3));
+  std::vector<desmine::nmt::EncodedPair> pairs;
+  Rng rng(4);
+  for (int k = 0; k < 8; ++k) {
+    desmine::nmt::EncodedPair p;
+    for (int i = 0; i < 6; ++i) {
+      p.source.push_back(4 + rng.uniform_int(0, 25));
+      p.target.push_back(4 + rng.uniform_int(0, 25));
+    }
+    pairs.push_back(p);
+  }
+  std::vector<const desmine::nmt::EncodedPair*> batch;
+  for (const auto& p : pairs) batch.push_back(&p);
+  for (auto _ : state) {
+    model.params().zero_grad();
+    benchmark::DoNotOptimize(model.train_batch(batch));
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+static void BM_CorpusBleu(benchmark::State& state) {
+  Rng rng(5);
+  dx::Corpus cand, ref;
+  for (int s = 0; s < 100; ++s) {
+    dx::Sentence c, r;
+    for (int i = 0; i < 20; ++i) {
+      c.push_back("w" + std::to_string(rng.index(50)));
+      r.push_back("w" + std::to_string(rng.index(50)));
+    }
+    cand.push_back(c);
+    ref.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dx::corpus_bleu(cand, ref).score);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_CorpusBleu);
+
+static void BM_Walktrap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  dg::Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same = (i / 8) == (j / 8);
+      if (rng.bernoulli(same ? 0.7 : 0.02)) g.add_edge(i, j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dg::walktrap(g).community_count);
+  }
+}
+BENCHMARK(BM_Walktrap)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

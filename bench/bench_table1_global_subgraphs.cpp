@@ -1,0 +1,54 @@
+// Table I — statistics of global subgraphs at the paper's BLEU score ranges:
+// % of relationships, # sensors, # popular sensors, # relationships after
+// removing popular sensors.
+#include <iostream>
+
+#include "common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+
+int main() {
+  std::cout << "=== Table I: global subgraph statistics per BLEU range ===\n";
+  const dd::PlantDataset plant = dd::generate_plant(db::mini_plant_config());
+  const auto fw = db::plant_framework(plant);
+  const auto& g = fw.graph();
+  const double total_edges = static_cast<double>(g.edges().size());
+  const std::size_t pop_thresh = db::popular_threshold(g.sensor_count());
+
+  struct Band {
+    double lo, hi;
+    const char* label;
+  };
+  const Band bands[] = {{0, 60, "[0, 60)"},
+                        {60, 70, "[60, 70)"},
+                        {70, 80, "[70, 80)"},
+                        {80, 90, "[80, 90)"},
+                        {90, 100.5, "[90, 100]"}};
+
+  du::Table t({"BLEU range", "% relationships", "# sensors",
+               "# popular (in-deg >= " + std::to_string(pop_thresh) + ")",
+               "# relationships w/o popular"});
+  for (const Band& band : bands) {
+    const auto sub = g.filter_bleu(band.lo, band.hi);
+    const auto popular = sub.popular_sensors(pop_thresh);
+    const auto local = sub.without_sensors(popular);
+    t.add_row({band.label,
+               du::fixed(100.0 * sub.edges().size() / total_edges, 1) + "%",
+               std::to_string(sub.active_sensors().size()),
+               std::to_string(popular.size()),
+               std::to_string(local.edges().size())});
+  }
+  std::cout << t.to_text();
+
+  db::expectation("distribution across bands",
+                  "10.6 / 12.8 / 28.8 / 17.8 / 29.9 % (majority above 70)",
+                  "see table — mass concentrated in the upper bands");
+  db::expectation("popular sensors exist in every strong band",
+                  "9-32 per band at 128 sensors",
+                  "nonzero counts at mini scale (threshold rescaled)");
+  return 0;
+}

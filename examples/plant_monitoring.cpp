@@ -1,0 +1,96 @@
+// Plant monitoring — the paper's case study I end to end on a synthetic
+// plant: offline training on normal days, online detection over a test
+// window, and fault diagnosis for the worst window.
+//
+//   $ ./plant_monitoring
+#include <iostream>
+
+#include "core/diagnosis.h"
+#include "core/framework.h"
+#include "data/plant.h"
+#include "util/strings.h"
+
+using namespace desmine;
+
+int main() {
+  // A small plant: 3 components x 2 sensors + 1 constant sensor; one
+  // anomaly hits components 0 and 1 on the final day.
+  data::PlantConfig plant_cfg;
+  plant_cfg.num_components = 3;
+  plant_cfg.sensors_per_component = 2;
+  plant_cfg.num_popular = 0;
+  plant_cfg.num_lazy = 0;
+  plant_cfg.num_constant = 1;
+  plant_cfg.days = 6;
+  plant_cfg.minutes_per_day = 240;
+  plant_cfg.anomalies = {{5, {0, 1}}};
+  plant_cfg.precursors = false;
+  plant_cfg.seed = 11;
+  const data::PlantDataset plant = data::generate_plant(plant_cfg);
+
+  core::FrameworkConfig cfg;
+  cfg.window = {5, 1, 6, 6};
+  cfg.miner.translation.model.embedding_dim = 24;
+  cfg.miner.translation.model.hidden_dim = 24;
+  cfg.miner.translation.model.num_layers = 1;
+  cfg.miner.translation.model.dropout = 0.1f;
+  cfg.miner.translation.trainer.steps = 300;
+  cfg.miner.translation.trainer.batch_size = 8;
+  cfg.miner.translation.trainer.lr = 0.02f;
+  cfg.miner.seed = 4;
+  cfg.detector.valid_lo = 0.0;
+  cfg.detector.valid_hi = 100.5;
+  cfg.detector.tolerance = 10.0;
+
+  std::cout << "training pairwise NMT models on days 1-3 (normal)...\n";
+  core::Framework framework(cfg);
+  framework.fit(plant.days_slice(0, 3), plant.days_slice(3, 1));
+  std::cout << "  " << framework.graph().edges().size()
+            << " directional models trained\n\n";
+
+  std::cout << "detecting over days 5-6 (day 6 anomalous in c0/c1)...\n";
+  const auto result = framework.detect(plant.days_slice(4, 2));
+  const std::size_t per_day = result.anomaly_scores.size() / 2;
+  auto day_mean = [&](std::size_t day) {
+    double s = 0.0;
+    for (std::size_t w = day * per_day; w < (day + 1) * per_day; ++w) {
+      s += result.anomaly_scores[w];
+    }
+    return s / static_cast<double>(per_day);
+  };
+  std::cout << "  mean anomaly score day 5 (normal):    "
+            << util::fixed(day_mean(0), 3) << "\n"
+            << "  mean anomaly score day 6 (anomalous): "
+            << util::fixed(day_mean(1), 3) << "\n\n";
+
+  // Fault diagnosis: cluster the graph, attribute broken edges.
+  std::size_t worst = per_day;  // scan the anomalous day
+  for (std::size_t w = per_day; w < result.anomaly_scores.size(); ++w) {
+    if (result.anomaly_scores[w] > result.anomaly_scores[worst]) worst = w;
+  }
+  core::DiagnosisConfig dcfg;
+  dcfg.faulty_threshold = 0.3;
+  const core::FaultDiagnoser diagnoser(framework.graph(), dcfg);
+  const auto diag = diagnoser.diagnose(result, worst);
+
+  std::cout << "fault diagnosis at the worst window (score "
+            << util::fixed(result.anomaly_scores[worst], 2) << "):\n";
+  for (std::size_t c = 0; c < diag.clusters.size(); ++c) {
+    const auto& cluster = diag.clusters[c];
+    if (cluster.sensors.empty()) continue;
+    std::cout << "  cluster " << c << " [";
+    for (std::size_t v : cluster.sensors) {
+      std::cout << " " << framework.graph().name(v);
+    }
+    std::cout << " ]  broken " << cluster.edges_broken << "/"
+              << cluster.edges_total
+              << (std::find(diag.faulty.begin(), diag.faulty.end(), c) !=
+                          diag.faulty.end()
+                      ? "  <-- FAULTY"
+                      : "")
+              << "\n";
+  }
+  std::cout << "(the faulty clusters should be the ones holding c0.*/c1.* "
+               "sensors)\n";
+  return 0;
+}

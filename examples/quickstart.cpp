@@ -1,0 +1,77 @@
+// Quickstart — the whole pipeline in ~60 lines.
+//
+// Two binary sensors follow the same hidden switching pattern (one lags the
+// other); a third is unrelated noise. We train the framework on a clean
+// window, inspect the mined relationship graph, and detect an injected
+// anomaly where the coupled pair falls out of sync.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/framework.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+using namespace desmine;
+
+namespace {
+
+/// Coupled pair: s_follow repeats s_lead 3 ticks later. s_noise is random.
+core::MultivariateSeries make_series(std::size_t ticks, bool desync_tail,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::EventSequence lead, follow, noise;
+  bool state = false;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (t % 17 == 0) state = !state;           // hidden switching pattern
+    const bool broken = desync_tail && t >= ticks / 2;
+    lead.push_back(state ? "ON" : "OFF");
+    const bool f = broken ? rng.bernoulli(0.5)  // anomaly: follower desyncs
+                          : (t >= 3 && lead[t - 3] == "ON");
+    follow.push_back(f ? "ON" : "OFF");
+    noise.push_back(rng.bernoulli(0.5) ? "ON" : "OFF");
+  }
+  return {{"lead", lead}, {"follow", follow}, {"noise", noise}};
+}
+
+}  // namespace
+
+int main() {
+  // 1. Configure: short words/sentences and a tiny NMT model keep this demo
+  //    under a minute; see bench/ for paper-style settings.
+  core::FrameworkConfig cfg;
+  cfg.window = {/*word_length=*/5, /*word_stride=*/1,
+                /*sentence_length=*/5, /*sentence_stride=*/5};
+  cfg.miner.translation.model.embedding_dim = 16;
+  cfg.miner.translation.model.hidden_dim = 16;
+  cfg.miner.translation.model.num_layers = 1;
+  cfg.miner.translation.model.dropout = 0.0f;
+  cfg.miner.translation.trainer.steps = 200;
+  cfg.miner.translation.trainer.batch_size = 8;
+  cfg.miner.seed = 1;
+  cfg.detector.valid_lo = 0.0;  // treat every pair model as valid
+  cfg.detector.valid_hi = 100.5;
+  cfg.detector.tolerance = 10.0;
+
+  // 2. Offline training (Algorithm 1): mine pairwise NMT relationships.
+  core::Framework framework(cfg);
+  framework.fit(make_series(800, false, 1), make_series(400, false, 2));
+
+  std::cout << "mined relationship graph:\n";
+  const auto& g = framework.graph();
+  for (const auto& e : g.edges()) {
+    std::cout << "  " << g.name(e.src) << " -> " << g.name(e.dst)
+              << "  BLEU " << util::fixed(e.bleu, 1) << "\n";
+  }
+  std::cout << "(coupled lead<->follow edges should far out-score anything "
+               "involving 'noise')\n\n";
+
+  // 3. Online detection (Algorithm 2): first half normal, second half with
+  //    the follower desynchronized.
+  const auto result = framework.detect(make_series(400, true, 3));
+  std::cout << "anomaly scores over time (first half normal, second half "
+               "desynchronized):\n  ";
+  for (double s : result.anomaly_scores) std::cout << util::fixed(s, 2) << " ";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "core/anomaly.h"
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace desmine::core {
+
+AnomalyDetector::AnomalyDetector(const MvrGraph& graph, DetectorConfig config)
+    : config_(config) {
+  DESMINE_EXPECTS(config.valid_lo <= config.valid_hi, "valid band order");
+  for (const MvrEdge& e : graph.edges()) {
+    if (e.bleu >= config_.valid_lo && e.bleu < config_.valid_hi) {
+      DESMINE_EXPECTS(e.model != nullptr,
+                      "valid edge lacks a trained model");
+      valid_edges_.push_back(e);
+    }
+  }
+}
+
+DetectionResult AnomalyDetector::detect(
+    const std::vector<text::Corpus>& test_sentences) const {
+  DESMINE_EXPECTS(!test_sentences.empty(), "no test sentences");
+  const std::size_t windows = test_sentences.front().size();
+  for (const text::Corpus& corpus : test_sentences) {
+    DESMINE_EXPECTS(corpus.size() == windows,
+                    "test corpora must be aligned across sensors");
+  }
+
+  DetectionResult result;
+  result.valid_edges = valid_edges_;
+  for (MvrEdge& e : result.valid_edges) e.model.reset();
+  result.edge_bleu.assign(valid_edges_.size(),
+                          std::vector<double>(windows, 0.0));
+  result.anomaly_scores.assign(windows, 0.0);
+  result.broken_edges.assign(windows, {});
+
+  // Each edge owns its model, so edges are independent units of work.
+  auto score_edge = [&](std::size_t e) {
+    const MvrEdge& edge = valid_edges_[e];
+    DESMINE_EXPECTS(edge.src < test_sentences.size() &&
+                        edge.dst < test_sentences.size(),
+                    "edge endpoint missing from test data");
+    const text::Corpus& src = test_sentences[edge.src];
+    const text::Corpus& dst = test_sentences[edge.dst];
+    for (std::size_t t = 0; t < windows; ++t) {
+      const text::Sentence candidate = edge.model->translate(src[t]);
+      result.edge_bleu[e][t] =
+          text::corpus_bleu({candidate}, {dst[t]}, config_.bleu).score;
+    }
+  };
+
+  if (config_.threads == 1 || valid_edges_.size() <= 1) {
+    for (std::size_t e = 0; e < valid_edges_.size(); ++e) score_edge(e);
+  } else {
+    util::ThreadPool pool(config_.threads);
+    pool.parallel_for(valid_edges_.size(), score_edge);
+  }
+
+  const double pt = static_cast<double>(valid_edges_.size());
+  for (std::size_t t = 0; t < windows; ++t) {
+    std::size_t broken = 0;
+    for (std::size_t e = 0; e < valid_edges_.size(); ++e) {
+      if (result.edge_bleu[e][t] <
+          valid_edges_[e].bleu - config_.tolerance) {
+        ++broken;
+        result.broken_edges[t].push_back(e);
+      }
+    }
+    result.anomaly_scores[t] = pt == 0.0 ? 0.0 : static_cast<double>(broken) / pt;
+  }
+  return result;
+}
+
+}  // namespace desmine::core

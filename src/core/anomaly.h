@@ -1,0 +1,57 @@
+// Online anomaly detection — Algorithm 2 of the paper.
+//
+// A pair model g(i,j) is *valid* when its training BLEU s(i,j) lies in a
+// user-selected band (the paper finds [80, 90) best, §III-C). At each test
+// window t, every valid model translates sensor i's sentence and scores it
+// against sensor j's sentence; the relationship is *broken* when the test
+// BLEU f(i,j) falls below s(i,j) (minus an optional tolerance). The anomaly
+// score a_t is the fraction of valid relationships broken at t, and the
+// alert status W_t records which edges broke — the input to fault diagnosis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mvr_graph.h"
+#include "text/bleu.h"
+
+namespace desmine::core {
+
+struct DetectorConfig {
+  double valid_lo = 80.0;  ///< valid-model band lower BLEU bound (inclusive)
+  double valid_hi = 90.0;  ///< upper bound (exclusive)
+  double tolerance = 0.0;  ///< broken when f < s - tolerance
+  text::BleuOptions bleu{};  ///< sentence-BLEU options (smoothing on)
+  std::size_t threads = 0;   ///< 0 = hardware concurrency
+};
+
+struct DetectionResult {
+  /// Anomaly score a_t per test window, in [0, 1].
+  std::vector<double> anomaly_scores;
+  /// W_t: per window, the indices (into valid_edges) of broken edges.
+  std::vector<std::vector<std::size_t>> broken_edges;
+  /// The valid edges used (src, dst, training BLEU; models not retained).
+  std::vector<MvrEdge> valid_edges;
+  /// f(i,j) per valid edge per window: edge_bleu[e][t].
+  std::vector<std::vector<double>> edge_bleu;
+};
+
+class AnomalyDetector {
+ public:
+  /// `graph` must carry trained models on its edges.
+  AnomalyDetector(const MvrGraph& graph, DetectorConfig config);
+
+  /// `test_sentences[k]` is the aligned test corpus of sensor node k (same
+  /// node indexing as the graph; all corpora equal length). Returns scores
+  /// for every window.
+  DetectionResult detect(const std::vector<text::Corpus>& test_sentences) const;
+
+  std::size_t valid_model_count() const { return valid_edges_.size(); }
+  const std::vector<MvrEdge>& valid_edges() const { return valid_edges_; }
+
+ private:
+  DetectorConfig config_;
+  std::vector<MvrEdge> valid_edges_;  ///< edges within the valid band
+};
+
+}  // namespace desmine::core

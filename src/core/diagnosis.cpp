@@ -1,0 +1,70 @@
+#include "core/diagnosis.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace desmine::core {
+
+FaultDiagnoser::FaultDiagnoser(const MvrGraph& structure,
+                               DiagnosisConfig config)
+    : config_(config) {
+  const graph::CommunityResult communities =
+      graph::walktrap(structure.to_digraph(), config_.walktrap);
+  membership_ = communities.membership;
+  cluster_count_ = communities.community_count;
+}
+
+WindowDiagnosis FaultDiagnoser::diagnose(const DetectionResult& detection,
+                                         std::size_t window) const {
+  DESMINE_EXPECTS(window < detection.anomaly_scores.size(),
+                  "window out of range");
+
+  WindowDiagnosis out;
+  out.window = window;
+  out.clusters.assign(cluster_count_, {});
+  for (std::size_t c = 0; c < cluster_count_; ++c) {
+    for (std::size_t v = 0; v < membership_.size(); ++v) {
+      if (membership_[v] == c) out.clusters[c].sensors.push_back(v);
+    }
+  }
+
+  // Which valid edges broke at this window?
+  std::vector<bool> broken(detection.valid_edges.size(), false);
+  for (std::size_t e : detection.broken_edges[window]) broken[e] = true;
+
+  std::size_t total = 0, total_broken = 0;
+  for (std::size_t e = 0; e < detection.valid_edges.size(); ++e) {
+    const MvrEdge& edge = detection.valid_edges[e];
+    if (edge.src >= membership_.size() || edge.dst >= membership_.size()) {
+      continue;
+    }
+    // Only intra-cluster edges localize a fault to a component.
+    if (membership_[edge.src] != membership_[edge.dst]) continue;
+    ClusterDiagnosis& cluster = out.clusters[membership_[edge.src]];
+    ++cluster.edges_total;
+    ++total;
+    if (broken[e]) {
+      ++cluster.edges_broken;
+      ++total_broken;
+    }
+  }
+  out.overall_broken_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(total_broken) / static_cast<double>(total);
+
+  for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+    if (out.clusters[c].edges_total > 0 &&
+        out.clusters[c].broken_fraction() > config_.faulty_threshold) {
+      out.faulty.push_back(c);
+    }
+  }
+  std::sort(out.faulty.begin(), out.faulty.end(),
+            [&](std::size_t a, std::size_t b) {
+              return out.clusters[a].broken_fraction() >
+                     out.clusters[b].broken_fraction();
+            });
+  return out;
+}
+
+}  // namespace desmine::core

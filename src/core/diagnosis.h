@@ -1,0 +1,65 @@
+// Fault diagnosis (§III-C "Interpretation of anomaly detection results").
+//
+// Given the alert status W_t from the detector and a local subgraph, the
+// diagnoser traces broken relationships back to clusters of sensors: a
+// cluster whose internal edges are mostly broken is a faulty component, and
+// the fraction of broken edges measures anomaly severity (Fig. 9).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "core/mvr_graph.h"
+#include "graph/walktrap.h"
+
+namespace desmine::core {
+
+struct ClusterDiagnosis {
+  std::vector<std::size_t> sensors;   ///< member node ids
+  std::size_t edges_total = 0;        ///< valid edges inside the cluster
+  std::size_t edges_broken = 0;       ///< broken at the inspected window
+  double broken_fraction() const {
+    return edges_total == 0
+               ? 0.0
+               : static_cast<double>(edges_broken) /
+                     static_cast<double>(edges_total);
+  }
+};
+
+struct WindowDiagnosis {
+  std::size_t window = 0;
+  std::vector<ClusterDiagnosis> clusters;
+  /// Clusters whose broken fraction exceeds the faulty threshold, sorted
+  /// most-broken first. Indices into `clusters`.
+  std::vector<std::size_t> faulty;
+  double overall_broken_fraction = 0.0;
+};
+
+struct DiagnosisConfig {
+  double faulty_threshold = 0.5;  ///< cluster is faulty when > this broken
+  graph::WalktrapOptions walktrap{};
+};
+
+class FaultDiagnoser {
+ public:
+  /// Clusters are computed once from `structure` (typically a local
+  /// subgraph: valid band, popular sensors removed).
+  FaultDiagnoser(const MvrGraph& structure, DiagnosisConfig config = {});
+
+  /// Diagnose one test window from a detection result (which must come from
+  /// a detector sharing the same node indexing).
+  WindowDiagnosis diagnose(const DetectionResult& detection,
+                           std::size_t window) const;
+
+  const std::vector<std::size_t>& membership() const { return membership_; }
+  std::size_t cluster_count() const { return cluster_count_; }
+
+ private:
+  DiagnosisConfig config_;
+  std::vector<std::size_t> membership_;
+  std::size_t cluster_count_ = 0;
+};
+
+}  // namespace desmine::core

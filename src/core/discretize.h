@@ -1,0 +1,57 @@
+// Feature discretization for continuous time series (§IV-C).
+//
+// Two schemes from the paper's Backblaze adaptation:
+//  * Binary — for zero-inflated features (error counts): the category is
+//    whether the value is zero (Fig. 10a).
+//  * Quantile — otherwise: the 20th/40th/60th/80th percentiles of the
+//    training distribution split values into five categories (Fig. 10b).
+// choose_scheme() applies the paper's rule ("if most of the observations of
+// a feature are equal to zero ... binary").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+
+namespace desmine::core {
+
+enum class DiscretizationScheme { kBinary, kQuantile };
+
+class Discretizer {
+ public:
+  /// Pick the scheme for a training sample: binary when the zero fraction
+  /// exceeds `zero_fraction_threshold`.
+  static DiscretizationScheme choose_scheme(
+      const std::vector<double>& train_values,
+      double zero_fraction_threshold = 0.5);
+
+  /// Fit the chosen scheme's boundaries on the training sample.
+  static Discretizer fit(const std::vector<double>& train_values,
+                         DiscretizationScheme scheme);
+
+  /// Convenience: choose_scheme + fit.
+  static Discretizer fit_auto(const std::vector<double>& train_values,
+                              double zero_fraction_threshold = 0.5);
+
+  DiscretizationScheme scheme() const { return scheme_; }
+
+  /// Percentile boundaries (empty for the binary scheme).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Category label: "zero"/"nonzero" for binary; "q0".."q4" for quantile.
+  std::string discretize(double value) const;
+
+  /// Discretize a whole series into a categorical event sequence.
+  EventSequence apply(const std::vector<double>& values) const;
+
+ private:
+  DiscretizationScheme scheme_ = DiscretizationScheme::kBinary;
+  std::vector<double> boundaries_;
+};
+
+/// First-order difference: out[t] = x[t] - x[t-1]; out[0] = 0. Used to turn
+/// cumulative SMART counters into daily deltas (§IV-B).
+std::vector<double> first_difference(const std::vector<double>& values);
+
+}  // namespace desmine::core

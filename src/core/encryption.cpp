@@ -1,0 +1,104 @@
+#include "core/encryption.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace desmine::core {
+
+SensorEncrypter SensorEncrypter::fit(const MultivariateSeries& train) {
+  SensorEncrypter enc;
+  for (const SensorSeries& sensor : train) {
+    std::set<std::string> states(sensor.events.begin(), sensor.events.end());
+    if (states.size() < 2) {
+      // Sequence filtering: constant (or empty) sequences are meaningless to
+      // the translation model.
+      enc.dropped_.push_back(sensor.name);
+      continue;
+    }
+    // std::set iterates in sorted (alphanumeric) order, which fixes the
+    // letter assignment deterministically.
+    DESMINE_EXPECTS(states.size() <= 26,
+                    "sensor cardinality exceeds the letter alphabet");
+    Encoding encoding;
+    encoding.sensor = sensor.name;
+    char letter = 'a';
+    for (const std::string& state : states) {
+      encoding.to_char.emplace(state, letter++);
+    }
+    enc.encodings_.emplace(sensor.name, std::move(encoding));
+    enc.kept_.push_back(sensor.name);
+  }
+  return enc;
+}
+
+SensorEncrypter SensorEncrypter::from_encodings(
+    std::vector<Encoding> encodings, std::vector<std::string> dropped) {
+  SensorEncrypter enc;
+  for (Encoding& e : encodings) {
+    DESMINE_EXPECTS(!e.to_char.empty(), "empty encoding table");
+    enc.kept_.push_back(e.sensor);
+    std::string name = e.sensor;
+    enc.encodings_.emplace(std::move(name), std::move(e));
+  }
+  enc.dropped_ = std::move(dropped);
+  return enc;
+}
+
+const SensorEncrypter::Encoding& SensorEncrypter::encoding(
+    const std::string& sensor) const {
+  const auto it = encodings_.find(sensor);
+  DESMINE_EXPECTS(it != encodings_.end(), "unknown or dropped sensor");
+  return it->second;
+}
+
+bool SensorEncrypter::keeps(const std::string& sensor) const {
+  return encodings_.count(sensor) > 0;
+}
+
+std::size_t SensorEncrypter::cardinality(const std::string& sensor) const {
+  const auto it = encodings_.find(sensor);
+  DESMINE_EXPECTS(it != encodings_.end(), "unknown or dropped sensor");
+  return it->second.to_char.size();
+}
+
+std::string SensorEncrypter::encode(const std::string& sensor,
+                                    const EventSequence& events) const {
+  const auto it = encodings_.find(sensor);
+  DESMINE_EXPECTS(it != encodings_.end(), "unknown or dropped sensor");
+  std::string out;
+  out.reserve(events.size());
+  for (const std::string& state : events) {
+    const auto sit = it->second.to_char.find(state);
+    out.push_back(sit == it->second.to_char.end() ? kUnknownChar
+                                                  : sit->second);
+  }
+  return out;
+}
+
+std::string SensorEncrypter::token(const std::string& sensor,
+                                   const std::string& state) const {
+  const auto it = encodings_.find(sensor);
+  DESMINE_EXPECTS(it != encodings_.end(), "unknown or dropped sensor");
+  const auto sit = it->second.to_char.find(state);
+  const char c =
+      sit == it->second.to_char.end() ? kUnknownChar : sit->second;
+  return sensor + "." + std::string(1, c);
+}
+
+std::vector<std::string> SensorEncrypter::encode_all(
+    const MultivariateSeries& series) const {
+  std::vector<std::string> out;
+  out.reserve(kept_.size());
+  for (const std::string& name : kept_) {
+    const auto it =
+        std::find_if(series.begin(), series.end(),
+                     [&](const SensorSeries& s) { return s.name == name; });
+    DESMINE_EXPECTS(it != series.end(), "series missing kept sensor " + name);
+    out.push_back(encode(name, it->events));
+  }
+  return out;
+}
+
+}  // namespace desmine::core

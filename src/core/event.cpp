@@ -1,0 +1,35 @@
+#include "core/event.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace desmine::core {
+
+MultivariateSeries slice(const MultivariateSeries& series, std::size_t begin,
+                         std::size_t end) {
+  MultivariateSeries out;
+  out.reserve(series.size());
+  for (const SensorSeries& sensor : series) {
+    const std::size_t b = std::min(begin, sensor.events.size());
+    const std::size_t e = std::min(end, sensor.events.size());
+    SensorSeries s;
+    s.name = sensor.name;
+    s.events.assign(sensor.events.begin() + static_cast<long>(b),
+                    sensor.events.begin() + static_cast<long>(std::max(b, e)));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t series_length(const MultivariateSeries& series) {
+  if (series.empty()) return 0;
+  const std::size_t len = series.front().events.size();
+  for (const SensorSeries& sensor : series) {
+    DESMINE_EXPECTS(sensor.events.size() == len,
+                    "sensors must share one sequence length");
+  }
+  return len;
+}
+
+}  // namespace desmine::core

@@ -1,0 +1,35 @@
+// Domain types for multivariate discrete event sequences (§II-A).
+//
+// A sensor reports one categorical state per sampling tick; the sampling is
+// even, so index position encodes time. The multivariate input {X^k_t} is a
+// list of equal-length per-sensor sequences.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace desmine::core {
+
+/// One sensor's evenly sampled categorical states ("ON", "OFF", "status 3").
+using EventSequence = std::vector<std::string>;
+
+/// A named sensor with its event sequence.
+struct SensorSeries {
+  std::string name;
+  EventSequence events;
+};
+
+/// All sensors of one system; every sequence must have the same length.
+using MultivariateSeries = std::vector<SensorSeries>;
+
+/// Slice every sensor's events to [begin, end). Bounds are clamped to the
+/// sequence length.
+MultivariateSeries slice(const MultivariateSeries& series, std::size_t begin,
+                         std::size_t end);
+
+/// Length of the (shared) event sequences; 0 for an empty series. Throws if
+/// sensors disagree on length.
+std::size_t series_length(const MultivariateSeries& series);
+
+}  // namespace desmine::core

@@ -1,0 +1,80 @@
+#include "core/miner.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace desmine::core {
+
+RelationshipMiner::RelationshipMiner(MinerConfig config)
+    : config_(std::move(config)) {}
+
+MvrGraph RelationshipMiner::mine(
+    const std::vector<SensorLanguage>& languages) const {
+  DESMINE_EXPECTS(languages.size() >= 2, "mining needs at least two sensors");
+  const std::size_t n = languages.size();
+  for (const SensorLanguage& lang : languages) {
+    DESMINE_EXPECTS(lang.train.size() == languages.front().train.size(),
+                    "training corpora must be aligned across sensors");
+    DESMINE_EXPECTS(lang.dev.size() == languages.front().dev.size(),
+                    "development corpora must be aligned across sensors");
+    DESMINE_EXPECTS(!lang.train.empty(), "empty training corpus for " +
+                                             lang.name);
+    DESMINE_EXPECTS(!lang.dev.empty(), "empty dev corpus for " + lang.name);
+  }
+
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (const SensorLanguage& lang : languages) names.push_back(lang.name);
+  MvrGraph graph(std::move(names));
+
+  // Enumerate ordered pairs once so pair index -> seed is stable regardless
+  // of thread interleaving.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n * (n - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) pairs.emplace_back(i, j);
+    }
+  }
+
+  const util::Rng master(config_.seed);
+  std::vector<MvrEdge> results(pairs.size());
+
+  auto train_pair = [&](std::size_t p) {
+    const auto [i, j] = pairs[p];
+    const SensorLanguage& src = languages[i];
+    const SensorLanguage& dst = languages[j];
+
+    const auto start = std::chrono::steady_clock::now();
+    nmt::TranslationModel model = nmt::train_translation_model(
+        src.train, dst.train, config_.translation, master.fork(p).seed());
+    const text::BleuBreakdown dev_score =
+        model.score(src.dev, dst.dev, config_.translation.bleu);
+    const auto end = std::chrono::steady_clock::now();
+
+    MvrEdge edge;
+    edge.src = i;
+    edge.dst = j;
+    edge.bleu = dev_score.score;
+    edge.runtime_seconds =
+        std::chrono::duration<double>(end - start).count();
+    edge.model = std::make_shared<nmt::TranslationModel>(std::move(model));
+    results[p] = std::move(edge);
+  };
+
+  if (config_.threads == 1) {
+    for (std::size_t p = 0; p < pairs.size(); ++p) train_pair(p);
+  } else {
+    util::ThreadPool pool(config_.threads);
+    pool.parallel_for(pairs.size(), train_pair);
+  }
+
+  for (MvrEdge& edge : results) graph.add_edge(std::move(edge));
+  return graph;
+}
+
+}  // namespace desmine::core

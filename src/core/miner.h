@@ -1,0 +1,49 @@
+// Relationship mining — Algorithm 1 of the paper.
+//
+// For every ordered pair of sensor languages (i, j), train a directional NMT
+// model g(i, j) on aligned training sentences and measure the translation
+// score s(i, j) as corpus BLEU on the aligned development sentences. All
+// pair models share one architecture/configuration so their BLEU scores are
+// comparable. Pairs are independent, so training fans out over a thread
+// pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mvr_graph.h"
+#include "nmt/translation.h"
+#include "text/vocabulary.h"
+
+namespace desmine::core {
+
+/// One sensor's language: aligned train/dev sentence corpora (sentence k of
+/// every sensor covers the same time window).
+struct SensorLanguage {
+  std::string name;
+  text::Corpus train;
+  text::Corpus dev;
+};
+
+struct MinerConfig {
+  nmt::TranslationConfig translation{};
+  std::size_t threads = 0;      ///< 0 = hardware concurrency
+  std::uint64_t seed = 42;      ///< master seed; per-pair seeds are forked
+};
+
+class RelationshipMiner {
+ public:
+  explicit RelationshipMiner(MinerConfig config);
+
+  /// Train all N(N-1) directional pair models and assemble the MVRG.
+  /// Languages must be aligned: equal train sizes and equal dev sizes.
+  MvrGraph mine(const std::vector<SensorLanguage>& languages) const;
+
+  const MinerConfig& config() const { return config_; }
+
+ private:
+  MinerConfig config_;
+};
+
+}  // namespace desmine::core

@@ -1,0 +1,77 @@
+#include "core/online.h"
+
+#include "util/error.h"
+
+namespace desmine::core {
+
+OnlineDetector::OnlineDetector(const MvrGraph& graph,
+                               SensorEncrypter encrypter, WindowConfig window,
+                               DetectorConfig detector)
+    : encrypter_(std::move(encrypter)),
+      language_(window),
+      detector_(graph, detector) {
+  DESMINE_EXPECTS(graph.sensor_count() == encrypter_.kept_sensors().size(),
+                  "graph/encrypter sensor counts disagree");
+  buffers_.resize(encrypter_.kept_sensors().size());
+}
+
+std::size_t OnlineDetector::window_span() const {
+  const WindowConfig& w = language_.config();
+  return (w.sentence_length - 1) * w.word_stride + w.word_length;
+}
+
+std::size_t OnlineDetector::window_start(std::size_t w) const {
+  const WindowConfig& cfg = language_.config();
+  return w * cfg.sentence_stride * cfg.word_stride;
+}
+
+std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
+    const std::map<std::string, std::string>& states) {
+  const auto& kept = encrypter_.kept_sensors();
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const auto it = states.find(kept[k]);
+    DESMINE_EXPECTS(it != states.end(), "missing state for sensor " + kept[k]);
+    buffers_[k] += encrypter_.encode(kept[k], {it->second});
+  }
+  ++ticks_;
+
+  // Does the stream now cover the next window?
+  const std::size_t needed = window_start(next_window_) + window_span();
+  if (ticks_ < needed) return std::nullopt;
+
+  // Slice the window's characters per sensor and build one-sentence corpora.
+  std::vector<text::Corpus> corpora(buffers_.size());
+  const std::size_t start = window_start(next_window_) - trimmed_;
+  for (std::size_t k = 0; k < buffers_.size(); ++k) {
+    const std::string window_chars =
+        buffers_[k].substr(start, window_span());
+    text::Corpus sentences = language_.generate(window_chars);
+    DESMINE_ENSURES(sentences.size() == 1,
+                    "window slice must yield exactly one sentence");
+    corpora[k] = std::move(sentences);
+  }
+
+  const DetectionResult result = detector_.detect(corpora);
+  WindowResult out;
+  out.window_index = next_window_;
+  out.end_tick = ticks_;
+  out.anomaly_score = result.anomaly_scores.front();
+  for (std::size_t e : result.broken_edges.front()) {
+    out.broken.emplace_back(result.valid_edges[e].src,
+                            result.valid_edges[e].dst);
+  }
+  ++next_window_;
+
+  // Characters before the next window's start are never needed again;
+  // trimming in bulk keeps memory bounded on unbounded streams without
+  // quadratic erase churn.
+  const std::size_t keep_from = window_start(next_window_);
+  if (keep_from > trimmed_ + 4096) {
+    const std::size_t drop = keep_from - trimmed_;
+    for (std::string& buffer : buffers_) buffer.erase(0, drop);
+    trimmed_ = keep_from;
+  }
+  return out;
+}
+
+}  // namespace desmine::core

@@ -1,0 +1,66 @@
+// Streaming (online) anomaly detection.
+//
+// The batch AnomalyDetector (Algorithm 2) scores a whole test corpus at
+// once; a deployed system instead receives one multivariate sample per tick.
+// OnlineDetector buffers encrypted characters per sensor and, whenever the
+// stream has advanced far enough to complete the next detection window (one
+// sentence per sensor, §II-A2), scores that window and emits its anomaly
+// score and alert set. Detection latency therefore equals the sentence
+// stride — exactly the granularity trade-off the paper discusses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "core/encryption.h"
+#include "core/language.h"
+#include "core/mvr_graph.h"
+
+namespace desmine::core {
+
+class OnlineDetector {
+ public:
+  /// One completed detection window.
+  struct WindowResult {
+    std::size_t window_index = 0;  ///< 0-based, in sentence-stride units
+    std::size_t end_tick = 0;      ///< tick just past the window's last char
+    double anomaly_score = 0.0;
+    /// Broken (src, dst) sensor-node pairs at this window.
+    std::vector<std::pair<std::size_t, std::size_t>> broken;
+  };
+
+  /// `graph` must carry trained models; `encrypter` must be the one the
+  /// graph was mined with (same kept-sensor order).
+  OnlineDetector(const MvrGraph& graph, SensorEncrypter encrypter,
+                 WindowConfig window, DetectorConfig detector);
+
+  /// Feed one tick: the categorical state of every kept sensor, keyed by
+  /// sensor name (missing kept sensors throw; unknown states map to <unk>).
+  /// Returns a result whenever this tick completed a detection window.
+  std::optional<WindowResult> push(
+      const std::map<std::string, std::string>& states);
+
+  /// Ticks consumed so far.
+  std::size_t ticks() const { return ticks_; }
+  /// Windows emitted so far.
+  std::size_t windows_emitted() const { return next_window_; }
+  std::size_t valid_model_count() const { return detector_.valid_model_count(); }
+
+ private:
+  /// First stream position (char index) of window w and its char span.
+  std::size_t window_start(std::size_t w) const;
+  std::size_t window_span() const;
+
+  SensorEncrypter encrypter_;
+  LanguageGenerator language_;
+  AnomalyDetector detector_;
+  std::vector<std::string> buffers_;  ///< encrypted chars per kept sensor
+  std::size_t ticks_ = 0;
+  std::size_t next_window_ = 0;
+  std::size_t trimmed_ = 0;  ///< chars dropped from the buffer fronts
+};
+
+}  // namespace desmine::core

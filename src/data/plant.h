@@ -1,0 +1,76 @@
+// Synthetic physical-plant dataset (substitute for the paper's proprietary
+// NEC plant log, §III — see DESIGN.md's substitution table).
+//
+// The generator reproduces the published characteristics of that dataset:
+//  * ~N sensors reporting categorical states once per minute for D days;
+//  * cardinality mostly 2 (paper: 97.6% binary, mean 2.07, max 7);
+//  * sensors organized in components: each component has a latent periodic
+//    driver and its sensors are delayed/inverted/noisy functions of it, so
+//    within-component pairs translate well (the structure recovered by the
+//    local subgraphs of Fig. 7);
+//  * a few "global mode" sensors that are strictly periodic and thus easily
+//    translated into from anywhere — these become the popular, high
+//    in-degree nodes of Fig. 5/6;
+//  * a few "lazy" sensors that rarely change state — their trivially
+//    predictable language lands in the [90,100] BLEU band and reproduces the
+//    paper's finding that the strongest band is useless for detection;
+//  * constant sensors that exercise sequence filtering;
+//  * injected anomalies on configurable days (phase shifts / stuck drivers /
+//    extra noise in selected components), optionally preceded by shorter
+//    precursor perturbations that reproduce Fig. 8's early-warning spikes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+
+namespace desmine::data {
+
+struct PlantAnomaly {
+  std::size_t day = 0;  ///< 0-based day index
+  /// Components disturbed on that day; empty = all components (a severe,
+  /// system-wide anomaly like the paper's Nov 28).
+  std::vector<std::size_t> components;
+};
+
+struct PlantConfig {
+  std::size_t num_components = 6;
+  std::size_t sensors_per_component = 4;
+  std::size_t num_popular = 2;   ///< strictly periodic global-mode sensors
+  /// Period of the global-mode sensors. Slow modes (>> sentence span) have
+  /// near-constant windows and become the high in-degree popular sensors.
+  std::size_t popular_period = 480;
+  std::size_t num_lazy = 2;      ///< rarely changing sensors
+  std::size_t num_constant = 2;  ///< filtered out by sequence filtering
+  std::size_t days = 30;
+  std::size_t minutes_per_day = 1440;
+  std::vector<PlantAnomaly> anomalies = {{20, {0, 1}}, {27, {}}};
+  bool precursors = true;   ///< mild disturbance late on the preceding day
+  double noise = 0.005;     ///< per-minute random state-flip probability
+  std::uint64_t seed = 7;
+};
+
+struct PlantDataset {
+  core::MultivariateSeries series;  ///< full horizon, all sensors
+  std::size_t minutes_per_day = 1440;
+  std::size_t days = 30;
+  std::vector<PlantAnomaly> anomalies;
+  /// Ground-truth component of each component sensor (name -> component id);
+  /// popular/lazy/constant sensors are absent from this map.
+  std::map<std::string, std::size_t> component_of;
+  std::vector<std::string> popular_names;
+  std::vector<std::string> lazy_names;
+  std::vector<std::string> constant_names;
+
+  /// Slice whole days [first_day, first_day + day_count).
+  core::MultivariateSeries days_slice(std::size_t first_day,
+                                      std::size_t day_count) const;
+  bool is_anomalous_day(std::size_t day) const;
+};
+
+PlantDataset generate_plant(const PlantConfig& config);
+
+}  // namespace desmine::data

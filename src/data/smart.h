@@ -1,0 +1,100 @@
+// Synthetic SMART/HDD dataset (substitute for the Backblaze logs, §IV —
+// see DESIGN.md's substitution table; no network access in this build).
+//
+// Mirrors the published shape of the data the paper relies on:
+//  * 20 raw SMART features recorded daily for every drive, of which 14 are
+//    cumulative lifetime counters (differenced into daily deltas for the
+//    baselines, §IV-B) and 4 are near-constant (dropped by the framework,
+//    §IV-C);
+//  * error counters (5, 187, 188, 192, 197, 198) are zero-inflated — the
+//    binary discretization case of Fig. 10a;
+//  * activity/age features (9, 190, 194, 241...) vary smoothly — the
+//    quantile discretization case of Fig. 10b;
+//  * failing drives ramp their error counters during a degradation window
+//    and are removed from production the day after the failure mark, so each
+//    failed drive contributes exactly one anomaly sample (§IV-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/discretize.h"
+#include "core/event.h"
+
+namespace desmine::data {
+
+struct SmartFeatureSpec {
+  int id = 0;               ///< SMART attribute number (e.g. 187)
+  std::string name;         ///< human-readable attribute name
+  bool cumulative = false;  ///< lifetime counter (differenced for baselines)
+  bool error_counter = false;  ///< zero-inflated failure-related counter
+  bool near_constant = false;  ///< barely changes; dropped by the framework
+};
+
+/// The 20-feature catalog used by the generator (fixed, Backblaze-like).
+const std::vector<SmartFeatureSpec>& smart_feature_catalog();
+
+struct SmartConfig {
+  std::size_t num_drives = 60;
+  std::size_t days = 120;               ///< observation horizon (~4 months)
+  double failure_fraction = 0.3;        ///< share of drives that fail
+  std::size_t degradation_days = 14;    ///< error ramp length before failure
+  /// Fraction of failing drives that die abruptly with no SMART warning
+  /// (e.g. electronics failures) — these bound every model's recall.
+  double abrupt_failure_fraction = 0.3;
+  /// Failures are placed in the last `failure_window_days` of the horizon so
+  /// the train/dev months stay anomaly-free (matching §IV-C's split).
+  std::size_t failure_window_days = 30;
+  std::uint64_t seed = 21;
+};
+
+struct DriveRecord {
+  std::string serial;
+  bool failed = false;
+  bool abrupt = false;  ///< failed without a degradation ramp
+  /// Day index of the failure mark; == observed_days()-1 for failed drives.
+  std::size_t failure_day = 0;
+  /// feature id -> daily raw values; failed drives stop reporting after the
+  /// failure day (the drive is removed from production).
+  std::map<int, std::vector<double>> values;
+
+  std::size_t observed_days() const;
+};
+
+struct SmartDataset {
+  std::vector<SmartFeatureSpec> features;
+  std::vector<DriveRecord> drives;
+  SmartConfig config;
+
+  const SmartFeatureSpec& feature(int id) const;
+};
+
+SmartDataset generate_smart(const SmartConfig& config);
+
+/// Flat per-day feature matrix for the baseline models: 20 raw features plus
+/// the 14 first-differenced cumulative ones (34 columns, §IV-B). Label 1 =
+/// failure day, 0 otherwise.
+struct LabeledMatrix {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::vector<std::size_t> drive_of_row;  ///< index into dataset.drives
+  std::vector<std::string> column_names;
+};
+
+LabeledMatrix to_labeled_matrix(const SmartDataset& dataset);
+
+/// Fit per-feature discretizers on the given day range [0, train_days) of
+/// every healthy observation, using the paper's scheme-selection rule.
+/// Near-constant features are excluded (§IV-C drops them).
+std::map<int, core::Discretizer> fit_discretizers(const SmartDataset& dataset,
+                                                  std::size_t train_days);
+
+/// Turn one drive into a multivariate discrete event series (one "sensor"
+/// per retained feature) using fitted discretizers.
+core::MultivariateSeries drive_to_series(
+    const SmartDataset& dataset, const DriveRecord& drive,
+    const std::map<int, core::Discretizer>& discretizers);
+
+}  // namespace desmine::data

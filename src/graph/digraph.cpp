@@ -1,0 +1,125 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace desmine::graph {
+
+Digraph::Digraph(std::size_t node_count)
+    : node_count_(node_count),
+      in_degree_(node_count, 0),
+      out_degree_(node_count, 0) {}
+
+void Digraph::add_edge(std::size_t src, std::size_t dst, double weight) {
+  DESMINE_EXPECTS(src < node_count_ && dst < node_count_,
+                  "edge endpoint out of range");
+  edges_.push_back({src, dst, weight});
+  ++out_degree_[src];
+  ++in_degree_[dst];
+}
+
+std::size_t Digraph::in_degree(std::size_t node) const {
+  DESMINE_EXPECTS(node < node_count_, "node out of range");
+  return in_degree_[node];
+}
+
+std::size_t Digraph::out_degree(std::size_t node) const {
+  DESMINE_EXPECTS(node < node_count_, "node out of range");
+  return out_degree_[node];
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const { return in_degree_; }
+std::vector<std::size_t> Digraph::out_degrees() const { return out_degree_; }
+
+std::vector<std::vector<std::size_t>> Digraph::weak_components() const {
+  // Union-find over edge endpoints.
+  std::vector<std::size_t> parent(node_count_);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::size_t> rank(node_count_, 0);
+
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+  for (const Edge& e : edges_) unite(e.src, e.dst);
+
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<long> component_of_root(node_count_, -1);
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    const std::size_t root = find(v);
+    if (component_of_root[root] < 0) {
+      component_of_root[root] = static_cast<long>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(component_of_root[root])].push_back(v);
+  }
+  return components;
+}
+
+std::vector<std::vector<double>> Digraph::undirected_adjacency() const {
+  std::vector<std::vector<double>> adj(node_count_,
+                                       std::vector<double>(node_count_, 0.0));
+  for (const Edge& e : edges_) {
+    adj[e.src][e.dst] += e.weight;
+    adj[e.dst][e.src] += e.weight;
+  }
+  return adj;
+}
+
+std::string Digraph::to_dot(const std::vector<std::string>& labels) const {
+  std::ostringstream os;
+  os << "digraph G {\n";
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    os << "  n" << v;
+    if (v < labels.size()) os << " [label=\"" << labels[v] << "\"]";
+    os << ";\n";
+  }
+  for (const Edge& e : edges_) {
+    os << "  n" << e.src << " -> n" << e.dst << " [weight=" << e.weight
+       << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+double modularity(const Digraph& g,
+                  const std::vector<std::size_t>& membership) {
+  DESMINE_EXPECTS(membership.size() == g.node_count(),
+                  "membership must cover every node");
+  const auto adj = g.undirected_adjacency();
+  const std::size_t n = g.node_count();
+
+  std::vector<double> strength(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) strength[i] += adj[i][j];
+    total += strength[i];
+  }
+  if (total == 0.0) return 0.0;
+
+  double q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (membership[i] != membership[j]) continue;
+      q += adj[i][j] - strength[i] * strength[j] / total;
+    }
+  }
+  return q / total;
+}
+
+}  // namespace desmine::graph

@@ -1,0 +1,55 @@
+// Generic weighted directed graph used beneath the multivariate relationship
+// graph: degree statistics, weak connected components, DOT export.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace desmine::graph {
+
+struct Edge {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double weight = 1.0;
+};
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count);
+
+  /// Add a directed edge; parallel edges are allowed. Endpoints must exist.
+  void add_edge(std::size_t src, std::size_t dst, double weight = 1.0);
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::size_t in_degree(std::size_t node) const;
+  std::size_t out_degree(std::size_t node) const;
+  std::vector<std::size_t> in_degrees() const;
+  std::vector<std::size_t> out_degrees() const;
+
+  /// Weakly connected components (edge direction ignored). Isolated nodes
+  /// form singleton components. Components are ordered by smallest member.
+  std::vector<std::vector<std::size_t>> weak_components() const;
+
+  /// Symmetric adjacency (weights summed over both directions), used by the
+  /// community-detection and modularity code.
+  std::vector<std::vector<double>> undirected_adjacency() const;
+
+  /// Graphviz DOT rendering with optional node labels.
+  std::string to_dot(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::size_t node_count_;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> in_degree_;
+  std::vector<std::size_t> out_degree_;
+};
+
+/// Newman modularity of a partition on the undirected weighted view of g.
+/// `membership[v]` is the community id of node v.
+double modularity(const Digraph& g, const std::vector<std::size_t>& membership);
+
+}  // namespace desmine::graph

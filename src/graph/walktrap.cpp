@@ -1,0 +1,169 @@
+#include "graph/walktrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "util/error.h"
+
+namespace desmine::graph {
+
+namespace {
+
+/// Community bookkeeping during agglomeration.
+struct Community {
+  std::vector<std::size_t> members;
+  std::vector<double> walk_profile;  ///< mean t-step distribution, /sqrt(deg)
+  bool alive = true;
+};
+
+double profile_distance(const Community& a, const Community& b) {
+  double ss = 0.0;
+  for (std::size_t k = 0; k < a.walk_profile.size(); ++k) {
+    const double d = a.walk_profile[k] - b.walk_profile[k];
+    ss += d * d;
+  }
+  return ss;  // squared r^2 distance
+}
+
+/// Ward-style merge cost between communities (Pons & Latapy eq. 9).
+double merge_cost(const Community& a, const Community& b, std::size_t n) {
+  const auto sa = static_cast<double>(a.members.size());
+  const auto sb = static_cast<double>(b.members.size());
+  return (sa * sb) / (sa + sb) * profile_distance(a, b) /
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+CommunityResult walktrap(const Digraph& g, const WalktrapOptions& options) {
+  const std::size_t n = g.node_count();
+  CommunityResult result;
+  if (n == 0) return result;
+
+  // Transition matrix with self-loops (ensures aperiodicity and defines
+  // walks for isolated nodes).
+  auto adj = g.undirected_adjacency();
+  for (std::size_t v = 0; v < n; ++v) adj[v][v] += 1.0;
+  std::vector<double> degree(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t u = 0; u < n; ++u) degree[v] += adj[v][u];
+  }
+
+  // P^t rows by repeated multiplication of each row with P.
+  std::vector<std::vector<double>> walk(n, std::vector<double>(n, 0.0));
+  for (std::size_t v = 0; v < n; ++v) walk[v][v] = 1.0;
+  std::vector<double> next(n, 0.0);
+  for (std::size_t step = 0; step < options.walk_length; ++step) {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t mid = 0; mid < n; ++mid) {
+        const double p = walk[v][mid];
+        if (p == 0.0) continue;
+        const double inv_deg = 1.0 / degree[mid];
+        for (std::size_t u = 0; u < n; ++u) {
+          next[u] += p * adj[mid][u] * inv_deg;
+        }
+      }
+      walk[v] = next;
+    }
+  }
+
+  // Initial singleton communities with normalized walk profiles.
+  std::vector<Community> communities(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    communities[v].members = {v};
+    communities[v].walk_profile.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      communities[v].walk_profile[k] = walk[v][k] / std::sqrt(degree[k]);
+    }
+  }
+
+  // Adjacency between communities (only adjacent communities may merge).
+  std::vector<std::set<std::size_t>> neighbors(n);
+  for (const Edge& e : g.edges()) {
+    if (e.src == e.dst) continue;
+    neighbors[e.src].insert(e.dst);
+    neighbors[e.dst].insert(e.src);
+  }
+
+  // Track the best partition (by modularity) along the merge sequence.
+  std::vector<std::size_t> current(n);
+  std::iota(current.begin(), current.end(), 0);
+  auto normalize = [&](const std::vector<std::size_t>& raw) {
+    std::vector<std::size_t> out(raw.size());
+    std::vector<long> remap(n, -1);
+    std::size_t next_id = 0;
+    for (std::size_t v = 0; v < raw.size(); ++v) {
+      if (remap[raw[v]] < 0) remap[raw[v]] = static_cast<long>(next_id++);
+      out[v] = static_cast<std::size_t>(remap[raw[v]]);
+    }
+    return out;
+  };
+
+  std::vector<std::size_t> best_membership = normalize(current);
+  double best_q = modularity(g, best_membership);
+
+  // Agglomerate until no adjacent pair remains.
+  while (true) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t ma = 0, mb = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < communities.size(); ++a) {
+      if (!communities[a].alive) continue;
+      for (std::size_t b : neighbors[a]) {
+        if (b <= a || !communities[b].alive) continue;
+        const double cost = merge_cost(communities[a], communities[b], n);
+        if (cost < best_cost) {
+          best_cost = cost;
+          ma = a;
+          mb = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+
+    // Merge mb into ma: weighted-average walk profile, union members.
+    Community& ca = communities[ma];
+    Community& cb = communities[mb];
+    const auto sa = static_cast<double>(ca.members.size());
+    const auto sb = static_cast<double>(cb.members.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      ca.walk_profile[k] =
+          (sa * ca.walk_profile[k] + sb * cb.walk_profile[k]) / (sa + sb);
+    }
+    ca.members.insert(ca.members.end(), cb.members.begin(), cb.members.end());
+    cb.alive = false;
+
+    neighbors[ma].insert(neighbors[mb].begin(), neighbors[mb].end());
+    neighbors[ma].erase(ma);
+    neighbors[ma].erase(mb);
+    for (std::size_t v : neighbors[mb]) {
+      neighbors[v].erase(mb);
+      if (v != ma) neighbors[v].insert(ma);
+    }
+    neighbors[mb].clear();
+
+    for (std::size_t v : ca.members) current[v] = ma;
+    const std::vector<std::size_t> candidate = normalize(current);
+    const double q = modularity(g, candidate);
+    if (q > best_q) {
+      best_q = q;
+      best_membership = candidate;
+    }
+  }
+
+  result.membership = best_membership;
+  result.community_count =
+      best_membership.empty()
+          ? 0
+          : *std::max_element(best_membership.begin(), best_membership.end()) +
+                1;
+  result.modularity = best_q;
+  return result;
+}
+
+}  // namespace desmine::graph

@@ -1,0 +1,35 @@
+// Random-walk community detection (Pons & Latapy 2006, "Computing
+// communities in large networks using random walks" — reference [33]).
+//
+// Short random walks tend to stay inside communities, so the t-step
+// transition distributions of two nodes in the same community are close.
+// Walktrap agglomeratively merges adjacent communities, at each step picking
+// the merge with the smallest increase in the mean squared walk distance
+// (Ward's criterion), and returns the partition along the merge sequence
+// with the highest modularity. The paper applies this to local subgraphs of
+// the multivariate relationship graph to recover system components (§II-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace desmine::graph {
+
+struct WalktrapOptions {
+  std::size_t walk_length = 4;  ///< t — steps of the random walk
+};
+
+struct CommunityResult {
+  /// membership[v] = community id (0-based, contiguous).
+  std::vector<std::size_t> membership;
+  std::size_t community_count = 0;
+  double modularity = 0.0;
+};
+
+/// Detect communities on the undirected weighted view of `g`. Isolated nodes
+/// become singleton communities.
+CommunityResult walktrap(const Digraph& g, const WalktrapOptions& options = {});
+
+}  // namespace desmine::graph

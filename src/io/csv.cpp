@@ -1,0 +1,136 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace desmine::io {
+
+namespace {
+
+/// Split one CSV record honoring RFC-4180 quoting.
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool is_timestamp_header(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "timestamp" || lower == "time" || lower == "t";
+}
+
+}  // namespace
+
+core::MultivariateSeries parse_series_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw RuntimeError("empty CSV: no header row");
+  }
+  const std::vector<std::string> header = split_csv_row(line);
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    throw RuntimeError("empty CSV header");
+  }
+  const bool skip_first = is_timestamp_header(header.front());
+  const std::size_t first_col = skip_first ? 1 : 0;
+  if (header.size() <= first_col) {
+    throw RuntimeError("CSV header has no sensor columns");
+  }
+
+  core::MultivariateSeries series;
+  for (std::size_t c = first_col; c < header.size(); ++c) {
+    core::SensorSeries sensor;
+    sensor.name = header[c];
+    series.push_back(std::move(sensor));
+  }
+
+  std::size_t row_number = 1;
+  while (std::getline(in, line)) {
+    ++row_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_row(line);
+    if (fields.size() != header.size()) {
+      throw RuntimeError("CSV row " + std::to_string(row_number) + " has " +
+                         std::to_string(fields.size()) + " fields, expected " +
+                         std::to_string(header.size()));
+    }
+    for (std::size_t c = first_col; c < fields.size(); ++c) {
+      series[c - first_col].events.push_back(fields[c]);
+    }
+  }
+  return series;
+}
+
+core::MultivariateSeries read_series_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open for reading: " + path);
+  return parse_series_csv(in);
+}
+
+void write_series_csv(std::ostream& out,
+                      const core::MultivariateSeries& series) {
+  const std::size_t len = core::series_length(series);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s > 0) out << ',';
+    out << csv_escape(series[s].name);
+  }
+  out << '\n';
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      if (s > 0) out << ',';
+      out << csv_escape(series[s].events[t]);
+    }
+    out << '\n';
+  }
+}
+
+void write_series_csv(const std::string& path,
+                      const core::MultivariateSeries& series) {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open for writing: " + path);
+  write_series_csv(out, series);
+  if (!out) throw RuntimeError("write failed: " + path);
+}
+
+}  // namespace desmine::io

@@ -1,0 +1,29 @@
+// CSV ingestion/egress for multivariate discrete event sequences.
+//
+// Format: a header row of sensor names followed by one row per sampling
+// tick, each cell holding that sensor's categorical state. A leading
+// "timestamp" column (case-insensitive) is accepted and ignored — sampling
+// is assumed even, as the paper requires (§II-A). Quoted fields with
+// embedded commas/quotes follow RFC-4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/event.h"
+
+namespace desmine::io {
+
+/// Parse a series from a stream; throws RuntimeError on malformed input
+/// (ragged rows, empty header).
+core::MultivariateSeries parse_series_csv(std::istream& in);
+
+/// Read a series from a file.
+core::MultivariateSeries read_series_csv(const std::string& path);
+
+/// Write a series (header + one row per tick).
+void write_series_csv(std::ostream& out, const core::MultivariateSeries& series);
+void write_series_csv(const std::string& path,
+                      const core::MultivariateSeries& series);
+
+}  // namespace desmine::io

@@ -1,0 +1,315 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace desmine::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'E', 'S', 'M'};
+constexpr std::uint32_t kVersion = 2;  // v2 adds the attention kind
+
+// ---- primitives ------------------------------------------------------------
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading u32");
+  return v;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading u64");
+  return v;
+}
+
+void write_f32(std::ostream& os, float v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading f64");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw RuntimeError("unexpected end of stream reading string");
+  return s;
+}
+
+void write_header(std::ostream& os) {
+  os.write(kMagic, 4);
+  write_u32(os, kVersion);
+}
+
+std::uint32_t read_header(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw RuntimeError("not a desmine artifact (bad magic)");
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version < 1 || version > kVersion) {
+    throw RuntimeError("unsupported artifact version " +
+                       std::to_string(version));
+  }
+  return version;
+}
+
+void write_seq2seq_config(std::ostream& os, const nmt::Seq2SeqConfig& c) {
+  write_u64(os, c.embedding_dim);
+  write_u64(os, c.hidden_dim);
+  write_u64(os, c.num_layers);
+  write_f32(os, c.dropout);
+  write_f32(os, c.init_scale);
+  write_u64(os, c.max_decode_length);
+  write_u32(os, static_cast<std::uint32_t>(c.attention));  // v2
+}
+
+nmt::Seq2SeqConfig read_seq2seq_config(std::istream& is,
+                                       std::uint32_t version) {
+  nmt::Seq2SeqConfig c;
+  c.embedding_dim = read_u64(is);
+  c.hidden_dim = read_u64(is);
+  c.num_layers = read_u64(is);
+  is.read(reinterpret_cast<char*>(&c.dropout), sizeof(float));
+  is.read(reinterpret_cast<char*>(&c.init_scale), sizeof(float));
+  c.max_decode_length = read_u64(is);
+  if (!is) throw RuntimeError("unexpected end of stream reading config");
+  if (version >= 2) {
+    c.attention = static_cast<nn::AttentionScore>(read_u32(is));
+  }
+  return c;
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& os, const tensor::Matrix& m) {
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+tensor::Matrix read_matrix(std::istream& is) {
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  // Sanity cap: no desmine tensor is anywhere near this large; a corrupt or
+  // foreign stream fails here rather than in the allocator.
+  if (rows > (1u << 24) || cols > (1u << 24) || rows * cols > (1ull << 30)) {
+    throw RuntimeError("implausible matrix dimensions in artifact");
+  }
+  tensor::Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!is) throw RuntimeError("unexpected end of stream reading matrix");
+  return m;
+}
+
+void write_vocabulary(std::ostream& os, const text::Vocabulary& v) {
+  // The four specials are implicit (ids 0..3); persist the rest in order.
+  write_u64(os, v.size() - 4);
+  for (std::size_t id = 4; id < v.size(); ++id) {
+    write_string(os, v.token(static_cast<std::int32_t>(id)));
+  }
+}
+
+text::Vocabulary read_vocabulary(std::istream& is) {
+  const std::uint64_t extra = read_u64(is);
+  text::Corpus corpus;
+  text::Sentence all;
+  all.reserve(extra);
+  for (std::uint64_t i = 0; i < extra; ++i) all.push_back(read_string(is));
+  corpus.push_back(std::move(all));
+  return text::Vocabulary::build(corpus);
+}
+
+void write_translation_model(std::ostream& os, nmt::TranslationModel& model,
+                             const nmt::Seq2SeqConfig& config) {
+  write_vocabulary(os, model.src_vocab());
+  write_vocabulary(os, model.tgt_vocab());
+  write_seq2seq_config(os, config);
+  const auto& params = model.model().params().params();
+  write_u64(os, params.size());
+  for (const nn::Param* p : params) write_matrix(os, p->value);
+}
+
+nmt::TranslationModel read_translation_model(std::istream& is,
+                                             std::uint32_t version) {
+  text::Vocabulary src_vocab = read_vocabulary(is);
+  text::Vocabulary tgt_vocab = read_vocabulary(is);
+  const nmt::Seq2SeqConfig config = read_seq2seq_config(is, version);
+
+  auto model = std::make_unique<nmt::Seq2SeqModel>(
+      src_vocab.size(), tgt_vocab.size(), config, util::Rng(0));
+  auto& params = model->params().params();
+  const std::uint64_t count = read_u64(is);
+  if (count != params.size()) {
+    throw RuntimeError("parameter count mismatch in artifact");
+  }
+  for (nn::Param* p : params) {
+    tensor::Matrix m = read_matrix(is);
+    if (!m.same_shape(p->value)) {
+      throw RuntimeError("parameter shape mismatch for " + p->name);
+    }
+    p->value = std::move(m);
+  }
+  return nmt::TranslationModel(std::move(src_vocab), std::move(tgt_vocab),
+                               std::move(model));
+}
+
+void write_mvr_graph(std::ostream& os, const core::MvrGraph& graph,
+                     const nmt::Seq2SeqConfig& config) {
+  write_u64(os, graph.sensor_count());
+  for (const std::string& name : graph.sensor_names()) {
+    write_string(os, name);
+  }
+  write_u64(os, graph.edges().size());
+  for (const core::MvrEdge& e : graph.edges()) {
+    write_u64(os, e.src);
+    write_u64(os, e.dst);
+    write_f64(os, e.bleu);
+    write_f64(os, e.runtime_seconds);
+    write_u32(os, e.model ? 1 : 0);
+    if (e.model) write_translation_model(os, *e.model, config);
+  }
+}
+
+core::MvrGraph read_mvr_graph(std::istream& is, std::uint32_t version) {
+  const std::uint64_t n = read_u64(is);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) names.push_back(read_string(is));
+  core::MvrGraph graph(std::move(names));
+
+  const std::uint64_t edges = read_u64(is);
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    core::MvrEdge e;
+    e.src = read_u64(is);
+    e.dst = read_u64(is);
+    e.bleu = read_f64(is);
+    e.runtime_seconds = read_f64(is);
+    const bool has_model = read_u32(is) != 0;
+    if (has_model) {
+      e.model = std::make_shared<nmt::TranslationModel>(
+          read_translation_model(is, version));
+    }
+    graph.add_edge(std::move(e));
+  }
+  return graph;
+}
+
+void write_encrypter(std::ostream& os, const core::SensorEncrypter& enc) {
+  write_u64(os, enc.kept_sensors().size());
+  for (const std::string& name : enc.kept_sensors()) {
+    const auto& encoding = enc.encoding(name);
+    write_string(os, encoding.sensor);
+    write_u64(os, encoding.to_char.size());
+    for (const auto& [state, letter] : encoding.to_char) {
+      write_string(os, state);
+      os.put(letter);
+    }
+  }
+  write_u64(os, enc.dropped_sensors().size());
+  for (const std::string& name : enc.dropped_sensors()) {
+    write_string(os, name);
+  }
+}
+
+core::SensorEncrypter read_encrypter(std::istream& is) {
+  const std::uint64_t kept = read_u64(is);
+  std::vector<core::SensorEncrypter::Encoding> encodings;
+  encodings.reserve(kept);
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    core::SensorEncrypter::Encoding e;
+    e.sensor = read_string(is);
+    const std::uint64_t states = read_u64(is);
+    for (std::uint64_t s = 0; s < states; ++s) {
+      std::string state = read_string(is);
+      const int letter = is.get();
+      if (letter == std::char_traits<char>::eof()) {
+        throw RuntimeError("unexpected end of stream reading encoding");
+      }
+      e.to_char.emplace(std::move(state), static_cast<char>(letter));
+    }
+    encodings.push_back(std::move(e));
+  }
+  const std::uint64_t dropped = read_u64(is);
+  std::vector<std::string> dropped_names;
+  dropped_names.reserve(dropped);
+  for (std::uint64_t i = 0; i < dropped; ++i) {
+    dropped_names.push_back(read_string(is));
+  }
+  return core::SensorEncrypter::from_encodings(std::move(encodings),
+                                               std::move(dropped_names));
+}
+
+void save_framework(const core::Framework& framework,
+                    const std::string& path) {
+  DESMINE_EXPECTS(framework.fitted(), "cannot save an unfitted framework");
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw RuntimeError("cannot open for writing: " + path);
+  write_header(os);
+
+  const core::WindowConfig& w = framework.config().window;
+  write_u64(os, w.word_length);
+  write_u64(os, w.word_stride);
+  write_u64(os, w.sentence_length);
+  write_u64(os, w.sentence_stride);
+
+  write_encrypter(os, framework.encrypter());
+  write_mvr_graph(os, framework.graph(),
+                  framework.config().miner.translation.model);
+  if (!os) throw RuntimeError("write failed: " + path);
+}
+
+core::Framework load_framework(const std::string& path,
+                               core::FrameworkConfig config_overlay) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw RuntimeError("cannot open for reading: " + path);
+  const std::uint32_t version = read_header(is);
+
+  config_overlay.window.word_length = read_u64(is);
+  config_overlay.window.word_stride = read_u64(is);
+  config_overlay.window.sentence_length = read_u64(is);
+  config_overlay.window.sentence_stride = read_u64(is);
+
+  core::SensorEncrypter encrypter = read_encrypter(is);
+  core::MvrGraph graph = read_mvr_graph(is, version);
+
+  core::Framework framework(config_overlay);
+  framework.restore(std::move(encrypter), std::move(graph));
+  return framework;
+}
+
+}  // namespace desmine::io

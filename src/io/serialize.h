@@ -1,0 +1,63 @@
+// Binary serialization for trained artifacts.
+//
+// A mined multivariate relationship graph holds hundreds of trained NMT
+// models; persisting it lets the offline training phase (Algorithm 1) run
+// once while detection, knowledge-discovery and benchmark tooling reload the
+// artifact. The format is a simple tagged little-endian stream:
+//   magic "DESM" | u32 version | payload
+// Matrices are dims + raw f32; vocabularies are token lists; models are
+// config + parameter tensors in registry order (which is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/encryption.h"
+#include "core/framework.h"
+#include "core/mvr_graph.h"
+#include "nmt/translation.h"
+#include "text/vocabulary.h"
+
+namespace desmine::io {
+
+// ---- primitive + component (de)serializers, exposed for tests -------------
+
+void write_matrix(std::ostream& os, const tensor::Matrix& m);
+tensor::Matrix read_matrix(std::istream& is);
+
+void write_vocabulary(std::ostream& os, const text::Vocabulary& v);
+text::Vocabulary read_vocabulary(std::istream& is);
+
+/// Current artifact format version. v2 added the attention kind to the
+/// serialized model config; v1 artifacts load with kGeneral attention.
+inline constexpr std::uint32_t kArtifactVersion = 2;
+
+void write_translation_model(std::ostream& os, nmt::TranslationModel& model,
+                             const nmt::Seq2SeqConfig& config);
+nmt::TranslationModel read_translation_model(
+    std::istream& is, std::uint32_t version = kArtifactVersion);
+
+void write_mvr_graph(std::ostream& os, const core::MvrGraph& graph,
+                     const nmt::Seq2SeqConfig& config);
+core::MvrGraph read_mvr_graph(std::istream& is,
+                              std::uint32_t version = kArtifactVersion);
+
+void write_encrypter(std::ostream& os, const core::SensorEncrypter& enc);
+core::SensorEncrypter read_encrypter(std::istream& is);
+
+// ---- whole-framework snapshot ----------------------------------------------
+
+/// Persist a fitted framework (window config, encrypter, graph + models) so
+/// detection can resume in another process. Throws RuntimeError on I/O
+/// failure and PreconditionError if the framework is not fitted.
+void save_framework(const core::Framework& framework, const std::string& path);
+
+/// Reload a snapshot. The returned framework is fitted and ready to detect.
+/// Detector/miner settings not needed for inference are restored from
+/// `config_overlay` (pass the same FrameworkConfig used at save time, or a
+/// default one and adjust the detector band afterwards).
+core::Framework load_framework(const std::string& path,
+                               core::FrameworkConfig config_overlay = {});
+
+}  // namespace desmine::io

@@ -1,0 +1,137 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace desmine::ml {
+
+namespace {
+
+double gini(std::size_t ones, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(ones) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const FeatureMatrix& rows,
+                       const std::vector<int>& labels,
+                       const std::vector<std::size_t>& indices,
+                       const TreeConfig& config, util::Rng& rng) {
+  DESMINE_EXPECTS(!rows.empty() && rows.size() == labels.size(),
+                  "rows/labels must align");
+  DESMINE_EXPECTS(!indices.empty(), "tree needs at least one sample");
+  nodes_.clear();
+  importance_.assign(rows.front().size(), 0.0);
+  std::vector<std::size_t> work = indices;
+  build(rows, labels, work, 0, work.size(), 0, config, rng);
+}
+
+std::size_t DecisionTree::build(const FeatureMatrix& rows,
+                                const std::vector<int>& labels,
+                                std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end,
+                                std::size_t depth, const TreeConfig& config,
+                                util::Rng& rng) {
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+
+  const std::size_t n = end - begin;
+  std::size_t ones = 0;
+  for (std::size_t k = begin; k < end; ++k) ones += labels[indices[k]];
+  nodes_[node_id].p1 = static_cast<double>(ones) / static_cast<double>(n);
+
+  const double parent_gini = gini(ones, n);
+  const bool can_split = depth < config.max_depth &&
+                         n >= config.min_samples_split && ones != 0 &&
+                         ones != n;
+  if (!can_split) return node_id;
+
+  // Candidate features (all, or a uniform random subset for the forest).
+  const std::size_t f_total = rows.front().size();
+  std::vector<std::size_t> features;
+  if (config.features_per_split == 0 || config.features_per_split >= f_total) {
+    features.resize(f_total);
+    for (std::size_t f = 0; f < f_total; ++f) features[f] = f;
+  } else {
+    features = rng.sample_without_replacement(f_total,
+                                              config.features_per_split);
+  }
+
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> sorted;
+  sorted.reserve(n);
+  for (const std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t k = begin; k < end; ++k) {
+      sorted.emplace_back(rows[indices[k]][f], labels[indices[k]]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    std::size_t left_ones = 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      left_ones += static_cast<std::size_t>(sorted[k].second);
+      if (sorted[k].first == sorted[k + 1].first) continue;  // no boundary
+      const std::size_t left_n = k + 1;
+      const std::size_t right_n = n - left_n;
+      const double child =
+          (static_cast<double>(left_n) * gini(left_ones, left_n) +
+           static_cast<double>(right_n) * gini(ones - left_ones, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (sorted[k].first + sorted[k + 1].first) / 2.0;
+      }
+    }
+  }
+  if (best_gain <= 1e-12) return node_id;
+
+  // Partition indices in place around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end), [&](std::size_t idx) {
+        return rows[idx][best_feature] <= best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate numeric split
+
+  importance_[best_feature] += best_gain * static_cast<double>(n);
+
+  nodes_[node_id].leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::size_t left =
+      build(rows, labels, indices, begin, mid, depth + 1, config, rng);
+  const std::size_t right =
+      build(rows, labels, indices, mid, end, depth + 1, config, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_proba(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(!nodes_.empty(), "tree not fitted");
+  std::size_t node = 0;
+  while (!nodes_[node].leaf) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].p1;
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace desmine::ml

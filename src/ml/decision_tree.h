@@ -1,0 +1,59 @@
+// CART decision tree (Gini impurity, binary classification) — the base
+// learner of the Random Forest baseline (§IV-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace desmine::ml {
+
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+struct TreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 2;
+  /// Features examined per split; 0 = all, otherwise a random subset of this
+  /// size (the forest passes sqrt(F)).
+  std::size_t features_per_split = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on rows[indices]; labels in {0, 1}. `rng` drives the per-split
+  /// feature subsampling.
+  void fit(const FeatureMatrix& rows, const std::vector<int>& labels,
+           const std::vector<std::size_t>& indices, const TreeConfig& config,
+           util::Rng& rng);
+
+  int predict(const std::vector<double>& row) const;
+
+  /// Probability of class 1 (leaf class-1 fraction).
+  double predict_proba(const std::vector<double>& row) const;
+
+  /// Total Gini impurity decrease contributed by each feature.
+  const std::vector<double>& feature_importance() const { return importance_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    double p1 = 0.0;          ///< class-1 probability at a leaf
+    std::size_t feature = 0;  ///< split feature (internal nodes)
+    double threshold = 0.0;   ///< go left when value <= threshold
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t build(const FeatureMatrix& rows, const std::vector<int>& labels,
+                    std::vector<std::size_t>& indices, std::size_t begin,
+                    std::size_t end, std::size_t depth,
+                    const TreeConfig& config, util::Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace desmine::ml

@@ -1,0 +1,140 @@
+#include "ml/dependence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace desmine::ml {
+
+ContingencyTable::ContingencyTable(const core::EventSequence& a,
+                                   const core::EventSequence& b) {
+  DESMINE_EXPECTS(a.size() == b.size(), "sequences must be aligned");
+  DESMINE_EXPECTS(!a.empty(), "sequences must be non-empty");
+
+  std::map<std::string, std::size_t> row_index, col_index;
+  for (const std::string& s : a) {
+    row_index.emplace(s, 0);
+  }
+  for (const std::string& s : b) {
+    col_index.emplace(s, 0);
+  }
+  for (auto& [label, idx] : row_index) {
+    idx = row_labels_.size();
+    row_labels_.push_back(label);
+  }
+  for (auto& [label, idx] : col_index) {
+    idx = col_labels_.size();
+    col_labels_.push_back(label);
+  }
+
+  counts_.assign(row_labels_.size() * col_labels_.size(), 0);
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ++counts_[row_index[a[t]] * col_labels_.size() + col_index[b[t]]];
+  }
+  total_ = a.size();
+}
+
+std::size_t ContingencyTable::count(std::size_t r, std::size_t c) const {
+  DESMINE_EXPECTS(r < rows() && c < cols(), "table index out of range");
+  return counts_[r * cols() + c];
+}
+
+std::size_t ContingencyTable::row_total(std::size_t r) const {
+  DESMINE_EXPECTS(r < rows(), "row out of range");
+  std::size_t sum = 0;
+  for (std::size_t c = 0; c < cols(); ++c) sum += counts_[r * cols() + c];
+  return sum;
+}
+
+std::size_t ContingencyTable::col_total(std::size_t c) const {
+  DESMINE_EXPECTS(c < cols(), "col out of range");
+  std::size_t sum = 0;
+  for (std::size_t r = 0; r < rows(); ++r) sum += counts_[r * cols() + c];
+  return sum;
+}
+
+double entropy(const core::EventSequence& xs) {
+  if (xs.empty()) return 0.0;
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& s : xs) ++counts[s];
+  const double n = static_cast<double>(xs.size());
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double mutual_information(const ContingencyTable& table) {
+  const double n = static_cast<double>(table.total());
+  double mi = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double pr = static_cast<double>(table.row_total(r)) / n;
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const std::size_t joint = table.count(r, c);
+      if (joint == 0) continue;
+      const double pj = static_cast<double>(joint) / n;
+      const double pc = static_cast<double>(table.col_total(c)) / n;
+      mi += pj * std::log(pj / (pr * pc));
+    }
+  }
+  return std::max(0.0, mi);  // clamp tiny negative rounding
+}
+
+double normalized_mutual_information(const core::EventSequence& a,
+                                     const core::EventSequence& b) {
+  const double ha = entropy(a);
+  const double hb = entropy(b);
+  const double denom = std::max(ha, hb);
+  if (denom == 0.0) return 0.0;  // at least one sequence is constant
+  return mutual_information(ContingencyTable(a, b)) / denom;
+}
+
+double cramers_v(const ContingencyTable& table) {
+  const std::size_t k = std::min(table.rows(), table.cols());
+  if (k < 2) return 0.0;
+  const double n = static_cast<double>(table.total());
+  double chi2 = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double row = static_cast<double>(table.row_total(r));
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double expected =
+          row * static_cast<double>(table.col_total(c)) / n;
+      if (expected == 0.0) continue;
+      const double diff = static_cast<double>(table.count(r, c)) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  return std::sqrt(chi2 / (n * static_cast<double>(k - 1)));
+}
+
+double lagged_nmi(const core::EventSequence& a, const core::EventSequence& b,
+                  std::size_t lag) {
+  DESMINE_EXPECTS(a.size() == b.size(), "sequences must be aligned");
+  DESMINE_EXPECTS(lag < a.size(), "lag exceeds sequence length");
+  // b[t - lag] predicts a[t]: compare a[lag..] with b[..n-lag].
+  const core::EventSequence a_tail(a.begin() + static_cast<long>(lag),
+                                   a.end());
+  const core::EventSequence b_head(b.begin(),
+                                   b.end() - static_cast<long>(lag));
+  return normalized_mutual_information(a_tail, b_head);
+}
+
+LagScan scan_lags(const core::EventSequence& a, const core::EventSequence& b,
+                  std::size_t max_lag) {
+  DESMINE_EXPECTS(max_lag < a.size(), "max_lag exceeds sequence length");
+  LagScan scan;
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    const double nmi = lagged_nmi(a, b, lag);
+    if (nmi > scan.best_nmi) {
+      scan.best_nmi = nmi;
+      scan.best_lag = lag;
+    }
+  }
+  return scan;
+}
+
+}  // namespace desmine::ml

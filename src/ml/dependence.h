@@ -1,0 +1,77 @@
+// Classical dependence measures for categorical sequences.
+//
+// The paper's related-work section (§V) surveys correlation-style dependence
+// measures (Spearman, Kendall, kernel measures) and argues they do not apply
+// cleanly to categorical data. These estimators are the fair classical
+// yardstick that *does* apply — normalized mutual information and Cramér's V
+// over the joint state distribution of two aligned discrete sequences — and
+// the bench harness compares the graph they induce against the NMT/BLEU
+// graph (bench_ablation_dependence).
+//
+// Both measures are symmetric and instantaneous: unlike the NMT relationship
+// they see neither ordering within a window nor lagged structure, which is
+// exactly the gap the translation approach fills.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+
+namespace desmine::ml {
+
+/// Joint contingency table of two aligned categorical sequences.
+class ContingencyTable {
+ public:
+  /// Build from aligned sequences (equal length, length >= 1).
+  ContingencyTable(const core::EventSequence& a, const core::EventSequence& b);
+
+  std::size_t rows() const { return row_labels_.size(); }
+  std::size_t cols() const { return col_labels_.size(); }
+  std::size_t total() const { return total_; }
+
+  /// Joint count of (a-state r, b-state c).
+  std::size_t count(std::size_t r, std::size_t c) const;
+  std::size_t row_total(std::size_t r) const;
+  std::size_t col_total(std::size_t c) const;
+
+  const std::vector<std::string>& row_labels() const { return row_labels_; }
+  const std::vector<std::string>& col_labels() const { return col_labels_; }
+
+ private:
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<std::size_t> counts_;  // rows x cols, row-major
+  std::size_t total_ = 0;
+};
+
+/// Shannon entropy (nats) of a categorical sequence's empirical distribution.
+double entropy(const core::EventSequence& xs);
+
+/// Mutual information I(A;B) in nats from the empirical joint distribution.
+double mutual_information(const ContingencyTable& table);
+
+/// Normalized mutual information in [0, 1]: I(A;B) / max(H(A), H(B));
+/// 0 when either sequence is constant.
+double normalized_mutual_information(const core::EventSequence& a,
+                                     const core::EventSequence& b);
+
+/// Cramér's V in [0, 1] from the chi-squared statistic of the table;
+/// 0 for degenerate (single-row/column) tables.
+double cramers_v(const ContingencyTable& table);
+
+/// Lagged NMI: shift `b` back by `lag` samples (b leads a) and measure NMI
+/// on the overlap. Useful for delayed sensor couplings.
+double lagged_nmi(const core::EventSequence& a, const core::EventSequence& b,
+                  std::size_t lag);
+
+/// Best NMI over lags 0..max_lag, and the lag achieving it.
+struct LagScan {
+  double best_nmi = 0.0;
+  std::size_t best_lag = 0;
+};
+LagScan scan_lags(const core::EventSequence& a, const core::EventSequence& b,
+                  std::size_t max_lag);
+
+}  // namespace desmine::ml

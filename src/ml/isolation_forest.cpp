@@ -1,0 +1,135 @@
+#include "ml/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace desmine::ml {
+
+namespace {
+
+/// Average path length of an unsuccessful BST search over n points — the
+/// normalizer c(n) from the iForest paper.
+double average_path(std::size_t n) {
+  if (n < 2) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + 0.5772156649015329;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+}  // namespace
+
+void IsolationForest::fit(const FeatureMatrix& rows,
+                          const IsolationForestConfig& config) {
+  DESMINE_EXPECTS(!rows.empty(), "isolation forest needs data");
+  DESMINE_EXPECTS(config.num_trees > 0, "need at least one tree");
+
+  const std::size_t sample =
+      std::min<std::size_t>(config.subsample, rows.size());
+  const auto max_depth = static_cast<std::size_t>(
+      std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(sample)))));
+  expected_path_ = average_path(sample);
+
+  util::Rng rng(config.seed);
+  trees_.assign(config.num_trees, Tree());
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    util::Rng tree_rng = rng.fork(t);
+    std::vector<std::size_t> idx =
+        tree_rng.sample_without_replacement(rows.size(), sample);
+    trees_[t].reserve(2 * sample);
+    build(trees_[t], rows, idx, 0, idx.size(), 0, max_depth, tree_rng);
+  }
+  calibrated_ = false;
+  threshold_ = 1.0;
+}
+
+std::size_t IsolationForest::build(Tree& tree, const FeatureMatrix& rows,
+                                   std::vector<std::size_t>& idx,
+                                   std::size_t begin, std::size_t end,
+                                   std::size_t depth, std::size_t max_depth,
+                                   util::Rng& rng) {
+  const std::size_t node_id = tree.size();
+  tree.emplace_back();
+  tree[node_id].size = end - begin;
+
+  if (end - begin <= 1 || depth >= max_depth) return node_id;
+
+  // Random feature with a non-degenerate range.
+  const std::size_t dims = rows.front().size();
+  std::size_t feature = 0;
+  double lo = 0.0, hi = 0.0;
+  bool found = false;
+  for (std::size_t attempt = 0; attempt < dims; ++attempt) {
+    feature = rng.index(dims);
+    lo = hi = rows[idx[begin]][feature];
+    for (std::size_t k = begin + 1; k < end; ++k) {
+      lo = std::min(lo, rows[idx[k]][feature]);
+      hi = std::max(hi, rows[idx[k]][feature]);
+    }
+    if (hi > lo) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) return node_id;  // all candidate features constant here
+
+  const double split = rng.uniform(lo, hi);
+  const auto mid_it =
+      std::partition(idx.begin() + static_cast<long>(begin),
+                     idx.begin() + static_cast<long>(end),
+                     [&](std::size_t i) { return rows[i][feature] < split; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  tree[node_id].leaf = false;
+  tree[node_id].feature = feature;
+  tree[node_id].split = split;
+  const std::size_t left =
+      build(tree, rows, idx, begin, mid, depth + 1, max_depth, rng);
+  const std::size_t right =
+      build(tree, rows, idx, mid, end, depth + 1, max_depth, rng);
+  tree[node_id].left = left;
+  tree[node_id].right = right;
+  return node_id;
+}
+
+double IsolationForest::path_length(const Tree& tree,
+                                    const std::vector<double>& row) const {
+  std::size_t node = 0;
+  double depth = 0.0;
+  while (!tree[node].leaf) {
+    node = row[tree[node].feature] < tree[node].split ? tree[node].left
+                                                      : tree[node].right;
+    depth += 1.0;
+  }
+  // Unresolved leaves stand for subtrees of `size` points.
+  return depth + average_path(tree[node].size);
+}
+
+double IsolationForest::score(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(!trees_.empty(), "isolation forest not fitted");
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += path_length(tree, row);
+  const double mean_path = total / static_cast<double>(trees_.size());
+  if (expected_path_ <= 0.0) return 0.5;
+  return std::pow(2.0, -mean_path / expected_path_);
+}
+
+int IsolationForest::predict_anomaly(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(calibrated_, "calibrate_threshold() must run first");
+  return score(row) > threshold_ ? 1 : 0;
+}
+
+void IsolationForest::calibrate_threshold(const FeatureMatrix& rows,
+                                          double percentile) {
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (const auto& row : rows) scores.push_back(score(row));
+  threshold_ = util::percentile(scores, percentile);
+  calibrated_ = true;
+}
+
+}  // namespace desmine::ml

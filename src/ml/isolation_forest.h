@@ -1,0 +1,64 @@
+// Isolation Forest (Liu, Ting & Zhou 2008) — an additional unsupervised
+// anomaly-detection baseline in the family the paper's introduction surveys
+// (one-class SVM, K-Means): anomalies are points that isolate quickly under
+// random axis-aligned splits. Included as an extension row of the Table II
+// comparison (bench_table2_model_comparison prints the paper's three rows;
+// this model is exercised in tests and available to users).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"  // FeatureMatrix
+#include "util/rng.h"
+
+namespace desmine::ml {
+
+struct IsolationForestConfig {
+  std::size_t num_trees = 100;
+  std::size_t subsample = 256;  ///< points per tree (clamped to data size)
+  std::uint64_t seed = 29;
+};
+
+class IsolationForest {
+ public:
+  /// Fit on (assumed mostly normal) data.
+  void fit(const FeatureMatrix& rows, const IsolationForestConfig& config);
+
+  /// Anomaly score in (0, 1): ~0.5 for average points, -> 1 for anomalies.
+  double score(const std::vector<double>& row) const;
+
+  /// 1 = anomaly: score above the calibrated threshold.
+  int predict_anomaly(const std::vector<double>& row) const;
+
+  /// Threshold = given percentile of training scores (e.g. 99).
+  void calibrate_threshold(const FeatureMatrix& rows, double percentile);
+
+  double threshold() const { return threshold_; }
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t size = 0;      ///< points reaching this leaf
+    std::size_t feature = 0;
+    double split = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+  using Tree = std::vector<Node>;
+
+  std::size_t build(Tree& tree, const FeatureMatrix& rows,
+                    std::vector<std::size_t>& idx, std::size_t begin,
+                    std::size_t end, std::size_t depth, std::size_t max_depth,
+                    util::Rng& rng);
+  double path_length(const Tree& tree, const std::vector<double>& row) const;
+
+  std::vector<Tree> trees_;
+  double expected_path_ = 1.0;  ///< c(subsample): average BST path length
+  double threshold_ = 1.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace desmine::ml

@@ -1,0 +1,142 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace desmine::ml {
+
+namespace {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double ss = 0.0;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    const double d = a[f] - b[f];
+    ss += d * d;
+  }
+  return ss;
+}
+
+}  // namespace
+
+void KMeans::fit(const FeatureMatrix& rows, const KMeansConfig& config) {
+  DESMINE_EXPECTS(!rows.empty(), "k-means needs data");
+  DESMINE_EXPECTS(config.k >= 1 && config.k <= rows.size(),
+                  "k must be in [1, n]");
+  util::Rng rng(config.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  centroids_.clear();
+  centroids_.push_back(rows[rng.index(rows.size())]);
+  std::vector<double> dist2(rows.size(),
+                            std::numeric_limits<double>::infinity());
+  while (centroids_.size() < config.k) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      dist2[i] =
+          std::min(dist2[i], squared_distance(rows[i], centroids_.back()));
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    if (total == 0.0) {
+      // All points coincide with centroids; duplicate one.
+      centroids_.push_back(rows[rng.index(rows.size())]);
+      continue;
+    }
+    centroids_.push_back(rows[rng.categorical(dist2)]);
+  }
+
+  // Lloyd iterations.
+  const std::size_t dim = rows.front().size();
+  std::vector<std::size_t> assignment(rows.size(), 0);
+  for (iterations_ = 0; iterations_ < config.max_iterations; ++iterations_) {
+    // Assign.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      assignment[i] = assign(rows[i]);
+    }
+    // Update.
+    FeatureMatrix next(config.k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(config.k, 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ++counts[assignment[i]];
+      for (std::size_t f = 0; f < dim; ++f) {
+        next[assignment[i]][f] += rows[i][f];
+      }
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: reseed at the farthest point.
+        std::size_t far = 0;
+        double best = -1.0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const double d = squared_distance(rows[i], centroids_[assign(rows[i])]);
+          if (d > best) {
+            best = d;
+            far = i;
+          }
+        }
+        next[c] = rows[far];
+      } else {
+        for (std::size_t f = 0; f < dim; ++f) {
+          next[c][f] /= static_cast<double>(counts[c]);
+        }
+      }
+      movement += squared_distance(next[c], centroids_[c]);
+    }
+    centroids_ = std::move(next);
+    if (movement < config.tolerance) {
+      ++iterations_;
+      break;
+    }
+  }
+  calibrated_ = false;
+  threshold_ = std::numeric_limits<double>::infinity();
+}
+
+std::size_t KMeans::assign(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(!centroids_.empty(), "k-means not fitted");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = squared_distance(row, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double KMeans::distance(const std::vector<double>& row) const {
+  return std::sqrt(squared_distance(row, centroids_[assign(row)]));
+}
+
+int KMeans::predict_anomaly(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(calibrated_, "calibrate_threshold() must run first");
+  return distance(row) > threshold_ ? 1 : 0;
+}
+
+void KMeans::calibrate_threshold(const FeatureMatrix& rows,
+                                 double percentile) {
+  std::vector<double> distances;
+  distances.reserve(rows.size());
+  for (const auto& row : rows) distances.push_back(distance(row));
+  threshold_ = util::percentile(distances, percentile);
+  calibrated_ = true;
+}
+
+double KMeans::inertia(const FeatureMatrix& rows) const {
+  double total = 0.0;
+  for (const auto& row : rows) {
+    const double d = distance(row);
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace desmine::ml

@@ -1,0 +1,55 @@
+// K-Means clustering — the classic unsupervised baseline the paper's
+// introduction cites ([10], [43]) for anomaly detection on continuous
+// features: fit centroids on normal data, flag points far from every
+// centroid as outliers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"  // FeatureMatrix
+#include "util/rng.h"
+
+namespace desmine::ml {
+
+struct KMeansConfig {
+  std::size_t k = 8;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when centroid movement falls below
+  std::uint64_t seed = 19;
+};
+
+class KMeans {
+ public:
+  /// Fit with k-means++ initialization. Requires rows.size() >= k.
+  void fit(const FeatureMatrix& rows, const KMeansConfig& config);
+
+  /// Index of the nearest centroid.
+  std::size_t assign(const std::vector<double>& row) const;
+
+  /// Euclidean distance to the nearest centroid (the anomaly score).
+  double distance(const std::vector<double>& row) const;
+
+  /// 1 = anomaly: distance exceeds the calibrated threshold (set by
+  /// calibrate_threshold, default +inf until calibrated).
+  int predict_anomaly(const std::vector<double>& row) const;
+
+  /// Set the anomaly threshold to the given percentile of training-point
+  /// distances (e.g. 99 -> flag the farthest 1%).
+  void calibrate_threshold(const FeatureMatrix& rows, double percentile);
+
+  const FeatureMatrix& centroids() const { return centroids_; }
+  double threshold() const { return threshold_; }
+  std::size_t iterations_run() const { return iterations_; }
+
+  /// Sum of squared distances of rows to their assigned centroids.
+  double inertia(const FeatureMatrix& rows) const;
+
+ private:
+  FeatureMatrix centroids_;
+  double threshold_ = 0.0;
+  bool calibrated_ = false;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace desmine::ml

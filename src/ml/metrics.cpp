@@ -1,0 +1,44 @@
+#include "ml/metrics.h"
+
+#include "util/error.h"
+
+namespace desmine::ml {
+
+double Confusion::recall() const {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::precision() const {
+  const std::size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::accuracy() const {
+  const std::size_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0
+                    : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+Confusion confusion(const std::vector<int>& labels,
+                    const std::vector<int>& predictions) {
+  DESMINE_EXPECTS(labels.size() == predictions.size(),
+                  "labels/predictions must align");
+  Confusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) {
+      predictions[i] == 1 ? ++c.tp : ++c.fn;
+    } else {
+      predictions[i] == 1 ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+}  // namespace desmine::ml

@@ -1,0 +1,22 @@
+// Binary-classification metrics for the baseline comparison (Table II).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace desmine::ml {
+
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double recall() const;     ///< tp / (tp + fn)
+  double precision() const;  ///< tp / (tp + fp)
+  double f1() const;
+  double accuracy() const;
+};
+
+/// Tally a confusion matrix from {0,1} labels and predictions.
+Confusion confusion(const std::vector<int>& labels,
+                    const std::vector<int>& predictions);
+
+}  // namespace desmine::ml

@@ -1,0 +1,168 @@
+#include "ml/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace desmine::ml {
+
+std::vector<double> OneClassSvm::standardize(
+    const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    out[f] = (row[f] - mean_[f]) / scale_[f];
+  }
+  return out;
+}
+
+double OneClassSvm::kernel(const std::vector<double>& a,
+                           const std::vector<double>& b) const {
+  double ss = 0.0;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    const double d = a[f] - b[f];
+    ss += d * d;
+  }
+  return std::exp(-gamma_ * ss);
+}
+
+void OneClassSvm::fit(const FeatureMatrix& rows, const OcSvmConfig& config) {
+  DESMINE_EXPECTS(!rows.empty(), "OC-SVM needs training rows");
+  DESMINE_EXPECTS(config.nu > 0.0 && config.nu <= 1.0, "nu in (0, 1]");
+  const std::size_t l = rows.size();
+  const std::size_t F = rows.front().size();
+
+  // Standardization statistics.
+  mean_.assign(F, 0.0);
+  scale_.assign(F, 1.0);
+  for (const auto& row : rows) {
+    for (std::size_t f = 0; f < F; ++f) mean_[f] += row[f];
+  }
+  for (double& m : mean_) m /= static_cast<double>(l);
+  double total_var = 0.0;
+  for (std::size_t f = 0; f < F; ++f) {
+    double var = 0.0;
+    for (const auto& row : rows) {
+      var += (row[f] - mean_[f]) * (row[f] - mean_[f]);
+    }
+    var /= static_cast<double>(l);
+    scale_[f] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    total_var += var > 1e-12 ? 1.0 : 0.0;  // post-standardization variance
+  }
+
+  support_.clear();
+  support_.reserve(l);
+  for (const auto& row : rows) support_.push_back(standardize(row));
+
+  gamma_ = config.gamma > 0.0
+               ? config.gamma
+               : 1.0 / std::max(1.0, static_cast<double>(F));
+
+  // Kernel matrix (training sets are subsampled; l stays modest).
+  std::vector<std::vector<double>> K(l, std::vector<double>(l, 0.0));
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = i; j < l; ++j) {
+      const double k = kernel(support_[i], support_[j]);
+      K[i][j] = k;
+      K[j][i] = k;
+    }
+  }
+
+  // Feasible start: uniform alphas.
+  const double C = 1.0 / (config.nu * static_cast<double>(l));
+  alpha_.assign(l, 1.0 / static_cast<double>(l));
+  DESMINE_ENSURES(alpha_.front() <= C + 1e-12,
+                  "nu too small for the sample size");
+
+  // Gradient g_i = (K alpha)_i.
+  std::vector<double> g(l, 0.0);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = 0; j < l; ++j) g[i] += K[i][j] * alpha_[j];
+  }
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    // Most-violating pair: transfer weight from the highest-gradient point
+    // that can still shrink to the lowest-gradient point that can grow.
+    std::size_t up = l, down = l;
+    double g_up = -std::numeric_limits<double>::infinity();
+    double g_down = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < l; ++i) {
+      if (alpha_[i] > 0.0 && g[i] > g_up) {
+        g_up = g[i];
+        up = i;
+      }
+      if (alpha_[i] < C && g[i] < g_down) {
+        g_down = g[i];
+        down = i;
+      }
+    }
+    if (up == l || down == l || g_up - g_down < config.tolerance) break;
+
+    const double curvature =
+        std::max(1e-12, K[up][up] + K[down][down] - 2.0 * K[up][down]);
+    double delta = (g_up - g_down) / curvature;
+    delta = std::min(delta, alpha_[up]);
+    delta = std::min(delta, C - alpha_[down]);
+    if (delta <= 0.0) break;
+
+    alpha_[up] -= delta;
+    alpha_[down] += delta;
+    for (std::size_t i = 0; i < l; ++i) {
+      g[i] += delta * (K[down][i] - K[up][i]);
+    }
+  }
+
+  // rho from margin support vectors (0 < alpha < C); fall back to the mean
+  // decision value over support vectors.
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha_[i] > 1e-9 && alpha_[i] < C - 1e-9) {
+      rho_sum += g[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count == 0) {
+    for (std::size_t i = 0; i < l; ++i) {
+      if (alpha_[i] > 1e-9) {
+        rho_sum += g[i];
+        ++rho_count;
+      }
+    }
+  }
+  rho_ = rho_count == 0 ? 0.0 : rho_sum / static_cast<double>(rho_count);
+
+  // Compact: drop zero-alpha rows.
+  FeatureMatrix sv;
+  std::vector<double> sv_alpha;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha_[i] > 1e-9) {
+      sv.push_back(std::move(support_[i]));
+      sv_alpha.push_back(alpha_[i]);
+    }
+  }
+  support_ = std::move(sv);
+  alpha_ = std::move(sv_alpha);
+}
+
+double OneClassSvm::decision(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(!support_.empty(), "OC-SVM not fitted");
+  const std::vector<double> x = standardize(row);
+  double f = 0.0;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    f += alpha_[i] * kernel(support_[i], x);
+  }
+  return f - rho_;
+}
+
+int OneClassSvm::predict_anomaly(const std::vector<double>& row) const {
+  return decision(row) < 0.0 ? 1 : 0;
+}
+
+std::size_t OneClassSvm::support_vector_count() const {
+  return support_.size();
+}
+
+}  // namespace desmine::ml

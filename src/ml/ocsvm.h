@@ -1,0 +1,54 @@
+// One-class SVM baseline (Schölkopf et al.; §IV-B) with an RBF kernel.
+//
+// Solves the ν-one-class dual
+//    min  1/2 Σ_ij α_i α_j K(x_i, x_j)
+//    s.t. 0 <= α_i <= 1/(ν l),  Σ α_i = 1
+// by pairwise (SMO-style) coordinate transfers that preserve the simplex
+// constraint. The decision function f(x) = Σ α_i K(x_i, x) − ρ is >= 0 for
+// inliers; ρ is recovered from margin support vectors. Features are
+// standardized internally (the RBF kernel is scale-sensitive).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/decision_tree.h"  // FeatureMatrix
+
+namespace desmine::ml {
+
+struct OcSvmConfig {
+  double nu = 0.1;      ///< upper bound on the outlier fraction
+  double gamma = 0.0;   ///< RBF width; 0 = 1/(F * var) ("scale" heuristic)
+  std::size_t max_iterations = 20000;
+  double tolerance = 1e-6;
+};
+
+class OneClassSvm {
+ public:
+  /// Fit on non-anomalous training rows.
+  void fit(const FeatureMatrix& rows, const OcSvmConfig& config);
+
+  /// Signed decision value; >= 0 means inlier.
+  double decision(const std::vector<double>& row) const;
+
+  /// 1 = anomaly (outlier), 0 = normal.
+  int predict_anomaly(const std::vector<double>& row) const;
+
+  std::size_t support_vector_count() const;
+  double rho() const { return rho_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  std::vector<double> standardize(const std::vector<double>& row) const;
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  FeatureMatrix support_;         ///< standardized training rows
+  std::vector<double> alpha_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double gamma_ = 1.0;
+  double rho_ = 0.0;
+};
+
+}  // namespace desmine::ml

@@ -1,0 +1,106 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace desmine::ml {
+
+void RandomForest::fit(const FeatureMatrix& rows,
+                       const std::vector<int>& labels,
+                       const ForestConfig& config,
+                       const std::vector<std::size_t>& indices) {
+  DESMINE_EXPECTS(!rows.empty() && rows.size() == labels.size(),
+                  "rows/labels must align");
+  feature_count_ = rows.front().size();
+
+  std::vector<std::size_t> pool = indices;
+  if (pool.empty()) {
+    pool.resize(rows.size());
+    std::iota(pool.begin(), pool.end(), 0);
+  }
+
+  TreeConfig tree_config = config.tree;
+  tree_config.features_per_split =
+      config.features_per_split != 0
+          ? config.features_per_split
+          : static_cast<std::size_t>(
+                std::max(1.0, std::floor(std::sqrt(
+                                  static_cast<double>(feature_count_)))));
+
+  util::Rng rng(config.seed);
+  trees_.assign(config.num_trees, DecisionTree());
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    util::Rng tree_rng = rng.fork(t);
+    std::vector<std::size_t> bootstrap(pool.size());
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      bootstrap[k] = pool[tree_rng.index(pool.size())];
+    }
+    trees_[t].fit(rows, labels, bootstrap, tree_config, tree_rng);
+  }
+}
+
+double RandomForest::predict_proba(const std::vector<double>& row) const {
+  DESMINE_EXPECTS(!trees_.empty(), "forest not fitted");
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict_proba(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+int RandomForest::predict(const std::vector<double>& row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> RandomForest::predict_all(const FeatureMatrix& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict(row));
+  return out;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  DESMINE_EXPECTS(!trees_.empty(), "forest not fitted");
+  std::vector<double> total(feature_count_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.feature_importance();
+    for (std::size_t f = 0; f < feature_count_; ++f) total[f] += imp[f];
+  }
+  const double sum = std::accumulate(total.begin(), total.end(), 0.0);
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+std::vector<std::size_t> RandomForest::ranked_features() const {
+  const std::vector<double> imp = feature_importance();
+  std::vector<std::size_t> order(imp.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return imp[a] > imp[b];
+  });
+  return order;
+}
+
+std::vector<std::size_t> balanced_indices(const std::vector<int>& labels,
+                                          util::Rng& rng) {
+  std::vector<std::size_t> minority, majority;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] == 1 ? minority : majority).push_back(i);
+  }
+  DESMINE_EXPECTS(!minority.empty(), "no positive samples to balance around");
+  if (majority.size() <= minority.size()) {
+    std::vector<std::size_t> all = minority;
+    all.insert(all.end(), majority.begin(), majority.end());
+    return all;
+  }
+  const std::vector<std::size_t> picks =
+      rng.sample_without_replacement(majority.size(), minority.size());
+  std::vector<std::size_t> out = minority;
+  for (std::size_t p : picks) out.push_back(majority[p]);
+  return out;
+}
+
+}  // namespace desmine::ml

@@ -1,0 +1,52 @@
+// Random Forest baseline (§IV-B): bagged CART trees with per-split feature
+// subsampling, majority vote, and impurity-decrease feature importance
+// (which the paper uses for the Fig. 11b ranking).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace desmine::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 100;
+  TreeConfig tree{};
+  /// Per-split feature count; 0 = floor(sqrt(F)).
+  std::size_t features_per_split = 0;
+  std::uint64_t seed = 13;
+};
+
+class RandomForest {
+ public:
+  /// Fit on the full matrix; labels in {0, 1}. Each tree sees a bootstrap
+  /// sample of `indices` (or of all rows when `indices` is empty).
+  void fit(const FeatureMatrix& rows, const std::vector<int>& labels,
+           const ForestConfig& config,
+           const std::vector<std::size_t>& indices = {});
+
+  int predict(const std::vector<double>& row) const;
+  double predict_proba(const std::vector<double>& row) const;
+  std::vector<int> predict_all(const FeatureMatrix& rows) const;
+
+  /// Mean impurity-decrease importance, normalized to sum to 1.
+  std::vector<double> feature_importance() const;
+
+  /// Features ranked by importance, most important first.
+  std::vector<std::size_t> ranked_features() const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t feature_count_ = 0;
+};
+
+/// Subsample the majority class so classes balance 1:1 (the paper's RF
+/// training setup). Returns row indices.
+std::vector<std::size_t> balanced_indices(const std::vector<int>& labels,
+                                          util::Rng& rng);
+
+}  // namespace desmine::ml

@@ -1,0 +1,265 @@
+#include "nmt/seq2seq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "nn/loss.h"
+#include "util/error.h"
+
+namespace desmine::nmt {
+
+namespace {
+
+/// Transpose a batch of equal-length sequences into per-timestep id vectors.
+std::vector<std::vector<std::int32_t>> to_timesteps(
+    const std::vector<const EncodedPair*>& batch, bool source) {
+  const std::size_t len =
+      source ? batch.front()->source.size() : batch.front()->target.size();
+  std::vector<std::vector<std::int32_t>> steps(
+      len, std::vector<std::int32_t>(batch.size()));
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const auto& seq = source ? batch[b]->source : batch[b]->target;
+    DESMINE_EXPECTS(seq.size() == len,
+                    "all sequences in a batch must share one length");
+    for (std::size_t t = 0; t < len; ++t) steps[t][b] = seq[t];
+  }
+  return steps;
+}
+
+}  // namespace
+
+Seq2SeqModel::Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
+                           const Seq2SeqConfig& config, util::Rng rng)
+    : config_(config),
+      rng_(rng),
+      src_embed_(src_vocab, config.embedding_dim, rng_, config.init_scale),
+      tgt_embed_(tgt_vocab, config.embedding_dim, rng_, config.init_scale),
+      encoder_("enc", config.embedding_dim, config.hidden_dim,
+               config.num_layers, rng_, config.dropout, config.init_scale),
+      decoder_("dec", config.embedding_dim, config.hidden_dim,
+               config.num_layers, rng_, config.dropout, config.init_scale),
+      attention_("attn", config.hidden_dim, rng_, config.init_scale,
+                 config.attention),
+      out_("out", config.hidden_dim, tgt_vocab, rng_, /*with_bias=*/true,
+           config.init_scale) {
+  DESMINE_EXPECTS(src_vocab > text::Vocabulary::kEos &&
+                      tgt_vocab > text::Vocabulary::kEos,
+                  "vocabs must include the special tokens");
+  src_embed_.register_params(registry_);
+  tgt_embed_.register_params(registry_);
+  encoder_.register_params(registry_);
+  decoder_.register_params(registry_);
+  attention_.register_params(registry_);
+  out_.register_params(registry_);
+}
+
+double Seq2SeqModel::run_teacher_forced(
+    const std::vector<const EncodedPair*>& batch, bool train) {
+  DESMINE_EXPECTS(!batch.empty(), "empty batch");
+  const std::size_t B = batch.size();
+  const auto src_steps = to_timesteps(batch, /*source=*/true);
+  const auto tgt_steps = to_timesteps(batch, /*source=*/false);
+  const std::size_t S = src_steps.size();
+  const std::size_t T = tgt_steps.size() + 1;  // +1 for the </s> step
+  DESMINE_EXPECTS(S > 0 && tgt_steps.size() > 0, "sequences must be non-empty");
+
+  // ---- Encoder ----
+  encoder_.begin(B, nullptr, train, &rng_);
+  std::vector<tensor::Matrix> enc_outputs;
+  enc_outputs.reserve(S);
+  for (std::size_t t = 0; t < S; ++t) {
+    enc_outputs.push_back(encoder_.step(src_embed_.forward(src_steps[t])));
+  }
+  const nn::LstmState enc_final = encoder_.state();
+
+  // ---- Decoder (teacher forcing: input <s>, w1..wm; predict w1..wm, </s>) --
+  decoder_.begin(B, &enc_final, train, &rng_);
+  attention_.begin(&enc_outputs, B);
+
+  std::vector<std::vector<std::int32_t>> dec_inputs(T);
+  std::vector<std::vector<std::int32_t>> dec_targets(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    dec_inputs[t] = (t == 0)
+                        ? std::vector<std::int32_t>(B, text::Vocabulary::kBos)
+                        : tgt_steps[t - 1];
+    dec_targets[t] =
+        (t + 1 == T) ? std::vector<std::int32_t>(B, text::Vocabulary::kEos)
+                     : tgt_steps[t];
+  }
+
+  const std::size_t total_tokens = B * T;
+  const float grad_scale = 1.0f / static_cast<float>(total_tokens);
+
+  double loss_sum = 0.0;
+  std::vector<tensor::Matrix> attn_states(T);
+  std::vector<tensor::Matrix> dlogits(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    const tensor::Matrix& h_dec = decoder_.step(tgt_embed_.forward(dec_inputs[t]));
+    attn_states[t] = attention_.step(h_dec);
+    const tensor::Matrix logits = out_.forward(attn_states[t]);
+    const nn::XentResult res =
+        nn::softmax_xent(logits, dec_targets[t], dlogits[t], grad_scale);
+    loss_sum += res.loss_sum;
+  }
+  const double mean_loss = loss_sum / static_cast<double>(total_tokens);
+  if (!train) return mean_loss;
+
+  // ---- Backward ----
+  std::vector<tensor::Matrix> dh_dec(T);
+  for (std::size_t t = T; t-- > 0;) {
+    tensor::Matrix d_attn = out_.backward(attn_states[t], dlogits[t]);
+    dh_dec[t] = attention_.backward_step(d_attn);
+  }
+  nn::LstmStack::BackwardResult dec_back = decoder_.backward(dh_dec);
+  for (std::size_t t = 0; t < T; ++t) {
+    tgt_embed_.backward(dec_inputs[t], dec_back.dx[t]);
+  }
+
+  // Encoder receives gradient from attention (per step) and from the
+  // decoder's initial state.
+  std::vector<tensor::Matrix> dh_enc = attention_.encoder_grads();
+  nn::LstmStack::BackwardResult enc_back =
+      encoder_.backward(dh_enc, &dec_back.dstate0);
+  for (std::size_t t = 0; t < S; ++t) {
+    src_embed_.backward(src_steps[t], enc_back.dx[t]);
+  }
+  return mean_loss;
+}
+
+double Seq2SeqModel::train_batch(
+    const std::vector<const EncodedPair*>& batch) {
+  return run_teacher_forced(batch, /*train=*/true);
+}
+
+double Seq2SeqModel::evaluate_loss(
+    const std::vector<const EncodedPair*>& batch) {
+  return run_teacher_forced(batch, /*train=*/false);
+}
+
+std::vector<std::int32_t> Seq2SeqModel::translate(
+    const std::vector<std::int32_t>& source) {
+  DESMINE_EXPECTS(!source.empty(), "cannot translate an empty sentence");
+
+  encoder_.begin(1, nullptr, /*train=*/false);
+  std::vector<tensor::Matrix> enc_outputs;
+  enc_outputs.reserve(source.size());
+  for (std::int32_t id : source) {
+    enc_outputs.push_back(encoder_.step(src_embed_.forward({id})));
+  }
+  const nn::LstmState enc_final = encoder_.state();
+
+  decoder_.begin(1, &enc_final, /*train=*/false);
+  attention_.begin(&enc_outputs, 1);
+
+  std::vector<std::int32_t> output;
+  std::int32_t prev = text::Vocabulary::kBos;
+  for (std::size_t t = 0; t < config_.max_decode_length; ++t) {
+    const tensor::Matrix& h_dec = decoder_.step(tgt_embed_.forward({prev}));
+    const tensor::Matrix attn = attention_.step(h_dec);
+    const tensor::Matrix logits = out_.forward(attn);
+    const std::int32_t next = nn::argmax_rows(logits)[0];
+    if (next == text::Vocabulary::kEos) break;
+    output.push_back(next);
+    prev = next;
+  }
+  return output;
+}
+
+std::vector<std::int32_t> Seq2SeqModel::translate_beam(
+    const std::vector<std::int32_t>& source, std::size_t beam_width) {
+  DESMINE_EXPECTS(!source.empty(), "cannot translate an empty sentence");
+  DESMINE_EXPECTS(beam_width >= 1, "beam width must be >= 1");
+
+  encoder_.begin(1, nullptr, /*train=*/false);
+  std::vector<tensor::Matrix> enc_outputs;
+  enc_outputs.reserve(source.size());
+  for (std::int32_t id : source) {
+    enc_outputs.push_back(encoder_.step(src_embed_.forward({id})));
+  }
+  attention_.begin(&enc_outputs, 1);
+
+  struct Hypothesis {
+    nn::LstmState state;
+    std::vector<std::int32_t> tokens;  ///< emitted ids (no specials)
+    double log_prob = 0.0;
+    bool done = false;
+    std::int32_t last = text::Vocabulary::kBos;
+
+    double normalized() const {
+      return log_prob / static_cast<double>(tokens.size() + 1);
+    }
+  };
+
+  std::vector<Hypothesis> beam(1);
+  beam[0].state = encoder_.state();
+
+  const std::size_t V = tgt_vocab();
+  for (std::size_t t = 0; t < config_.max_decode_length; ++t) {
+    bool all_done = true;
+    std::vector<Hypothesis> candidates;
+    for (const Hypothesis& hyp : beam) {
+      if (hyp.done) {
+        candidates.push_back(hyp);
+        continue;
+      }
+      all_done = false;
+      Hypothesis advanced = hyp;
+      const tensor::Matrix h_dec = decoder_.infer_step(
+          tgt_embed_.forward({hyp.last}), advanced.state);
+      const tensor::Matrix attn = attention_.infer(h_dec);
+      tensor::Matrix logits = out_.forward(attn);
+
+      // Log-softmax over the single row.
+      float mx = logits(0, 0);
+      for (std::size_t v = 1; v < V; ++v) mx = std::max(mx, logits(0, v));
+      double denom = 0.0;
+      for (std::size_t v = 0; v < V; ++v) {
+        denom += std::exp(static_cast<double>(logits(0, v)) - mx);
+      }
+      const double log_denom = std::log(denom) + mx;
+
+      // Expand the top beam_width continuations of this hypothesis.
+      std::vector<std::pair<double, std::int32_t>> scored;
+      scored.reserve(V);
+      for (std::size_t v = 0; v < V; ++v) {
+        const auto id = static_cast<std::int32_t>(v);
+        if (id == text::Vocabulary::kPad || id == text::Vocabulary::kBos) {
+          continue;
+        }
+        scored.emplace_back(static_cast<double>(logits(0, v)) - log_denom, id);
+      }
+      const std::size_t expand = std::min(beam_width, scored.size());
+      std::partial_sort(scored.begin(),
+                        scored.begin() + static_cast<long>(expand),
+                        scored.end(), std::greater<>());
+      for (std::size_t e = 0; e < expand; ++e) {
+        Hypothesis next = advanced;
+        next.log_prob += scored[e].first;
+        if (scored[e].second == text::Vocabulary::kEos) {
+          next.done = true;
+        } else {
+          next.tokens.push_back(scored[e].second);
+          next.last = scored[e].second;
+        }
+        candidates.push_back(std::move(next));
+      }
+    }
+    if (all_done) break;
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.normalized() > b.normalized();
+              });
+    if (candidates.size() > beam_width) candidates.resize(beam_width);
+    beam = std::move(candidates);
+  }
+
+  const auto best = std::max_element(
+      beam.begin(), beam.end(), [](const Hypothesis& a, const Hypothesis& b) {
+        return a.normalized() < b.normalized();
+      });
+  return best->tokens;
+}
+
+}  // namespace desmine::nmt

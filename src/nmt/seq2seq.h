@@ -1,0 +1,92 @@
+// Sequence-to-sequence LSTM encoder/decoder with Luong attention.
+//
+// This is the NMT model of the paper's §II-A3 ([23], [37]): a multi-layer
+// LSTM encoder maps the source sensor-language sentence to hidden states, a
+// decoder initialized from the encoder's final state emits the target
+// sentence token by token, and Luong "general" attention over the encoder
+// outputs feeds an attentional hidden state into the output projection.
+// Training uses teacher forcing; inference uses greedy decoding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/param.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace desmine::nmt {
+
+struct Seq2SeqConfig {
+  std::size_t embedding_dim = 64;  ///< paper: 64
+  std::size_t hidden_dim = 64;     ///< paper: 64
+  std::size_t num_layers = 2;      ///< paper: 2
+  float dropout = 0.2f;            ///< paper: 0.2
+  float init_scale = 0.1f;
+  std::size_t max_decode_length = 64;  ///< decode cap (greedy and beam)
+  nn::AttentionScore attention = nn::AttentionScore::kGeneral;
+};
+
+/// One encoded sentence pair: source ids and target ids (no specials; the
+/// model adds <s>/</s> internally).
+struct EncodedPair {
+  std::vector<std::int32_t> source;
+  std::vector<std::int32_t> target;
+};
+
+class Seq2SeqModel {
+ public:
+  /// All weights are drawn from `rng`, so a (seed, config) pair fully
+  /// determines the initial model.
+  Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
+               const Seq2SeqConfig& config, util::Rng rng);
+
+  /// Teacher-forced forward+backward over a batch. All sources must share
+  /// one length and all targets another (the trainer buckets accordingly).
+  /// Gradients accumulate into the registry; returns mean loss per token.
+  double train_batch(const std::vector<const EncodedPair*>& batch);
+
+  /// Mean per-token loss without gradient computation or dropout.
+  double evaluate_loss(const std::vector<const EncodedPair*>& batch);
+
+  /// Greedy-decode a single source sentence; returns target ids without
+  /// specials.
+  std::vector<std::int32_t> translate(
+      const std::vector<std::int32_t>& source);
+
+  /// Beam-search decode with the given width; returns the
+  /// length-normalized-highest-log-probability hypothesis (ids without
+  /// specials). beam_width == 1 degenerates to greedy.
+  std::vector<std::int32_t> translate_beam(
+      const std::vector<std::int32_t>& source, std::size_t beam_width);
+
+  nn::ParamRegistry& params() { return registry_; }
+  const Seq2SeqConfig& config() const { return config_; }
+  std::size_t src_vocab() const { return src_embed_.vocab_size(); }
+  std::size_t tgt_vocab() const { return out_.out_dim(); }
+
+ private:
+  /// Shared forward pass; when `train` is true caches are kept for backward
+  /// and dropout is active.
+  double run_teacher_forced(const std::vector<const EncodedPair*>& batch,
+                            bool train);
+
+  Seq2SeqConfig config_;
+  util::Rng rng_;
+
+  nn::Embedding src_embed_;
+  nn::Embedding tgt_embed_;
+  nn::LstmStack encoder_;
+  nn::LstmStack decoder_;
+  nn::LuongAttention attention_;
+  nn::Linear out_;
+  nn::ParamRegistry registry_;
+};
+
+}  // namespace desmine::nmt

@@ -1,0 +1,134 @@
+#include "nmt/trainer.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/error.h"
+
+namespace desmine::nmt {
+
+namespace {
+
+/// Buckets pairs by (src_len, tgt_len) so every batch is rectangular.
+struct Buckets {
+  std::vector<std::vector<const EncodedPair*>> groups;
+  std::vector<double> weights;
+};
+
+Buckets bucket_pairs(const std::vector<EncodedPair>& pairs) {
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<const EncodedPair*>>
+      bucket_map;
+  for (const EncodedPair& p : pairs) {
+    DESMINE_EXPECTS(!p.source.empty() && !p.target.empty(),
+                    "empty sentence in training corpus");
+    bucket_map[{p.source.size(), p.target.size()}].push_back(&p);
+  }
+  Buckets out;
+  for (auto& [shape, bucket] : bucket_map) {
+    out.weights.push_back(static_cast<double>(bucket.size()));
+    out.groups.push_back(std::move(bucket));
+  }
+  return out;
+}
+
+/// Mean dev loss over length-bucketed batches.
+double dev_loss(Seq2SeqModel& model, const Buckets& dev,
+                std::size_t batch_size) {
+  double loss_sum = 0.0;
+  std::size_t sentence_count = 0;
+  for (const auto& bucket : dev.groups) {
+    for (std::size_t start = 0; start < bucket.size(); start += batch_size) {
+      const std::size_t end = std::min(start + batch_size, bucket.size());
+      const std::vector<const EncodedPair*> batch(
+          bucket.begin() + static_cast<long>(start),
+          bucket.begin() + static_cast<long>(end));
+      loss_sum += model.evaluate_loss(batch) *
+                  static_cast<double>(batch.size());
+      sentence_count += batch.size();
+    }
+  }
+  return loss_sum / static_cast<double>(sentence_count);
+}
+
+TrainingHistory run_training(Seq2SeqModel& model,
+                             const std::vector<EncodedPair>& pairs,
+                             const std::vector<EncodedPair>* dev_pairs,
+                             const TrainerConfig& config, util::Rng rng) {
+  DESMINE_EXPECTS(!pairs.empty(), "cannot train on an empty corpus");
+  DESMINE_EXPECTS(config.batch_size > 0 && config.steps > 0,
+                  "trainer config must be positive");
+  const bool evaluating = dev_pairs != nullptr && config.eval_every > 0;
+  if (evaluating) {
+    DESMINE_EXPECTS(!dev_pairs->empty(),
+                    "early stopping needs a dev corpus");
+  }
+
+  const Buckets buckets = bucket_pairs(pairs);
+  Buckets dev;
+  if (evaluating) dev = bucket_pairs(*dev_pairs);
+
+  nn::AdamConfig adam_config = config.adam;
+  adam_config.lr = config.lr;
+  nn::Adam optimizer(model.params(), adam_config);
+
+  TrainingHistory history;
+  history.best_dev_loss = std::numeric_limits<double>::infinity();
+  history.losses.reserve(config.steps);
+  std::size_t evals_without_improvement = 0;
+
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    // Learning-rate schedule: halve every lr_decay_every past the start.
+    if (config.lr_decay_every > 0 && step >= config.lr_decay_start &&
+        step > 0 && (step - config.lr_decay_start) % config.lr_decay_every == 0) {
+      optimizer.set_lr(optimizer.config().lr * 0.5f);
+    }
+
+    const std::size_t bi =
+        buckets.groups.size() == 1 ? 0 : rng.categorical(buckets.weights);
+    const auto& bucket = buckets.groups[bi];
+    std::vector<const EncodedPair*> batch;
+    batch.reserve(config.batch_size);
+    for (std::size_t k = 0; k < config.batch_size; ++k) {
+      batch.push_back(bucket[rng.index(bucket.size())]);
+    }
+
+    model.params().zero_grad();
+    const double loss = model.train_batch(batch);
+    model.params().clip_grad_norm(config.clip_norm);
+    optimizer.step();
+    history.losses.push_back(loss);
+    history.steps_run = step + 1;
+
+    if (evaluating && (step + 1) % config.eval_every == 0) {
+      const double dl = dev_loss(model, dev, config.batch_size);
+      history.dev_losses.emplace_back(step + 1, dl);
+      if (dl < history.best_dev_loss - 1e-6) {
+        history.best_dev_loss = dl;
+        evals_without_improvement = 0;
+      } else if (++evals_without_improvement >= config.patience) {
+        break;  // early stop
+      }
+    }
+  }
+  history.final_loss = history.losses.back();
+  if (!evaluating) history.best_dev_loss = 0.0;
+  return history;
+}
+
+}  // namespace
+
+TrainingHistory train(Seq2SeqModel& model,
+                      const std::vector<EncodedPair>& pairs,
+                      const TrainerConfig& config, util::Rng rng) {
+  return run_training(model, pairs, nullptr, config, rng);
+}
+
+TrainingHistory train_with_dev(Seq2SeqModel& model,
+                               const std::vector<EncodedPair>& pairs,
+                               const std::vector<EncodedPair>& dev_pairs,
+                               const TrainerConfig& config, util::Rng rng) {
+  return run_training(model, pairs, &dev_pairs, config, rng);
+}
+
+}  // namespace desmine::nmt

@@ -1,0 +1,54 @@
+// Training loop for Seq2SeqModel: bucketed mini-batches, Adam, grad clipping.
+#pragma once
+
+#include <vector>
+
+#include "nmt/seq2seq.h"
+#include "util/rng.h"
+
+namespace desmine::nmt {
+
+struct TrainerConfig {
+  std::size_t steps = 1000;   ///< paper: 1000 training steps
+  std::size_t batch_size = 16;
+  float lr = 1e-2f;
+  float clip_norm = 5.0f;
+  nn::AdamConfig adam{};  ///< lr below overrides adam.lr
+
+  /// Halve the learning rate every `lr_decay_every` steps once
+  /// `lr_decay_start` steps have passed (Luong-style schedule). 0 disables.
+  std::size_t lr_decay_start = 0;
+  std::size_t lr_decay_every = 0;
+
+  /// Early stopping (train_with_dev only): evaluate dev loss every
+  /// `eval_every` steps; stop after `patience` evaluations without
+  /// improvement. eval_every == 0 disables evaluation.
+  std::size_t eval_every = 0;
+  std::size_t patience = 3;
+};
+
+struct TrainingHistory {
+  std::vector<double> losses;  ///< mean per-token loss per step
+  double final_loss = 0.0;
+  /// (step, dev loss) pairs from train_with_dev.
+  std::vector<std::pair<std::size_t, double>> dev_losses;
+  double best_dev_loss = 0.0;
+  std::size_t steps_run = 0;  ///< < config.steps when early-stopped
+};
+
+/// Run the teacher-forced training loop. Pairs with differing lengths are
+/// bucketed by (source length, target length); each step samples one bucket
+/// (weighted by size) and draws a batch from it with replacement.
+TrainingHistory train(Seq2SeqModel& model,
+                      const std::vector<EncodedPair>& pairs,
+                      const TrainerConfig& config, util::Rng rng);
+
+/// Like train(), but also evaluates mean dev loss every `config.eval_every`
+/// steps and early-stops after `config.patience` evaluations without
+/// improvement. `dev_pairs` must be non-empty when eval_every > 0.
+TrainingHistory train_with_dev(Seq2SeqModel& model,
+                               const std::vector<EncodedPair>& pairs,
+                               const std::vector<EncodedPair>& dev_pairs,
+                               const TrainerConfig& config, util::Rng rng);
+
+}  // namespace desmine::nmt

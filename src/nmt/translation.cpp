@@ -1,0 +1,65 @@
+#include "nmt/translation.h"
+
+#include "util/error.h"
+
+namespace desmine::nmt {
+
+TranslationModel::TranslationModel(text::Vocabulary src_vocab,
+                                   text::Vocabulary tgt_vocab,
+                                   std::unique_ptr<Seq2SeqModel> model)
+    : src_vocab_(std::move(src_vocab)),
+      tgt_vocab_(std::move(tgt_vocab)),
+      model_(std::move(model)) {
+  DESMINE_EXPECTS(model_ != nullptr, "translation model must be non-null");
+}
+
+text::Sentence TranslationModel::translate(const text::Sentence& source) {
+  const std::vector<std::int32_t> ids = src_vocab_.encode(source);
+  return tgt_vocab_.decode(model_->translate(ids));
+}
+
+text::BleuBreakdown TranslationModel::score(const text::Corpus& source,
+                                            const text::Corpus& reference,
+                                            const text::BleuOptions& options) {
+  DESMINE_EXPECTS(source.size() == reference.size(),
+                  "source/reference corpora must align");
+  text::Corpus candidates;
+  candidates.reserve(source.size());
+  for (const text::Sentence& s : source) candidates.push_back(translate(s));
+  return text::corpus_bleu(candidates, reference, options);
+}
+
+std::vector<EncodedPair> encode_pairs(const text::Vocabulary& src_vocab,
+                                      const text::Vocabulary& tgt_vocab,
+                                      const text::Corpus& source,
+                                      const text::Corpus& target) {
+  DESMINE_EXPECTS(source.size() == target.size(),
+                  "parallel corpora must align");
+  std::vector<EncodedPair> pairs;
+  pairs.reserve(source.size());
+  for (std::size_t s = 0; s < source.size(); ++s) {
+    pairs.push_back({src_vocab.encode(source[s]), tgt_vocab.encode(target[s])});
+  }
+  return pairs;
+}
+
+TranslationModel train_translation_model(const text::Corpus& train_source,
+                                         const text::Corpus& train_target,
+                                         const TranslationConfig& config,
+                                         std::uint64_t seed) {
+  DESMINE_EXPECTS(!train_source.empty(), "training corpus must be non-empty");
+  text::Vocabulary src_vocab = text::Vocabulary::build(train_source);
+  text::Vocabulary tgt_vocab = text::Vocabulary::build(train_target);
+
+  util::Rng rng(seed);
+  auto model = std::make_unique<Seq2SeqModel>(
+      src_vocab.size(), tgt_vocab.size(), config.model, rng.fork(1));
+  const std::vector<EncodedPair> pairs =
+      encode_pairs(src_vocab, tgt_vocab, train_source, train_target);
+  train(*model, pairs, config.trainer, rng.fork(2));
+
+  return TranslationModel(std::move(src_vocab), std::move(tgt_vocab),
+                          std::move(model));
+}
+
+}  // namespace desmine::nmt

@@ -1,0 +1,64 @@
+// High-level translation artifact: vocabularies + trained Seq2SeqModel.
+//
+// This is the directional pairwise model g(i, j) of Algorithm 1. Training
+// happens on aligned sentence corpora from the source and target sensors;
+// scoring translates a corpus greedily and reports corpus BLEU against the
+// reference — the paper's s(i, j) during training and f(i, j) during testing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nmt/seq2seq.h"
+#include "nmt/trainer.h"
+#include "text/bleu.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace desmine::nmt {
+
+struct TranslationConfig {
+  Seq2SeqConfig model{};
+  TrainerConfig trainer{};
+  text::BleuOptions bleu{};
+};
+
+class TranslationModel {
+ public:
+  TranslationModel(text::Vocabulary src_vocab, text::Vocabulary tgt_vocab,
+                   std::unique_ptr<Seq2SeqModel> model);
+
+  /// Translate one sentence (token strings in, token strings out). Unknown
+  /// source tokens map to <unk>, matching the paper's reserved symbol.
+  text::Sentence translate(const text::Sentence& source);
+
+  /// Corpus BLEU (0..100) of greedy translations of `source` against
+  /// `reference`. Corpora must be aligned sentence-by-sentence.
+  text::BleuBreakdown score(const text::Corpus& source,
+                            const text::Corpus& reference,
+                            const text::BleuOptions& options = {});
+
+  const text::Vocabulary& src_vocab() const { return src_vocab_; }
+  const text::Vocabulary& tgt_vocab() const { return tgt_vocab_; }
+  Seq2SeqModel& model() { return *model_; }
+
+ private:
+  text::Vocabulary src_vocab_;
+  text::Vocabulary tgt_vocab_;
+  std::unique_ptr<Seq2SeqModel> model_;
+};
+
+/// Encode aligned string corpora into id pairs with the given vocabularies.
+std::vector<EncodedPair> encode_pairs(const text::Vocabulary& src_vocab,
+                                      const text::Vocabulary& tgt_vocab,
+                                      const text::Corpus& source,
+                                      const text::Corpus& target);
+
+/// Algorithm 1, one edge: build vocabularies from the training corpora,
+/// train a Seq2SeqModel on the aligned pairs, and return the artifact.
+TranslationModel train_translation_model(const text::Corpus& train_source,
+                                         const text::Corpus& train_target,
+                                         const TranslationConfig& config,
+                                         std::uint64_t seed);
+
+}  // namespace desmine::nmt

@@ -1,0 +1,70 @@
+#include "nmt/word_baseline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace desmine::nmt {
+
+WordBaseline WordBaseline::fit(const text::Corpus& train_source,
+                               const text::Corpus& train_target) {
+  DESMINE_EXPECTS(train_source.size() == train_target.size(),
+                  "parallel corpora must align");
+  DESMINE_EXPECTS(!train_source.empty(), "training corpus must be non-empty");
+
+  WordBaseline model;
+  for (std::size_t s = 0; s < train_source.size(); ++s) {
+    const text::Sentence& src = train_source[s];
+    const text::Sentence& tgt = train_target[s];
+    const std::size_t len = std::min(src.size(), tgt.size());
+    if (model.per_position_.size() < len) model.per_position_.resize(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      PositionModel& pos = model.per_position_[k];
+      ++pos.conditional[src[k]][tgt[k]];
+      ++pos.marginal[tgt[k]];
+    }
+  }
+  return model;
+}
+
+const std::string* WordBaseline::argmax(
+    const std::map<std::string, std::size_t>& counts) {
+  const std::string* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [word, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = &word;
+    }
+  }
+  return best;
+}
+
+text::Sentence WordBaseline::translate(const text::Sentence& source) const {
+  text::Sentence out;
+  const std::size_t len = std::min(source.size(), per_position_.size());
+  out.reserve(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    const PositionModel& pos = per_position_[k];
+    const auto it = pos.conditional.find(source[k]);
+    const std::string* word = it != pos.conditional.end()
+                                  ? argmax(it->second)
+                                  : argmax(pos.marginal);
+    DESMINE_ENSURES(word != nullptr, "trained position has no counts");
+    out.push_back(*word);
+  }
+  return out;
+}
+
+text::BleuBreakdown WordBaseline::score(const text::Corpus& source,
+                                        const text::Corpus& reference,
+                                        const text::BleuOptions& options) const {
+  DESMINE_EXPECTS(source.size() == reference.size(),
+                  "source/reference corpora must align");
+  text::Corpus candidates;
+  candidates.reserve(source.size());
+  for (const text::Sentence& s : source) candidates.push_back(translate(s));
+  return text::corpus_bleu(candidates, reference, options);
+}
+
+}  // namespace desmine::nmt

@@ -1,0 +1,54 @@
+// Count-based word-translation baseline.
+//
+// A deliberately simple alternative to the NMT pair model: for every
+// sentence position k it learns the conditional distribution
+// p(target word | source word at position k) from the aligned training
+// corpus and translates by per-position argmax (falling back to the
+// position's marginal mode for unseen source words). It captures
+// instantaneous word-for-word coupling but no sequence context — the
+// ablation bench uses it to quantify what the seq2seq model adds.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "text/bleu.h"
+#include "text/vocabulary.h"
+
+namespace desmine::nmt {
+
+class WordBaseline {
+ public:
+  /// Fit from aligned corpora (equal sizes; sentences may vary in length —
+  /// positions beyond a sentence's end simply contribute nothing).
+  static WordBaseline fit(const text::Corpus& train_source,
+                          const text::Corpus& train_target);
+
+  /// Translate by per-position argmax; output length = source length
+  /// clamped to the longest trained position.
+  text::Sentence translate(const text::Sentence& source) const;
+
+  /// Corpus BLEU of translations against references (the baseline's s(i,j)).
+  text::BleuBreakdown score(const text::Corpus& source,
+                            const text::Corpus& reference,
+                            const text::BleuOptions& options = {}) const;
+
+  /// Longest sentence position seen during training.
+  std::size_t max_position() const { return per_position_.size(); }
+
+ private:
+  struct PositionModel {
+    /// source word -> (target word -> count)
+    std::map<std::string, std::map<std::string, std::size_t>> conditional;
+    /// marginal target counts (fallback for unseen source words)
+    std::map<std::string, std::size_t> marginal;
+  };
+
+  static const std::string* argmax(
+      const std::map<std::string, std::size_t>& counts);
+
+  std::vector<PositionModel> per_position_;
+};
+
+}  // namespace desmine::nmt

@@ -1,0 +1,41 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+Adam::Adam(ParamRegistry& registry, AdamConfig config)
+    : registry_(registry), config_(config) {
+  DESMINE_EXPECTS(config.lr > 0.0f, "learning rate must be positive");
+  m_.reserve(registry.params().size());
+  v_.reserve(registry.params().size());
+  for (const Param* p : registry.params()) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const auto lr_t = static_cast<float>(config_.lr * std::sqrt(bc2) / bc1);
+
+  auto& params = registry_.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float* value = params[i]->value.data();
+    const float* grad = params[i]->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::size_t n = params[i]->value.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      m[k] = config_.beta1 * m[k] + (1.0f - config_.beta1) * grad[k];
+      v[k] = config_.beta2 * v[k] + (1.0f - config_.beta2) * grad[k] * grad[k];
+      value[k] -= lr_t * m[k] / (std::sqrt(v[k]) + config_.eps);
+    }
+  }
+}
+
+}  // namespace desmine::nn

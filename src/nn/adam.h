@@ -1,0 +1,39 @@
+// Adam optimizer (Kingma & Ba 2015) over a ParamRegistry.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace desmine::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// Owns first/second-moment slots matching the registry's parameter order.
+/// The registry must not change after construction.
+class Adam {
+ public:
+  explicit Adam(ParamRegistry& registry, AdamConfig config = {});
+
+  /// Apply one update using the gradients currently stored in the params,
+  /// then leave the gradients untouched (caller decides when to zero them).
+  void step();
+
+  std::size_t steps_taken() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  ParamRegistry& registry_;
+  AdamConfig config_;
+  std::size_t t_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+}  // namespace desmine::nn

@@ -1,0 +1,230 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+LuongAttention::LuongAttention(const std::string& name, std::size_t hidden,
+                               util::Rng& rng, float init_scale,
+                               AttentionScore score)
+    : hidden_(hidden),
+      score_(score),
+      wa_(name + ".Wa", hidden, hidden),
+      wc_(name + ".Wc", 2 * hidden, hidden) {
+  DESMINE_EXPECTS(hidden > 0, "attention hidden must be > 0");
+  wa_.value.init_uniform(rng, init_scale);
+  wc_.value.init_uniform(rng, init_scale);
+}
+
+void LuongAttention::begin(const std::vector<tensor::Matrix>* encoder_outputs,
+                           std::size_t batch) {
+  DESMINE_EXPECTS(encoder_outputs != nullptr && !encoder_outputs->empty(),
+                  "attention needs encoder outputs");
+  enc_ = encoder_outputs;
+  batch_ = batch;
+  transformed_.clear();
+  transformed_.reserve(enc_->size());
+  for (const auto& e : *enc_) {
+    DESMINE_EXPECTS(e.rows() == batch && e.cols() == hidden_,
+                    "encoder output shape");
+    if (score_ == AttentionScore::kGeneral) {
+      tensor::Matrix t(batch, hidden_);
+      tensor::matmul(e, wa_.value, t);
+      transformed_.push_back(std::move(t));
+    } else {
+      transformed_.push_back(e);  // dot score: transformed == encoder output
+    }
+  }
+  d_encoder_.assign(enc_->size(), tensor::Matrix(batch, hidden_));
+  steps_.clear();
+  backward_cursor_ = 0;
+}
+
+tensor::Matrix LuongAttention::step(const tensor::Matrix& h_dec) {
+  DESMINE_EXPECTS(enc_ != nullptr, "begin() not called");
+  DESMINE_EXPECTS(h_dec.rows() == batch_ && h_dec.cols() == hidden_,
+                  "h_dec shape");
+  const std::size_t S = enc_->size();
+
+  StepCache cache;
+  cache.h_dec = h_dec;
+
+  // Scores: score(b, s) = <h_dec[b], (enc[s] Wa)[b]>.
+  cache.align = tensor::Matrix(batch_, S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& tr = transformed_[s];
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const float* hd = h_dec.row(b);
+      const float* tv = tr.row(b);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < hidden_; ++k) dot += hd[k] * tv[k];
+      cache.align(b, s) = dot;
+    }
+  }
+  tensor::softmax_rows(cache.align);
+
+  // Context vector and [context; h_dec] concat.
+  cache.concat = tensor::Matrix(batch_, 2 * hidden_);
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& e = (*enc_)[s];
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const float w = cache.align(b, s);
+      if (w == 0.0f) continue;
+      float* ctx = cache.concat.row(b);
+      const float* ev = e.row(b);
+      for (std::size_t k = 0; k < hidden_; ++k) ctx[k] += w * ev[k];
+    }
+  }
+  for (std::size_t b = 0; b < batch_; ++b) {
+    float* dst = cache.concat.row(b) + hidden_;
+    const float* hd = h_dec.row(b);
+    for (std::size_t k = 0; k < hidden_; ++k) dst[k] = hd[k];
+  }
+
+  cache.attn = tensor::Matrix(batch_, hidden_);
+  tensor::matmul(cache.concat, wc_.value, cache.attn);
+  cache.attn.apply([](float v) { return std::tanh(v); });
+
+  steps_.push_back(std::move(cache));
+  backward_cursor_ = steps_.size();
+  return steps_.back().attn;
+}
+
+const tensor::Matrix& LuongAttention::alignment(std::size_t t) const {
+  DESMINE_EXPECTS(t < steps_.size(), "alignment step out of range");
+  return steps_[t].align;
+}
+
+tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
+  DESMINE_EXPECTS(backward_cursor_ > 0, "no forward step left to backprop");
+  const StepCache& cache = steps_[--backward_cursor_];
+  const std::size_t S = enc_->size();
+
+  // Through tanh.
+  tensor::Matrix dpre = d_attn;
+  for (std::size_t idx = 0; idx < dpre.size(); ++idx) {
+    const float a = cache.attn.data()[idx];
+    dpre.data()[idx] *= (1.0f - a * a);
+  }
+
+  // Through the combine layer: attn_pre = concat * Wc.
+  tensor::matmul_transA_accum(cache.concat, dpre, wc_.grad);
+  tensor::Matrix dconcat(batch_, 2 * hidden_);
+  tensor::matmul_transB_accum(dpre, wc_.value, dconcat);
+
+  // Split into dcontext (first H) and dh_dec (second H).
+  tensor::Matrix dh_dec(batch_, hidden_);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* src = dconcat.row(b) + hidden_;
+    float* dst = dh_dec.row(b);
+    for (std::size_t k = 0; k < hidden_; ++k) dst[k] = src[k];
+  }
+
+  // dalign(b,s) = <dcontext[b], enc[s][b]>; denc[s][b] += align(b,s) dcontext[b].
+  tensor::Matrix dalign(batch_, S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& e = (*enc_)[s];
+    tensor::Matrix& de = d_encoder_[s];
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const float* dctx = dconcat.row(b);
+      const float* ev = e.row(b);
+      float* dev = de.row(b);
+      const float w = cache.align(b, s);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        dot += dctx[k] * ev[k];
+        dev[k] += w * dctx[k];
+      }
+      dalign(b, s) = dot;
+    }
+  }
+
+  // Softmax backward: dscore = align ⊙ (dalign - <align, dalign>).
+  tensor::Matrix dscore(batch_, S);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    float inner = 0.0f;
+    for (std::size_t s = 0; s < S; ++s) {
+      inner += cache.align(b, s) * dalign(b, s);
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      dscore(b, s) = cache.align(b, s) * (dalign(b, s) - inner);
+    }
+  }
+
+  // Through the score: score(b,s) = <h_dec[b], transformed[s][b]>.
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& tr = transformed_[s];
+    const tensor::Matrix& e = (*enc_)[s];
+    tensor::Matrix& de = d_encoder_[s];
+    tensor::Matrix dtr(batch_, hidden_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const float ds = dscore(b, s);
+      if (ds == 0.0f) continue;
+      const float* hd = cache.h_dec.row(b);
+      const float* tv = tr.row(b);
+      float* dhd = dh_dec.row(b);
+      float* dtv = dtr.row(b);
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        dhd[k] += ds * tv[k];
+        dtv[k] = ds * hd[k];
+      }
+    }
+    if (score_ == AttentionScore::kGeneral) {
+      // transformed[s] = enc[s] * Wa:
+      //   dWa += enc[s]^T dtr; denc[s] += dtr Wa^T.
+      tensor::matmul_transA_accum(e, dtr, wa_.grad);
+      tensor::matmul_transB_accum(dtr, wa_.value, de);
+    } else {
+      de += dtr;  // dot score: transformed == enc
+    }
+  }
+
+  return dh_dec;
+}
+
+tensor::Matrix LuongAttention::infer(const tensor::Matrix& h_dec) const {
+  DESMINE_EXPECTS(enc_ != nullptr, "begin() not called");
+  const std::size_t B = h_dec.rows();
+  DESMINE_EXPECTS(h_dec.cols() == hidden_, "h_dec shape");
+  DESMINE_EXPECTS(B == batch_, "infer batch must match begin()");
+  const std::size_t S = enc_->size();
+
+  tensor::Matrix align(B, S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& tr = transformed_[s];
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* hd = h_dec.row(b);
+      const float* tv = tr.row(b);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < hidden_; ++k) dot += hd[k] * tv[k];
+      align(b, s) = dot;
+    }
+  }
+  tensor::softmax_rows(align);
+
+  tensor::Matrix concat(B, 2 * hidden_);
+  for (std::size_t s = 0; s < S; ++s) {
+    const tensor::Matrix& e = (*enc_)[s];
+    for (std::size_t b = 0; b < B; ++b) {
+      const float w = align(b, s);
+      if (w == 0.0f) continue;
+      float* ctx = concat.row(b);
+      const float* ev = e.row(b);
+      for (std::size_t k = 0; k < hidden_; ++k) ctx[k] += w * ev[k];
+    }
+  }
+  for (std::size_t b = 0; b < B; ++b) {
+    float* dst = concat.row(b) + hidden_;
+    const float* hd = h_dec.row(b);
+    for (std::size_t k = 0; k < hidden_; ++k) dst[k] = hd[k];
+  }
+
+  tensor::Matrix attn(B, hidden_);
+  tensor::matmul(concat, wc_.value, attn);
+  attn.apply([](float v) { return std::tanh(v); });
+  return attn;
+}
+
+}  // namespace desmine::nn

@@ -1,0 +1,90 @@
+// Luong-style "general" attention (Effective Approaches to Attention-based
+// NMT, Luong et al. 2015 — reference [23] of the paper).
+//
+// score(h_dec, h_enc) = h_dec^T (Wa h_enc); alignment = softmax over source
+// positions; context = alignment-weighted sum of encoder outputs; the
+// attentional hidden state is h~ = tanh(Wc [context; h_dec]).
+//
+// The module is driven per decoder step (forward) and then in exact reverse
+// order (backward_step), mirroring how the decoder interleaves it with the
+// LSTM stack. Gradients w.r.t. the encoder outputs accumulate across steps
+// and are handed back once at the end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace desmine::nn {
+
+/// Luong scoring function variants. kGeneral is the paper's default;
+/// kDot drops Wa entirely (score = <h_dec, h_enc>), trading a parameter
+/// matrix for speed (ablated in bench_ablation_nmt_settings).
+enum class AttentionScore { kGeneral, kDot };
+
+class LuongAttention {
+ public:
+  LuongAttention(const std::string& name, std::size_t hidden, util::Rng& rng,
+                 float init_scale = 0.1f,
+                 AttentionScore score = AttentionScore::kGeneral);
+
+  /// Bind the encoder outputs (one (batch x H) matrix per source position)
+  /// for the coming decode. The pointed-to vector must outlive the sequence.
+  void begin(const std::vector<tensor::Matrix>* encoder_outputs,
+             std::size_t batch);
+
+  /// One decoder step: consume the decoder top hidden state, return the
+  /// attentional hidden state h~ (batch x H).
+  tensor::Matrix step(const tensor::Matrix& h_dec);
+
+  /// Alignment weights of forward step t (batch x src_len); for inspection.
+  const tensor::Matrix& alignment(std::size_t t) const;
+
+  /// Backward for the most recent un-backpropagated step (call in reverse
+  /// step order). Takes dL/dh~ and returns dL/dh_dec. Parameter gradients
+  /// accumulate; encoder-output gradients accumulate into encoder_grads().
+  tensor::Matrix backward_step(const tensor::Matrix& d_attn);
+
+  /// Accumulated dL/d encoder_outputs, valid after all backward_step calls.
+  const std::vector<tensor::Matrix>& encoder_grads() const {
+    return d_encoder_;
+  }
+
+  /// Inference-only step: compute h~ for a decoder hidden state without
+  /// recording a cache entry (beam search runs many hypotheses against one
+  /// begin()-bound encoding). Does not interact with backward_step.
+  tensor::Matrix infer(const tensor::Matrix& h_dec) const;
+
+  void register_params(ParamRegistry& reg) {
+    if (score_ == AttentionScore::kGeneral) reg.add(&wa_);
+    reg.add(&wc_);
+  }
+
+  std::size_t hidden() const { return hidden_; }
+  AttentionScore score_type() const { return score_; }
+
+ private:
+  struct StepCache {
+    tensor::Matrix h_dec;   ///< (batch x H)
+    tensor::Matrix align;   ///< (batch x S)
+    tensor::Matrix concat;  ///< [context; h_dec] (batch x 2H)
+    tensor::Matrix attn;    ///< h~ (batch x H)
+  };
+
+  std::size_t hidden_;
+  AttentionScore score_;
+  Param wa_;  ///< (H x H) for the "general" score (unused for kDot)
+  Param wc_;  ///< (2H x H) combine layer
+
+  const std::vector<tensor::Matrix>* enc_ = nullptr;
+  std::vector<tensor::Matrix> transformed_;  ///< enc[s] * Wa, cached
+  std::vector<tensor::Matrix> d_encoder_;
+  std::vector<StepCache> steps_;
+  std::size_t backward_cursor_ = 0;  ///< steps remaining to backprop
+  std::size_t batch_ = 0;
+};
+
+}  // namespace desmine::nn

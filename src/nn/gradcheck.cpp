@@ -1,0 +1,54 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+GradCheckReport gradient_check(ParamRegistry& registry,
+                               const std::function<double(bool)>& loss_fn,
+                               std::size_t probes_per_param, double epsilon) {
+  registry.zero_grad();
+  (void)loss_fn(true);  // fill analytic gradients
+
+  // Snapshot analytic gradients before finite differencing mutates values.
+  std::vector<tensor::Matrix> analytic;
+  analytic.reserve(registry.params().size());
+  for (const Param* p : registry.params()) analytic.push_back(p->grad);
+
+  GradCheckReport report;
+  for (std::size_t pi = 0; pi < registry.params().size(); ++pi) {
+    Param* p = registry.params()[pi];
+    const std::size_t n = p->value.size();
+    // Probe evenly spaced entries so both early and late rows are covered.
+    const std::size_t probes = std::min(probes_per_param, n);
+    for (std::size_t q = 0; q < probes; ++q) {
+      const std::size_t k = (n * q + n / 2) / std::max<std::size_t>(probes, 1);
+      const std::size_t idx = std::min(k, n - 1);
+      const float original = p->value.data()[idx];
+
+      p->value.data()[idx] = original + static_cast<float>(epsilon);
+      const double loss_plus = loss_fn(false);
+      p->value.data()[idx] = original - static_cast<float>(epsilon);
+      const double loss_minus = loss_fn(false);
+      p->value.data()[idx] = original;
+
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      const double exact = analytic[pi].data()[idx];
+      const double scale =
+          std::max({std::abs(numeric), std::abs(exact), 1e-4});
+      const double rel = std::abs(numeric - exact) / scale;
+      ++report.checked;
+      if (rel > report.max_rel_error) {
+        report.max_rel_error = rel;
+        report.worst_param = p->name;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace desmine::nn

@@ -1,0 +1,30 @@
+// Numerical gradient checking — the property test that keeps the manual
+// backprop honest.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/param.h"
+
+namespace desmine::nn {
+
+struct GradCheckReport {
+  std::size_t checked = 0;       ///< number of scalar parameters probed
+  double max_rel_error = 0.0;    ///< worst relative error seen
+  std::string worst_param;       ///< parameter holding the worst error
+};
+
+/// Compare analytic gradients against central finite differences.
+///
+/// `loss_fn` must (1) be deterministic, (2) recompute the forward pass from
+/// the registry's current parameter values, and (3) when `accumulate` is
+/// true, run backward and fill the parameter gradients. The checker first
+/// calls loss_fn(true) to obtain analytic gradients, then perturbs up to
+/// `probes_per_param` entries of each parameter by ±epsilon and compares.
+GradCheckReport gradient_check(ParamRegistry& registry,
+                               const std::function<double(bool)>& loss_fn,
+                               std::size_t probes_per_param = 4,
+                               double epsilon = 1e-3);
+
+}  // namespace desmine::nn

@@ -1,0 +1,43 @@
+#include "nn/linear.h"
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out,
+               util::Rng& rng, bool with_bias, float init_scale)
+    : weight_(name + ".W", in, out),
+      bias_(name + ".b", 1, out),
+      with_bias_(with_bias) {
+  DESMINE_EXPECTS(in > 0 && out > 0, "linear dims must be > 0");
+  weight_.value.init_uniform(rng, init_scale);
+}
+
+tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
+  DESMINE_EXPECTS(x.cols() == in_dim(), "linear input dim mismatch");
+  tensor::Matrix y(x.rows(), out_dim());
+  tensor::matmul(x, weight_.value, y);
+  if (with_bias_) tensor::add_row_bias(y, bias_.value);
+  return y;
+}
+
+tensor::Matrix Linear::backward(const tensor::Matrix& x,
+                                const tensor::Matrix& grad_out) {
+  DESMINE_EXPECTS(grad_out.rows() == x.rows() && grad_out.cols() == out_dim(),
+                  "linear backward shape");
+  // dW += x^T * dy
+  tensor::matmul_transA_accum(x, grad_out, weight_.grad);
+  if (with_bias_) {
+    float* bg = bias_.grad.row(0);
+    for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+      const float* g = grad_out.row(r);
+      for (std::size_t c = 0; c < out_dim(); ++c) bg[c] += g[c];
+    }
+  }
+  // dx = dy * W^T
+  tensor::Matrix grad_in(x.rows(), in_dim());
+  tensor::matmul_transB_accum(grad_out, weight_.value, grad_in);
+  return grad_in;
+}
+
+}  // namespace desmine::nn

@@ -1,0 +1,43 @@
+// Fully connected layer with manual backward.
+#pragma once
+
+#include "nn/param.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace desmine::nn {
+
+/// y = x W + b, with x: (batch x in), W: (in x out), b: (1 x out).
+///
+/// The layer is stateless across calls: backward takes the saved input, so a
+/// single Linear can be applied at many timesteps and back-propagated per
+/// step (gradients accumulate into the shared parameters).
+class Linear {
+ public:
+  Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
+         bool with_bias = true, float init_scale = 0.1f);
+
+  tensor::Matrix forward(const tensor::Matrix& x) const;
+
+  /// Given dL/dy and the forward input, accumulate parameter gradients and
+  /// return dL/dx.
+  tensor::Matrix backward(const tensor::Matrix& x,
+                          const tensor::Matrix& grad_out);
+
+  void register_params(ParamRegistry& reg) {
+    reg.add(&weight_);
+    if (with_bias_) reg.add(&bias_);
+  }
+
+  std::size_t in_dim() const { return weight_.value.rows(); }
+  std::size_t out_dim() const { return weight_.value.cols(); }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  Param weight_;
+  Param bias_;
+  bool with_bias_;
+};
+
+}  // namespace desmine::nn

@@ -1,0 +1,58 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+XentResult softmax_xent(const tensor::Matrix& logits,
+                        const std::vector<std::int32_t>& targets,
+                        tensor::Matrix& dlogits, float grad_scale) {
+  DESMINE_EXPECTS(targets.size() == logits.rows(),
+                  "one target per logits row");
+  const std::size_t V = logits.cols();
+  dlogits = tensor::Matrix(logits.rows(), V);
+
+  XentResult result;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::int32_t target = targets[r];
+    if (target < 0) continue;  // padded position
+    DESMINE_EXPECTS(static_cast<std::size_t>(target) < V, "target id range");
+
+    const float* row = logits.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < V; ++c) mx = std::max(mx, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < V; ++c) denom += std::exp(row[c] - mx);
+    const double log_denom = std::log(denom);
+
+    result.loss_sum += -(row[static_cast<std::size_t>(target)] - mx - log_denom);
+    ++result.token_count;
+
+    float* drow = dlogits.row(r);
+    for (std::size_t c = 0; c < V; ++c) {
+      const auto p =
+          static_cast<float>(std::exp(row[c] - mx - log_denom));
+      drow[c] = grad_scale * p;
+    }
+    drow[static_cast<std::size_t>(target)] -= grad_scale;
+  }
+  return result;
+}
+
+std::vector<std::int32_t> argmax_rows(const tensor::Matrix& logits) {
+  std::vector<std::int32_t> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace desmine::nn

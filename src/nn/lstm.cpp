@@ -1,0 +1,298 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace desmine::nn {
+
+namespace {
+
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
+                     std::size_t hidden_dim, std::size_t num_layers,
+                     util::Rng& rng, float dropout, float init_scale)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim), dropout_(dropout) {
+  DESMINE_EXPECTS(input_dim > 0 && hidden_dim > 0 && num_layers > 0,
+                  "lstm dims must be > 0");
+  DESMINE_EXPECTS(dropout >= 0.0f && dropout < 1.0f, "dropout in [0,1)");
+  layers_.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const std::size_t in = (l == 0) ? input_dim : hidden_dim;
+    Layer layer{
+        Param(name + ".l" + std::to_string(l) + ".Wx", in, 4 * hidden_dim),
+        Param(name + ".l" + std::to_string(l) + ".Wh", hidden_dim,
+              4 * hidden_dim),
+        Param(name + ".l" + std::to_string(l) + ".b", 1, 4 * hidden_dim)};
+    layer.wx.value.init_uniform(rng, init_scale);
+    layer.wh.value.init_uniform(rng, init_scale);
+    // Forget-gate bias starts at 1 so early training does not flush memory.
+    for (std::size_t cidx = hidden_dim; cidx < 2 * hidden_dim; ++cidx) {
+      layer.b.value(0, cidx) = 1.0f;
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void LstmStack::begin(std::size_t batch, const LstmState* init, bool train,
+                      util::Rng* dropout_rng) {
+  DESMINE_EXPECTS(batch > 0, "lstm batch must be > 0");
+  batch_ = batch;
+  train_ = train;
+  dropout_rng_ = dropout_rng;
+  if (train_ && dropout_ > 0.0f) {
+    DESMINE_EXPECTS(dropout_rng_ != nullptr,
+                    "training with dropout needs an rng");
+  }
+  caches_.clear();
+  state0_.h.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  state0_.c.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  if (init != nullptr && !init->empty()) {
+    DESMINE_EXPECTS(init->h.size() == layers_.size(), "init state layer count");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      DESMINE_EXPECTS(init->h[l].rows() == batch &&
+                          init->h[l].cols() == hidden_dim_,
+                      "init state shape");
+      state0_.h[l] = init->h[l];
+      state0_.c[l] = init->c[l];
+    }
+  }
+}
+
+void LstmStack::step_layer(std::size_t l, const tensor::Matrix& input,
+                           const tensor::Matrix& h_prev,
+                           const tensor::Matrix& c_prev, LayerCache& cache) {
+  const std::size_t H = hidden_dim_;
+  tensor::Matrix z(batch_, 4 * H);
+  tensor::matmul_accum(input, layers_[l].wx.value, z);
+  tensor::matmul_accum(h_prev, layers_[l].wh.value, z);
+  tensor::add_row_bias(z, layers_[l].b.value);
+
+  cache.i = tensor::Matrix(batch_, H);
+  cache.f = tensor::Matrix(batch_, H);
+  cache.g = tensor::Matrix(batch_, H);
+  cache.o = tensor::Matrix(batch_, H);
+  cache.c = tensor::Matrix(batch_, H);
+  cache.tanh_c = tensor::Matrix(batch_, H);
+  cache.h = tensor::Matrix(batch_, H);
+
+  for (std::size_t r = 0; r < batch_; ++r) {
+    const float* zr = z.row(r);
+    const float* cp = c_prev.row(r);
+    float* ir = cache.i.row(r);
+    float* fr = cache.f.row(r);
+    float* gr = cache.g.row(r);
+    float* orow = cache.o.row(r);
+    float* cr = cache.c.row(r);
+    float* tcr = cache.tanh_c.row(r);
+    float* hr = cache.h.row(r);
+    for (std::size_t k = 0; k < H; ++k) {
+      ir[k] = sigmoidf(zr[k]);
+      fr[k] = sigmoidf(zr[H + k]);
+      gr[k] = std::tanh(zr[2 * H + k]);
+      orow[k] = sigmoidf(zr[3 * H + k]);
+      cr[k] = fr[k] * cp[k] + ir[k] * gr[k];
+      tcr[k] = std::tanh(cr[k]);
+      hr[k] = orow[k] * tcr[k];
+    }
+  }
+}
+
+const tensor::Matrix& LstmStack::step(const tensor::Matrix& x_t) {
+  DESMINE_EXPECTS(x_t.rows() == batch_ && x_t.cols() == input_dim_,
+                  "lstm step input shape");
+  const std::size_t t = caches_.size();
+  caches_.emplace_back(layers_.size());
+  StepCache& sc = caches_.back();
+
+  const tensor::Matrix* layer_in = &x_t;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    LayerCache& lc = sc[l];
+    // Inverted dropout on the layer's (non-recurrent) input.
+    lc.input = *layer_in;
+    if (train_ && dropout_ > 0.0f) {
+      lc.mask = tensor::Matrix(lc.input.rows(), lc.input.cols());
+      const float keep = 1.0f - dropout_;
+      for (std::size_t idx = 0; idx < lc.mask.size(); ++idx) {
+        lc.mask.data()[idx] = dropout_rng_->bernoulli(keep) ? 1.0f / keep : 0.0f;
+      }
+      lc.input.hadamard(lc.mask);
+    }
+    const tensor::Matrix& h_prev =
+        (t == 0) ? state0_.h[l] : caches_[t - 1][l].h;
+    const tensor::Matrix& c_prev =
+        (t == 0) ? state0_.c[l] : caches_[t - 1][l].c;
+    step_layer(l, lc.input, h_prev, c_prev, lc);
+    layer_in = &lc.h;
+  }
+  return sc.back().h;
+}
+
+LstmState LstmStack::state() const {
+  DESMINE_EXPECTS(!caches_.empty() || !state0_.empty(), "no state yet");
+  LstmState s;
+  if (caches_.empty()) return state0_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    s.h.push_back(caches_.back()[l].h);
+    s.c.push_back(caches_.back()[l].c);
+  }
+  return s;
+}
+
+const tensor::Matrix& LstmStack::output(std::size_t t) const {
+  DESMINE_EXPECTS(t < caches_.size(), "output step out of range");
+  return caches_[t].back().h;
+}
+
+LstmStack::BackwardResult LstmStack::backward(
+    const std::vector<tensor::Matrix>& dh_top, const LstmState* dfinal) {
+  const std::size_t T = caches_.size();
+  const std::size_t L = layers_.size();
+  const std::size_t H = hidden_dim_;
+  DESMINE_EXPECTS(dh_top.size() == T, "dh_top must cover every step");
+
+  BackwardResult result;
+  result.dx.assign(T, tensor::Matrix());
+
+  // Running gradients flowing backward through time, per layer.
+  std::vector<tensor::Matrix> dh_next(L, tensor::Matrix(batch_, H));
+  std::vector<tensor::Matrix> dc_next(L, tensor::Matrix(batch_, H));
+  if (dfinal != nullptr && !dfinal->empty()) {
+    DESMINE_EXPECTS(dfinal->h.size() == L, "dfinal layer count");
+    for (std::size_t l = 0; l < L; ++l) {
+      dh_next[l] += dfinal->h[l];
+      dc_next[l] += dfinal->c[l];
+    }
+  }
+
+  tensor::Matrix dz(batch_, 4 * H);
+  for (std::size_t ti = T; ti-- > 0;) {
+    // Gradient flowing into lower layers from the layer above at this step.
+    tensor::Matrix d_from_above;
+    for (std::size_t l = L; l-- > 0;) {
+      const LayerCache& lc = caches_[ti][l];
+      tensor::Matrix dh = std::move(dh_next[l]);
+      if (l == L - 1 && dh_top[ti].rows() > 0) dh += dh_top[ti];
+      if (l < L - 1 && d_from_above.rows() > 0) dh += d_from_above;
+      tensor::Matrix dc = std::move(dc_next[l]);
+
+      const tensor::Matrix& c_prev =
+          (ti == 0) ? state0_.c[l] : caches_[ti - 1][l].c;
+
+      // Gate gradients -> fused dz in [i f g o] layout.
+      for (std::size_t r = 0; r < batch_; ++r) {
+        const float* dhr = dh.row(r);
+        float* dcr = dc.row(r);
+        const float* ir = lc.i.row(r);
+        const float* fr = lc.f.row(r);
+        const float* gr = lc.g.row(r);
+        const float* orow = lc.o.row(r);
+        const float* tcr = lc.tanh_c.row(r);
+        const float* cpr = c_prev.row(r);
+        float* dzr = dz.row(r);
+        for (std::size_t k = 0; k < H; ++k) {
+          const float do_ = dhr[k] * tcr[k];
+          dcr[k] += dhr[k] * orow[k] * (1.0f - tcr[k] * tcr[k]);
+          const float di = dcr[k] * gr[k];
+          const float df = dcr[k] * cpr[k];
+          const float dg = dcr[k] * ir[k];
+          dzr[k] = di * ir[k] * (1.0f - ir[k]);
+          dzr[H + k] = df * fr[k] * (1.0f - fr[k]);
+          dzr[2 * H + k] = dg * (1.0f - gr[k] * gr[k]);
+          dzr[3 * H + k] = do_ * orow[k] * (1.0f - orow[k]);
+          // Cell gradient for the previous timestep.
+          dcr[k] *= fr[k];
+        }
+      }
+      dc_next[l] = std::move(dc);
+
+      // Parameter gradients.
+      tensor::matmul_transA_accum(lc.input, dz, layers_[l].wx.grad);
+      const tensor::Matrix& h_prev =
+          (ti == 0) ? state0_.h[l] : caches_[ti - 1][l].h;
+      tensor::matmul_transA_accum(h_prev, dz, layers_[l].wh.grad);
+      {
+        float* bg = layers_[l].b.grad.row(0);
+        for (std::size_t r = 0; r < batch_; ++r) {
+          const float* dzr = dz.row(r);
+          for (std::size_t k = 0; k < 4 * H; ++k) bg[k] += dzr[k];
+        }
+      }
+
+      // Gradient to previous hidden state.
+      tensor::Matrix dh_prev(batch_, H);
+      tensor::matmul_transB_accum(dz, layers_[l].wh.value, dh_prev);
+      dh_next[l] = std::move(dh_prev);
+
+      // Gradient to the layer input (dropout mask re-applied).
+      tensor::Matrix din(batch_, lc.input.cols());
+      tensor::matmul_transB_accum(dz, layers_[l].wx.value, din);
+      if (lc.mask.rows() > 0) din.hadamard(lc.mask);
+      if (l == 0) {
+        result.dx[ti] = std::move(din);
+      } else {
+        d_from_above = std::move(din);
+      }
+    }
+  }
+
+  result.dstate0.h = std::move(dh_next);
+  result.dstate0.c = std::move(dc_next);
+  return result;
+}
+
+LstmState LstmStack::zero_state(std::size_t batch) const {
+  LstmState s;
+  s.h.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  s.c.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  return s;
+}
+
+tensor::Matrix LstmStack::infer_step(const tensor::Matrix& x_t,
+                                     LstmState& state) const {
+  DESMINE_EXPECTS(x_t.cols() == input_dim_, "infer_step input dim");
+  DESMINE_EXPECTS(state.h.size() == layers_.size(), "infer_step state layers");
+  const std::size_t B = x_t.rows();
+  const std::size_t H = hidden_dim_;
+
+  tensor::Matrix layer_in = x_t;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    DESMINE_EXPECTS(state.h[l].rows() == B && state.h[l].cols() == H,
+                    "infer_step state shape");
+    tensor::Matrix z(B, 4 * H);
+    tensor::matmul_accum(layer_in, layers_[l].wx.value, z);
+    tensor::matmul_accum(state.h[l], layers_[l].wh.value, z);
+    tensor::add_row_bias(z, layers_[l].b.value);
+
+    tensor::Matrix h(B, H);
+    for (std::size_t r = 0; r < B; ++r) {
+      const float* zr = z.row(r);
+      float* cr = state.c[l].row(r);
+      float* hr = h.row(r);
+      for (std::size_t k = 0; k < H; ++k) {
+        const float i = sigmoidf(zr[k]);
+        const float f = sigmoidf(zr[H + k]);
+        const float g = std::tanh(zr[2 * H + k]);
+        const float o = sigmoidf(zr[3 * H + k]);
+        cr[k] = f * cr[k] + i * g;
+        hr[k] = o * std::tanh(cr[k]);
+      }
+    }
+    state.h[l] = h;
+    layer_in = std::move(h);
+  }
+  return layer_in;
+}
+
+void LstmStack::register_params(ParamRegistry& reg) {
+  for (auto& layer : layers_) {
+    reg.add(&layer.wx);
+    reg.add(&layer.wh);
+    reg.add(&layer.b);
+  }
+}
+
+}  // namespace desmine::nn

@@ -1,0 +1,119 @@
+// Multi-layer LSTM with explicit backpropagation through time.
+//
+// The stack is driven step by step (the seq2seq decoder must interleave
+// attention between steps), caching all activations; backward() then runs
+// full BPTT given per-step gradients on the top-layer outputs. Gates are
+// fused into one (dim x 4H) matmul per layer per step in [i f g o] order.
+// Dropout (inverted) is applied to each layer's input during training, i.e.
+// to the non-recurrent connections, following Luong et al.'s setup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace desmine::nn {
+
+/// Hidden/cell state of every layer; each matrix is (batch x hidden).
+struct LstmState {
+  std::vector<tensor::Matrix> h;
+  std::vector<tensor::Matrix> c;
+
+  bool empty() const { return h.empty(); }
+};
+
+class LstmStack {
+ public:
+  LstmStack(const std::string& name, std::size_t input_dim,
+            std::size_t hidden_dim, std::size_t num_layers, util::Rng& rng,
+            float dropout = 0.0f, float init_scale = 0.1f);
+
+  /// Reset caches and set the initial state (zero state if `init` is empty).
+  /// `train` enables dropout; `dropout_rng` must outlive the sequence when
+  /// training with dropout > 0.
+  void begin(std::size_t batch, const LstmState* init = nullptr,
+             bool train = false, util::Rng* dropout_rng = nullptr);
+
+  /// Advance one timestep with input (batch x input_dim); returns the
+  /// top-layer hidden output (batch x hidden).
+  const tensor::Matrix& step(const tensor::Matrix& x_t);
+
+  /// Number of steps taken since begin().
+  std::size_t steps() const { return caches_.size(); }
+
+  /// Current (last-step) state of all layers.
+  LstmState state() const;
+
+  /// Top-layer hidden output at step t (valid after step()).
+  const tensor::Matrix& output(std::size_t t) const;
+
+  struct BackwardResult {
+    /// Gradient w.r.t. the input of each step.
+    std::vector<tensor::Matrix> dx;
+    /// Gradient w.r.t. the initial state passed to begin().
+    LstmState dstate0;
+  };
+
+  /// Run BPTT. `dh_top[t]` is dL/d output(t); pass an empty matrix (0x0) for
+  /// steps without a loss term. `dfinal`, if non-null, adds gradient on the
+  /// final state (used when the encoder's last state seeds the decoder).
+  /// Parameter gradients accumulate into the registry's Params.
+  BackwardResult backward(const std::vector<tensor::Matrix>& dh_top,
+                          const LstmState* dfinal = nullptr);
+
+  /// Stateless inference step: advance `state` by one timestep for input
+  /// `x_t` without touching the training caches (no dropout, no backward).
+  /// Used by beam search, where many hypotheses each carry their own state.
+  /// Returns the top-layer hidden output. `state` must have this stack's
+  /// layer count and a batch matching x_t.
+  tensor::Matrix infer_step(const tensor::Matrix& x_t, LstmState& state) const;
+
+  /// Zero state for a given batch size (for seeding infer_step loops).
+  LstmState zero_state(std::size_t batch) const;
+
+  void register_params(ParamRegistry& reg);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  float dropout() const { return dropout_; }
+
+ private:
+  struct Layer {
+    Param wx;  ///< (layer_input_dim x 4H)
+    Param wh;  ///< (H x 4H)
+    Param b;   ///< (1 x 4H)
+  };
+
+  /// Everything one backward step needs, for one layer at one timestep.
+  struct LayerCache {
+    tensor::Matrix input;     ///< layer input after dropout (batch x in)
+    tensor::Matrix mask;      ///< dropout mask (empty when not training)
+    tensor::Matrix i, f, g, o;  ///< post-activation gates (batch x H)
+    tensor::Matrix c;         ///< new cell state
+    tensor::Matrix tanh_c;    ///< tanh(c)
+    tensor::Matrix h;         ///< new hidden state
+  };
+  using StepCache = std::vector<LayerCache>;  // one entry per layer
+
+  void step_layer(std::size_t l, const tensor::Matrix& input,
+                  const tensor::Matrix& h_prev, const tensor::Matrix& c_prev,
+                  LayerCache& cache);
+
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  float dropout_;
+  std::vector<Layer> layers_;
+
+  // Per-sequence scratch (reset by begin()).
+  std::size_t batch_ = 0;
+  bool train_ = false;
+  util::Rng* dropout_rng_ = nullptr;
+  LstmState state0_;
+  std::vector<StepCache> caches_;
+};
+
+}  // namespace desmine::nn

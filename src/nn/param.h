@@ -1,0 +1,60 @@
+// Trainable parameters and the registry optimizers iterate over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace desmine::nn {
+
+/// One trainable tensor: value plus accumulated gradient of equal shape.
+struct Param {
+  Param() = default;
+  Param(std::string name, std::size_t rows, std::size_t cols)
+      : name(std::move(name)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+
+  std::string name;
+  tensor::Matrix value;
+  tensor::Matrix grad;
+};
+
+/// Non-owning list of a model's parameters, in a stable order.
+///
+/// Layers register their Params once at construction; the optimizer and the
+/// gradient checker walk the same list, so parameter order is identical
+/// between them (required for reproducibility).
+class ParamRegistry {
+ public:
+  void add(Param* p) { params_.push_back(p); }
+  void add_all(const ParamRegistry& other) {
+    params_.insert(params_.end(), other.params_.begin(), other.params_.end());
+  }
+
+  std::vector<Param*>& params() { return params_; }
+  const std::vector<Param*>& params() const { return params_; }
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+  /// Total number of scalar parameters.
+  std::size_t scalar_count() const {
+    std::size_t n = 0;
+    for (const Param* p : params_) n += p->value.size();
+    return n;
+  }
+
+  /// Global L2 norm of all gradients.
+  double grad_norm() const;
+
+  /// Scale all gradients so the global norm is at most `max_norm`.
+  void clip_grad_norm(double max_norm);
+
+ private:
+  std::vector<Param*> params_;
+};
+
+}  // namespace desmine::nn

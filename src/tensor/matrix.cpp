@@ -1,0 +1,199 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace desmine::tensor {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  DESMINE_EXPECTS(!rows.empty(), "from_rows needs at least one row");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    DESMINE_EXPECTS(rows[r].size() == m.cols_, "ragged rows in from_rows");
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::init_uniform(util::Rng& rng, float scale) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.uniform(-scale, scale));
+  }
+}
+
+void Matrix::init_normal(util::Rng& rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  DESMINE_EXPECTS(same_shape(other), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  DESMINE_EXPECTS(same_shape(other), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::hadamard(const Matrix& other) {
+  DESMINE_EXPECTS(same_shape(other), "shape mismatch in hadamard");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+void Matrix::apply(const std::function<float(float)>& f) {
+  for (float& v : data_) v = f(v);
+}
+
+float Matrix::sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Matrix::squared_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  return os.str();
+}
+
+namespace {
+
+void check_matmul_shapes(std::size_t am, std::size_t ak, std::size_t bk,
+                         std::size_t bn, const Matrix& out) {
+  DESMINE_EXPECTS(ak == bk, "inner dimensions must agree");
+  DESMINE_EXPECTS(out.rows() == am && out.cols() == bn,
+                  "output shape mismatch");
+}
+
+}  // namespace
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  out.zero();
+  matmul_accum(a, b, out);
+}
+
+// i-k-j loop order keeps B and out accesses sequential, which the compiler
+// auto-vectorizes well; good enough for the hidden sizes desmine uses (<=256).
+void matmul_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_shapes(a.rows(), a.cols(), b.rows(), b.cols(), out);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_transA_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_shapes(a.cols(), a.rows(), b.rows(), b.cols(), out);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_transB_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_matmul_shapes(a.rows(), a.cols(), b.cols(), b.rows(), out);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      orow[j] += dot;
+    }
+  }
+}
+
+void add_row_bias(Matrix& m, const Matrix& bias) {
+  DESMINE_EXPECTS(bias.rows() == 1 && bias.cols() == m.cols(),
+                  "bias must be 1 x cols");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    const float* b = bias.row(0);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  DESMINE_EXPECTS(x.same_shape(y), "axpy shape mismatch");
+  const float* xs = x.data();
+  float* ys = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : ", [");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) os << ", ";
+      os << m(r, c);
+    }
+    os << "]";
+  }
+  return os << "]";
+}
+
+}  // namespace desmine::tensor

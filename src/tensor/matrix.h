@@ -1,0 +1,125 @@
+// Row-major single-precision matrix kernel.
+//
+// This is the numeric substrate for desmine::nn. It deliberately stays small:
+// dense f32 storage, a cache-blocked GEMM with transpose variants, and the
+// elementwise helpers the LSTM/attention layers need. Vectors are 1xN or Nx1
+// matrices; there is no broadcasting beyond the row-bias helper.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace desmine::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, float value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Build from nested initializer data (row major). Rows must be equal
+  /// length.
+  static Matrix from_rows(const std::vector<std::vector<float>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    DESMINE_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    DESMINE_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot loops.
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Uniform init in [-scale, scale] (classic NMT init).
+  void init_uniform(util::Rng& rng, float scale);
+  /// Gaussian init with the given stddev.
+  void init_normal(util::Rng& rng, float stddev);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  /// Elementwise (Hadamard) product into this.
+  Matrix& hadamard(const Matrix& other);
+
+  /// Apply f to every element in place.
+  void apply(const std::function<float(float)>& f);
+
+  /// Sum of all elements.
+  float sum() const;
+  /// Sum of squared elements (for gradient-norm clipping).
+  double squared_norm() const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = A * B. Shapes: (m x k) * (k x n) -> (m x n). `out` is overwritten
+/// and may not alias A or B.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += A * B.
+void matmul_accum(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+void matmul_transA_accum(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void matmul_transB_accum(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Add a 1 x cols bias row to every row of m.
+void add_row_bias(Matrix& m, const Matrix& bias);
+
+/// y += alpha * x (flat AXPY over equal-shaped matrices).
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Row-wise softmax in place.
+void softmax_rows(Matrix& m);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace desmine::tensor

@@ -1,0 +1,113 @@
+#include "text/bleu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "util/error.h"
+
+namespace desmine::text {
+
+namespace {
+
+/// Count n-grams of one order in a sentence. N-grams are keyed by joining
+/// tokens with '\x1f' (a separator that cannot occur in sensor words).
+std::map<std::string, std::size_t> ngram_counts(const Sentence& sentence,
+                                                std::size_t order) {
+  std::map<std::string, std::size_t> counts;
+  if (sentence.size() < order) return counts;
+  for (std::size_t i = 0; i + order <= sentence.size(); ++i) {
+    std::string key = sentence[i];
+    for (std::size_t k = 1; k < order; ++k) {
+      key += '\x1f';
+      key += sentence[i + k];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+}  // namespace
+
+BleuBreakdown corpus_bleu(const Corpus& candidates, const Corpus& references,
+                          const BleuOptions& options) {
+  DESMINE_EXPECTS(candidates.size() == references.size(),
+                  "candidate/reference corpora must align");
+  DESMINE_EXPECTS(options.max_order >= 1, "max_order >= 1");
+
+  BleuBreakdown out;
+  out.precisions.assign(options.max_order, 0.0);
+  if (candidates.empty()) return out;
+
+  std::vector<std::size_t> matched(options.max_order, 0);
+  std::vector<std::size_t> total(options.max_order, 0);
+
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    const Sentence& cand = candidates[s];
+    const Sentence& ref = references[s];
+    out.candidate_length += cand.size();
+    out.reference_length += ref.size();
+
+    for (std::size_t order = 1; order <= options.max_order; ++order) {
+      const auto cand_counts = ngram_counts(cand, order);
+      const auto ref_counts = ngram_counts(ref, order);
+      for (const auto& [gram, count] : cand_counts) {
+        total[order - 1] += count;
+        const auto it = ref_counts.find(gram);
+        if (it != ref_counts.end()) {
+          // Modified precision: clip by the reference count.
+          matched[order - 1] += std::min(count, it->second);
+        }
+      }
+    }
+  }
+
+  double log_precision_sum = 0.0;
+  for (std::size_t order = 0; order < options.max_order; ++order) {
+    double num = static_cast<double>(matched[order]);
+    double den = static_cast<double>(total[order]);
+    if (options.smooth && (num == 0.0 || den == 0.0)) {
+      num += 1.0;
+      den += 1.0;
+    }
+    if (num == 0.0 || den == 0.0) {
+      // Unsmoothed zero precision: BLEU is exactly 0.
+      out.precisions[order] = 0.0;
+      out.score = 0.0;
+      out.brevity_penalty =
+          out.candidate_length >= out.reference_length
+              ? 1.0
+              : std::exp(1.0 - static_cast<double>(out.reference_length) /
+                                   std::max<double>(1.0, static_cast<double>(
+                                                             out.candidate_length)));
+      return out;
+    }
+    out.precisions[order] = num / den;
+    log_precision_sum += std::log(num / den);
+  }
+
+  const double geo_mean =
+      std::exp(log_precision_sum / static_cast<double>(options.max_order));
+
+  if (out.candidate_length >= out.reference_length) {
+    out.brevity_penalty = 1.0;
+  } else if (out.candidate_length == 0) {
+    out.brevity_penalty = 0.0;
+  } else {
+    out.brevity_penalty =
+        std::exp(1.0 - static_cast<double>(out.reference_length) /
+                           static_cast<double>(out.candidate_length));
+  }
+
+  out.score = 100.0 * geo_mean * out.brevity_penalty;
+  return out;
+}
+
+BleuBreakdown sentence_bleu(const Sentence& candidate,
+                            const Sentence& reference,
+                            const BleuOptions& options) {
+  return corpus_bleu({candidate}, {reference}, options);
+}
+
+}  // namespace desmine::text

@@ -1,0 +1,83 @@
+#include "text/chrf.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "util/error.h"
+
+namespace desmine::text {
+
+namespace {
+
+std::string flatten(const Sentence& sentence) {
+  // Standard chrF ignores whitespace: words concatenate directly.
+  std::string out;
+  for (const std::string& word : sentence) out += word;
+  return out;
+}
+
+std::map<std::string, std::size_t> char_ngrams(const std::string& chars,
+                                               std::size_t order) {
+  std::map<std::string, std::size_t> counts;
+  if (chars.size() < order) return counts;
+  for (std::size_t i = 0; i + order <= chars.size(); ++i) {
+    ++counts[chars.substr(i, order)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+ChrfBreakdown corpus_chrf(const Corpus& candidates, const Corpus& references,
+                          const ChrfOptions& options) {
+  DESMINE_EXPECTS(candidates.size() == references.size(),
+                  "candidate/reference corpora must align");
+  DESMINE_EXPECTS(options.max_order >= 1, "max_order >= 1");
+  DESMINE_EXPECTS(options.beta > 0.0, "beta must be positive");
+
+  ChrfBreakdown out;
+  if (candidates.empty()) return out;
+
+  double precision_sum = 0.0, recall_sum = 0.0;
+  std::size_t orders_counted = 0;
+  for (std::size_t order = 1; order <= options.max_order; ++order) {
+    std::size_t matched = 0, cand_total = 0, ref_total = 0;
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+      const auto cand = char_ngrams(flatten(candidates[s]), order);
+      const auto ref = char_ngrams(flatten(references[s]), order);
+      for (const auto& [gram, count] : cand) {
+        cand_total += count;
+        const auto it = ref.find(gram);
+        if (it != ref.end()) matched += std::min(count, it->second);
+      }
+      for (const auto& [gram, count] : ref) ref_total += count;
+    }
+    if (cand_total == 0 && ref_total == 0) continue;  // order too long
+    ++orders_counted;
+    precision_sum += cand_total == 0 ? 0.0
+                                     : static_cast<double>(matched) /
+                                           static_cast<double>(cand_total);
+    recall_sum += ref_total == 0 ? 0.0
+                                 : static_cast<double>(matched) /
+                                       static_cast<double>(ref_total);
+  }
+  if (orders_counted == 0) return out;
+
+  out.precision = precision_sum / static_cast<double>(orders_counted);
+  out.recall = recall_sum / static_cast<double>(orders_counted);
+  const double b2 = options.beta * options.beta;
+  const double denom = b2 * out.precision + out.recall;
+  out.score = denom == 0.0
+                  ? 0.0
+                  : 100.0 * (1.0 + b2) * out.precision * out.recall / denom;
+  return out;
+}
+
+ChrfBreakdown sentence_chrf(const Sentence& candidate,
+                            const Sentence& reference,
+                            const ChrfOptions& options) {
+  return corpus_chrf({candidate}, {reference}, options);
+}
+
+}  // namespace desmine::text

@@ -1,0 +1,40 @@
+// chrF — character n-gram F-score (Popović, WMT 2015).
+//
+// An alternative translation-quality metric to BLEU. For sensor languages it
+// is interesting because words are themselves character windows: chrF sees
+// partial word matches (one flipped state inside a 10-char word) that BLEU's
+// exact word n-grams score as complete misses, making it a gentler
+// relationship metric. Offered alongside BLEU for experimentation; the
+// paper's pipeline uses BLEU.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace desmine::text {
+
+struct ChrfOptions {
+  std::size_t max_order = 6;  ///< character n-gram orders 1..max_order
+  double beta = 2.0;          ///< recall weight (chrF2 default)
+};
+
+struct ChrfBreakdown {
+  double score = 0.0;  ///< 0..100
+  double precision = 0.0;  ///< mean char n-gram precision, 0..1
+  double recall = 0.0;     ///< mean char n-gram recall, 0..1
+};
+
+/// Corpus-level chrF between aligned candidate/reference sentence lists.
+/// Sentences are flattened to character streams with a separator between
+/// words. Empty corpora score 0.
+ChrfBreakdown corpus_chrf(const Corpus& candidates, const Corpus& references,
+                          const ChrfOptions& options = {});
+
+/// Sentence-level chrF (a corpus of one).
+ChrfBreakdown sentence_chrf(const Sentence& candidate,
+                            const Sentence& reference,
+                            const ChrfOptions& options = {});
+
+}  // namespace desmine::text

@@ -1,0 +1,60 @@
+// Error handling primitives shared across desmine.
+//
+// The library follows the C++ Core Guidelines convention of throwing on
+// contract violations at API boundaries (I.5/I.6): callers get a typed
+// exception carrying the failed condition and location instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace desmine {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a desmine bug, not a caller bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown for runtime failures (I/O, numeric breakdown) the caller may retry.
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void fail_invariant(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + cond + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace desmine
+
+/// Validate a caller-supplied argument; throws PreconditionError on failure.
+#define DESMINE_EXPECTS(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::desmine::detail::fail_precondition(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Validate an internal invariant; throws InvariantError on failure.
+#define DESMINE_ENSURES(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::desmine::detail::fail_invariant(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)

@@ -1,0 +1,102 @@
+// Deterministic random number generation.
+//
+// Every stochastic desmine component takes an explicit seed and owns its own
+// Rng; there is no global generator, so pipelines are bitwise reproducible
+// and components can be re-seeded independently (e.g. one stream per sensor
+// pair when training NMT models in parallel).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/error.h"
+
+namespace desmine::util {
+
+/// Seeded pseudo-random generator with the distribution helpers desmine needs.
+///
+/// Wraps std::mt19937_64. Cheap to copy; copies continue the stream
+/// independently. `fork(tag)` derives an independent child stream, which is
+/// how parallel trainers obtain per-task seeds from one master seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derive a deterministic child generator from this generator's seed and a
+  /// caller-chosen tag. Does not advance this generator's stream.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    // SplitMix64 finalizer: decorrelates (seed, tag) pairs cheaply.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (tag + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    DESMINE_EXPECTS(lo <= hi, "uniform_int range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  std::size_t index(std::size_t n) {
+    DESMINE_EXPECTS(n > 0, "index needs non-empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Sample an index from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights) {
+    DESMINE_EXPECTS(!weights.empty(), "categorical needs weights");
+    return std::discrete_distribution<std::size_t>(weights.begin(),
+                                                   weights.end())(engine_);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    DESMINE_EXPECTS(k <= n, "cannot sample more than population");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    // Partial Fisher–Yates: only the first k slots need to be randomized.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + std::uniform_int_distribution<std::size_t>(0, n - 1 - i)(engine_);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace desmine::util

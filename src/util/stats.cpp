@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace desmine::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  DESMINE_EXPECTS(!xs.empty(), "percentile of empty sample");
+  DESMINE_EXPECTS(p >= 0.0 && p <= 100.0, "percentile p in [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Emit one point per distinct value, carrying the cumulative fraction of
+    // all samples <= that value.
+    if (i + 1 == xs.size() || xs[i + 1] != xs[i]) {
+      out.push_back({xs[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+double cdf_at(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs) count += (x <= threshold) ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo + (hi - lo) * static_cast<double>(b) /
+                  static_cast<double>(counts.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+double Histogram::fraction(std::size_t b) const {
+  const std::size_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(counts[b]) / static_cast<double>(t);
+}
+
+Histogram histogram(const std::vector<double>& xs, double lo, double hi,
+                    std::size_t bins) {
+  DESMINE_EXPECTS(bins > 0, "histogram needs at least one bin");
+  DESMINE_EXPECTS(lo < hi, "histogram range must be non-empty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto b = static_cast<long>(std::floor((x - lo) / width));
+    b = std::clamp(b, 0L, static_cast<long>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p25 = percentile(xs, 25);
+  s.median = percentile(xs, 50);
+  s.p75 = percentile(xs, 75);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " min=" << s.min << " p25=" << s.p25
+     << " median=" << s.median << " p75=" << s.p75 << " max=" << s.max
+     << " mean=" << s.mean << " sd=" << s.stddev;
+  return os.str();
+}
+
+}  // namespace desmine::util

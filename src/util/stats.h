@@ -1,0 +1,66 @@
+// Small descriptive-statistics toolkit used by the evaluation harness.
+//
+// The paper reports most results as CDFs, histograms and percentile summaries
+// (Figures 3, 4, 5, 10). These helpers compute exactly those artifacts so the
+// bench binaries can print paper-style series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace desmine::util {
+
+/// Mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; 0 for samples of size < 2.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF of a sample, one point per distinct value.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Fraction of samples <= threshold.
+double cdf_at(const std::vector<double>& xs, double threshold);
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal bins; values outside
+/// the range are clamped into the first/last bin.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  /// Inclusive lower edge of bin b.
+  double bin_lo(std::size_t b) const;
+  /// Exclusive upper edge of bin b.
+  double bin_hi(std::size_t b) const;
+  std::size_t total() const;
+  /// counts[b] / total, or 0 when empty.
+  double fraction(std::size_t b) const;
+};
+
+Histogram histogram(const std::vector<double>& xs, double lo, double hi,
+                    std::size_t bins);
+
+/// Five-number-style summary used in log lines.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0, p25 = 0.0, median = 0.0, p75 = 0.0, max = 0.0;
+  double mean = 0.0, stddev = 0.0;
+};
+
+Summary summarize(std::vector<double> xs);
+
+/// Render a summary as a single human-readable line.
+std::string to_string(const Summary& s);
+
+}  // namespace desmine::util

@@ -1,0 +1,196 @@
+// Tests for Algorithm 2 (anomaly detection): valid-model banding, broken
+// relationships, anomaly scores, alert matrices.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/anomaly.h"
+#include "core/mvr_graph.h"
+#include "nmt/translation.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dc = desmine::core;
+namespace dm = desmine::nmt;
+namespace dx = desmine::text;
+using desmine::util::Rng;
+
+namespace {
+
+/// Deterministic word-substitution corpora: target token mirrors the source
+/// token index-for-index.
+void make_corpus(std::size_t sentences, std::size_t length, dx::Corpus& src,
+                 dx::Corpus& tgt, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> sw = {"sa", "sb", "sc"};
+  const std::vector<std::string> tw = {"ta", "tb", "tc"};
+  for (std::size_t k = 0; k < sentences; ++k) {
+    dx::Sentence s, t;
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::size_t w = rng.index(sw.size());
+      s.push_back(sw[w]);
+      t.push_back(tw[w]);
+    }
+    src.push_back(s);
+    tgt.push_back(t);
+  }
+}
+
+std::shared_ptr<dm::TranslationModel> trained_model(const dx::Corpus& src,
+                                                    const dx::Corpus& tgt) {
+  dm::TranslationConfig cfg;
+  cfg.model.embedding_dim = 32;
+  cfg.model.hidden_dim = 32;
+  cfg.model.num_layers = 1;
+  cfg.model.dropout = 0.0f;
+  cfg.trainer.steps = 700;
+  cfg.trainer.batch_size = 12;
+  cfg.trainer.lr = 0.02f;
+  return std::make_shared<dm::TranslationModel>(
+      dm::train_translation_model(src, tgt, cfg, 321));
+}
+
+struct Fixture {
+  dc::MvrGraph graph{std::vector<std::string>{"src", "dst"}};
+  dx::Corpus train_src, train_tgt;
+  double dev_bleu = 0.0;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  make_corpus(96, 5, f.train_src, f.train_tgt, 1);
+  auto model = trained_model(f.train_src, f.train_tgt);
+
+  dx::Corpus dev_src, dev_tgt;
+  make_corpus(12, 5, dev_src, dev_tgt, 2);
+  f.dev_bleu = model->score(dev_src, dev_tgt).score;
+
+  dc::MvrEdge e;
+  e.src = 0;
+  e.dst = 1;
+  e.bleu = f.dev_bleu;
+  e.model = model;
+  f.graph.add_edge(e);
+  return f;
+}
+
+}  // namespace
+
+TEST(AnomalyDetector, ValidBandSelectsEdges) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig inside;
+  inside.valid_lo = f.dev_bleu - 1.0;
+  inside.valid_hi = f.dev_bleu + 1.0;
+  EXPECT_EQ(dc::AnomalyDetector(f.graph, inside).valid_model_count(), 1u);
+
+  dc::DetectorConfig outside;
+  outside.valid_lo = 0.0;
+  outside.valid_hi = 1.0;
+  EXPECT_EQ(dc::AnomalyDetector(f.graph, outside).valid_model_count(), 0u);
+}
+
+TEST(AnomalyDetector, EdgeWithoutModelInBandThrows) {
+  dc::MvrGraph g({"a", "b"});
+  dc::MvrEdge e;
+  e.src = 0;
+  e.dst = 1;
+  e.bleu = 85.0;  // in band, but no model attached
+  g.add_edge(e);
+  dc::DetectorConfig cfg;
+  EXPECT_THROW(dc::AnomalyDetector(g, cfg), desmine::PreconditionError);
+}
+
+TEST(AnomalyDetector, NormalWindowsScoreLowBrokenWindowsScoreHigh) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = f.dev_bleu - 5.0;
+  cfg.valid_hi = f.dev_bleu + 5.0;
+  cfg.tolerance = 5.0;  // allow per-sentence BLEU jitter around the dev mean
+  cfg.threads = 1;
+  const dc::AnomalyDetector detector(f.graph, cfg);
+
+  // Window 0: normal aligned pair. Window 1: target replaced by garbage —
+  // the relationship must break.
+  dx::Corpus win_src, win_tgt;
+  make_corpus(2, 5, win_src, win_tgt, 3);
+  win_tgt[1] = dx::Sentence(5, "tc");  // degenerate target
+  if (win_src[1] == dx::Sentence(5, "sc")) win_src[1][0] = "sa";
+
+  const auto result = detector.detect({win_src, win_tgt});
+  ASSERT_EQ(result.anomaly_scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.anomaly_scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.anomaly_scores[1], 1.0);
+  EXPECT_TRUE(result.broken_edges[0].empty());
+  ASSERT_EQ(result.broken_edges[1].size(), 1u);
+  EXPECT_EQ(result.broken_edges[1][0], 0u);
+}
+
+TEST(AnomalyDetector, EdgeBleuMatrixShape) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = 0.0;
+  cfg.valid_hi = 101.0;
+  cfg.threads = 1;
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  dx::Corpus src, tgt;
+  make_corpus(4, 5, src, tgt, 5);
+  const auto result = detector.detect({src, tgt});
+  ASSERT_EQ(result.edge_bleu.size(), 1u);
+  EXPECT_EQ(result.edge_bleu[0].size(), 4u);
+  for (double b : result.edge_bleu[0]) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 100.0);
+  }
+  // Result snapshots drop the model pointer (no accidental retention).
+  EXPECT_EQ(result.valid_edges[0].model, nullptr);
+}
+
+TEST(AnomalyDetector, ToleranceSuppressesMarginalBreaks) {
+  const Fixture f = make_fixture();
+  dx::Corpus src, tgt;
+  make_corpus(3, 5, src, tgt, 6);
+
+  dc::DetectorConfig strict;
+  strict.valid_lo = 0.0;
+  strict.valid_hi = 101.0;
+  strict.tolerance = 0.0;
+  strict.threads = 1;
+  const auto strict_result =
+      dc::AnomalyDetector(f.graph, strict).detect({src, tgt});
+
+  dc::DetectorConfig lenient = strict;
+  lenient.tolerance = 100.0;  // nothing can fall 100 BLEU below training
+  const auto lenient_result =
+      dc::AnomalyDetector(f.graph, lenient).detect({src, tgt});
+
+  double strict_sum = 0.0, lenient_sum = 0.0;
+  for (double s : strict_result.anomaly_scores) strict_sum += s;
+  for (double s : lenient_result.anomaly_scores) lenient_sum += s;
+  EXPECT_DOUBLE_EQ(lenient_sum, 0.0);
+  EXPECT_GE(strict_sum, lenient_sum);
+}
+
+TEST(AnomalyDetector, MisalignedTestCorporaThrow) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = 0.0;
+  cfg.valid_hi = 101.0;
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  dx::Corpus a, b;
+  make_corpus(3, 5, a, b, 7);
+  b.pop_back();
+  EXPECT_THROW(detector.detect({a, b}), desmine::PreconditionError);
+  EXPECT_THROW(detector.detect({}), desmine::PreconditionError);
+}
+
+TEST(AnomalyDetector, NoValidModelsGivesZeroScores) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = 0.0;
+  cfg.valid_hi = 0.5;  // excludes the only edge
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  dx::Corpus src, tgt;
+  make_corpus(2, 5, src, tgt, 8);
+  const auto result = detector.detect({src, tgt});
+  for (double s : result.anomaly_scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}

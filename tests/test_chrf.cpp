@@ -1,0 +1,70 @@
+// Tests for the chrF character n-gram F-score.
+#include <gtest/gtest.h>
+
+#include "text/chrf.h"
+#include "util/error.h"
+
+namespace dx = desmine::text;
+
+TEST(Chrf, IdentityScores100) {
+  const dx::Sentence s = {"abcde", "fghij", "klmno"};
+  const auto r = dx::sentence_chrf(s, s);
+  EXPECT_NEAR(r.score, 100.0, 1e-9);
+  EXPECT_NEAR(r.precision, 1.0, 1e-12);
+  EXPECT_NEAR(r.recall, 1.0, 1e-12);
+}
+
+TEST(Chrf, DisjointAlphabetsScoreZero) {
+  const dx::Sentence cand = {"aaaaa", "aaaaa"};
+  const dx::Sentence ref = {"bbbbb", "bbbbb"};
+  EXPECT_DOUBLE_EQ(dx::sentence_chrf(cand, ref).score, 0.0);
+}
+
+TEST(Chrf, PartialWordMatchScoresBetweenBounds) {
+  // One flipped character inside a 10-char word: BLEU-style exact word
+  // matching sees a total miss; chrF must credit the 9 shared characters.
+  const dx::Sentence ref = {"aaaaaaaaaa"};
+  const dx::Sentence cand = {"aaaaabaaaa"};
+  const auto r = dx::sentence_chrf(cand, ref);
+  EXPECT_GT(r.score, 30.0);
+  EXPECT_LT(r.score, 100.0);
+}
+
+TEST(Chrf, MoreOverlapScoresHigher) {
+  const dx::Sentence ref = {"abcabc", "defdef"};
+  const dx::Sentence close = {"abcabc", "defxef"};
+  const dx::Sentence far = {"abxxxc", "dxxxef"};
+  EXPECT_GT(dx::sentence_chrf(close, ref).score,
+            dx::sentence_chrf(far, ref).score);
+}
+
+TEST(Chrf, RecallWeightingPenalizesShortCandidates) {
+  // A too-short candidate has high precision but low recall; with beta=2
+  // (recall-heavy) its score must be lower than the full-length candidate's.
+  const dx::Sentence ref = {"abcdefgh", "ijklmnop"};
+  const dx::Sentence full = {"abcdefgh", "ijklmnxp"};
+  const dx::Sentence half = {"abcdefgh"};
+  // Pad the half candidate to align corpora sizes: compare as corpora of 1.
+  const auto full_score = dx::corpus_chrf({full}, {ref}).score;
+  const auto half_score = dx::corpus_chrf({half}, {ref}).score;
+  EXPECT_GT(full_score, half_score);
+}
+
+TEST(Chrf, BoundedAndValidated) {
+  const dx::Sentence a = {"abc"}, b = {"abd"};
+  const auto r = dx::sentence_chrf(a, b);
+  EXPECT_GE(r.score, 0.0);
+  EXPECT_LE(r.score, 100.0);
+  EXPECT_THROW(dx::corpus_chrf({{"a"}}, {}), desmine::PreconditionError);
+  dx::ChrfOptions bad;
+  bad.beta = 0.0;
+  EXPECT_THROW(dx::sentence_chrf(a, b, bad), desmine::PreconditionError);
+  EXPECT_DOUBLE_EQ(dx::corpus_chrf({}, {}).score, 0.0);
+}
+
+TEST(Chrf, ShortSentencesUseAvailableOrders) {
+  // 2-char strings have no 3..6-grams; the mean must use orders 1-2 only,
+  // not dilute with empty orders.
+  const dx::Sentence s = {"ab"};
+  EXPECT_NEAR(dx::sentence_chrf(s, s).score, 100.0, 1e-9);
+}

@@ -1,0 +1,81 @@
+// Tests for CSV event-series ingestion/egress.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "util/error.h"
+
+namespace di = desmine::io;
+namespace dc = desmine::core;
+
+TEST(Csv, ParsesBasicSeries) {
+  std::istringstream in("s1,s2\nON,idle\nOFF,busy\nON,idle\n");
+  const auto series = di::parse_series_csv(in);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "s1");
+  EXPECT_EQ(series[1].name, "s2");
+  EXPECT_EQ(dc::series_length(series), 3u);
+  EXPECT_EQ(series[0].events[1], "OFF");
+  EXPECT_EQ(series[1].events[2], "idle");
+}
+
+TEST(Csv, SkipsTimestampColumn) {
+  std::istringstream in(
+      "timestamp,s1\n2017-11-01T00:00,ON\n2017-11-01T00:01,OFF\n");
+  const auto series = di::parse_series_csv(in);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "s1");
+  EXPECT_EQ(series[0].events.size(), 2u);
+}
+
+TEST(Csv, HandlesQuotedFields) {
+  std::istringstream in(
+      "\"sensor, one\",s2\n\"status, 1\",\"say \"\"hi\"\"\"\n");
+  const auto series = di::parse_series_csv(in);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "sensor, one");
+  EXPECT_EQ(series[0].events[0], "status, 1");
+  EXPECT_EQ(series[1].events[0], "say \"hi\"");
+}
+
+TEST(Csv, SkipsBlankLinesAndCarriageReturns) {
+  std::istringstream in("s1\r\nON\r\n\r\nOFF\r\n");
+  const auto series = di::parse_series_csv(in);
+  EXPECT_EQ(series[0].events.size(), 2u);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::istringstream in("s1,s2\nON\n");
+  EXPECT_THROW(di::parse_series_csv(in), desmine::RuntimeError);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(di::parse_series_csv(empty), desmine::RuntimeError);
+  std::istringstream only_timestamp("timestamp\n1\n");
+  EXPECT_THROW(di::parse_series_csv(only_timestamp), desmine::RuntimeError);
+}
+
+TEST(Csv, RoundTrip) {
+  dc::MultivariateSeries series = {
+      {"a,b", {"x", "y,z", "w\"q\""}},
+      {"plain", {"1", "2", "3"}},
+  };
+  std::ostringstream out;
+  di::write_series_csv(out, series);
+  std::istringstream in(out.str());
+  const auto back = di::parse_series_csv(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "a,b");
+  EXPECT_EQ(back[0].events, series[0].events);
+  EXPECT_EQ(back[1].events, series[1].events);
+}
+
+TEST(Csv, FileIoErrors) {
+  EXPECT_THROW(di::read_series_csv("/nonexistent/dir/x.csv"),
+               desmine::RuntimeError);
+  EXPECT_THROW(
+      di::write_series_csv("/nonexistent/dir/x.csv", dc::MultivariateSeries{}),
+      desmine::RuntimeError);
+}

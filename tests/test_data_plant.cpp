@@ -1,0 +1,201 @@
+// Tests for the synthetic plant generator: published marginals (cardinality,
+// sampling), determinism, anomaly injection, component structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/encryption.h"
+#include "data/plant.h"
+#include "util/error.h"
+
+namespace dd = desmine::data;
+namespace dc = desmine::core;
+
+namespace {
+
+dd::PlantConfig small_config() {
+  dd::PlantConfig cfg;
+  cfg.num_components = 3;
+  cfg.sensors_per_component = 3;
+  cfg.num_popular = 1;
+  cfg.num_lazy = 1;
+  cfg.num_constant = 1;
+  cfg.days = 4;
+  cfg.minutes_per_day = 240;
+  cfg.anomalies = {{2, {0}}};
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(PlantGenerator, ShapeMatchesConfig) {
+  const auto cfg = small_config();
+  const auto ds = dd::generate_plant(cfg);
+  EXPECT_EQ(ds.series.size(), 3 * 3 + 1 + 1 + 1u);
+  EXPECT_EQ(dc::series_length(ds.series), cfg.days * cfg.minutes_per_day);
+  EXPECT_EQ(ds.component_of.size(), 9u);
+  EXPECT_EQ(ds.popular_names.size(), 1u);
+  EXPECT_EQ(ds.lazy_names.size(), 1u);
+  EXPECT_EQ(ds.constant_names.size(), 1u);
+}
+
+TEST(PlantGenerator, Deterministic) {
+  const auto a = dd::generate_plant(small_config());
+  const auto b = dd::generate_plant(small_config());
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    EXPECT_EQ(a.series[s].events, b.series[s].events) << a.series[s].name;
+  }
+}
+
+TEST(PlantGenerator, SeedChangesData) {
+  auto cfg = small_config();
+  const auto a = dd::generate_plant(cfg);
+  cfg.seed = 6;
+  const auto b = dd::generate_plant(cfg);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.series.size() && !any_diff; ++s) {
+    any_diff = a.series[s].events != b.series[s].events;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PlantGenerator, ConstantSensorsAreConstant) {
+  const auto ds = dd::generate_plant(small_config());
+  for (const auto& sensor : ds.series) {
+    const bool is_constant =
+        std::find(ds.constant_names.begin(), ds.constant_names.end(),
+                  sensor.name) != ds.constant_names.end();
+    if (is_constant) {
+      std::set<std::string> states(sensor.events.begin(),
+                                   sensor.events.end());
+      EXPECT_EQ(states.size(), 1u) << sensor.name;
+    }
+  }
+}
+
+TEST(PlantGenerator, EncryptionDropsExactlyConstantSensors) {
+  const auto ds = dd::generate_plant(small_config());
+  const auto enc = dc::SensorEncrypter::fit(ds.series);
+  EXPECT_EQ(enc.dropped_sensors().size(), ds.constant_names.size());
+}
+
+TEST(PlantGenerator, CardinalityMostlyBinary) {
+  dd::PlantConfig cfg;
+  cfg.num_components = 8;  // includes a multi-level component (c % 12 == 4)
+  cfg.sensors_per_component = 4;
+  cfg.days = 2;
+  cfg.minutes_per_day = 720;
+  cfg.anomalies = {};
+  const auto ds = dd::generate_plant(cfg);
+  const auto enc = dc::SensorEncrypter::fit(ds.series);
+
+  std::size_t binary = 0, total = 0, max_card = 0;
+  for (const auto& name : enc.kept_sensors()) {
+    const std::size_t card = enc.cardinality(name);
+    ++total;
+    binary += card == 2 ? 1 : 0;
+    max_card = std::max(max_card, card);
+  }
+  // Paper: 97.6% binary, max 7. Our generator: mostly binary, tail <= 7.
+  EXPECT_GT(static_cast<double>(binary) / total, 0.8);
+  EXPECT_LE(max_card, 7u);
+  EXPECT_GT(max_card, 2u);  // the multi-level component exists
+}
+
+TEST(PlantGenerator, AnomalyDayChangesDisturbedComponentOnly) {
+  auto cfg = small_config();
+  cfg.noise = 0.0;  // make the comparison exact
+  cfg.precursors = false;
+  const auto with = dd::generate_plant(cfg);
+  cfg.anomalies = {};
+  const auto without = dd::generate_plant(cfg);
+
+  const std::size_t day_start = 2 * cfg.minutes_per_day;
+  const std::size_t day_end = 3 * cfg.minutes_per_day;
+  for (std::size_t s = 0; s < with.series.size(); ++s) {
+    const auto& name = with.series[s].name;
+    bool differs = false;
+    for (std::size_t t = day_start; t < day_end; ++t) {
+      if (with.series[s].events[t] != without.series[s].events[t]) {
+        differs = true;
+        break;
+      }
+    }
+    const auto it = with.component_of.find(name);
+    if (it != with.component_of.end() && it->second == 0) {
+      EXPECT_TRUE(differs) << name << " should be disturbed";
+    } else {
+      EXPECT_FALSE(differs) << name << " should be untouched";
+    }
+  }
+}
+
+TEST(PlantGenerator, PrecursorDisturbsPrecedingEvening) {
+  auto cfg = small_config();
+  cfg.noise = 0.0;
+  cfg.precursors = true;
+  const auto with = dd::generate_plant(cfg);
+  cfg.anomalies = {};
+  const auto clean = dd::generate_plant(cfg);
+
+  // Last quarter of day 1 (preceding the day-2 anomaly) must differ for
+  // component 0.
+  const std::size_t pre_start = 2 * cfg.minutes_per_day - cfg.minutes_per_day / 4;
+  const std::size_t pre_end = 2 * cfg.minutes_per_day;
+  bool differs = false;
+  for (std::size_t s = 0; s < with.series.size() && !differs; ++s) {
+    const auto it = with.component_of.find(with.series[s].name);
+    if (it == with.component_of.end() || it->second != 0) continue;
+    for (std::size_t t = pre_start; t < pre_end; ++t) {
+      if (with.series[s].events[t] != clean.series[s].events[t]) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PlantGenerator, DaysSliceAndAnomalyLookup) {
+  const auto ds = dd::generate_plant(small_config());
+  const auto day2 = ds.days_slice(2, 1);
+  EXPECT_EQ(dc::series_length(day2), ds.minutes_per_day);
+  EXPECT_TRUE(ds.is_anomalous_day(2));
+  EXPECT_FALSE(ds.is_anomalous_day(0));
+}
+
+TEST(PlantGenerator, SystemWideAnomalyDisturbsAllComponents) {
+  auto cfg = small_config();
+  cfg.noise = 0.0;
+  cfg.precursors = false;
+  cfg.anomalies = {{2, {}}};  // empty = system-wide
+  const auto with = dd::generate_plant(cfg);
+  cfg.anomalies = {};
+  const auto clean = dd::generate_plant(cfg);
+
+  const std::size_t day_start = 2 * cfg.minutes_per_day;
+  const std::size_t day_end = 3 * cfg.minutes_per_day;
+  for (std::size_t s = 0; s < with.series.size(); ++s) {
+    const auto& name = with.series[s].name;
+    if (with.component_of.count(name) == 0) continue;  // lazy/const/popular
+    bool differs = false;
+    for (std::size_t t = day_start; t < day_end; ++t) {
+      if (with.series[s].events[t] != clean.series[s].events[t]) {
+        differs = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differs) << name;
+  }
+}
+
+TEST(PlantGenerator, InvalidConfigThrows) {
+  auto cfg = small_config();
+  cfg.anomalies = {{99, {}}};
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+  cfg = small_config();
+  cfg.anomalies = {{1, {7}}};
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+}

@@ -1,0 +1,200 @@
+// Tests for the synthetic SMART generator: feature catalog shape (§IV-B),
+// degradation behaviour, labeled-matrix layout, and discretizer plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/smart.h"
+#include "util/error.h"
+
+namespace dd = desmine::data;
+namespace dc = desmine::core;
+
+namespace {
+
+dd::SmartConfig small_config() {
+  dd::SmartConfig cfg;
+  cfg.num_drives = 20;
+  cfg.days = 60;
+  cfg.failure_fraction = 0.3;
+  cfg.degradation_days = 7;
+  cfg.failure_window_days = 20;
+  cfg.seed = 3;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SmartCatalog, PaperCounts) {
+  const auto& catalog = dd::smart_feature_catalog();
+  EXPECT_EQ(catalog.size(), 20u);  // 20 raw features (§IV-B)
+  std::size_t cumulative = 0, near_constant = 0;
+  for (const auto& f : catalog) {
+    cumulative += f.cumulative ? 1 : 0;
+    near_constant += f.near_constant ? 1 : 0;
+  }
+  EXPECT_EQ(cumulative, 14u);     // 14 differenced for the baselines
+  EXPECT_EQ(near_constant, 4u);   // 4 dropped by the framework (§IV-C)
+  // Table III's five key features must exist and be error counters.
+  for (int id : {5, 187, 192, 197, 198}) {
+    bool found = false;
+    for (const auto& f : catalog) {
+      if (f.id == id) {
+        EXPECT_TRUE(f.error_counter) << id;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << id;
+  }
+}
+
+TEST(SmartGenerator, DriveCountsAndFailures) {
+  const auto cfg = small_config();
+  const auto ds = dd::generate_smart(cfg);
+  EXPECT_EQ(ds.drives.size(), 20u);
+  std::size_t failed = 0;
+  for (const auto& d : ds.drives) failed += d.failed ? 1 : 0;
+  EXPECT_EQ(failed, 6u);  // 30% of 20
+}
+
+TEST(SmartGenerator, FailedDrivesTruncatedInFailureWindow) {
+  const auto cfg = small_config();
+  const auto ds = dd::generate_smart(cfg);
+  for (const auto& d : ds.drives) {
+    if (d.failed) {
+      EXPECT_EQ(d.failure_day, d.observed_days() - 1);
+      EXPECT_GE(d.observed_days(), cfg.days - cfg.failure_window_days + 1);
+      EXPECT_LE(d.observed_days(), cfg.days);
+    } else {
+      EXPECT_EQ(d.observed_days(), cfg.days);
+    }
+  }
+}
+
+TEST(SmartGenerator, Deterministic) {
+  const auto a = dd::generate_smart(small_config());
+  const auto b = dd::generate_smart(small_config());
+  for (std::size_t i = 0; i < a.drives.size(); ++i) {
+    EXPECT_EQ(a.drives[i].failed, b.drives[i].failed);
+    EXPECT_EQ(a.drives[i].abrupt, b.drives[i].abrupt);
+    EXPECT_EQ(a.drives[i].values.at(187), b.drives[i].values.at(187));
+  }
+}
+
+TEST(SmartGenerator, AbruptFailuresHaveNoWarning) {
+  auto cfg = small_config();
+  cfg.abrupt_failure_fraction = 1.0;  // every failure is silent
+  const auto ds = dd::generate_smart(cfg);
+  for (const auto& d : ds.drives) {
+    if (!d.failed) continue;
+    EXPECT_TRUE(d.abrupt);
+    // Error counters look healthy right up to the failure mark.
+    const auto& pending = d.values.at(197);
+    std::size_t nonzero = 0;
+    for (double v : pending) nonzero += v > 0 ? 1 : 0;
+    EXPECT_LT(static_cast<double>(nonzero) / pending.size(), 0.3) << d.serial;
+  }
+}
+
+TEST(SmartGenerator, ErrorCountersRampBeforeFailure) {
+  const auto ds = dd::generate_smart(small_config());
+  for (const auto& d : ds.drives) {
+    if (!d.failed || d.abrupt) continue;  // abrupt failures give no warning
+    const auto& pending = d.values.at(197);
+    const std::size_t last = d.observed_days() - 1;
+    const std::size_t early = d.observed_days() / 2;
+    EXPECT_GE(pending[last], pending[early]) << d.serial;
+    // At least one Table III error feature is nonzero at failure.
+    const double signal = d.values.at(197)[last] + d.values.at(187)[last] +
+                          d.values.at(5)[last] + d.values.at(192)[last];
+    EXPECT_GT(signal, 0.0) << d.serial;
+  }
+}
+
+TEST(SmartGenerator, HealthyDrivesStayMostlyClean) {
+  // smart_187 is cumulative; healthy drives should see *increments* only on
+  // rare hiccup days.
+  const auto ds = dd::generate_smart(small_config());
+  for (const auto& d : ds.drives) {
+    if (d.failed) continue;
+    const auto deltas = dc::first_difference(d.values.at(187));
+    std::size_t quiet_days = 0;
+    for (double v : deltas) quiet_days += v == 0.0 ? 1 : 0;
+    EXPECT_GT(static_cast<double>(quiet_days) / deltas.size(), 0.9)
+        << d.serial;
+  }
+}
+
+TEST(SmartGenerator, CumulativeFeaturesAreMonotone) {
+  const auto ds = dd::generate_smart(small_config());
+  for (const auto& d : ds.drives) {
+    for (int id : {9, 241, 193, 5, 187}) {
+      const auto& vals = d.values.at(id);
+      for (std::size_t t = 1; t < vals.size(); ++t) {
+        EXPECT_GE(vals[t], vals[t - 1]) << "feature " << id << " day " << t;
+      }
+    }
+  }
+}
+
+TEST(SmartGenerator, LabeledMatrixShape) {
+  const auto ds = dd::generate_smart(small_config());
+  const auto m = dd::to_labeled_matrix(ds);
+  EXPECT_EQ(m.column_names.size(), 34u);  // 20 raw + 14 diffs (§IV-B)
+  ASSERT_FALSE(m.rows.empty());
+  EXPECT_EQ(m.rows.front().size(), 34u);
+  EXPECT_EQ(m.rows.size(), m.labels.size());
+  EXPECT_EQ(m.rows.size(), m.drive_of_row.size());
+
+  // One positive label per failed drive, on its last day.
+  std::size_t positives = 0;
+  for (int l : m.labels) positives += l;
+  std::size_t failed = 0;
+  for (const auto& d : ds.drives) failed += d.failed ? 1 : 0;
+  EXPECT_EQ(positives, failed);
+}
+
+TEST(SmartGenerator, DiscretizersFollowPaperRules) {
+  const auto ds = dd::generate_smart(small_config());
+  const auto discs = dd::fit_discretizers(ds, 30);
+  // 16 features survive (20 - 4 near-constant), as in §IV-C.
+  EXPECT_EQ(discs.size(), 16u);
+  // Zero-inflated error counter -> binary (Fig. 10a).
+  EXPECT_EQ(discs.at(187).scheme(), dc::DiscretizationScheme::kBinary);
+  // Smooth age counter -> quantile (Fig. 10b).
+  EXPECT_EQ(discs.at(9).scheme(), dc::DiscretizationScheme::kQuantile);
+  EXPECT_EQ(discs.count(10), 0u);  // near-constant dropped
+}
+
+TEST(SmartGenerator, DriveToSeriesAlignsWithDiscretizers) {
+  const auto ds = dd::generate_smart(small_config());
+  const auto discs = dd::fit_discretizers(ds, 30);
+  const auto series = dd::drive_to_series(ds, ds.drives[0], discs);
+  EXPECT_EQ(series.size(), discs.size());
+  EXPECT_EQ(dc::series_length(series), ds.drives[0].observed_days());
+  // Binary features produce only the two binary labels.
+  for (const auto& sensor : series) {
+    if (sensor.name == "smart_187") {
+      std::set<std::string> states(sensor.events.begin(),
+                                   sensor.events.end());
+      for (const auto& s : states) {
+        EXPECT_TRUE(s == "zero" || s == "nonzero") << s;
+      }
+    }
+  }
+}
+
+TEST(SmartGenerator, UnknownFeatureThrows) {
+  const auto ds = dd::generate_smart(small_config());
+  EXPECT_THROW(ds.feature(9999), desmine::PreconditionError);
+  EXPECT_EQ(ds.feature(187).name, "Reported Uncorrectable Errors");
+}
+
+TEST(SmartGenerator, InvalidConfigThrows) {
+  auto cfg = small_config();
+  cfg.failure_window_days = cfg.days + 1;
+  EXPECT_THROW(dd::generate_smart(cfg), desmine::PreconditionError);
+  cfg = small_config();
+  cfg.num_drives = 0;
+  EXPECT_THROW(dd::generate_smart(cfg), desmine::PreconditionError);
+}

@@ -1,0 +1,127 @@
+// Tests for the classical dependence measures (NMI, Cramér's V, lag scan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dependence.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ml = desmine::ml;
+using desmine::core::EventSequence;
+using desmine::util::Rng;
+
+namespace {
+
+EventSequence random_binary(std::size_t n, Rng& rng) {
+  EventSequence out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rng.bernoulli(0.5) ? "ON" : "OFF");
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Contingency, CountsAndMargins) {
+  const EventSequence a = {"x", "x", "y", "y", "y"};
+  const EventSequence b = {"p", "q", "q", "q", "q"};
+  const ml::ContingencyTable t(a, b);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.total(), 5u);
+  // Labels are sorted: rows {x, y}, cols {p, q}.
+  EXPECT_EQ(t.count(0, 0), 1u);  // (x, p)
+  EXPECT_EQ(t.count(0, 1), 1u);  // (x, q)
+  EXPECT_EQ(t.count(1, 1), 3u);  // (y, q)
+  EXPECT_EQ(t.row_total(1), 3u);
+  EXPECT_EQ(t.col_total(1), 4u);
+  EXPECT_THROW(t.count(2, 0), desmine::PreconditionError);
+}
+
+TEST(Contingency, MisalignedThrows) {
+  EXPECT_THROW(ml::ContingencyTable({"a"}, {"b", "c"}),
+               desmine::PreconditionError);
+  EXPECT_THROW(ml::ContingencyTable({}, {}), desmine::PreconditionError);
+}
+
+TEST(Dependence, EntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(ml::entropy({"a", "a", "a"}), 0.0);
+  EXPECT_NEAR(ml::entropy({"a", "b", "a", "b"}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(ml::entropy({"a", "b", "c"}), std::log(3.0), 1e-12);
+}
+
+TEST(Dependence, NmiIdenticalSequencesIsOne) {
+  const EventSequence a = {"x", "y", "x", "y", "z", "x"};
+  EXPECT_NEAR(ml::normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Dependence, NmiBijectiveRelabelingIsOne) {
+  const EventSequence a = {"x", "y", "x", "y", "x"};
+  const EventSequence b = {"1", "2", "1", "2", "1"};
+  EXPECT_NEAR(ml::normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(Dependence, NmiIndependentNearZero) {
+  Rng rng(3);
+  const auto a = random_binary(4000, rng);
+  const auto b = random_binary(4000, rng);
+  EXPECT_LT(ml::normalized_mutual_information(a, b), 0.01);
+}
+
+TEST(Dependence, NmiConstantSequenceIsZero) {
+  const EventSequence constant(10, "c");
+  const EventSequence varied = {"a", "b", "a", "b", "a", "b", "a", "b", "a",
+                                "b"};
+  EXPECT_DOUBLE_EQ(ml::normalized_mutual_information(constant, varied), 0.0);
+  EXPECT_DOUBLE_EQ(ml::normalized_mutual_information(constant, constant), 0.0);
+}
+
+TEST(Dependence, NmiSymmetric) {
+  Rng rng(4);
+  const auto a = random_binary(500, rng);
+  EventSequence b = a;
+  for (std::size_t i = 0; i < b.size(); i += 7) b[i] = "NOISE";
+  EXPECT_NEAR(ml::normalized_mutual_information(a, b),
+              ml::normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST(Dependence, CramersVPerfectAssociationIsOne) {
+  const EventSequence a = {"x", "y", "x", "y", "x", "y"};
+  const EventSequence b = {"p", "q", "p", "q", "p", "q"};
+  EXPECT_NEAR(ml::cramers_v(ml::ContingencyTable(a, b)), 1.0, 1e-12);
+}
+
+TEST(Dependence, CramersVIndependentNearZero) {
+  Rng rng(5);
+  const auto a = random_binary(4000, rng);
+  const auto b = random_binary(4000, rng);
+  EXPECT_LT(ml::cramers_v(ml::ContingencyTable(a, b)), 0.05);
+}
+
+TEST(Dependence, CramersVDegenerateTableIsZero) {
+  const EventSequence constant(5, "c");
+  const EventSequence varied = {"a", "b", "a", "b", "a"};
+  EXPECT_DOUBLE_EQ(ml::cramers_v(ml::ContingencyTable(constant, varied)), 0.0);
+}
+
+TEST(Dependence, LagScanFindsTrueDelay) {
+  // b leads a by exactly 4 ticks.
+  Rng rng(6);
+  const auto b = random_binary(2000, rng);
+  EventSequence a(b.size(), "OFF");
+  for (std::size_t t = 4; t < b.size(); ++t) a[t] = b[t - 4];
+
+  EXPECT_LT(ml::lagged_nmi(a, b, 0), 0.1);
+  EXPECT_NEAR(ml::lagged_nmi(a, b, 4), 1.0, 1e-9);
+  const auto scan = ml::scan_lags(a, b, 10);
+  EXPECT_EQ(scan.best_lag, 4u);
+  EXPECT_GT(scan.best_nmi, 0.99);
+}
+
+TEST(Dependence, LagBoundsChecked) {
+  const EventSequence a = {"x", "y"};
+  EXPECT_THROW(ml::lagged_nmi(a, a, 2), desmine::PreconditionError);
+  EXPECT_THROW(ml::scan_lags(a, a, 5), desmine::PreconditionError);
+}

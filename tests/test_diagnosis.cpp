@@ -1,0 +1,126 @@
+// Tests for fault diagnosis: cluster extraction and broken-edge attribution.
+// Uses hand-built DetectionResults so no NMT training is needed.
+#include <gtest/gtest.h>
+
+#include "core/diagnosis.h"
+#include "core/mvr_graph.h"
+#include "util/error.h"
+
+namespace dc = desmine::core;
+
+namespace {
+
+/// Two 3-node clusters, densely connected inside, nothing across.
+dc::MvrGraph clustered_graph() {
+  dc::MvrGraph g({"a0", "a1", "a2", "b0", "b1", "b2"});
+  auto edge = [](std::size_t s, std::size_t d) {
+    dc::MvrEdge e;
+    e.src = s;
+    e.dst = d;
+    e.bleu = 85.0;
+    return e;
+  };
+  for (std::size_t base : {0u, 3u}) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (i != j) g.add_edge(edge(base + i, base + j));
+      }
+    }
+  }
+  return g;
+}
+
+/// Detection result over the same edges, with the given set broken at t=0.
+dc::DetectionResult detection_for(const dc::MvrGraph& g,
+                                  const std::vector<std::size_t>& broken) {
+  dc::DetectionResult r;
+  r.valid_edges = g.edges();
+  for (auto& e : r.valid_edges) e.model.reset();
+  r.anomaly_scores = {static_cast<double>(broken.size()) /
+                      static_cast<double>(r.valid_edges.size())};
+  r.broken_edges = {broken};
+  r.edge_bleu.assign(r.valid_edges.size(), {80.0});
+  return r;
+}
+
+}  // namespace
+
+TEST(FaultDiagnoser, FindsTwoClusters) {
+  const auto g = clustered_graph();
+  const dc::FaultDiagnoser diagnoser(g);
+  EXPECT_EQ(diagnoser.cluster_count(), 2u);
+  const auto& m = diagnoser.membership();
+  EXPECT_EQ(m[0], m[1]);
+  EXPECT_EQ(m[1], m[2]);
+  EXPECT_EQ(m[3], m[4]);
+  EXPECT_NE(m[0], m[3]);
+}
+
+TEST(FaultDiagnoser, LocalizesFaultToBrokenCluster) {
+  const auto g = clustered_graph();
+  const dc::FaultDiagnoser diagnoser(g);
+
+  // Break all six edges inside cluster A (indices 0..5 in edge order).
+  const auto result = detection_for(g, {0, 1, 2, 3, 4, 5});
+  const auto diag = diagnoser.diagnose(result, 0);
+
+  ASSERT_EQ(diag.clusters.size(), 2u);
+  ASSERT_EQ(diag.faulty.size(), 1u);
+  const auto& faulty = diag.clusters[diag.faulty[0]];
+  EXPECT_DOUBLE_EQ(faulty.broken_fraction(), 1.0);
+  // The faulty cluster is the one containing node 0.
+  EXPECT_NE(std::find(faulty.sensors.begin(), faulty.sensors.end(), 0u),
+            faulty.sensors.end());
+  EXPECT_NEAR(diag.overall_broken_fraction, 0.5, 1e-12);
+}
+
+TEST(FaultDiagnoser, SevereAnomalyFlagsAllClusters) {
+  const auto g = clustered_graph();
+  const dc::FaultDiagnoser diagnoser(g);
+  std::vector<std::size_t> all(g.edges().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto diag = diagnoser.diagnose(detection_for(g, all), 0);
+  EXPECT_EQ(diag.faulty.size(), 2u);
+  EXPECT_DOUBLE_EQ(diag.overall_broken_fraction, 1.0);
+}
+
+TEST(FaultDiagnoser, NoBreaksNoFaults) {
+  const auto g = clustered_graph();
+  const dc::FaultDiagnoser diagnoser(g);
+  const auto diag = diagnoser.diagnose(detection_for(g, {}), 0);
+  EXPECT_TRUE(diag.faulty.empty());
+  EXPECT_DOUBLE_EQ(diag.overall_broken_fraction, 0.0);
+}
+
+TEST(FaultDiagnoser, ThresholdControlsSensitivity) {
+  const auto g = clustered_graph();
+  // Break 2 of 6 edges in cluster A (fraction 1/3).
+  const auto result = detection_for(g, {0, 1});
+
+  dc::DiagnosisConfig strict;
+  strict.faulty_threshold = 0.5;
+  EXPECT_TRUE(dc::FaultDiagnoser(g, strict).diagnose(result, 0).faulty.empty());
+
+  dc::DiagnosisConfig loose;
+  loose.faulty_threshold = 0.25;
+  EXPECT_EQ(dc::FaultDiagnoser(g, loose).diagnose(result, 0).faulty.size(), 1u);
+}
+
+TEST(FaultDiagnoser, FaultySortedByBrokenFraction) {
+  const auto g = clustered_graph();
+  // Cluster A: 4/6 broken; cluster B: 6/6 broken.
+  const auto result = detection_for(g, {0, 1, 2, 3, 6, 7, 8, 9, 10, 11});
+  dc::DiagnosisConfig cfg;
+  cfg.faulty_threshold = 0.3;
+  const auto diag = dc::FaultDiagnoser(g, cfg).diagnose(result, 0);
+  ASSERT_EQ(diag.faulty.size(), 2u);
+  EXPECT_GE(diag.clusters[diag.faulty[0]].broken_fraction(),
+            diag.clusters[diag.faulty[1]].broken_fraction());
+}
+
+TEST(FaultDiagnoser, WindowOutOfRangeThrows) {
+  const auto g = clustered_graph();
+  const dc::FaultDiagnoser diagnoser(g);
+  const auto result = detection_for(g, {});
+  EXPECT_THROW(diagnoser.diagnose(result, 5), desmine::PreconditionError);
+}

@@ -1,0 +1,116 @@
+// Tests for the §IV-C discretization schemes (Fig. 10) and the cumulative
+// first-difference transform.
+#include <gtest/gtest.h>
+
+#include "core/discretize.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dc = desmine::core;
+using desmine::util::Rng;
+
+TEST(Discretize, SchemeChoiceFollowsZeroFraction) {
+  // 80% zeros -> binary (the error-counter case).
+  std::vector<double> zero_heavy = {0, 0, 0, 0, 0, 0, 0, 0, 3, 7};
+  EXPECT_EQ(dc::Discretizer::choose_scheme(zero_heavy),
+            dc::DiscretizationScheme::kBinary);
+  // Smooth positive values -> quantile.
+  std::vector<double> smooth = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(dc::Discretizer::choose_scheme(smooth),
+            dc::DiscretizationScheme::kQuantile);
+  EXPECT_THROW(dc::Discretizer::choose_scheme({}),
+               desmine::PreconditionError);
+}
+
+TEST(Discretize, BinaryScheme) {
+  const auto d = dc::Discretizer::fit({0, 0, 0, 1},
+                                      dc::DiscretizationScheme::kBinary);
+  EXPECT_EQ(d.discretize(0.0), "zero");
+  EXPECT_EQ(d.discretize(5.0), "nonzero");
+  EXPECT_EQ(d.discretize(-2.0), "nonzero");
+  EXPECT_TRUE(d.boundaries().empty());
+}
+
+TEST(Discretize, QuantileBoundariesAtPaperPercentiles) {
+  std::vector<double> train;
+  for (int i = 1; i <= 100; ++i) train.push_back(i);
+  const auto d =
+      dc::Discretizer::fit(train, dc::DiscretizationScheme::kQuantile);
+  ASSERT_EQ(d.boundaries().size(), 4u);  // 20th/40th/60th/80th
+  EXPECT_NEAR(d.boundaries()[0], 20.8, 0.5);
+  EXPECT_NEAR(d.boundaries()[3], 80.2, 0.5);
+}
+
+TEST(Discretize, QuantileMapsToFiveCategories) {
+  std::vector<double> train;
+  for (int i = 1; i <= 100; ++i) train.push_back(i);
+  const auto d =
+      dc::Discretizer::fit(train, dc::DiscretizationScheme::kQuantile);
+  EXPECT_EQ(d.discretize(1.0), "q0");
+  EXPECT_EQ(d.discretize(30.0), "q1");
+  EXPECT_EQ(d.discretize(50.0), "q2");
+  EXPECT_EQ(d.discretize(70.0), "q3");
+  EXPECT_EQ(d.discretize(99.0), "q4");
+  EXPECT_EQ(d.discretize(1e9), "q4");    // beyond training range
+  EXPECT_EQ(d.discretize(-1e9), "q0");
+}
+
+TEST(Discretize, QuantileIsMonotone) {
+  Rng rng(4);
+  std::vector<double> train;
+  for (int i = 0; i < 500; ++i) train.push_back(rng.normal(10, 5));
+  const auto d =
+      dc::Discretizer::fit(train, dc::DiscretizationScheme::kQuantile);
+  double prev = -1e18;
+  std::string prev_label = "q0";
+  for (double v = -10; v <= 30; v += 0.5) {
+    const std::string label = d.discretize(v);
+    EXPECT_GE(label, prev_label) << "non-monotone at " << v << " after "
+                                 << prev;
+    prev = v;
+    prev_label = label;
+  }
+}
+
+TEST(Discretize, QuantileBalancedOnTrainingData) {
+  Rng rng(5);
+  std::vector<double> train;
+  for (int i = 0; i < 2000; ++i) train.push_back(rng.uniform(0, 1));
+  const auto d = dc::Discretizer::fit_auto(train);
+  EXPECT_EQ(d.scheme(), dc::DiscretizationScheme::kQuantile);
+  std::map<std::string, int> counts;
+  for (double v : train) ++counts[d.discretize(v)];
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [label, count] : counts) {
+    EXPECT_NEAR(count / 2000.0, 0.2, 0.03) << label;
+  }
+}
+
+TEST(Discretize, ApplyProducesEventSequence) {
+  const auto d = dc::Discretizer::fit({0, 0, 0, 1},
+                                      dc::DiscretizationScheme::kBinary);
+  const auto seq = d.apply({0, 3, 0});
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0], "zero");
+  EXPECT_EQ(seq[1], "nonzero");
+}
+
+TEST(Discretize, DegenerateTrainingDistribution) {
+  // All-equal training values: quantile boundaries collapse; everything must
+  // still map to a single stable category.
+  const auto d =
+      dc::Discretizer::fit({5, 5, 5, 5}, dc::DiscretizationScheme::kQuantile);
+  EXPECT_EQ(d.discretize(5.0), d.discretize(5.0));
+  EXPECT_EQ(d.discretize(4.0), "q0");
+  EXPECT_EQ(d.discretize(6.0), "q4");
+}
+
+TEST(Discretize, FirstDifference) {
+  const auto diff = dc::first_difference({10, 12, 12, 20});
+  ASSERT_EQ(diff.size(), 4u);
+  EXPECT_DOUBLE_EQ(diff[0], 0.0);
+  EXPECT_DOUBLE_EQ(diff[1], 2.0);
+  EXPECT_DOUBLE_EQ(diff[2], 0.0);
+  EXPECT_DOUBLE_EQ(diff[3], 8.0);
+  EXPECT_TRUE(dc::first_difference({}).empty());
+}

@@ -1,0 +1,162 @@
+// End-to-end tests of the Framework facade on a small synthetic plant:
+// fit -> graph -> detect, plus corpus alignment plumbing.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "data/plant.h"
+#include "util/error.h"
+
+namespace dc = desmine::core;
+namespace dd = desmine::data;
+
+namespace {
+
+/// Small-but-real pipeline settings: tiny NMT models, short sentences.
+dc::FrameworkConfig fast_config() {
+  dc::FrameworkConfig cfg;
+  cfg.window.word_length = 5;
+  cfg.window.word_stride = 1;
+  cfg.window.sentence_length = 6;
+  cfg.window.sentence_stride = 6;
+
+  cfg.miner.translation.model.embedding_dim = 24;
+  cfg.miner.translation.model.hidden_dim = 24;
+  cfg.miner.translation.model.num_layers = 1;
+  cfg.miner.translation.model.dropout = 0.1f;
+  cfg.miner.translation.model.max_decode_length = 8;
+  cfg.miner.translation.trainer.steps = 300;
+  cfg.miner.translation.trainer.batch_size = 8;
+  cfg.miner.translation.trainer.lr = 0.02f;
+  cfg.miner.seed = 99;
+
+  cfg.detector.valid_lo = 0.0;  // all models valid in the small test
+  cfg.detector.valid_hi = 100.5;
+  cfg.detector.tolerance = 10.0;
+  return cfg;
+}
+
+dd::PlantConfig plant_config() {
+  dd::PlantConfig cfg;
+  cfg.num_components = 2;
+  cfg.sensors_per_component = 2;
+  cfg.num_popular = 0;
+  cfg.num_lazy = 0;
+  cfg.num_constant = 1;
+  cfg.days = 6;
+  cfg.minutes_per_day = 240;
+  cfg.anomalies = {{5, {0}}};
+  cfg.precursors = false;
+  cfg.noise = 0.004;
+  cfg.seed = 123;
+  return cfg;
+}
+
+struct Pipeline {
+  dd::PlantDataset plant;
+  dc::Framework framework;
+
+  Pipeline() : plant(dd::generate_plant(plant_config())),
+               framework(fast_config()) {
+    // Days 0-2 train, day 3 dev; days 4-5 test (anomaly on day 5).
+    framework.fit(plant.days_slice(0, 3), plant.days_slice(3, 1));
+  }
+};
+
+Pipeline& shared_pipeline() {
+  static Pipeline p;  // fit once; reused across tests (read-only)
+  return p;
+}
+
+}  // namespace
+
+TEST(Framework, RequiresFitBeforeUse) {
+  dc::Framework fw(fast_config());
+  EXPECT_FALSE(fw.fitted());
+  EXPECT_THROW(fw.graph(), desmine::PreconditionError);
+  EXPECT_THROW(fw.encrypter(), desmine::PreconditionError);
+  EXPECT_THROW(fw.detect({}), desmine::PreconditionError);
+}
+
+TEST(Framework, FitBuildsCompleteDirectedGraph) {
+  auto& p = shared_pipeline();
+  const auto& g = p.framework.graph();
+  // 4 informative sensors -> 12 directed edges; constant sensor dropped.
+  EXPECT_EQ(g.sensor_count(), 4u);
+  EXPECT_EQ(g.edges().size(), 12u);
+  EXPECT_EQ(p.framework.encrypter().dropped_sensors().size(), 1u);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.bleu, 0.0);
+    EXPECT_LE(e.bleu, 100.0);
+    EXPECT_NE(e.model, nullptr);
+    EXPECT_GT(e.runtime_seconds, 0.0);
+  }
+}
+
+TEST(Framework, WithinComponentBleuExceedsCrossComponent) {
+  auto& p = shared_pipeline();
+  const auto& g = p.framework.graph();
+  double within_sum = 0.0, cross_sum = 0.0;
+  std::size_t within_n = 0, cross_n = 0;
+  for (const auto& e : g.edges()) {
+    const auto cs = p.plant.component_of.at(g.name(e.src));
+    const auto cd = p.plant.component_of.at(g.name(e.dst));
+    if (cs == cd) {
+      within_sum += e.bleu;
+      ++within_n;
+    } else {
+      cross_sum += e.bleu;
+      ++cross_n;
+    }
+  }
+  ASSERT_GT(within_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_GT(within_sum / within_n, cross_sum / cross_n)
+      << "same-component sensors must translate better";
+}
+
+TEST(Framework, CorporaAlignedAcrossSensors) {
+  auto& p = shared_pipeline();
+  const auto corpora = p.framework.to_corpora(p.plant.days_slice(4, 2));
+  ASSERT_EQ(corpora.size(), 4u);
+  for (const auto& c : corpora) {
+    EXPECT_EQ(c.size(), corpora.front().size());
+    for (const auto& s : c) EXPECT_EQ(s.size(), 6u);
+  }
+}
+
+TEST(Framework, DetectsInjectedAnomaly) {
+  auto& p = shared_pipeline();
+  // Test on days 4 (normal) and 5 (component-0 anomaly).
+  const auto result = p.framework.detect(p.plant.days_slice(4, 2));
+  const std::size_t windows = result.anomaly_scores.size();
+  ASSERT_GT(windows, 2u);
+
+  // First half of windows = day 4 (normal); second half = day 5 (anomalous).
+  double normal = 0.0, anomalous = 0.0;
+  const std::size_t half = windows / 2;
+  for (std::size_t t = 0; t < half; ++t) normal += result.anomaly_scores[t];
+  for (std::size_t t = half; t < windows; ++t) {
+    anomalous += result.anomaly_scores[t];
+  }
+  normal /= static_cast<double>(half);
+  anomalous /= static_cast<double>(windows - half);
+  EXPECT_GT(anomalous, normal)
+      << "anomaly windows must break more relationships";
+}
+
+TEST(Framework, DetectMissingSensorThrows) {
+  auto& p = shared_pipeline();
+  dc::MultivariateSeries incomplete = {
+      p.plant.series.front()};  // only one sensor
+  EXPECT_THROW(p.framework.detect(incomplete), desmine::PreconditionError);
+}
+
+TEST(Framework, FitRequiresTwoInformativeSensors) {
+  dc::Framework fw(fast_config());
+  dc::MultivariateSeries only_constant = {
+      {"c", dc::EventSequence(500, "OFF")},
+      {"d", dc::EventSequence(500, "ON")},
+  };
+  EXPECT_THROW(fw.fit(only_constant, only_constant),
+               desmine::PreconditionError);
+}

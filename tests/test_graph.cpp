@@ -1,0 +1,164 @@
+// Tests for the generic digraph, connected components, modularity, and
+// Walktrap community detection (including a planted-partition property test).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/digraph.h"
+#include "graph/walktrap.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dg = desmine::graph;
+using desmine::util::Rng;
+
+TEST(Digraph, DegreesTracked) {
+  dg::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_THROW(g.add_edge(0, 9), desmine::PreconditionError);
+  EXPECT_THROW(g.in_degree(9), desmine::PreconditionError);
+}
+
+TEST(Digraph, WeakComponentsIgnoreDirection) {
+  dg::Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);  // 0,1,2 together despite mixed directions
+  g.add_edge(3, 4);
+  const auto comps = g.weak_components();
+  ASSERT_EQ(comps.size(), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comps[0].size(), 3u);
+  EXPECT_EQ(comps[1].size(), 2u);
+  EXPECT_EQ(comps[2].size(), 1u);
+  EXPECT_EQ(comps[2][0], 5u);
+}
+
+TEST(Digraph, UndirectedAdjacencySymmetrizes) {
+  dg::Digraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 0, 3.0);
+  const auto adj = g.undirected_adjacency();
+  EXPECT_DOUBLE_EQ(adj[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(adj[1][0], 5.0);
+  EXPECT_DOUBLE_EQ(adj[0][2], 0.0);
+}
+
+TEST(Digraph, DotExportContainsNodesAndEdges) {
+  dg::Digraph g(2);
+  g.add_edge(0, 1, 1.5);
+  const std::string dot = g.to_dot({"alpha", "beta"});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Modularity, PerfectSplitBeatsMerged) {
+  // Two disjoint triangles.
+  dg::Digraph g(6);
+  for (std::size_t base : {0u, 3u}) {
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base + 2, base);
+  }
+  const std::vector<std::size_t> split = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::size_t> merged = {0, 0, 0, 0, 0, 0};
+  EXPECT_GT(dg::modularity(g, split), dg::modularity(g, merged));
+  EXPECT_NEAR(dg::modularity(g, split), 0.5, 1e-9);
+}
+
+TEST(Modularity, RequiresFullMembership) {
+  dg::Digraph g(3);
+  EXPECT_THROW(dg::modularity(g, {0, 1}), desmine::PreconditionError);
+}
+
+TEST(Walktrap, EmptyGraph) {
+  dg::Digraph g(0);
+  const auto result = dg::walktrap(g);
+  EXPECT_EQ(result.community_count, 0u);
+}
+
+TEST(Walktrap, SingletonsForEdgelessGraph) {
+  dg::Digraph g(4);
+  const auto result = dg::walktrap(g);
+  EXPECT_EQ(result.membership.size(), 4u);
+  std::set<std::size_t> ids(result.membership.begin(),
+                            result.membership.end());
+  EXPECT_EQ(ids.size(), 4u);  // nothing merged
+}
+
+TEST(Walktrap, RecoverTwoCliques) {
+  // Two 4-cliques joined by a single bridge edge.
+  dg::Digraph g(8);
+  auto clique = [&](std::size_t base) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = i + 1; j < 4; ++j) {
+        g.add_edge(base + i, base + j);
+      }
+    }
+  };
+  clique(0);
+  clique(4);
+  g.add_edge(3, 4);
+
+  const auto result = dg::walktrap(g);
+  EXPECT_EQ(result.community_count, 2u);
+  // All of 0..3 together, all of 4..7 together, and apart from each other.
+  for (std::size_t v = 1; v < 4; ++v) {
+    EXPECT_EQ(result.membership[v], result.membership[0]);
+  }
+  for (std::size_t v = 5; v < 8; ++v) {
+    EXPECT_EQ(result.membership[v], result.membership[4]);
+  }
+  EXPECT_NE(result.membership[0], result.membership[4]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Walktrap, PlantedPartitionProperty) {
+  // 3 groups of 6 nodes; dense inside (p=0.9), sparse across (q=0.05).
+  Rng rng(17);
+  const std::size_t groups = 3, per = 6, n = groups * per;
+  dg::Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same = (i / per) == (j / per);
+      if (rng.bernoulli(same ? 0.9 : 0.05)) g.add_edge(i, j);
+    }
+  }
+  const auto result = dg::walktrap(g);
+
+  // Purity: most common planted label per community covers almost all nodes.
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < result.community_count; ++c) {
+    std::vector<std::size_t> count(groups, 0);
+    std::size_t size = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (result.membership[v] == c) {
+        ++count[v / per];
+        ++size;
+      }
+    }
+    if (size == 0) continue;
+    correct += *std::max_element(count.begin(), count.end());
+  }
+  EXPECT_GE(correct, n - 2) << "community purity too low";
+}
+
+TEST(Walktrap, MembershipIdsAreContiguous) {
+  dg::Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const auto result = dg::walktrap(g);
+  std::set<std::size_t> ids(result.membership.begin(),
+                            result.membership.end());
+  EXPECT_EQ(ids.size(), result.community_count);
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), result.community_count - 1);
+}

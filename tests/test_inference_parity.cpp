@@ -1,0 +1,123 @@
+// Parity tests between the cached training forward paths and the stateless
+// inference paths (LstmStack::infer_step, LuongAttention::infer) that beam
+// search relies on. Any divergence would make beam-search scores
+// inconsistent with training likelihoods.
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dn = desmine::nn;
+namespace dt = desmine::tensor;
+using desmine::util::Rng;
+
+namespace {
+
+dt::Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  dt::Matrix m(r, c);
+  m.init_uniform(rng, 1.0f);
+  return m;
+}
+
+void expect_equal(const dt::Matrix& a, const dt::Matrix& b, float tol) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "flat index " << i;
+  }
+}
+
+}  // namespace
+
+TEST(InferenceParity, LstmInferStepMatchesCachedStep) {
+  Rng rng(1);
+  dn::LstmStack lstm("l", 3, 5, 2, rng, 0.0f);
+
+  std::vector<dt::Matrix> inputs;
+  for (int t = 0; t < 6; ++t) inputs.push_back(random_matrix(2, 3, rng));
+
+  // Cached path.
+  lstm.begin(2);
+  std::vector<dt::Matrix> cached;
+  for (const auto& x : inputs) cached.push_back(lstm.step(x));
+
+  // Stateless path.
+  dn::LstmState state = lstm.zero_state(2);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const dt::Matrix h = lstm.infer_step(inputs[t], state);
+    expect_equal(h, cached[t], 1e-6f);
+  }
+  // Final states agree too.
+  const dn::LstmState cached_state = lstm.state();
+  for (std::size_t l = 0; l < 2; ++l) {
+    expect_equal(state.h[l], cached_state.h[l], 1e-6f);
+    expect_equal(state.c[l], cached_state.c[l], 1e-6f);
+  }
+}
+
+TEST(InferenceParity, LstmInferStepIndependentStates) {
+  // Two hypotheses advanced through the same stack must not interfere.
+  Rng rng(2);
+  dn::LstmStack lstm("l", 2, 4, 1, rng, 0.0f);
+  const auto xa = random_matrix(1, 2, rng);
+  const auto xb = random_matrix(1, 2, rng);
+
+  dn::LstmState sa = lstm.zero_state(1);
+  dn::LstmState sb = lstm.zero_state(1);
+  const dt::Matrix ha1 = lstm.infer_step(xa, sa);
+  const dt::Matrix hb1 = lstm.infer_step(xb, sb);
+
+  // Re-running hypothesis A from scratch gives the same result regardless of
+  // interleaving with B.
+  dn::LstmState sa2 = lstm.zero_state(1);
+  const dt::Matrix ha1_again = lstm.infer_step(xa, sa2);
+  expect_equal(ha1, ha1_again, 0.0f);
+  expect_equal(sa.h[0], sa2.h[0], 0.0f);
+}
+
+TEST(InferenceParity, LstmInferStepValidatesShapes) {
+  Rng rng(3);
+  dn::LstmStack lstm("l", 2, 4, 2, rng, 0.0f);
+  dn::LstmState state = lstm.zero_state(1);
+  EXPECT_THROW(lstm.infer_step(dt::Matrix(1, 3), state),
+               desmine::PreconditionError);
+  dn::LstmState bad = lstm.zero_state(1);
+  bad.h.pop_back();
+  EXPECT_THROW(lstm.infer_step(dt::Matrix(1, 2), bad),
+               desmine::PreconditionError);
+}
+
+TEST(InferenceParity, AttentionInferMatchesStep) {
+  for (const auto score :
+       {dn::AttentionScore::kGeneral, dn::AttentionScore::kDot}) {
+    Rng rng(4);
+    dn::LuongAttention attn("a", 4, rng, 0.3f, score);
+    std::vector<dt::Matrix> enc;
+    for (int s = 0; s < 3; ++s) enc.push_back(random_matrix(2, 4, rng));
+    attn.begin(&enc, 2);
+
+    const auto h1 = random_matrix(2, 4, rng);
+    const auto h2 = random_matrix(2, 4, rng);
+
+    // infer() must match step() and must not disturb the cache sequence.
+    const dt::Matrix peek = attn.infer(h1);
+    const dt::Matrix cached1 = attn.step(h1);
+    expect_equal(peek, cached1, 1e-6f);
+    const dt::Matrix peek2 = attn.infer(h2);
+    const dt::Matrix cached2 = attn.step(h2);
+    expect_equal(peek2, cached2, 1e-6f);
+
+    // Backward still walks both cached steps (infer() recorded nothing).
+    EXPECT_NO_THROW(attn.backward_step(dt::Matrix(2, 4, 0.1f)));
+    EXPECT_NO_THROW(attn.backward_step(dt::Matrix(2, 4, 0.1f)));
+    EXPECT_THROW(attn.backward_step(dt::Matrix(2, 4, 0.1f)),
+                 desmine::PreconditionError);
+  }
+}
+
+TEST(InferenceParity, AttentionInferRequiresBegin) {
+  Rng rng(5);
+  dn::LuongAttention attn("a", 4, rng);
+  EXPECT_THROW(attn.infer(dt::Matrix(1, 4)), desmine::PreconditionError);
+}

@@ -1,0 +1,167 @@
+// Round-trip tests for artifact serialization: matrices, vocabularies,
+// translation models, relationship graphs, and whole-framework snapshots.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/framework.h"
+#include "data/plant.h"
+#include "io/serialize.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace di = desmine::io;
+namespace dc = desmine::core;
+namespace dt = desmine::tensor;
+namespace dx = desmine::text;
+namespace dm = desmine::nmt;
+namespace dd = desmine::data;
+using desmine::util::Rng;
+
+namespace {
+
+/// Temp file path that cleans up on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path("/tmp/desmine_test_" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(Serialize, MatrixRoundTrip) {
+  Rng rng(1);
+  dt::Matrix m(5, 7);
+  m.init_uniform(rng, 1.0f);
+  std::stringstream ss;
+  di::write_matrix(ss, m);
+  const dt::Matrix back = di::read_matrix(ss);
+  ASSERT_TRUE(back.same_shape(m));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], m.data()[i]);
+  }
+}
+
+TEST(Serialize, VocabularyRoundTripPreservesIds) {
+  const auto v = dx::Vocabulary::build({{"zeta", "alpha", "mid"}});
+  std::stringstream ss;
+  di::write_vocabulary(ss, v);
+  const auto back = di::read_vocabulary(ss);
+  EXPECT_EQ(back.size(), v.size());
+  for (std::size_t id = 0; id < v.size(); ++id) {
+    EXPECT_EQ(back.token(static_cast<std::int32_t>(id)),
+              v.token(static_cast<std::int32_t>(id)));
+  }
+  EXPECT_EQ(back.id("zeta"), v.id("zeta"));
+}
+
+TEST(Serialize, TranslationModelRoundTripSameOutputs) {
+  dx::Corpus src = {{"sa", "sb", "sa", "sb"}, {"sb", "sa", "sb", "sa"}};
+  dx::Corpus tgt = {{"ta", "tb", "ta", "tb"}, {"tb", "ta", "tb", "ta"}};
+  dm::TranslationConfig cfg;
+  cfg.model.embedding_dim = 8;
+  cfg.model.hidden_dim = 8;
+  cfg.model.num_layers = 1;
+  cfg.model.dropout = 0.0f;
+  cfg.trainer.steps = 40;
+  cfg.trainer.batch_size = 2;
+  auto model = dm::train_translation_model(src, tgt, cfg, 5);
+
+  std::stringstream ss;
+  di::write_translation_model(ss, model, cfg.model);
+  auto back = di::read_translation_model(ss);
+
+  for (const auto& sentence : src) {
+    EXPECT_EQ(back.translate(sentence), model.translate(sentence));
+  }
+  EXPECT_DOUBLE_EQ(back.score(src, tgt).score, model.score(src, tgt).score);
+}
+
+TEST(Serialize, CorruptStreamThrows) {
+  std::stringstream ss("not an artifact at all");
+  EXPECT_THROW(di::read_matrix(ss), desmine::RuntimeError);
+}
+
+TEST(Serialize, EncrypterRoundTrip) {
+  dc::MultivariateSeries series = {
+      {"s1", {"ON", "OFF", "ON"}},
+      {"s2", {"x", "x", "x"}},  // dropped
+      {"s3", {"low", "high", "mid"}},
+  };
+  const auto enc = dc::SensorEncrypter::fit(series);
+  std::stringstream ss;
+  di::write_encrypter(ss, enc);
+  const auto back = di::read_encrypter(ss);
+  EXPECT_EQ(back.kept_sensors(), enc.kept_sensors());
+  EXPECT_EQ(back.dropped_sensors(), enc.dropped_sensors());
+  EXPECT_EQ(back.encode("s1", {"OFF", "ON", "???"}),
+            enc.encode("s1", {"OFF", "ON", "???"}));
+  EXPECT_EQ(back.cardinality("s3"), 3u);
+}
+
+TEST(Serialize, FrameworkSnapshotDetectsIdentically) {
+  // Small pipeline: fit, snapshot, reload, compare detection output.
+  dd::PlantConfig pcfg;
+  pcfg.num_components = 2;
+  pcfg.sensors_per_component = 2;
+  pcfg.num_popular = 0;
+  pcfg.num_lazy = 0;
+  pcfg.num_constant = 1;
+  pcfg.days = 4;
+  pcfg.minutes_per_day = 180;
+  pcfg.anomalies = {{3, {0}}};
+  pcfg.precursors = false;
+  pcfg.seed = 9;
+  const auto plant = dd::generate_plant(pcfg);
+
+  dc::FrameworkConfig fcfg;
+  fcfg.window.word_length = 5;
+  fcfg.window.word_stride = 1;
+  fcfg.window.sentence_length = 5;
+  fcfg.window.sentence_stride = 5;
+  fcfg.miner.translation.model.embedding_dim = 12;
+  fcfg.miner.translation.model.hidden_dim = 12;
+  fcfg.miner.translation.model.num_layers = 1;
+  fcfg.miner.translation.model.dropout = 0.0f;
+  fcfg.miner.translation.trainer.steps = 60;
+  fcfg.miner.translation.trainer.batch_size = 4;
+  fcfg.miner.seed = 3;
+  fcfg.detector.valid_lo = 0.0;
+  fcfg.detector.valid_hi = 100.5;
+
+  dc::Framework fw(fcfg);
+  fw.fit(plant.days_slice(0, 2), plant.days_slice(2, 1));
+
+  const TempFile file("framework.bin");
+  di::save_framework(fw, file.path);
+  dc::Framework loaded = di::load_framework(file.path, fcfg);
+
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.graph().sensor_count(), fw.graph().sensor_count());
+  EXPECT_EQ(loaded.graph().edges().size(), fw.graph().edges().size());
+  for (std::size_t i = 0; i < fw.graph().edges().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.graph().edges()[i].bleu,
+                     fw.graph().edges()[i].bleu);
+  }
+
+  const auto test_slice = plant.days_slice(3, 1);
+  const auto r1 = fw.detect(test_slice);
+  const auto r2 = loaded.detect(test_slice);
+  ASSERT_EQ(r1.anomaly_scores.size(), r2.anomaly_scores.size());
+  for (std::size_t t = 0; t < r1.anomaly_scores.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r1.anomaly_scores[t], r2.anomaly_scores[t]);
+  }
+}
+
+TEST(Serialize, SaveUnfittedFrameworkThrows) {
+  dc::Framework fw(dc::FrameworkConfig{});
+  EXPECT_THROW(di::save_framework(fw, "/tmp/desmine_nope.bin"),
+               desmine::PreconditionError);
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW(di::load_framework("/tmp/desmine_does_not_exist.bin"),
+               desmine::RuntimeError);
+}

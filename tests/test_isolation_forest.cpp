@@ -1,0 +1,96 @@
+// Tests for the Isolation Forest baseline.
+#include <gtest/gtest.h>
+
+#include "ml/isolation_forest.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ml = desmine::ml;
+using desmine::util::Rng;
+
+namespace {
+
+ml::FeatureMatrix gaussian_cloud(std::size_t n, Rng& rng) {
+  ml::FeatureMatrix rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+TEST(IsolationForest, OutliersScoreHigherThanInliers) {
+  Rng rng(1);
+  const auto train = gaussian_cloud(400, rng);
+  ml::IsolationForest forest;
+  forest.fit(train, {});
+
+  double inlier_sum = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    inlier_sum += forest.score({rng.normal(0, 0.3), rng.normal(0, 0.3)});
+  }
+  double outlier_sum = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    outlier_sum += forest.score({6.0 + rng.normal(0, 0.3),
+                                 6.0 + rng.normal(0, 0.3)});
+  }
+  EXPECT_GT(outlier_sum / 30.0, inlier_sum / 30.0 + 0.1);
+}
+
+TEST(IsolationForest, ScoresAreBounded) {
+  Rng rng(2);
+  const auto train = gaussian_cloud(200, rng);
+  ml::IsolationForest forest;
+  forest.fit(train, {});
+  for (const auto& row : train) {
+    const double s = forest.score(row);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForest, CalibratedThresholdControlsFlagRate) {
+  Rng rng(3);
+  const auto train = gaussian_cloud(500, rng);
+  ml::IsolationForest forest;
+  forest.fit(train, {});
+  EXPECT_THROW(forest.predict_anomaly(train[0]), desmine::PreconditionError);
+
+  forest.calibrate_threshold(train, 95.0);
+  std::size_t flagged = 0;
+  for (const auto& row : train) flagged += forest.predict_anomaly(row);
+  // ~5% of the training data exceeds its own 95th percentile.
+  EXPECT_NEAR(static_cast<double>(flagged) / train.size(), 0.05, 0.03);
+  EXPECT_EQ(forest.predict_anomaly({9.0, -9.0}), 1);
+}
+
+TEST(IsolationForest, DeterministicForSameSeed) {
+  Rng rng(4);
+  const auto train = gaussian_cloud(150, rng);
+  ml::IsolationForestConfig cfg;
+  cfg.seed = 7;
+  ml::IsolationForest a, b;
+  a.fit(train, cfg);
+  b.fit(train, cfg);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.normal(0, 2), rng.normal(0, 2)};
+    EXPECT_DOUBLE_EQ(a.score(x), b.score(x));
+  }
+}
+
+TEST(IsolationForest, HandlesConstantFeatures) {
+  // A constant column must not break split selection.
+  Rng rng(5);
+  ml::FeatureMatrix rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({rng.normal(0, 1), 42.0});
+  ml::IsolationForest forest;
+  EXPECT_NO_THROW(forest.fit(rows, {}));
+  EXPECT_GT(forest.score({8.0, 42.0}), forest.score({0.0, 42.0}));
+}
+
+TEST(IsolationForest, InvalidUseThrows) {
+  ml::IsolationForest forest;
+  EXPECT_THROW(forest.fit({}, {}), desmine::PreconditionError);
+  EXPECT_THROW(forest.score({1.0, 2.0}), desmine::PreconditionError);
+}

@@ -1,0 +1,133 @@
+// Tests for the K-Means baseline: clustering quality on blobs, k-means++
+// determinism, anomaly thresholding.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/kmeans.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ml = desmine::ml;
+using desmine::util::Rng;
+
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+ml::FeatureMatrix blobs(std::size_t per_blob, Rng& rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  ml::FeatureMatrix rows;
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      rows.push_back({c[0] + rng.normal(0, 0.5), c[1] + rng.normal(0, 0.5)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+TEST(KMeans, RecoversBlobCenters) {
+  Rng rng(1);
+  const auto rows = blobs(60, rng);
+  ml::KMeans km;
+  ml::KMeansConfig cfg;
+  cfg.k = 3;
+  km.fit(rows, cfg);
+  ASSERT_EQ(km.centroids().size(), 3u);
+  // Every centroid is within 1.0 of a true center and all three centers are
+  // covered.
+  std::set<int> covered;
+  for (const auto& c : km.centroids()) {
+    const double true_centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int k = 0; k < 3; ++k) {
+      const double dx = c[0] - true_centers[k][0];
+      const double dy = c[1] - true_centers[k][1];
+      if (dx * dx + dy * dy < 1.0) covered.insert(k);
+    }
+  }
+  EXPECT_EQ(covered.size(), 3u);
+}
+
+TEST(KMeans, AssignmentsConsistentWithinBlob) {
+  Rng rng(2);
+  const auto rows = blobs(40, rng);
+  ml::KMeans km;
+  ml::KMeansConfig cfg;
+  cfg.k = 3;
+  km.fit(rows, cfg);
+  // Points of the same blob share a centroid.
+  for (int blob = 0; blob < 3; ++blob) {
+    const std::size_t base = static_cast<std::size_t>(blob) * 40;
+    const std::size_t c0 = km.assign(rows[base]);
+    for (std::size_t i = 1; i < 40; ++i) {
+      EXPECT_EQ(km.assign(rows[base + i]), c0) << "blob " << blob;
+    }
+  }
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  Rng rng(3);
+  const auto rows = blobs(30, rng);
+  ml::KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 9;
+  ml::KMeans a, b;
+  a.fit(rows, cfg);
+  b.fit(rows, cfg);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(a.centroids()[c], b.centroids()[c]);
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(4);
+  const auto rows = blobs(40, rng);
+  double prev = 1e18;
+  for (std::size_t k : {1u, 2u, 3u, 6u}) {
+    ml::KMeans km;
+    ml::KMeansConfig cfg;
+    cfg.k = k;
+    km.fit(rows, cfg);
+    const double inertia = km.inertia(rows);
+    EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, AnomalyThresholding) {
+  Rng rng(5);
+  const auto rows = blobs(50, rng);
+  ml::KMeans km;
+  ml::KMeansConfig cfg;
+  cfg.k = 3;
+  km.fit(rows, cfg);
+  // Uncalibrated prediction is a contract violation.
+  EXPECT_THROW(km.predict_anomaly(rows[0]), desmine::PreconditionError);
+
+  km.calibrate_threshold(rows, 99.0);
+  // In-distribution points pass, a far outlier is flagged.
+  std::size_t flagged = 0;
+  for (const auto& row : rows) flagged += km.predict_anomaly(row);
+  EXPECT_LE(flagged, rows.size() / 20);
+  EXPECT_EQ(km.predict_anomaly({50.0, 50.0}), 1);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  const ml::FeatureMatrix rows = {{0.0, 0.0}, {2.0, 4.0}, {4.0, 2.0}};
+  ml::KMeans km;
+  ml::KMeansConfig cfg;
+  cfg.k = 1;
+  km.fit(rows, cfg);
+  EXPECT_NEAR(km.centroids()[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(km.centroids()[0][1], 2.0, 1e-9);
+}
+
+TEST(KMeans, InvalidConfigThrows) {
+  ml::KMeans km;
+  ml::KMeansConfig cfg;
+  EXPECT_THROW(km.fit({}, cfg), desmine::PreconditionError);
+  cfg.k = 5;
+  EXPECT_THROW(km.fit({{1.0}, {2.0}}, cfg), desmine::PreconditionError);
+  EXPECT_THROW(km.assign({1.0}), desmine::PreconditionError);
+}

@@ -1,0 +1,274 @@
+// Tests for the baseline learners: decision tree, random forest (incl.
+// feature importance and class balancing), one-class SVM, and metrics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/ocsvm.h"
+#include "ml/random_forest.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ml = desmine::ml;
+using desmine::util::Rng;
+
+namespace {
+
+/// Linearly separable 2-D blobs: class = (x0 > 0).
+void make_blobs(std::size_t n, ml::FeatureMatrix& rows,
+                std::vector<int>& labels, Rng& rng, double margin = 1.0) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const double cx = label == 1 ? margin : -margin;
+    rows.push_back({cx + rng.normal(0, 0.3), rng.normal(0, 1.0)});
+    labels.push_back(label);
+  }
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- metrics -------
+
+TEST(Metrics, ConfusionAndDerived) {
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const std::vector<int> preds = {1, 1, 0, 0, 0, 1};
+  const auto c = ml::confusion(labels, preds);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 2u);
+  EXPECT_NEAR(c.recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, EmptyDenominatorsAreZero) {
+  ml::Confusion c;
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+  EXPECT_THROW(ml::confusion({1}, {}), desmine::PreconditionError);
+}
+
+// ----------------------------------------------------------- tree ----------
+
+TEST(DecisionTree, FitsSeparableData) {
+  Rng rng(1);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  make_blobs(200, rows, labels, rng);
+  ml::DecisionTree tree;
+  ml::TreeConfig cfg;
+  Rng tree_rng(2);
+  tree.fit(rows, labels, all_indices(rows.size()), cfg, tree_rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    correct += tree.predict(rows[i]) == labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.95);
+}
+
+TEST(DecisionTree, PureLeafWhenSingleClass) {
+  ml::FeatureMatrix rows = {{0.0}, {1.0}, {2.0}};
+  std::vector<int> labels = {1, 1, 1};
+  ml::DecisionTree tree;
+  ml::TreeConfig cfg;
+  Rng rng(3);
+  tree.fit(rows, labels, all_indices(3), cfg, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba({5.0}), 1.0);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  Rng rng(4);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 64; ++i) {
+    rows.push_back({rng.uniform(0, 1)});
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);  // unlearnable noise
+  }
+  ml::DecisionTree tree;
+  ml::TreeConfig cfg;
+  cfg.max_depth = 1;
+  Rng tree_rng(5);
+  tree.fit(rows, labels, all_indices(rows.size()), cfg, tree_rng);
+  EXPECT_LE(tree.node_count(), 3u);  // root + two children at most
+}
+
+TEST(DecisionTree, ImportanceConcentratesOnInformativeFeature) {
+  Rng rng(6);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    // Feature 1 is informative; features 0 and 2 are noise.
+    rows.push_back({rng.normal(0, 1), label == 1 ? 2.0 + rng.normal(0, 0.2)
+                                                 : -2.0 + rng.normal(0, 0.2),
+                    rng.normal(0, 1)});
+    labels.push_back(label);
+  }
+  ml::DecisionTree tree;
+  ml::TreeConfig cfg;
+  Rng tree_rng(7);
+  tree.fit(rows, labels, all_indices(rows.size()), cfg, tree_rng);
+  const auto& imp = tree.feature_importance();
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+// ----------------------------------------------------------- forest --------
+
+TEST(RandomForest, BeatsChanceOnSeparableData) {
+  Rng rng(8);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  make_blobs(400, rows, labels, rng);
+  ml::RandomForest forest;
+  ml::ForestConfig cfg;
+  cfg.num_trees = 30;
+  forest.fit(rows, labels, cfg);
+  EXPECT_EQ(forest.tree_count(), 30u);
+
+  ml::FeatureMatrix test_rows;
+  std::vector<int> test_labels;
+  make_blobs(100, test_rows, test_labels, rng);
+  const auto c = ml::confusion(test_labels, forest.predict_all(test_rows));
+  EXPECT_GT(c.accuracy(), 0.95);
+}
+
+TEST(RandomForest, ImportanceNormalizedAndRanked) {
+  Rng rng(9);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    rows.push_back({rng.normal(0, 1),
+                    label == 1 ? 1.5 + rng.normal(0, 0.3)
+                               : -1.5 + rng.normal(0, 0.3),
+                    rng.normal(0, 1)});
+    labels.push_back(label);
+  }
+  ml::RandomForest forest;
+  ml::ForestConfig cfg;
+  cfg.num_trees = 25;
+  forest.fit(rows, labels, cfg);
+  const auto imp = forest.feature_importance();
+  double sum = 0.0;
+  for (double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(forest.ranked_features()[0], 1u);
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  Rng rng(10);
+  ml::FeatureMatrix rows;
+  std::vector<int> labels;
+  make_blobs(100, rows, labels, rng);
+  ml::ForestConfig cfg;
+  cfg.num_trees = 10;
+  cfg.seed = 77;
+  ml::RandomForest f1, f2;
+  f1.fit(rows, labels, cfg);
+  f2.fit(rows, labels, cfg);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(f1.predict_proba(row), f2.predict_proba(row));
+  }
+}
+
+TEST(RandomForest, BalancedIndicesEqualizeClasses) {
+  std::vector<int> labels(100, 0);
+  for (int i = 0; i < 10; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  Rng rng(11);
+  const auto idx = ml::balanced_indices(labels, rng);
+  EXPECT_EQ(idx.size(), 20u);
+  std::size_t ones = 0;
+  for (std::size_t i : idx) ones += labels[i];
+  EXPECT_EQ(ones, 10u);
+}
+
+TEST(RandomForest, BalancedIndicesNoPositivesThrows) {
+  std::vector<int> labels(10, 0);
+  Rng rng(12);
+  EXPECT_THROW(ml::balanced_indices(labels, rng), desmine::PreconditionError);
+}
+
+// ----------------------------------------------------------- oc-svm --------
+
+TEST(OneClassSvm, SeparatesOutliersFromCluster) {
+  Rng rng(13);
+  ml::FeatureMatrix train;
+  for (int i = 0; i < 150; ++i) {
+    train.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+  }
+  ml::OneClassSvm svm;
+  ml::OcSvmConfig cfg;
+  cfg.nu = 0.1;
+  svm.fit(train, cfg);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+
+  // Inliers near the training cloud are mostly accepted.
+  std::size_t inlier_accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.normal(0, 0.5), rng.normal(0, 0.5)};
+    inlier_accepted += svm.predict_anomaly(x) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(inlier_accepted, 40u);
+
+  // Far-away points are flagged anomalous.
+  std::size_t outlier_flagged = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {8.0 + rng.normal(0, 0.3),
+                                   8.0 + rng.normal(0, 0.3)};
+    outlier_flagged += svm.predict_anomaly(x) == 1 ? 1 : 0;
+  }
+  EXPECT_GT(outlier_flagged, 45u);
+}
+
+TEST(OneClassSvm, NuBoundsTrainingOutlierFraction) {
+  Rng rng(14);
+  ml::FeatureMatrix train;
+  for (int i = 0; i < 200; ++i) {
+    train.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+  }
+  ml::OneClassSvm svm;
+  ml::OcSvmConfig cfg;
+  cfg.nu = 0.2;
+  svm.fit(train, cfg);
+  std::size_t rejected = 0;
+  for (const auto& row : train) rejected += svm.predict_anomaly(row);
+  // ν is an upper bound on the training rejection fraction (allow slack for
+  // the approximate solver).
+  EXPECT_LE(static_cast<double>(rejected) / train.size(), 0.3);
+}
+
+TEST(OneClassSvm, StandardizationMakesScalesComparable) {
+  // A feature measured in huge units must not dominate the kernel.
+  Rng rng(15);
+  ml::FeatureMatrix train;
+  for (int i = 0; i < 120; ++i) {
+    train.push_back({rng.normal(0, 1) * 1e6, rng.normal(0, 1)});
+  }
+  ml::OneClassSvm svm;
+  ml::OcSvmConfig cfg;
+  svm.fit(train, cfg);
+  // An outlier in the *small-scale* feature should still be flagged.
+  EXPECT_EQ(svm.predict_anomaly({0.0, 50.0}), 1);
+}
+
+TEST(OneClassSvm, UnfittedAndBadConfigThrow) {
+  ml::OneClassSvm svm;
+  EXPECT_THROW(svm.decision({1.0}), desmine::PreconditionError);
+  ml::OcSvmConfig bad;
+  bad.nu = 0.0;
+  EXPECT_THROW(svm.fit({{1.0}}, bad), desmine::PreconditionError);
+  EXPECT_THROW(svm.fit({}, ml::OcSvmConfig{}), desmine::PreconditionError);
+}

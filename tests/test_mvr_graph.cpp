@@ -1,0 +1,127 @@
+// Tests for the multivariate relationship graph: BLEU-band subgraphs,
+// popular-sensor extraction, local subgraphs, degree bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/mvr_graph.h"
+#include "util/error.h"
+
+namespace dc = desmine::core;
+
+namespace {
+
+dc::MvrGraph sample_graph() {
+  dc::MvrGraph g({"s0", "s1", "s2", "s3"});
+  auto edge = [](std::size_t a, std::size_t b, double bleu) {
+    dc::MvrEdge e;
+    e.src = a;
+    e.dst = b;
+    e.bleu = bleu;
+    return e;
+  };
+  g.add_edge(edge(0, 1, 85.0));
+  g.add_edge(edge(1, 0, 88.0));
+  g.add_edge(edge(0, 2, 92.0));
+  g.add_edge(edge(2, 0, 55.0));
+  g.add_edge(edge(1, 2, 80.0));
+  g.add_edge(edge(3, 0, 89.9));
+  return g;
+}
+
+}  // namespace
+
+TEST(MvrGraph, BasicAccessors) {
+  const auto g = sample_graph();
+  EXPECT_EQ(g.sensor_count(), 4u);
+  EXPECT_EQ(g.edges().size(), 6u);
+  EXPECT_EQ(g.name(3), "s3");
+  EXPECT_THROW(g.name(4), desmine::PreconditionError);
+}
+
+TEST(MvrGraph, RejectsBadEdges) {
+  dc::MvrGraph g({"a", "b"});
+  dc::MvrEdge self;
+  self.src = 0;
+  self.dst = 0;
+  EXPECT_THROW(g.add_edge(self), desmine::PreconditionError);
+  dc::MvrEdge oob;
+  oob.src = 0;
+  oob.dst = 5;
+  EXPECT_THROW(g.add_edge(oob), desmine::PreconditionError);
+}
+
+TEST(MvrGraph, FilterBleuHalfOpenRange) {
+  const auto g = sample_graph();
+  const auto band = g.filter_bleu(80.0, 90.0);
+  // Edges with bleu in [80, 90): 85, 88, 80, 89.9 — not 92, not 55.
+  EXPECT_EQ(band.edges().size(), 4u);
+  for (const auto& e : band.edges()) {
+    EXPECT_GE(e.bleu, 80.0);
+    EXPECT_LT(e.bleu, 90.0);
+  }
+  // Node set is preserved (indices stable), only edges filtered.
+  EXPECT_EQ(band.sensor_count(), 4u);
+}
+
+TEST(MvrGraph, ActiveSensorsExcludeIsolated) {
+  const auto g = sample_graph();
+  const auto band = g.filter_bleu(90.0, 100.1);
+  // Only the 0->2 edge (92) survives: active nodes are {0, 2}.
+  const auto active = band.active_sensors();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 0u);
+  EXPECT_EQ(active[1], 2u);
+}
+
+TEST(MvrGraph, DegreesCountDirectedEdges) {
+  const auto g = sample_graph();
+  const auto in = g.in_degrees();
+  const auto out = g.out_degrees();
+  EXPECT_EQ(in[0], 3u);   // from s1, s2, s3
+  EXPECT_EQ(out[0], 2u);  // to s1, s2
+  EXPECT_EQ(in[3], 0u);
+  EXPECT_EQ(out[3], 1u);
+}
+
+TEST(MvrGraph, PopularSensorsByInDegree) {
+  const auto g = sample_graph();
+  const auto popular = g.popular_sensors(3);
+  ASSERT_EQ(popular.size(), 1u);
+  EXPECT_EQ(popular[0], 0u);
+  EXPECT_EQ(g.popular_sensors(99).size(), 0u);
+  EXPECT_EQ(g.popular_sensors(0).size(), 4u);
+}
+
+TEST(MvrGraph, WithoutSensorsDropsIncidentEdges) {
+  const auto g = sample_graph();
+  const auto local = g.without_sensors({0});
+  // Only 1->2 survives.
+  ASSERT_EQ(local.edges().size(), 1u);
+  EXPECT_EQ(local.edges()[0].src, 1u);
+  EXPECT_EQ(local.edges()[0].dst, 2u);
+  EXPECT_EQ(local.sensor_count(), 4u);
+}
+
+TEST(MvrGraph, GlobalThenLocalSubgraphComposition) {
+  // The paper's local subgraph: filter to a band, then remove popular nodes.
+  const auto g = sample_graph();
+  const auto band = g.filter_bleu(80.0, 90.0);
+  // Within the band, node 0 has in-degree 2 (from s1 and s3) — popular at
+  // threshold 2; removing it leaves only the 1->2 edge.
+  const auto local = band.without_sensors(band.popular_sensors(2));
+  ASSERT_EQ(local.edges().size(), 1u);  // only 1->2 at 80
+  EXPECT_EQ(local.edges()[0].bleu, 80.0);
+}
+
+TEST(MvrGraph, ToDigraphPreservesStructure) {
+  const auto g = sample_graph();
+  const auto dg = g.to_digraph();
+  EXPECT_EQ(dg.node_count(), 4u);
+  EXPECT_EQ(dg.edge_count(), 6u);
+  EXPECT_EQ(dg.in_degree(0), 3u);
+}
+
+TEST(MvrGraph, DotContainsSensorNames) {
+  const auto dot = sample_graph().to_dot();
+  EXPECT_NE(dot.find("s0"), std::string::npos);
+  EXPECT_NE(dot.find("s3"), std::string::npos);
+}

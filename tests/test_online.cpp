@@ -1,0 +1,179 @@
+// Tests for the streaming OnlineDetector: window arithmetic, equivalence
+// with batch detection, broken-edge reporting, and buffer trimming.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/framework.h"
+#include "core/online.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dc = desmine::core;
+using desmine::util::Rng;
+
+namespace {
+
+/// Coupled pair (follow repeats lead 2 ticks later) plus a noise sensor.
+dc::MultivariateSeries make_series(std::size_t ticks, bool desync_tail,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  dc::EventSequence lead, follow, noise;
+  bool state = false;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (t % 13 == 0) state = !state;
+    const bool broken = desync_tail && t >= ticks / 2;
+    lead.push_back(state ? "ON" : "OFF");
+    const bool f = broken ? rng.bernoulli(0.5)
+                          : (t >= 2 && lead[t - 2] == "ON");
+    follow.push_back(f ? "ON" : "OFF");
+    noise.push_back(rng.bernoulli(0.5) ? "ON" : "OFF");
+  }
+  return {{"lead", lead}, {"follow", follow}, {"noise", noise}};
+}
+
+struct Fixture {
+  dc::FrameworkConfig cfg;
+  dc::Framework framework;
+
+  Fixture()
+      : cfg([] {
+          dc::FrameworkConfig c;
+          c.window = {4, 1, 4, 4};
+          c.miner.translation.model.embedding_dim = 16;
+          c.miner.translation.model.hidden_dim = 16;
+          c.miner.translation.model.num_layers = 1;
+          c.miner.translation.model.dropout = 0.0f;
+          c.miner.translation.trainer.steps = 150;
+          c.miner.translation.trainer.batch_size = 8;
+          c.miner.seed = 3;
+          c.detector.valid_lo = 0.0;
+          c.detector.valid_hi = 100.5;
+          c.detector.tolerance = 10.0;
+          c.detector.threads = 1;
+          return c;
+        }()),
+        framework(cfg) {
+    framework.fit(make_series(600, false, 1), make_series(300, false, 2));
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::map<std::string, std::string> tick_states(
+    const dc::MultivariateSeries& series, std::size_t t) {
+  std::map<std::string, std::string> out;
+  for (const auto& sensor : series) out[sensor.name] = sensor.events[t];
+  return out;
+}
+
+}  // namespace
+
+TEST(OnlineDetector, EmitsAtSentenceStride) {
+  auto& f = fixture();
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  const auto series = make_series(100, false, 4);
+
+  // Window 0 spans chars [0, span); span = (4-1)*1 + 4 = 7; afterwards one
+  // window per sentence_stride * word_stride = 4 ticks.
+  std::vector<std::size_t> emit_ticks;
+  for (std::size_t t = 0; t < 40; ++t) {
+    const auto result = online.push(tick_states(series, t));
+    if (result) emit_ticks.push_back(t + 1);  // end_tick = ticks consumed
+  }
+  ASSERT_GE(emit_ticks.size(), 3u);
+  EXPECT_EQ(emit_ticks[0], 7u);
+  EXPECT_EQ(emit_ticks[1], 11u);
+  EXPECT_EQ(emit_ticks[2], 15u);
+}
+
+TEST(OnlineDetector, MatchesBatchDetection) {
+  auto& f = fixture();
+  const auto series = make_series(120, false, 5);
+  const auto batch = f.framework.detect(series);
+
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  std::vector<double> online_scores;
+  for (std::size_t t = 0; t < 120; ++t) {
+    const auto result = online.push(tick_states(series, t));
+    if (result) online_scores.push_back(result->anomaly_score);
+  }
+  ASSERT_EQ(online_scores.size(), batch.anomaly_scores.size());
+  for (std::size_t w = 0; w < online_scores.size(); ++w) {
+    EXPECT_DOUBLE_EQ(online_scores[w], batch.anomaly_scores[w]) << w;
+  }
+}
+
+TEST(OnlineDetector, FlagsDesyncWindows) {
+  auto& f = fixture();
+  const auto series = make_series(160, true, 6);  // second half desynced
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  double first_half = 0.0, second_half = 0.0;
+  std::size_t n1 = 0, n2 = 0;
+  for (std::size_t t = 0; t < 160; ++t) {
+    const auto result = online.push(tick_states(series, t));
+    if (!result) continue;
+    if (result->end_tick <= 80) {
+      first_half += result->anomaly_score;
+      ++n1;
+    } else {
+      second_half += result->anomaly_score;
+      ++n2;
+    }
+  }
+  ASSERT_GT(n1, 0u);
+  ASSERT_GT(n2, 0u);
+  EXPECT_GT(second_half / n2, first_half / n1);
+}
+
+TEST(OnlineDetector, BrokenEdgesNameValidPairs) {
+  auto& f = fixture();
+  const auto series = make_series(160, true, 7);
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  const std::size_t n = f.framework.graph().sensor_count();
+  for (std::size_t t = 0; t < 160; ++t) {
+    const auto result = online.push(tick_states(series, t));
+    if (!result) continue;
+    for (const auto& [src, dst] : result->broken) {
+      EXPECT_LT(src, n);
+      EXPECT_LT(dst, n);
+      EXPECT_NE(src, dst);
+    }
+  }
+}
+
+TEST(OnlineDetector, MissingSensorThrows) {
+  auto& f = fixture();
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  EXPECT_THROW(online.push({{"lead", "ON"}}), desmine::PreconditionError);
+}
+
+TEST(OnlineDetector, LongStreamStaysConsistentAcrossTrim) {
+  // Run past the 4096-char trim boundary and verify windows keep flowing
+  // with correct indices.
+  auto& f = fixture();
+  const auto series = make_series(9000, false, 8);
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  std::size_t windows = 0;
+  std::size_t last_index = 0;
+  for (std::size_t t = 0; t < 9000; ++t) {
+    const auto result = online.push(tick_states(series, t));
+    if (result) {
+      EXPECT_EQ(result->window_index, windows);
+      last_index = result->window_index;
+      ++windows;
+    }
+  }
+  // span 7, stride 4: windows = floor((9000 - 7) / 4) + 1 = 2249.
+  EXPECT_EQ(windows, 2249u);
+  EXPECT_EQ(last_index, 2248u);
+}

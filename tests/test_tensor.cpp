@@ -1,0 +1,192 @@
+// Unit tests for the matrix kernel, including property tests that check the
+// transpose-variant GEMMs against the naive definition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dt = desmine::tensor;
+using desmine::util::Rng;
+
+namespace {
+
+dt::Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  dt::Matrix m(r, c);
+  m.init_uniform(rng, 1.0f);
+  return m;
+}
+
+dt::Matrix naive_matmul(const dt::Matrix& a, const dt::Matrix& b) {
+  dt::Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float s = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+void expect_near(const dt::Matrix& a, const dt::Matrix& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b)) << a.shape_string() << " vs "
+                               << b.shape_string();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Matrix, ConstructionAndAccess) {
+  dt::Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+  EXPECT_THROW(m.at(2, 0), desmine::PreconditionError);
+  EXPECT_THROW(m.at(0, 3), desmine::PreconditionError);
+}
+
+TEST(Matrix, FromRowsAndRagged) {
+  const auto m = dt::Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_FLOAT_EQ(m(2, 1), 6.0f);
+  EXPECT_THROW(dt::Matrix::from_rows({{1, 2}, {3}}),
+               desmine::PreconditionError);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  auto a = dt::Matrix::from_rows({{1, 2}, {3, 4}});
+  auto b = dt::Matrix::from_rows({{10, 20}, {30, 40}});
+  a += b;
+  EXPECT_FLOAT_EQ(a(1, 1), 44.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a(0, 0), 1.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a(1, 0), 6.0f);
+  a.hadamard(b);
+  EXPECT_FLOAT_EQ(a(0, 1), 80.0f);
+  EXPECT_THROW(a += dt::Matrix(1, 2), desmine::PreconditionError);
+}
+
+TEST(Matrix, ApplySumNorm) {
+  auto m = dt::Matrix::from_rows({{1, -2}, {3, -4}});
+  EXPECT_FLOAT_EQ(m.sum(), -2.0f);
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 1 + 4 + 9 + 16);
+  m.apply([](float v) { return std::abs(v); });
+  EXPECT_FLOAT_EQ(m.sum(), 10.0f);
+}
+
+TEST(Matrix, Transposed) {
+  const auto m = dt::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+}
+
+TEST(Matrix, MatmulMatchesNaive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t m = 1 + rng.index(8), k = 1 + rng.index(8),
+                      n = 1 + rng.index(8);
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    dt::Matrix out(m, n);
+    dt::matmul(a, b, out);
+    expect_near(out, naive_matmul(a, b));
+  }
+}
+
+TEST(Matrix, MatmulTransAMatchesNaive) {
+  Rng rng(2);
+  const auto a = random_matrix(5, 3, rng);  // (k x m)
+  const auto b = random_matrix(5, 4, rng);  // (k x n)
+  dt::Matrix out(3, 4);
+  dt::matmul_transA_accum(a, b, out);
+  expect_near(out, naive_matmul(a.transposed(), b));
+}
+
+TEST(Matrix, MatmulTransBMatchesNaive) {
+  Rng rng(3);
+  const auto a = random_matrix(4, 6, rng);  // (m x k)
+  const auto b = random_matrix(5, 6, rng);  // (n x k)
+  dt::Matrix out(4, 5);
+  dt::matmul_transB_accum(a, b, out);
+  expect_near(out, naive_matmul(a, b.transposed()));
+}
+
+TEST(Matrix, MatmulAccumAddsToExisting) {
+  Rng rng(4);
+  const auto a = random_matrix(3, 3, rng);
+  const auto b = random_matrix(3, 3, rng);
+  dt::Matrix out(3, 3, 1.0f);
+  dt::matmul_accum(a, b, out);
+  auto expected = naive_matmul(a, b);
+  expected += dt::Matrix(3, 3, 1.0f);
+  expect_near(out, expected);
+}
+
+TEST(Matrix, MatmulShapeChecks) {
+  dt::Matrix a(2, 3), b(4, 5), out(2, 5);
+  EXPECT_THROW(dt::matmul(a, b, out), desmine::PreconditionError);
+  dt::Matrix b2(3, 5), out_bad(3, 5);
+  EXPECT_THROW(dt::matmul(a, b2, out_bad), desmine::PreconditionError);
+}
+
+TEST(Matrix, AddRowBias) {
+  auto m = dt::Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto bias = dt::Matrix::from_rows({{10, 20}});
+  dt::add_row_bias(m, bias);
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 24.0f);
+  EXPECT_THROW(dt::add_row_bias(m, dt::Matrix(1, 3)),
+               desmine::PreconditionError);
+}
+
+TEST(Matrix, Axpy) {
+  auto y = dt::Matrix::from_rows({{1, 1}});
+  const auto x = dt::Matrix::from_rows({{2, 3}});
+  dt::axpy(0.5f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), 2.5f);
+}
+
+TEST(Matrix, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  auto m = random_matrix(4, 7, rng);
+  m *= 10.0f;  // exercise the max-subtraction stability path
+  dt::softmax_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m(r, c), 0.0f);
+      sum += m(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Matrix, SoftmaxOrderPreserved) {
+  auto m = dt::Matrix::from_rows({{1.0f, 3.0f, 2.0f}});
+  dt::softmax_rows(m);
+  EXPECT_GT(m(0, 1), m(0, 2));
+  EXPECT_GT(m(0, 2), m(0, 0));
+}
+
+TEST(Matrix, InitUniformWithinScale) {
+  Rng rng(6);
+  dt::Matrix m(10, 10);
+  m.init_uniform(rng, 0.25f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), 0.25f);
+  }
+  // Not all zero.
+  EXPECT_GT(m.squared_norm(), 0.0);
+}

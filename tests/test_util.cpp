@@ -1,0 +1,245 @@
+// Unit tests for desmine::util — RNG determinism, statistics, strings,
+// tables, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace du = desmine::util;
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, SameSeedSameStream) {
+  du::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  du::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  du::Rng master(7);
+  du::Rng c1 = master.fork(5);
+  du::Rng c2 = master.fork(5);
+  EXPECT_EQ(c1.seed(), c2.seed());
+  // fork does not advance the master stream
+  du::Rng master2(7);
+  du::Rng unused = master2.fork(99);
+  (void)unused;
+  EXPECT_EQ(master.uniform_int(0, 1 << 30), master2.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, ForkTagsDecorrelate) {
+  du::Rng master(7);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t tag = 0; tag < 100; ++tag) {
+    seeds.insert(master.fork(tag).seed());
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(Rng, UniformRange) {
+  du::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  du::Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  du::Rng rng(11);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleFullPopulation) {
+  du::Rng rng(11);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  du::Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 1), desmine::PreconditionError);
+  EXPECT_THROW(rng.index(0), desmine::PreconditionError);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4),
+               desmine::PreconditionError);
+}
+
+TEST(Rng, CategoricalrespectsWeights) {
+  du::Rng rng(5);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+// --------------------------------------------------------------- stats -----
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(du::mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(du::mean({}), 0.0);
+  EXPECT_NEAR(du::stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(du::stddev({5.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(du::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(du::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(du::percentile(xs, 50), 25.0);
+  EXPECT_THROW(du::percentile({}, 50), desmine::PreconditionError);
+}
+
+TEST(Stats, EmpiricalCdfDistinctPoints) {
+  const auto cdf = du::empirical_cdf({1, 1, 2, 3, 3, 3});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Stats, CdfAt) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(du::cdf_at(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(du::cdf_at(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(du::cdf_at(xs, 4.0), 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  const auto h = du::histogram({-5, 0, 1, 5, 9.9, 15}, 0, 10, 5);
+  ASSERT_EQ(h.counts.size(), 5u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.counts[0], 3u);  // -5 clamped, 0, 1
+  EXPECT_EQ(h.counts[4], 2u);  // 9.9, 15 clamped
+  EXPECT_EQ(h.counts[2], 1u);  // 5
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_NEAR(h.fraction(0), 0.5, 1e-12);
+}
+
+TEST(Stats, SummaryFields) {
+  const auto s = du::summarize({4, 1, 3, 2});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_FALSE(du::to_string(s).empty());
+}
+
+// -------------------------------------------------------------- strings ----
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = du::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  const auto parts = du::split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinAndTrim) {
+  EXPECT_EQ(du::join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(du::join({}, "-"), "");
+  EXPECT_EQ(du::trim("  x y  "), "x y");
+  EXPECT_EQ(du::trim("   "), "");
+}
+
+TEST(Strings, FixedPrecision) {
+  EXPECT_EQ(du::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(du::fixed(2.0, 0), "2");
+}
+
+// --------------------------------------------------------------- table -----
+
+TEST(Table, TextRenderingAligned) {
+  du::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string text = t.to_text("demo");
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  du::Table t({"a", "b"});
+  t.add_row({"x,y", "q\"z"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(Table, RowPaddedToHeader) {
+  du::Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_csv().find("only,,"), std::string::npos);
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  du::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  du::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  du::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    du::ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}

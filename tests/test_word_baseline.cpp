@@ -1,0 +1,95 @@
+// Tests for the count-based word-translation baseline.
+#include <gtest/gtest.h>
+
+#include "nmt/word_baseline.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dm = desmine::nmt;
+namespace dx = desmine::text;
+using desmine::util::Rng;
+
+TEST(WordBaseline, LearnsDeterministicSubstitution) {
+  dx::Corpus src, tgt;
+  Rng rng(1);
+  const std::vector<std::string> sw = {"a", "b", "c"};
+  const std::vector<std::string> tw = {"x", "y", "z"};
+  for (int k = 0; k < 50; ++k) {
+    dx::Sentence s, t;
+    for (int i = 0; i < 6; ++i) {
+      const std::size_t w = rng.index(3);
+      s.push_back(sw[w]);
+      t.push_back(tw[w]);
+    }
+    src.push_back(s);
+    tgt.push_back(t);
+  }
+  const auto model = dm::WordBaseline::fit(src, tgt);
+  EXPECT_EQ(model.max_position(), 6u);
+  // Perfect on the deterministic mapping.
+  EXPECT_NEAR(model.score(src, tgt).score, 100.0, 1e-9);
+  EXPECT_EQ(model.translate({"a", "c", "b"}),
+            (dx::Sentence{"x", "z", "y"}));
+}
+
+TEST(WordBaseline, UnseenSourceFallsBackToMarginal) {
+  const dx::Corpus src = {{"a", "a"}, {"a", "b"}};
+  const dx::Corpus tgt = {{"x", "x"}, {"x", "y"}};
+  const auto model = dm::WordBaseline::fit(src, tgt);
+  // "q" never seen at position 0: falls back to the positional mode "x".
+  const auto out = model.translate({"q", "q"});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "x");
+  EXPECT_EQ(out[1], "x");  // marginal at position 1 is {x:1, y:1} -> ties to x
+}
+
+TEST(WordBaseline, OutputClampedToTrainedPositions) {
+  const dx::Corpus src = {{"a", "b"}};
+  const dx::Corpus tgt = {{"x", "y"}};
+  const auto model = dm::WordBaseline::fit(src, tgt);
+  EXPECT_EQ(model.translate({"a", "b", "a", "b"}).size(), 2u);
+  EXPECT_EQ(model.translate({"a"}).size(), 1u);
+}
+
+TEST(WordBaseline, CannotCaptureContextualMappings) {
+  // Target depends on the *previous* source word — invisible to a
+  // position-wise model, so it must do poorly. (This is precisely the gap
+  // the seq2seq model fills; see bench_ablation_scorers.)
+  Rng rng(2);
+  dx::Corpus src, tgt;
+  for (int k = 0; k < 200; ++k) {
+    dx::Sentence s, t;
+    std::string prev = "a";
+    for (int i = 0; i < 6; ++i) {
+      const std::string cur = rng.bernoulli(0.5) ? "a" : "b";
+      s.push_back(cur);
+      t.push_back(prev == "a" ? "x" : "y");  // depends on s[i-1]
+      prev = cur;
+    }
+    src.push_back(s);
+    tgt.push_back(t);
+  }
+  const auto model = dm::WordBaseline::fit(src, tgt);
+  dx::Corpus test_src, test_tgt;
+  for (int k = 0; k < 30; ++k) {
+    dx::Sentence s, t;
+    std::string prev = "a";
+    for (int i = 0; i < 6; ++i) {
+      const std::string cur = rng.bernoulli(0.5) ? "a" : "b";
+      s.push_back(cur);
+      t.push_back(prev == "a" ? "x" : "y");
+      prev = cur;
+    }
+    test_src.push_back(s);
+    test_tgt.push_back(t);
+  }
+  EXPECT_LT(model.score(test_src, test_tgt).score, 80.0);
+}
+
+TEST(WordBaseline, ValidatesInputs) {
+  EXPECT_THROW(dm::WordBaseline::fit({}, {}), desmine::PreconditionError);
+  EXPECT_THROW(dm::WordBaseline::fit({{"a"}}, {}),
+               desmine::PreconditionError);
+  const auto model = dm::WordBaseline::fit({{"a"}}, {{"x"}});
+  EXPECT_THROW(model.score({{"a"}}, {}), desmine::PreconditionError);
+}

@@ -1,0 +1,231 @@
+// desmine command-line tool.
+//
+// Subcommands:
+//   generate --out plant.csv [--days N --minutes M --seed S]
+//       Emit a synthetic plant series as CSV (for trying the tool offline).
+//   train --train a.csv --dev b.csv --out model.bin [options]
+//       Fit the framework (Algorithm 1) on CSV event series and save the
+//       artifact.
+//   detect --model model.bin --test c.csv [--lo L --hi H --tolerance T]
+//       Score a CSV test series (Algorithm 2); prints one line per window.
+//   inspect --model model.bin [--lo L --hi H]
+//       Print graph statistics (per-band edges, degrees, popular sensors).
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "data/plant.h"
+#include "io/csv.h"
+#include "io/serialize.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace desmine;
+
+namespace {
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw PreconditionError("expected --option, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw PreconditionError("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw PreconditionError("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::FrameworkConfig config_from(const Args& args) {
+  core::FrameworkConfig cfg;
+  cfg.window.word_length = static_cast<std::size_t>(args.number("word", 10));
+  cfg.window.word_stride =
+      static_cast<std::size_t>(args.number("word-stride", 1));
+  cfg.window.sentence_length =
+      static_cast<std::size_t>(args.number("sentence", 20));
+  cfg.window.sentence_stride =
+      static_cast<std::size_t>(args.number("sentence-stride", 20));
+
+  auto& model = cfg.miner.translation.model;
+  model.embedding_dim = static_cast<std::size_t>(args.number("embedding", 64));
+  model.hidden_dim = static_cast<std::size_t>(args.number("hidden", 64));
+  model.num_layers = static_cast<std::size_t>(args.number("layers", 2));
+  model.dropout = static_cast<float>(args.number("dropout", 0.2));
+  model.max_decode_length = cfg.window.sentence_length + 2;
+
+  auto& trainer = cfg.miner.translation.trainer;
+  trainer.steps = static_cast<std::size_t>(args.number("steps", 1000));
+  trainer.batch_size = static_cast<std::size_t>(args.number("batch", 16));
+  trainer.lr = static_cast<float>(args.number("lr", 0.01));
+
+  cfg.miner.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+  cfg.miner.threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  cfg.detector.valid_lo = args.number("lo", 80.0);
+  cfg.detector.valid_hi = args.number("hi", 90.0);
+  cfg.detector.tolerance = args.number("tolerance", 0.0);
+  return cfg;
+}
+
+int cmd_generate(const Args& args) {
+  data::PlantConfig cfg;
+  cfg.days = static_cast<std::size_t>(args.number("days", 10));
+  cfg.minutes_per_day =
+      static_cast<std::size_t>(args.number("minutes", 240));
+  cfg.seed = static_cast<std::uint64_t>(args.number("seed", 7));
+  cfg.num_components = static_cast<std::size_t>(args.number("components", 3));
+  cfg.sensors_per_component = 3;
+  cfg.num_popular = 1;
+  cfg.num_lazy = 2;
+  cfg.num_constant = 1;
+  cfg.anomalies.clear();
+  const double anomaly_day = args.number("anomaly-day", -1);
+  if (anomaly_day >= 0) {
+    cfg.anomalies.push_back({static_cast<std::size_t>(anomaly_day), {}});
+  }
+  const auto plant = data::generate_plant(cfg);
+  io::write_series_csv(args.get("out"), plant.series);
+  std::cout << "wrote " << plant.series.size() << " sensors x "
+            << cfg.days * cfg.minutes_per_day << " ticks to "
+            << args.get("out") << "\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto train_series = io::read_series_csv(args.get("train"));
+  const auto dev_series = io::read_series_csv(args.get("dev"));
+  const core::FrameworkConfig cfg = config_from(args);
+
+  std::cout << "training pairwise models over " << train_series.size()
+            << " sensors...\n";
+  core::Framework fw(cfg);
+  fw.fit(train_series, dev_series);
+  io::save_framework(fw, args.get("out"));
+  std::cout << "trained " << fw.graph().edges().size()
+            << " directional models ("
+            << fw.encrypter().dropped_sensors().size()
+            << " constant sensors dropped); saved to " << args.get("out")
+            << "\n";
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  core::FrameworkConfig cfg;
+  cfg.detector.valid_lo = args.number("lo", 80.0);
+  cfg.detector.valid_hi = args.number("hi", 90.0);
+  cfg.detector.tolerance = args.number("tolerance", 0.0);
+  core::Framework fw = io::load_framework(args.get("model"), cfg);
+  const auto test_series = io::read_series_csv(args.get("test"));
+
+  const auto result = fw.detect(test_series);
+  util::Table t({"window", "anomaly score", "broken", "valid"});
+  const core::AnomalyDetector detector(fw.graph(), cfg.detector);
+  for (std::size_t w = 0; w < result.anomaly_scores.size(); ++w) {
+    t.add_row({std::to_string(w), util::fixed(result.anomaly_scores[w], 3),
+               std::to_string(result.broken_edges[w].size()),
+               std::to_string(result.valid_edges.size())});
+  }
+  std::cout << t.to_text("detection (band [" +
+                         util::fixed(cfg.detector.valid_lo, 0) + ", " +
+                         util::fixed(cfg.detector.valid_hi, 0) + "))");
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  core::Framework fw = io::load_framework(args.get("model"));
+  const auto& g = fw.graph();
+  std::cout << "sensors: " << g.sensor_count()
+            << ", directional models: " << g.edges().size() << "\n";
+
+  util::Table t({"BLEU band", "edges", "active sensors", "max in-degree"});
+  const double edges_total = static_cast<double>(g.edges().size());
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0, 60}, {60, 70}, {70, 80}, {80, 90}, {90, 100.5}}) {
+    const auto sub = g.filter_bleu(lo, hi);
+    const auto in = sub.in_degrees();
+    std::size_t max_in = 0;
+    for (std::size_t v : in) max_in = std::max(max_in, v);
+    t.add_row({"[" + util::fixed(lo, 0) + ", " + util::fixed(hi, 0) + ")",
+               std::to_string(sub.edges().size()) + " (" +
+                   util::fixed(100.0 * sub.edges().size() / edges_total, 1) +
+                   "%)",
+               std::to_string(sub.active_sensors().size()),
+               std::to_string(max_in)});
+  }
+  std::cout << t.to_text("band decomposition");
+
+  const double lo = args.number("lo", 80.0), hi = args.number("hi", 90.0);
+  const auto band = g.filter_bleu(lo, hi);
+  const auto in = band.in_degrees();
+  std::cout << "in-degrees in [" << lo << ", " << hi << "):";
+  for (std::size_t v = 0; v < g.sensor_count(); ++v) {
+    if (in[v] > 0) std::cout << " " << g.name(v) << "=" << in[v];
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr
+      << "usage: desmine_cli <generate|train|detect|inspect> [--option value]...\n"
+         "  generate --out plant.csv [--days N --minutes M --seed S --anomaly-day D]\n"
+         "  train    --train a.csv --dev b.csv --out model.bin\n"
+         "           [--word 10 --word-stride 1 --sentence 20 --sentence-stride 20\n"
+         "            --hidden 64 --embedding 64 --layers 2 --dropout 0.2\n"
+         "            --steps 1000 --batch 16 --lr 0.01 --seed 42 --threads 0]\n"
+         "  detect   --model model.bin --test c.csv [--lo 80 --hi 90 --tolerance 0]\n"
+         "  inspect  --model model.bin [--lo 80 --hi 90]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "inspect") return cmd_inspect(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
