@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nmt_settings.dir/bench_ablation_nmt_settings.cpp.o"
+  "CMakeFiles/bench_ablation_nmt_settings.dir/bench_ablation_nmt_settings.cpp.o.d"
+  "bench_ablation_nmt_settings"
+  "bench_ablation_nmt_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nmt_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scorers.dir/bench_ablation_scorers.cpp.o"
+  "CMakeFiles/bench_ablation_scorers.dir/bench_ablation_scorers.cpp.o.d"
+  "bench_ablation_scorers"
+  "bench_ablation_scorers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scorers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

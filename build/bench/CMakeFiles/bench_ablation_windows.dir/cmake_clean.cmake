@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_windows.dir/bench_ablation_windows.cpp.o"
+  "CMakeFiles/bench_ablation_windows.dir/bench_ablation_windows.cpp.o.d"
+  "bench_ablation_windows"
+  "bench_ablation_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_sequences.dir/bench_fig02_sequences.cpp.o"
+  "CMakeFiles/bench_fig02_sequences.dir/bench_fig02_sequences.cpp.o.d"
+  "bench_fig02_sequences"
+  "bench_fig02_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

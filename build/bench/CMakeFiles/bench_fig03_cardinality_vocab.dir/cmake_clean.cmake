@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_cardinality_vocab.dir/bench_fig03_cardinality_vocab.cpp.o"
+  "CMakeFiles/bench_fig03_cardinality_vocab.dir/bench_fig03_cardinality_vocab.cpp.o.d"
+  "bench_fig03_cardinality_vocab"
+  "bench_fig03_cardinality_vocab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_cardinality_vocab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

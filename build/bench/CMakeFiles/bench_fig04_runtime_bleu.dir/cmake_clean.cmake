@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_runtime_bleu.dir/bench_fig04_runtime_bleu.cpp.o"
+  "CMakeFiles/bench_fig04_runtime_bleu.dir/bench_fig04_runtime_bleu.cpp.o.d"
+  "bench_fig04_runtime_bleu"
+  "bench_fig04_runtime_bleu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_runtime_bleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

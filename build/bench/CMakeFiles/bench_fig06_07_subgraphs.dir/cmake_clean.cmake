@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_07_subgraphs.dir/bench_fig06_07_subgraphs.cpp.o"
+  "CMakeFiles/bench_fig06_07_subgraphs.dir/bench_fig06_07_subgraphs.cpp.o.d"
+  "bench_fig06_07_subgraphs"
+  "bench_fig06_07_subgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_07_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

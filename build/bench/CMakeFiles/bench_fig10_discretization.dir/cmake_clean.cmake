@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_discretization.dir/bench_fig10_discretization.cpp.o"
+  "CMakeFiles/bench_fig10_discretization.dir/bench_fig10_discretization.cpp.o.d"
+  "bench_fig10_discretization"
+  "bench_fig10_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_global_subgraphs.dir/bench_table1_global_subgraphs.cpp.o"
+  "CMakeFiles/bench_table1_global_subgraphs.dir/bench_table1_global_subgraphs.cpp.o.d"
+  "bench_table1_global_subgraphs"
+  "bench_table1_global_subgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_global_subgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_failure.dir/disk_failure.cpp.o"
+  "CMakeFiles/disk_failure.dir/disk_failure.cpp.o.d"
+  "disk_failure"
+  "disk_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

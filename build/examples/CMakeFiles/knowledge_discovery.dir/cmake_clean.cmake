@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_discovery.dir/knowledge_discovery.cpp.o"
+  "CMakeFiles/knowledge_discovery.dir/knowledge_discovery.cpp.o.d"
+  "knowledge_discovery"
+  "knowledge_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_monitoring.dir/plant_monitoring.cpp.o"
+  "CMakeFiles/plant_monitoring.dir/plant_monitoring.cpp.o.d"
+  "plant_monitoring"
+  "plant_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/CMakeFiles/desmine.dir/core/anomaly.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/anomaly.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/desmine.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/discretize.cpp" "src/CMakeFiles/desmine.dir/core/discretize.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/discretize.cpp.o.d"
+  "/root/repo/src/core/encryption.cpp" "src/CMakeFiles/desmine.dir/core/encryption.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/encryption.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/CMakeFiles/desmine.dir/core/event.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/event.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/CMakeFiles/desmine.dir/core/framework.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/framework.cpp.o.d"
+  "/root/repo/src/core/language.cpp" "src/CMakeFiles/desmine.dir/core/language.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/language.cpp.o.d"
+  "/root/repo/src/core/miner.cpp" "src/CMakeFiles/desmine.dir/core/miner.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/miner.cpp.o.d"
+  "/root/repo/src/core/mvr_graph.cpp" "src/CMakeFiles/desmine.dir/core/mvr_graph.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/mvr_graph.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/desmine.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/core/online.cpp.o.d"
+  "/root/repo/src/data/plant.cpp" "src/CMakeFiles/desmine.dir/data/plant.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/data/plant.cpp.o.d"
+  "/root/repo/src/data/smart.cpp" "src/CMakeFiles/desmine.dir/data/smart.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/data/smart.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/desmine.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/walktrap.cpp" "src/CMakeFiles/desmine.dir/graph/walktrap.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/graph/walktrap.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/desmine.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/desmine.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/desmine.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/dependence.cpp" "src/CMakeFiles/desmine.dir/ml/dependence.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/dependence.cpp.o.d"
+  "/root/repo/src/ml/isolation_forest.cpp" "src/CMakeFiles/desmine.dir/ml/isolation_forest.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/isolation_forest.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/desmine.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/desmine.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/ocsvm.cpp" "src/CMakeFiles/desmine.dir/ml/ocsvm.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/ocsvm.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/desmine.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/nmt/seq2seq.cpp" "src/CMakeFiles/desmine.dir/nmt/seq2seq.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nmt/seq2seq.cpp.o.d"
+  "/root/repo/src/nmt/trainer.cpp" "src/CMakeFiles/desmine.dir/nmt/trainer.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nmt/trainer.cpp.o.d"
+  "/root/repo/src/nmt/translation.cpp" "src/CMakeFiles/desmine.dir/nmt/translation.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nmt/translation.cpp.o.d"
+  "/root/repo/src/nmt/word_baseline.cpp" "src/CMakeFiles/desmine.dir/nmt/word_baseline.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nmt/word_baseline.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/desmine.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/desmine.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/desmine.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/CMakeFiles/desmine.dir/nn/gradcheck.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/desmine.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/desmine.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/desmine.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/param.cpp" "src/CMakeFiles/desmine.dir/nn/param.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/nn/param.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "src/CMakeFiles/desmine.dir/tensor/matrix.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/tensor/matrix.cpp.o.d"
+  "/root/repo/src/text/bleu.cpp" "src/CMakeFiles/desmine.dir/text/bleu.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/text/bleu.cpp.o.d"
+  "/root/repo/src/text/chrf.cpp" "src/CMakeFiles/desmine.dir/text/chrf.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/text/chrf.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/CMakeFiles/desmine.dir/text/vocabulary.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/text/vocabulary.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/desmine.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/desmine.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/desmine.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/desmine.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/desmine.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

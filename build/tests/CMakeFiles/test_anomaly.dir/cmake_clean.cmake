@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomaly.dir/test_anomaly.cpp.o"
+  "CMakeFiles/test_anomaly.dir/test_anomaly.cpp.o.d"
+  "test_anomaly"
+  "test_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

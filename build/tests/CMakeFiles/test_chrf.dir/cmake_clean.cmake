@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrf.dir/test_chrf.cpp.o"
+  "CMakeFiles/test_chrf.dir/test_chrf.cpp.o.d"
+  "test_chrf"
+  "test_chrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_plant.dir/test_data_plant.cpp.o"
+  "CMakeFiles/test_data_plant.dir/test_data_plant.cpp.o.d"
+  "test_data_plant"
+  "test_data_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

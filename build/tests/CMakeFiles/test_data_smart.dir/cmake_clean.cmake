@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_smart.dir/test_data_smart.cpp.o"
+  "CMakeFiles/test_data_smart.dir/test_data_smart.cpp.o.d"
+  "test_data_smart"
+  "test_data_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encryption.dir/test_encryption.cpp.o"
+  "CMakeFiles/test_encryption.dir/test_encryption.cpp.o.d"
+  "test_encryption"
+  "test_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inference_parity.dir/test_inference_parity.cpp.o"
+  "CMakeFiles/test_inference_parity.dir/test_inference_parity.cpp.o.d"
+  "test_inference_parity"
+  "test_inference_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inference_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

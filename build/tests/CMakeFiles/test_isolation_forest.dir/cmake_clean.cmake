@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isolation_forest.dir/test_isolation_forest.cpp.o"
+  "CMakeFiles/test_isolation_forest.dir/test_isolation_forest.cpp.o.d"
+  "test_isolation_forest"
+  "test_isolation_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isolation_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_language.dir/test_language.cpp.o"
+  "CMakeFiles/test_language.dir/test_language.cpp.o.d"
+  "test_language"
+  "test_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmt.dir/test_nmt.cpp.o"
+  "CMakeFiles/test_nmt.dir/test_nmt.cpp.o.d"
+  "test_nmt"
+  "test_nmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmt_extensions.dir/test_nmt_extensions.cpp.o"
+  "CMakeFiles/test_nmt_extensions.dir/test_nmt_extensions.cpp.o.d"
+  "test_nmt_extensions"
+  "test_nmt_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmt_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_word_baseline.dir/test_word_baseline.cpp.o"
+  "CMakeFiles/test_word_baseline.dir/test_word_baseline.cpp.o.d"
+  "test_word_baseline"
+  "test_word_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_word_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

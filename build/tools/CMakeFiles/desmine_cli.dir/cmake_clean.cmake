@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desmine_cli.dir/desmine_cli.cpp.o"
+  "CMakeFiles/desmine_cli.dir/desmine_cli.cpp.o.d"
+  "desmine_cli"
+  "desmine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desmine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
