@@ -18,6 +18,7 @@ namespace du = desmine::util;
 
 int main() {
   std::cout << "=== Figure 4: model runtime CDF and BLEU histogram ===\n";
+  db::enable_observability();
   const dd::PlantDataset plant = dd::generate_plant(db::mini_plant_config());
   const auto fw = db::plant_framework(plant);
   const auto& edges = fw.graph().edges();
@@ -59,5 +60,6 @@ int main() {
   db::expectation("total directional pair models",
                   "128*127 at paper scale",
                   std::to_string(edges.size()) + " (mini scale)");
+  db::dump_observability("fig04");
   return 0;
 }

@@ -79,6 +79,7 @@ void run_band(const dc::Framework& fw, const dd::PlantDataset& plant,
 
 int main() {
   std::cout << "=== Figure 8: anomaly detection timeline ===\n";
+  db::enable_observability();
   const dd::PlantDataset plant = dd::generate_plant(db::mini_plant_config());
   const auto fw = db::plant_framework(plant);
 
@@ -94,5 +95,6 @@ int main() {
                   "flat, too low to signal anomalies",
                   "smaller separation than [80,90) (trivially translatable "
                   "targets keep scoring high)");
+  db::dump_observability("fig08");
   return 0;
 }

@@ -5,7 +5,13 @@
 #include <filesystem>
 #include <iostream>
 
+#include <fstream>
+
 #include "io/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
 #include "util/stats.h"
 #include "util/strings.h"
 
@@ -265,6 +271,32 @@ void print_cdf(const std::string& title, const std::vector<double>& samples,
     t.add_row({util::fixed(v, 2), util::fixed(util::cdf_at(samples, v), 3)});
   }
   std::cout << t.to_text(title);
+}
+
+void enable_observability(const std::string& level) {
+  obs::logger().set_level(obs::parse_level(level));
+  obs::tracer().enable();
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot write " + path);
+  out << content << "\n";
+}
+
+}  // namespace
+
+void dump_observability(const std::string& bench_name) {
+  const std::string metrics_path =
+      artifact_dir() + "/BENCH_" + bench_name + "_metrics.json";
+  const std::string trace_path =
+      artifact_dir() + "/BENCH_" + bench_name + "_trace.json";
+  write_file(metrics_path, obs::metrics().to_json());
+  write_file(trace_path, obs::tracer().to_chrome_json());
+  std::cout << "[obs] wrote " << metrics_path << " and " << trace_path
+            << "\n";
 }
 
 }  // namespace desmine::bench

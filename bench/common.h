@@ -97,4 +97,15 @@ void print_cdf(const std::string& title, const std::vector<double>& samples,
 /// Directory where bench artifacts are cached.
 std::string artifact_dir();
 
+// ---- observability ----------------------------------------------------------
+
+/// Turn on span tracing and raise logging to `level` for this bench process.
+/// Call at the top of main, before any pipeline work.
+void enable_observability(const std::string& level = "info");
+
+/// Write the phase timings gathered while the bench ran:
+///   bench_artifacts/BENCH_<name>_metrics.json  (metrics registry dump)
+///   bench_artifacts/BENCH_<name>_trace.json    (chrome://tracing spans)
+void dump_observability(const std::string& bench_name);
+
 }  // namespace desmine::bench

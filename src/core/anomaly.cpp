@@ -1,5 +1,8 @@
 #include "core/anomaly.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -26,6 +29,11 @@ DetectionResult AnomalyDetector::detect(
                     "test corpora must be aligned across sensors");
   }
 
+  const obs::ScopedTimer detect_timer(
+      "detect", {obs::kv("windows", windows),
+                 obs::kv("valid_edges", valid_edges_.size())});
+  obs::Histogram& edge_ms = obs::metrics().histogram("detector.edge_score_ms");
+
   DetectionResult result;
   result.valid_edges = valid_edges_;
   for (MvrEdge& e : result.valid_edges) e.model.reset();
@@ -40,6 +48,7 @@ DetectionResult AnomalyDetector::detect(
     DESMINE_EXPECTS(edge.src < test_sentences.size() &&
                         edge.dst < test_sentences.size(),
                     "edge endpoint missing from test data");
+    const obs::ScopedTimer timer("score-edge", edge_ms);
     const text::Corpus& src = test_sentences[edge.src];
     const text::Corpus& dst = test_sentences[edge.dst];
     for (std::size_t t = 0; t < windows; ++t) {
@@ -68,6 +77,15 @@ DetectionResult AnomalyDetector::detect(
     }
     result.anomaly_scores[t] = pt == 0.0 ? 0.0 : static_cast<double>(broken) / pt;
   }
+
+  obs::metrics().counter("detector.windows_scored").inc(windows);
+  obs::metrics()
+      .counter("detector.edge_windows_scored")
+      .inc(windows * valid_edges_.size());
+  DESMINE_LOG_DEBUG("detection pass complete",
+                    {obs::kv("windows", windows),
+                     obs::kv("valid_edges", valid_edges_.size()),
+                     obs::kv("wall_ms", detect_timer.elapsed_ms())});
   return result;
 }
 

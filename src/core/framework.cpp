@@ -1,5 +1,7 @@
 #include "core/framework.h"
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace desmine::core {
@@ -9,30 +11,46 @@ Framework::Framework(FrameworkConfig config)
 
 void Framework::fit(const MultivariateSeries& train,
                     const MultivariateSeries& dev) {
-  encrypter_ = SensorEncrypter::fit(train);
+  obs::Span fit_span("fit");
+  {
+    const obs::ScopedTimer timer("encrypt");
+    encrypter_ = SensorEncrypter::fit(train);
+  }
   DESMINE_EXPECTS(encrypter_->kept_sensors().size() >= 2,
                   "fewer than two informative sensors after filtering");
-
-  const std::vector<std::string> train_chars = encrypter_->encode_all(train);
-  const std::vector<std::string> dev_chars = encrypter_->encode_all(dev);
+  DESMINE_LOG_INFO("encrypter fitted",
+                   {obs::kv("kept", encrypter_->kept_sensors().size()),
+                    obs::kv("dropped", encrypter_->dropped_sensors().size())});
 
   std::vector<SensorLanguage> languages;
-  languages.reserve(train_chars.size());
-  for (std::size_t k = 0; k < train_chars.size(); ++k) {
-    SensorLanguage lang;
-    lang.name = encrypter_->kept_sensors()[k];
-    lang.train = language_.generate(train_chars[k]);
-    lang.dev = language_.generate(dev_chars[k]);
-    languages.push_back(std::move(lang));
+  {
+    const obs::ScopedTimer timer("language");
+    const std::vector<std::string> train_chars = encrypter_->encode_all(train);
+    const std::vector<std::string> dev_chars = encrypter_->encode_all(dev);
+
+    languages.reserve(train_chars.size());
+    for (std::size_t k = 0; k < train_chars.size(); ++k) {
+      SensorLanguage lang;
+      lang.name = encrypter_->kept_sensors()[k];
+      lang.train = language_.generate(train_chars[k]);
+      lang.dev = language_.generate(dev_chars[k]);
+      languages.push_back(std::move(lang));
+    }
+    DESMINE_LOG_DEBUG(
+        "languages generated",
+        {obs::kv("sensors", languages.size()),
+         obs::kv("train_sentences", languages.front().train.size()),
+         obs::kv("dev_sentences", languages.front().dev.size())});
   }
 
   const RelationshipMiner miner(config_.miner);
-  graph_ = miner.mine(languages);
+  graph_ = miner.mine(languages);  // times itself as phase "mine"
 }
 
 std::vector<text::Corpus> Framework::to_corpora(
     const MultivariateSeries& series) const {
   DESMINE_EXPECTS(fitted(), "fit() must run first");
+  const obs::ScopedTimer timer("encode");
   const std::vector<std::string> chars = encrypter_->encode_all(series);
   std::vector<text::Corpus> corpora;
   corpora.reserve(chars.size());

@@ -4,6 +4,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -44,17 +47,57 @@ MvrGraph RelationshipMiner::mine(
   const util::Rng master(config_.seed);
   std::vector<MvrEdge> results(pairs.size());
 
+  const obs::ScopedTimer mine_timer("mine", {obs::kv("sensors", n),
+                                             obs::kv("pairs", pairs.size())});
+  obs::Counter& pairs_trained = obs::metrics().counter("miner.pairs_trained");
+  obs::Histogram& pair_wall_ms =
+      obs::metrics().histogram("miner.pair_wall_ms");
+  obs::Histogram& pair_bleu = obs::metrics().histogram("miner.pair_bleu");
+
   auto train_pair = [&](std::size_t p) {
     const auto [i, j] = pairs[p];
     const SensorLanguage& src = languages[i];
     const SensorLanguage& dst = languages[j];
 
+    obs::Span span("train-pair",
+                   {obs::kv("src", src.name), obs::kv("dst", dst.name)});
     const auto start = std::chrono::steady_clock::now();
+    nmt::TrainingHistory history;
     nmt::TranslationModel model = nmt::train_translation_model(
-        src.train, dst.train, config_.translation, master.fork(p).seed());
-    const text::BleuBreakdown dev_score =
-        model.score(src.dev, dst.dev, config_.translation.bleu);
+        src.train, dst.train, config_.translation, master.fork(p).seed(),
+        &history);
+    text::BleuBreakdown dev_score;
+    {
+      obs::Span score_span("bleu-score");
+      dev_score = model.score(src.dev, dst.dev, config_.translation.bleu);
+    }
     const auto end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    span.annotate(obs::kv("bleu", dev_score.score));
+
+    pairs_trained.inc();
+    pair_wall_ms.record(wall_ms);
+    pair_bleu.record(dev_score.score);
+    DESMINE_LOG_DEBUG("pair model trained",
+                      {obs::kv("pair", p), obs::kv("src", src.name),
+                       obs::kv("dst", dst.name),
+                       obs::kv("bleu", dev_score.score),
+                       obs::kv("wall_ms", wall_ms),
+                       obs::kv("steps", history.steps_run)});
+    if (config_.on_pair) {
+      PairEvent event;
+      event.pair_index = p;
+      event.pair_count = pairs.size();
+      event.src = i;
+      event.dst = j;
+      event.src_name = src.name;
+      event.dst_name = dst.name;
+      event.bleu = dev_score.score;
+      event.wall_ms = wall_ms;
+      event.steps_run = history.steps_run;
+      config_.on_pair(event);
+    }
 
     MvrEdge edge;
     edge.src = i;
@@ -74,6 +117,9 @@ MvrGraph RelationshipMiner::mine(
   }
 
   for (MvrEdge& edge : results) graph.add_edge(std::move(edge));
+  DESMINE_LOG_INFO("relationship mining complete",
+                   {obs::kv("sensors", n), obs::kv("pairs", pairs.size()),
+                    obs::kv("wall_ms", mine_timer.elapsed_ms())});
   return graph;
 }
 

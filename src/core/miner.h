@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/mvr_graph.h"
@@ -26,10 +28,29 @@ struct SensorLanguage {
   text::Corpus dev;
 };
 
+/// One finished directional pair model, delivered through
+/// MinerConfig::on_pair as mining progresses. Names point into the miner's
+/// language list and are only valid during the callback.
+struct PairEvent {
+  std::size_t pair_index = 0;  ///< stable enumeration order, 0-based
+  std::size_t pair_count = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::string_view src_name;
+  std::string_view dst_name;
+  double bleu = 0.0;
+  double wall_ms = 0.0;
+  std::size_t steps_run = 0;  ///< training steps the pair model actually ran
+};
+
 struct MinerConfig {
   nmt::TranslationConfig translation{};
   std::size_t threads = 0;      ///< 0 = hardware concurrency
   std::uint64_t seed = 42;      ///< master seed; per-pair seeds are forked
+
+  /// Progress hook called once per trained pair. Runs on the training
+  /// thread (possibly a pool worker); must be thread-safe and cheap.
+  std::function<void(const PairEvent&)> on_pair;
 };
 
 class RelationshipMiner {

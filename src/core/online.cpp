@@ -1,5 +1,7 @@
 #include "core/online.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace desmine::core {
@@ -34,6 +36,7 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
     buffers_[k] += encrypter_.encode(kept[k], {it->second});
   }
   ++ticks_;
+  obs::metrics().counter("online.ticks").inc();
 
   // Does the stream now cover the next window?
   const std::size_t needed = window_start(next_window_) + window_span();
@@ -61,6 +64,12 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
                             result.valid_edges[e].dst);
   }
   ++next_window_;
+  obs::metrics().counter("online.windows_emitted").inc();
+  DESMINE_LOG_DEBUG("online window scored",
+                    {obs::kv("window", out.window_index),
+                     obs::kv("end_tick", out.end_tick),
+                     obs::kv("score", out.anomaly_score),
+                     obs::kv("broken", out.broken.size())});
 
   // Characters before the next window's start are never needed again;
   // trimming in bulk keeps memory bounded on unbounded streams without

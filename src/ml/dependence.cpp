@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/log.h"
 #include "util/error.h"
 
 namespace desmine::ml {
@@ -134,6 +135,10 @@ LagScan scan_lags(const core::EventSequence& a, const core::EventSequence& b,
       scan.best_lag = lag;
     }
   }
+  DESMINE_LOG_DEBUG("lag scan complete",
+                    {obs::kv("max_lag", max_lag),
+                     obs::kv("best_lag", scan.best_lag),
+                     obs::kv("best_nmi", scan.best_nmi)});
   return scan;
 }
 

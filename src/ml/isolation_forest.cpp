@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/log.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -44,6 +45,11 @@ void IsolationForest::fit(const FeatureMatrix& rows,
   }
   calibrated_ = false;
   threshold_ = 1.0;
+  DESMINE_LOG_DEBUG("isolation forest fitted",
+                    {obs::kv("trees", config.num_trees),
+                     obs::kv("rows", rows.size()),
+                     obs::kv("subsample", sample),
+                     obs::kv("max_depth", max_depth)});
 }
 
 std::size_t IsolationForest::build(Tree& tree, const FeatureMatrix& rows,
@@ -130,6 +136,9 @@ void IsolationForest::calibrate_threshold(const FeatureMatrix& rows,
   for (const auto& row : rows) scores.push_back(score(row));
   threshold_ = util::percentile(scores, percentile);
   calibrated_ = true;
+  DESMINE_LOG_DEBUG("isolation forest calibrated",
+                    {obs::kv("percentile", percentile),
+                     obs::kv("threshold", threshold_)});
 }
 
 }  // namespace desmine::ml

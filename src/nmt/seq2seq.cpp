@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "nn/loss.h"
+#include "obs/log.h"
 #include "util/error.h"
 
 namespace desmine::nmt {
@@ -154,14 +155,25 @@ std::vector<std::int32_t> Seq2SeqModel::translate(
 
   std::vector<std::int32_t> output;
   std::int32_t prev = text::Vocabulary::kBos;
+  bool saw_eos = false;
   for (std::size_t t = 0; t < config_.max_decode_length; ++t) {
     const tensor::Matrix& h_dec = decoder_.step(tgt_embed_.forward({prev}));
     const tensor::Matrix attn = attention_.step(h_dec);
     const tensor::Matrix logits = out_.forward(attn);
     const std::int32_t next = nn::argmax_rows(logits)[0];
-    if (next == text::Vocabulary::kEos) break;
+    if (next == text::Vocabulary::kEos) {
+      saw_eos = true;
+      break;
+    }
     output.push_back(next);
     prev = next;
+  }
+  // A truncated decode usually means max_decode_length is too small for the
+  // configured sentence length; scores computed from it are suspect.
+  if (!saw_eos) {
+    DESMINE_LOG_DEBUG("greedy decode truncated before </s>",
+                      {obs::kv("max_decode_length", config_.max_decode_length),
+                       obs::kv("source_length", source.size())});
   }
   return output;
 }

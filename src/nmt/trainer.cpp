@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace desmine::nmt {
@@ -77,6 +78,9 @@ TrainingHistory run_training(Seq2SeqModel& model,
   history.losses.reserve(config.steps);
   std::size_t evals_without_improvement = 0;
 
+  static obs::Counter& steps_total =
+      obs::metrics().counter("nmt.train.steps");
+
   for (std::size_t step = 0; step < config.steps; ++step) {
     // Learning-rate schedule: halve every lr_decay_every past the start.
     if (config.lr_decay_every > 0 && step >= config.lr_decay_start &&
@@ -99,17 +103,27 @@ TrainingHistory run_training(Seq2SeqModel& model,
     optimizer.step();
     history.losses.push_back(loss);
     history.steps_run = step + 1;
+    steps_total.inc();
 
+    StepEvent event;
+    event.step = step + 1;
+    event.loss = loss;
+    event.lr = optimizer.config().lr;
+
+    bool stop = false;
     if (evaluating && (step + 1) % config.eval_every == 0) {
       const double dl = dev_loss(model, dev, config.batch_size);
       history.dev_losses.emplace_back(step + 1, dl);
+      event.dev_loss = dl;
       if (dl < history.best_dev_loss - 1e-6) {
         history.best_dev_loss = dl;
         evals_without_improvement = 0;
       } else if (++evals_without_improvement >= config.patience) {
-        break;  // early stop
+        stop = true;  // early stop
       }
     }
+    if (config.on_step) config.on_step(event);
+    if (stop) break;
   }
   history.final_loss = history.losses.back();
   if (!evaluating) history.best_dev_loss = 0.0;

@@ -1,12 +1,23 @@
 // Training loop for Seq2SeqModel: bucketed mini-batches, Adam, grad clipping.
 #pragma once
 
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "nmt/seq2seq.h"
 #include "util/rng.h"
 
 namespace desmine::nmt {
+
+/// Per-step training progress, delivered through TrainerConfig::on_step.
+struct StepEvent {
+  std::size_t step = 0;  ///< 1-based
+  double loss = 0.0;     ///< mean per-token loss of this step's batch
+  float lr = 0.0f;       ///< learning rate after the schedule applied
+  /// Mean dev loss when this step ran an evaluation, NaN otherwise.
+  double dev_loss = std::numeric_limits<double>::quiet_NaN();
+};
 
 struct TrainerConfig {
   std::size_t steps = 1000;   ///< paper: 1000 training steps
@@ -25,6 +36,10 @@ struct TrainerConfig {
   /// improvement. eval_every == 0 disables evaluation.
   std::size_t eval_every = 0;
   std::size_t patience = 3;
+
+  /// Progress hook called after every training step (miner wires this into
+  /// per-pair telemetry). Beware: runs on the training thread; keep it cheap.
+  std::function<void(const StepEvent&)> on_step;
 };
 
 struct TrainingHistory {

@@ -1,5 +1,6 @@
 #include "nmt/translation.h"
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace desmine::nmt {
@@ -46,7 +47,8 @@ std::vector<EncodedPair> encode_pairs(const text::Vocabulary& src_vocab,
 TranslationModel train_translation_model(const text::Corpus& train_source,
                                          const text::Corpus& train_target,
                                          const TranslationConfig& config,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed,
+                                         TrainingHistory* history) {
   DESMINE_EXPECTS(!train_source.empty(), "training corpus must be non-empty");
   text::Vocabulary src_vocab = text::Vocabulary::build(train_source);
   text::Vocabulary tgt_vocab = text::Vocabulary::build(train_target);
@@ -56,7 +58,13 @@ TranslationModel train_translation_model(const text::Corpus& train_source,
       src_vocab.size(), tgt_vocab.size(), config.model, rng.fork(1));
   const std::vector<EncodedPair> pairs =
       encode_pairs(src_vocab, tgt_vocab, train_source, train_target);
-  train(*model, pairs, config.trainer, rng.fork(2));
+  {
+    obs::Span span("train");
+    TrainingHistory h = train(*model, pairs, config.trainer, rng.fork(2));
+    span.annotate(obs::kv("steps", h.steps_run));
+    span.annotate(obs::kv("final_loss", h.final_loss));
+    if (history) *history = std::move(h);
+  }
 
   return TranslationModel(std::move(src_vocab), std::move(tgt_vocab),
                           std::move(model));

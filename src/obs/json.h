@@ -1,0 +1,47 @@
+// Minimal streaming JSON emitter for the observability exporters.
+//
+// Handles comma placement, string escaping, and non-finite number clamping;
+// callers drive nesting with begin/end pairs (checked via DESMINE_ENSURES).
+// This is an emitter only — the library never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desmine::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The document built so far. Valid once every begin_* is closed.
+  const std::string& str() const { return out_; }
+
+  /// Escape `s` as a JSON string literal (including the quotes).
+  static std::string quote(std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> container_has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace desmine::obs

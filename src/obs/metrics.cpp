@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "obs/json.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace desmine::obs {
+
+// ---------------------------------------------------------- Histogram ------
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > bucket_upper(0))) return 0;  // also catches NaN / non-positive
+  const int b = static_cast<int>(std::ceil(std::log2(v))) + kExpOffset;
+  if (b < 1) return 1;
+  if (b >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double Histogram::bucket_upper(std::size_t b) {
+  return std::exp2(static_cast<int>(b) - kExpOffset);
+}
+
+Histogram::Shard& Histogram::this_thread_shard(
+    std::array<Shard, kShards>& shards) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards[index];
+}
+
+void Histogram::record(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  Shard& shard = this_thread_shard(shards_);
+  shard.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + v,
+                                          std::memory_order_relaxed)) {
+  }
+  double lo = shard.min.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !shard.min.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = shard.max.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !shard.max.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    const std::uint64_t n = shard.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.count += n;
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, shard.min.load(std::memory_order_relaxed));
+    hi = std::max(hi, shard.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count > 0) {
+    snap.min = lo;
+    snap.max = hi;
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return std::min(bucket_upper(b), max);
+  }
+  return max;
+}
+
+// ---------------------------------------------------- MetricsRegistry ------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(s.count);
+    w.key("sum").value(s.sum);
+    w.key("min").value(s.min);
+    w.key("max").value(s.max);
+    w.key("mean").value(s.mean());
+    w.key("p50").value(s.quantile(0.50));
+    w.key("p95").value(s.quantile(0.95));
+    w.key("p99").value(s.quantile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;
+      w.begin_object();
+      w.key("le").value(Histogram::bucket_upper(b));
+      w.key("count").value(s.buckets[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  if (!counters_.empty()) {
+    util::Table t({"counter", "value"});
+    for (const auto& [name, c] : counters_) {
+      t.add_row({name, std::to_string(c->value())});
+    }
+    out += t.to_text("counters");
+  }
+  if (!gauges_.empty()) {
+    util::Table t({"gauge", "value"});
+    for (const auto& [name, g] : gauges_) {
+      t.add_row({name, util::fixed(g->value(), 3)});
+    }
+    out += t.to_text("gauges");
+  }
+  if (!histograms_.empty()) {
+    util::Table t({"histogram", "count", "mean", "p50", "p95", "max"});
+    for (const auto& [name, h] : histograms_) {
+      const Histogram::Snapshot s = h->snapshot();
+      t.add_row({name, std::to_string(s.count), util::fixed(s.mean(), 3),
+                 util::fixed(s.quantile(0.50), 3),
+                 util::fixed(s.quantile(0.95), 3), util::fixed(s.max, 3)});
+    }
+    out += t.to_text("histograms");
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace desmine::obs

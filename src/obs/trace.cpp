@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <iterator>
+#include <map>
+#include <thread>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace desmine::obs {
+
+namespace {
+
+/// Open spans of the current thread, innermost last. Entries carry the owning
+/// tracer so independent Tracer instances (tests) don't cross-parent.
+thread_local std::vector<std::pair<const Tracer*, std::uint32_t>>
+    tls_open_spans;
+
+std::uint64_t this_thread_hash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+void Tracer::reset() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::uint32_t Tracer::begin_span(std::string name, std::vector<Field> attrs) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.attrs = std::move(attrs);
+  record.thread_id = this_thread_hash();
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->first == this) {
+      record.parent = it->second;
+      break;
+    }
+  }
+  std::uint32_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    record.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    id = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(record));
+  }
+  tls_open_spans.emplace_back(this, id);
+  return id;
+}
+
+void Tracer::end_span(std::uint32_t id, std::vector<Field> extra_attrs) {
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->first == this && it->second == id) {
+      tls_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  if (id >= records_.size()) return;  // reset() raced a still-open span
+  SpanRecord& record = records_[id];
+  record.end_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  for (Field& f : extra_attrs) record.attrs.push_back(std::move(f));
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<SpanRecord> records = this->records();
+
+  // Compact thread hashes into small tids for readable tracks.
+  std::map<std::uint64_t, int> tids;
+  for (const SpanRecord& r : records) {
+    tids.emplace(r.thread_id, static_cast<int>(tids.size()));
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const SpanRecord& r : records) {
+    if (!r.finished()) continue;
+    w.begin_object();
+    w.key("name").value(std::string_view(r.name));
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(r.start_ns) / 1000.0);
+    w.key("dur").value(static_cast<double>(r.end_ns - r.start_ns) / 1000.0);
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(static_cast<std::uint64_t>(tids.at(r.thread_id)));
+    if (!r.attrs.empty()) {
+      w.key("args").begin_object();
+      for (const Field& f : r.attrs) {
+        w.key(f.key).value(std::string_view(f.value));
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+std::string Tracer::to_tree_json() const {
+  const std::vector<SpanRecord> records = this->records();
+
+  std::vector<std::vector<std::uint32_t>> children(records.size());
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    if (!records[i].finished()) continue;
+    const std::uint32_t p = records[i].parent;
+    if (p != SpanRecord::kNoParent && p < records.size() &&
+        records[p].finished()) {
+      children[p].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+
+  JsonWriter w;
+  std::function<void(std::uint32_t)> emit = [&](std::uint32_t i) {
+    const SpanRecord& r = records[i];
+    w.begin_object();
+    w.key("name").value(std::string_view(r.name));
+    w.key("start_ms").value(static_cast<double>(r.start_ns) / 1e6);
+    w.key("duration_ms").value(static_cast<double>(r.end_ns - r.start_ns) /
+                               1e6);
+    if (!r.attrs.empty()) {
+      w.key("attrs").begin_object();
+      for (const Field& f : r.attrs) {
+        w.key(f.key).value(std::string_view(f.value));
+      }
+      w.end_object();
+    }
+    if (!children[i].empty()) {
+      w.key("children").begin_array();
+      for (std::uint32_t c : children[i]) emit(c);
+      w.end_array();
+    }
+    w.end_object();
+  };
+
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (std::uint32_t r : roots) emit(r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+// --------------------------------------------------------------- Span ------
+
+Span::Span(std::string name, std::vector<Field> attrs)
+    : start_(std::chrono::steady_clock::now()) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  id_ = t.begin_span(std::move(name), std::move(attrs));
+}
+
+Span::~Span() {
+  if (active()) tracer().end_span(id_, std::move(late_attrs_));
+}
+
+void Span::annotate(Field field) {
+  if (active()) late_attrs_.push_back(std::move(field));
+}
+
+// --------------------------------------------------------- ScopedTimer -----
+
+ScopedTimer::ScopedTimer(const std::string& phase, std::vector<Field> attrs)
+    : span_(phase, std::move(attrs)),
+      sink_(metrics().histogram("phase." + phase + ".wall_ms")),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::ScopedTimer(std::string span_name, Histogram& sink,
+                         std::vector<Field> attrs)
+    : span_(std::move(span_name), std::move(attrs)),
+      sink_(sink),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() { sink_.record(elapsed_ms()); }
+
+}  // namespace desmine::obs

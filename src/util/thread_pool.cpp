@@ -4,7 +4,11 @@
 
 namespace desmine::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : queue_depth_(obs::metrics().gauge("threadpool.queue_depth")),
+      submitted_(obs::metrics().counter("threadpool.tasks_submitted")),
+      completed_(obs::metrics().counter("threadpool.tasks_completed")),
+      queue_wait_us_(obs::metrics().histogram("threadpool.queue_wait_us")) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -25,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -34,7 +38,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_.add(-1.0);
+    queue_wait_us_.record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - task.enqueued)
+            .count());
+    task.run();
+    completed_.inc();
   }
 }
 

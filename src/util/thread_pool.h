@@ -2,6 +2,7 @@
 // parallel (the paper notes pair models are embarrassingly parallel, §III-A2).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -11,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace desmine::util {
 
 /// A minimal work-queue thread pool.
@@ -18,6 +21,12 @@ namespace desmine::util {
 /// Tasks may throw: the exception is captured into the task's future. The
 /// destructor drains outstanding tasks before joining, so submitted work is
 /// never silently dropped.
+///
+/// Every pool reports into the process-wide metrics registry:
+///   threadpool.queue_depth      gauge    tasks currently queued
+///   threadpool.tasks_submitted  counter  submit() calls
+///   threadpool.tasks_completed  counter  tasks run to completion
+///   threadpool.queue_wait_us    histogram  time a task sat queued
 class ThreadPool {
  public:
   /// Spawn `threads` workers (>= 1; defaults to hardware concurrency).
@@ -36,8 +45,11 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(
+          {[task] { (*task)(); }, std::chrono::steady_clock::now()});
     }
+    submitted_.inc();
+    queue_depth_.add(1.0);
     cv_.notify_one();
     return fut;
   }
@@ -49,13 +61,23 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
  private:
+  struct Task {
+    std::function<void()> run;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  obs::Gauge& queue_depth_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Histogram& queue_wait_us_;
 };
 
 }  // namespace desmine::util

@@ -10,7 +10,14 @@
 //       Score a CSV test series (Algorithm 2); prints one line per window.
 //   inspect --model model.bin [--lo L --hi H]
 //       Print graph statistics (per-band edges, degrees, popular sensors).
+//
+// Observability options (any subcommand):
+//   --log-level trace|debug|info|warn|error|off   (default info)
+//   --log-json FILE       structured JSON-lines log in addition to stderr
+//   --metrics-out FILE    dump the metrics registry as JSON on exit
+//   --trace-out FILE      record spans; dump chrome://tracing JSON on exit
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -20,6 +27,9 @@
 #include "data/plant.h"
 #include "io/csv.h"
 #include "io/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -28,7 +38,8 @@ using namespace desmine;
 
 namespace {
 
-/// Minimal --key value argument map.
+/// Minimal --key value argument map. Accepts both "--key value" and
+/// "--key=value".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -38,6 +49,10 @@ class Args {
         throw PreconditionError("expected --option, got '" + key + "'");
       }
       key = key.substr(2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 >= argc) {
         throw PreconditionError("missing value for --" + key);
       }
@@ -125,7 +140,18 @@ int cmd_generate(const Args& args) {
 int cmd_train(const Args& args) {
   const auto train_series = io::read_series_csv(args.get("train"));
   const auto dev_series = io::read_series_csv(args.get("dev"));
-  const core::FrameworkConfig cfg = config_from(args);
+  core::FrameworkConfig cfg = config_from(args);
+
+  // Per-pair progress through the logger (visible at --log-level info;
+  // the miner also emits per-pair debug records with step counts).
+  cfg.miner.on_pair = [](const core::PairEvent& e) {
+    obs::logger().info(
+        "pair " + std::to_string(e.pair_index + 1) + "/" +
+            std::to_string(e.pair_count),
+        {obs::kv("src", e.src_name), obs::kv("dst", e.dst_name),
+         obs::kv("bleu", e.bleu), obs::kv("wall_ms", e.wall_ms),
+         obs::kv("steps", e.steps_run)});
+  };
 
   std::cout << "training pairwise models over " << train_series.size()
             << " sensors...\n";
@@ -205,7 +231,43 @@ void usage() {
          "            --hidden 64 --embedding 64 --layers 2 --dropout 0.2\n"
          "            --steps 1000 --batch 16 --lr 0.01 --seed 42 --threads 0]\n"
          "  detect   --model model.bin --test c.csv [--lo 80 --hi 90 --tolerance 0]\n"
-         "  inspect  --model model.bin [--lo 80 --hi 90]\n";
+         "  inspect  --model model.bin [--lo 80 --hi 90]\n"
+         "observability (any subcommand; --key=value also accepted):\n"
+         "  --log-level trace|debug|info|warn|error|off   (default info)\n"
+         "  --log-json FILE      JSON-lines log in addition to stderr\n"
+         "  --metrics-out FILE   dump counters/gauges/histograms JSON on exit\n"
+         "  --trace-out FILE     dump chrome://tracing span JSON on exit\n";
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot write " + path);
+  out << content << "\n";
+}
+
+/// Configure the obs layer from the shared flags before a command runs.
+void setup_observability(const Args& args) {
+  obs::logger().set_level(obs::parse_level(args.get_or("log-level", "info")));
+  const std::string log_json = args.get_or("log-json", "");
+  if (!log_json.empty()) {
+    obs::logger().add_sink(std::make_shared<obs::JsonLinesSink>(log_json));
+  }
+  if (!args.get_or("trace-out", "").empty()) obs::tracer().enable();
+}
+
+/// Export metrics/trace dumps after a command finished.
+void dump_observability(const Args& args) {
+  const std::string metrics_out = args.get_or("metrics-out", "");
+  if (!metrics_out.empty()) {
+    write_file(metrics_out, obs::metrics().to_json());
+    obs::logger().info("metrics written", {obs::kv("path", metrics_out)});
+  }
+  const std::string trace_out = args.get_or("trace-out", "");
+  if (!trace_out.empty()) {
+    write_file(trace_out, obs::tracer().to_chrome_json());
+    write_file(trace_out + ".tree.json", obs::tracer().to_tree_json());
+    obs::logger().info("trace written", {obs::kv("path", trace_out)});
+  }
 }
 
 }  // namespace
@@ -218,12 +280,22 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "detect") return cmd_detect(args);
-    if (command == "inspect") return cmd_inspect(args);
-    usage();
-    return 2;
+    setup_observability(args);
+    int rc = 2;
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "train") {
+      rc = cmd_train(args);
+    } else if (command == "detect") {
+      rc = cmd_detect(args);
+    } else if (command == "inspect") {
+      rc = cmd_inspect(args);
+    } else {
+      usage();
+      return 2;
+    }
+    dump_observability(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
