@@ -6,6 +6,14 @@
 // pair models share one architecture/configuration so their BLEU scores are
 // comparable. Pairs are independent, so training fans out over a thread
 // pool.
+//
+// Fault tolerance (ISSUE 2): each pair is isolated — a crash, divergence, or
+// deadline overrun in one pair never aborts the run. Failed pairs are
+// retried up to retry.max_retries times with a forked seed and a halved
+// learning rate; permanently failed pairs are recorded in the MvrGraph as
+// absent edges with a reason. With a checkpoint journal configured, every
+// finished pair is durably journaled (JSON lines + sidecar model artifact),
+// and a resumed run skips already-scored pairs with bit-identical BLEU.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 
 #include "core/mvr_graph.h"
 #include "nmt/translation.h"
+#include "robust/retry.h"
 #include "text/vocabulary.h"
 
 namespace desmine::core {
@@ -41,12 +50,35 @@ struct PairEvent {
   double bleu = 0.0;
   double wall_ms = 0.0;
   std::size_t steps_run = 0;  ///< training steps the pair model actually ran
+  std::size_t attempts = 1;   ///< training attempts (1 = no retries needed)
+  bool resumed = false;       ///< restored from the checkpoint, not trained
 };
 
 struct MinerConfig {
   nmt::TranslationConfig translation{};
   std::size_t threads = 0;      ///< 0 = hardware concurrency
   std::uint64_t seed = 42;      ///< master seed; per-pair seeds are forked
+
+  /// Per-pair retry policy. A failed attempt (crash or divergence) is
+  /// retried with a forked seed and the learning rate halved per attempt;
+  /// deadline overruns are not retried (the budget would just elapse again).
+  robust::RetryPolicy retry{};
+
+  /// Wall-clock budget per training attempt in seconds; 0 = unlimited.
+  double pair_timeout_s = 0.0;
+
+  /// Append-only JSON-lines checkpoint journal (plus a `.models/` sidecar
+  /// directory of per-pair artifacts). Empty disables checkpointing.
+  std::string checkpoint_path;
+
+  /// Skip pairs already recorded in the checkpoint journal (their BLEU is
+  /// restored bit-identically and the model reloaded from the sidecar).
+  /// Resuming against a journal from a different configuration throws.
+  bool resume = false;
+
+  /// Polled between pairs; return true to abort mining gracefully (SIGINT).
+  /// mine() then throws robust::Interrupted after the journal is flushed.
+  std::function<bool()> should_abort;
 
   /// Progress hook called once per trained pair. Runs on the training
   /// thread (possibly a pool worker); must be thread-safe and cheap.
@@ -59,6 +91,9 @@ class RelationshipMiner {
 
   /// Train all N(N-1) directional pair models and assemble the MVRG.
   /// Languages must be aligned: equal train sizes and equal dev sizes.
+  /// Pairs that permanently fail are reported via MvrGraph::failures()
+  /// rather than aborting; throws robust::Interrupted when aborted via
+  /// should_abort (completed pairs stay journaled for resume).
   MvrGraph mine(const std::vector<SensorLanguage>& languages) const;
 
   const MinerConfig& config() const { return config_; }

@@ -17,6 +17,14 @@ void MvrGraph::add_edge(MvrEdge edge) {
   edges_.push_back(std::move(edge));
 }
 
+void MvrGraph::add_failure(PairFailure failure) {
+  DESMINE_EXPECTS(failure.src < names_.size() && failure.dst < names_.size(),
+                  "failure endpoint out of range");
+  DESMINE_EXPECTS(failure.src != failure.dst,
+                  "self-translation pairs not allowed");
+  failures_.push_back(std::move(failure));
+}
+
 const std::string& MvrGraph::name(std::size_t node) const {
   DESMINE_EXPECTS(node < names_.size(), "node out of range");
   return names_[node];
@@ -55,6 +63,7 @@ std::vector<std::size_t> MvrGraph::popular_sensors(
 
 MvrGraph MvrGraph::filter_bleu(double lo, double hi) const {
   MvrGraph out(names_);
+  out.failures_ = failures_;
   for (const MvrEdge& e : edges_) {
     if (e.bleu >= lo && e.bleu < hi) out.edges_.push_back(e);
   }
@@ -65,6 +74,7 @@ MvrGraph MvrGraph::without_sensors(
     const std::vector<std::size_t>& nodes) const {
   const std::set<std::size_t> removed(nodes.begin(), nodes.end());
   MvrGraph out(names_);
+  out.failures_ = failures_;
   for (const MvrEdge& e : edges_) {
     if (removed.count(e.src) == 0 && removed.count(e.dst) == 0) {
       out.edges_.push_back(e);

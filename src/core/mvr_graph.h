@@ -8,6 +8,7 @@
 // identities survive filtering.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,16 @@ struct MvrEdge {
   std::shared_ptr<nmt::TranslationModel> model;
 };
 
+/// A pair whose model could not be trained (diverged, timed out, crashed).
+/// The edge is absent from the graph; the reason is kept so a partial MVRG
+/// is honest about what it is missing instead of silently thinner.
+struct PairFailure {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::string reason;
+  std::uint32_t attempts = 0;  ///< training attempts made before giving up
+};
+
 class MvrGraph {
  public:
   MvrGraph() = default;
@@ -34,10 +45,16 @@ class MvrGraph {
 
   void add_edge(MvrEdge edge);
 
+  /// Record a pair the miner permanently failed to train (fault isolation).
+  void add_failure(PairFailure failure);
+
   std::size_t sensor_count() const { return names_.size(); }
   const std::vector<std::string>& sensor_names() const { return names_; }
   const std::string& name(std::size_t node) const;
   const std::vector<MvrEdge>& edges() const { return edges_; }
+  /// Pairs with no edge because training permanently failed. Subgraph
+  /// filters preserve these records (they are metadata, not edges).
+  const std::vector<PairFailure>& failures() const { return failures_; }
 
   /// Nodes that have at least one incident edge (the paper deletes edgeless
   /// nodes from a subgraph; we report them as inactive instead so indices
@@ -66,6 +83,7 @@ class MvrGraph {
  private:
   std::vector<std::string> names_;
   std::vector<MvrEdge> edges_;
+  std::vector<PairFailure> failures_;
 };
 
 }  // namespace desmine::core

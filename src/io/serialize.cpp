@@ -1,10 +1,18 @@
 #include "io/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -13,7 +21,10 @@ namespace desmine::io {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'E', 'S', 'M'};
-constexpr std::uint32_t kVersion = 2;  // v2 adds the attention kind
+// v2 adds the attention kind; v3 adds the CRC trailer + failed pairs.
+constexpr std::uint32_t kVersion = kArtifactVersion;
+constexpr char kCrcMagic[4] = {'C', 'R', 'C', '1'};
+constexpr std::size_t kCrcTrailerSize = 8;  // magic + u32 crc
 
 // ---- primitives ------------------------------------------------------------
 
@@ -203,6 +214,14 @@ void write_mvr_graph(std::ostream& os, const core::MvrGraph& graph,
     write_u32(os, e.model ? 1 : 0);
     if (e.model) write_translation_model(os, *e.model, config);
   }
+  // v3: permanently failed pairs (absent edges with a reason).
+  write_u64(os, graph.failures().size());
+  for (const core::PairFailure& f : graph.failures()) {
+    write_u64(os, f.src);
+    write_u64(os, f.dst);
+    write_string(os, f.reason);
+    write_u32(os, f.attempts);
+  }
 }
 
 core::MvrGraph read_mvr_graph(std::istream& is, std::uint32_t version) {
@@ -225,6 +244,17 @@ core::MvrGraph read_mvr_graph(std::istream& is, std::uint32_t version) {
           read_translation_model(is, version));
     }
     graph.add_edge(std::move(e));
+  }
+  if (version >= 3) {
+    const std::uint64_t failures = read_u64(is);
+    for (std::uint64_t i = 0; i < failures; ++i) {
+      core::PairFailure f;
+      f.src = read_u64(is);
+      f.dst = read_u64(is);
+      f.reason = read_string(is);
+      f.attempts = read_u32(is);
+      graph.add_failure(std::move(f));
+    }
   }
   return graph;
 }
@@ -274,11 +304,92 @@ core::SensorEncrypter read_encrypter(std::istream& is) {
                                                std::move(dropped_names));
 }
 
+void write_artifact_file(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw RuntimeError("cannot open for writing: " + tmp + ": " +
+                       std::strerror(errno));
+  }
+  const std::uint32_t crc = util::crc32(payload);
+  bool ok = std::fwrite(payload.data(), 1, payload.size(), f) ==
+            payload.size();
+  ok = ok && std::fwrite(kCrcMagic, 1, 4, f) == 4;
+  ok = ok && std::fwrite(&crc, 1, sizeof(crc), f) == sizeof(crc);
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw RuntimeError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw RuntimeError("cannot rename " + tmp + " -> " + path + ": " +
+                       std::strerror(errno));
+  }
+  // fsync the directory so the rename itself survives a crash.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." :
+                          path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string read_artifact_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw RuntimeError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string bytes = std::move(buf).str();
+
+  // The version field (after the 4-byte magic) decides whether a CRC
+  // trailer is required; the header itself is validated by read_header.
+  if (bytes.size() < 8) {
+    throw RuntimeError("artifact truncated (no header): " + path);
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (std::memcmp(bytes.data(), kMagic, 4) == 0 && version >= 3) {
+    if (bytes.size() < 8 + kCrcTrailerSize ||
+        std::memcmp(bytes.data() + bytes.size() - kCrcTrailerSize, kCrcMagic,
+                    4) != 0) {
+      throw RuntimeError("artifact truncated (missing CRC trailer): " + path);
+    }
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - 4, sizeof(stored));
+    bytes.resize(bytes.size() - kCrcTrailerSize);
+    const std::uint32_t actual = util::crc32(bytes);
+    if (stored != actual) {
+      throw RuntimeError("artifact checksum mismatch (corrupt or truncated): " +
+                         path);
+    }
+  }
+  return bytes;
+}
+
+void save_pair_model(const std::string& path, nmt::TranslationModel& model,
+                     const nmt::Seq2SeqConfig& config) {
+  std::ostringstream os(std::ios::binary);
+  write_header(os);
+  write_translation_model(os, model, config);
+  if (!os) throw RuntimeError("serialization failed for " + path);
+  write_artifact_file(path, os.str());
+}
+
+nmt::TranslationModel load_pair_model(const std::string& path) {
+  std::istringstream is(read_artifact_file(path), std::ios::binary);
+  const std::uint32_t version = read_header(is);
+  return read_translation_model(is, version);
+}
+
 void save_framework(const core::Framework& framework,
                     const std::string& path) {
   DESMINE_EXPECTS(framework.fitted(), "cannot save an unfitted framework");
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw RuntimeError("cannot open for writing: " + path);
+  std::ostringstream os(std::ios::binary);
   write_header(os);
 
   const core::WindowConfig& w = framework.config().window;
@@ -290,13 +401,13 @@ void save_framework(const core::Framework& framework,
   write_encrypter(os, framework.encrypter());
   write_mvr_graph(os, framework.graph(),
                   framework.config().miner.translation.model);
-  if (!os) throw RuntimeError("write failed: " + path);
+  if (!os) throw RuntimeError("serialization failed for " + path);
+  write_artifact_file(path, os.str());
 }
 
 core::Framework load_framework(const std::string& path,
                                core::FrameworkConfig config_overlay) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw RuntimeError("cannot open for reading: " + path);
+  std::istringstream is(read_artifact_file(path), std::ios::binary);
   const std::uint32_t version = read_header(is);
 
   config_overlay.window.word_length = read_u64(is);

@@ -4,14 +4,22 @@
 // models; persisting it lets the offline training phase (Algorithm 1) run
 // once while detection, knowledge-discovery and benchmark tooling reload the
 // artifact. The format is a simple tagged little-endian stream:
-//   magic "DESM" | u32 version | payload
+//   magic "DESM" | u32 version | payload [| "CRC1" u32 crc   (v3+)]
 // Matrices are dims + raw f32; vocabularies are token lists; models are
 // config + parameter tensors in registry order (which is deterministic).
+//
+// Artifacts are written crash-safely: the full payload is staged to a temp
+// file in the destination directory, flushed and fsynced, then atomically
+// renamed over the target, so a crash can never leave a half-written
+// artifact under the final name. v3 files end with a CRC-32 trailer that is
+// verified on load; a truncated or bit-flipped artifact raises RuntimeError
+// instead of loading silently wrong model weights.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/encryption.h"
 #include "core/framework.h"
@@ -30,8 +38,10 @@ void write_vocabulary(std::ostream& os, const text::Vocabulary& v);
 text::Vocabulary read_vocabulary(std::istream& is);
 
 /// Current artifact format version. v2 added the attention kind to the
-/// serialized model config; v1 artifacts load with kGeneral attention.
-inline constexpr std::uint32_t kArtifactVersion = 2;
+/// serialized model config (v1 artifacts load with kGeneral attention);
+/// v3 added the CRC-32 integrity trailer and the mined graph's permanently
+/// failed pairs. v1/v2 artifacts still load (without CRC verification).
+inline constexpr std::uint32_t kArtifactVersion = 3;
 
 void write_translation_model(std::ostream& os, nmt::TranslationModel& model,
                              const nmt::Seq2SeqConfig& config);
@@ -45,6 +55,29 @@ core::MvrGraph read_mvr_graph(std::istream& is,
 
 void write_encrypter(std::ostream& os, const core::SensorEncrypter& enc);
 core::SensorEncrypter read_encrypter(std::istream& is);
+
+// ---- crash-safe file primitives -------------------------------------------
+
+/// Write `payload` + CRC-32 trailer to `path` via temp file + flush + fsync
+/// + atomic rename. Throws RuntimeError on any I/O failure; on failure the
+/// previous contents of `path` (if any) are untouched.
+void write_artifact_file(const std::string& path, std::string_view payload);
+
+/// Read a whole artifact file. For v3+ payloads (decided by the version
+/// field after the magic) the CRC trailer is verified and stripped; any
+/// truncation or corruption raises RuntimeError.
+std::string read_artifact_file(const std::string& path);
+
+// ---- single pair-model artifacts (checkpoint sidecars) --------------------
+
+/// Persist one trained pair model as a standalone crash-safe artifact
+/// (used by the miner's checkpoint journal).
+void save_pair_model(const std::string& path, nmt::TranslationModel& model,
+                     const nmt::Seq2SeqConfig& config);
+
+/// Reload a pair-model artifact written by save_pair_model. Throws
+/// RuntimeError if the file is missing, truncated, or corrupt.
+nmt::TranslationModel load_pair_model(const std::string& path);
 
 // ---- whole-framework snapshot ----------------------------------------------
 

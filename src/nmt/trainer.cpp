@@ -1,5 +1,6 @@
 #include "nmt/trainer.h"
 
+#include <cmath>
 #include <limits>
 #include <map>
 #include <utility>
@@ -80,6 +81,26 @@ TrainingHistory run_training(Seq2SeqModel& model,
 
   static obs::Counter& steps_total =
       obs::metrics().counter("nmt.train.steps");
+  static obs::Counter& divergences =
+      obs::metrics().counter("nmt.train.divergences");
+
+  // Divergence baseline: the first finite step loss (floored so a lucky
+  // near-zero start does not make the explosion threshold hair-trigger).
+  double baseline = std::numeric_limits<double>::quiet_NaN();
+  const auto fail_divergence = [&](std::size_t step_1based, double bad,
+                                   const char* what) {
+    divergences.inc();
+    history.diverged_at_step = step_1based;
+    history.steps_run = step_1based;
+    throw TrainDivergence(
+        std::string("training diverged at step ") +
+            std::to_string(step_1based) + ": " + what + " = " +
+            std::to_string(bad) +
+            (std::isfinite(baseline)
+                 ? " (baseline " + std::to_string(baseline) + ")"
+                 : std::string()),
+        std::move(history));
+  };
 
   for (std::size_t step = 0; step < config.steps; ++step) {
     // Learning-rate schedule: halve every lr_decay_every past the start.
@@ -105,6 +126,17 @@ TrainingHistory run_training(Seq2SeqModel& model,
     history.steps_run = step + 1;
     steps_total.inc();
 
+    if (config.divergence_factor > 0.0) {
+      if (!std::isfinite(loss)) {
+        fail_divergence(step + 1, loss, "loss");
+      }
+      if (std::isnan(baseline)) {
+        baseline = std::max(loss, 1e-3);
+      } else if (loss > config.divergence_factor * baseline) {
+        fail_divergence(step + 1, loss, "loss");
+      }
+    }
+
     StepEvent event;
     event.step = step + 1;
     event.loss = loss;
@@ -113,6 +145,9 @@ TrainingHistory run_training(Seq2SeqModel& model,
     bool stop = false;
     if (evaluating && (step + 1) % config.eval_every == 0) {
       const double dl = dev_loss(model, dev, config.batch_size);
+      if (config.divergence_factor > 0.0 && !std::isfinite(dl)) {
+        fail_divergence(step + 1, dl, "dev loss");
+      }
       history.dev_losses.emplace_back(step + 1, dl);
       event.dev_loss = dl;
       if (dl < history.best_dev_loss - 1e-6) {

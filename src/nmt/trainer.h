@@ -1,4 +1,6 @@
-// Training loop for Seq2SeqModel: bucketed mini-batches, Adam, grad clipping.
+// Training loop for Seq2SeqModel: bucketed mini-batches, Adam, grad
+// clipping, and a divergence guard that fails fast (TrainDivergence) when a
+// run goes numerically bad instead of burning the remaining step budget.
 #pragma once
 
 #include <functional>
@@ -6,6 +8,7 @@
 #include <vector>
 
 #include "nmt/seq2seq.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace desmine::nmt {
@@ -37,6 +40,13 @@ struct TrainerConfig {
   std::size_t eval_every = 0;
   std::size_t patience = 3;
 
+  /// Divergence guard: after every step the trainer fails with
+  /// TrainDivergence when the batch loss (or a dev evaluation) is NaN/Inf,
+  /// or when it exceeds divergence_factor times the first step's loss
+  /// (floored at 1e-3 so near-zero initial losses don't trip on noise).
+  /// 0 disables the guard.
+  double divergence_factor = 1e4;
+
   /// Progress hook called after every training step (miner wires this into
   /// per-pair telemetry). Beware: runs on the training thread; keep it cheap.
   std::function<void(const StepEvent&)> on_step;
@@ -49,6 +59,24 @@ struct TrainingHistory {
   std::vector<std::pair<std::size_t, double>> dev_losses;
   double best_dev_loss = 0.0;
   std::size_t steps_run = 0;  ///< < config.steps when early-stopped
+  /// 1-based step at which the divergence guard tripped; 0 = never.
+  std::size_t diverged_at_step = 0;
+};
+
+/// Training diverged (non-finite or exploding loss). Carries the history up
+/// to the offending step so callers can log where it tripped; the miner
+/// treats this as retryable with a forked seed and a halved learning rate.
+class TrainDivergence : public RuntimeError {
+ public:
+  TrainDivergence(const std::string& message, TrainingHistory history)
+      : RuntimeError(message), history_(std::move(history)) {}
+
+  /// 1-based step at which the guard tripped.
+  std::size_t step() const { return history_.diverged_at_step; }
+  const TrainingHistory& history() const { return history_; }
+
+ private:
+  TrainingHistory history_;
 };
 
 /// Run the teacher-forced training loop. Pairs with differing lengths are

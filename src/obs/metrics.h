@@ -5,6 +5,13 @@
 // atomics across cache lines so concurrent writers (e.g. the miner's thread
 // pool) don't serialize on one counter. Snapshots and the JSON/text dumps
 // are approximate under concurrent writes, exact once writers quiesce.
+//
+// Robustness instruments emitted by the fault-tolerant pipeline (ISSUE 2):
+//   miner.pair.retries          counter: pair training attempts retried
+//   miner.pair.failed           counter: pairs that permanently failed
+//   checkpoint.pairs_skipped    counter: pairs restored from the journal
+//   checkpoint.pairs_journaled  counter: pair records durably appended
+//   nmt.train.divergences       counter: divergence-guard trips
 #pragma once
 
 #include <array>

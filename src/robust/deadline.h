@@ -1,0 +1,49 @@
+// Wall-clock deadline guard for long-running work (per-pair NMT training).
+//
+// A Deadline is armed with a budget in seconds and polled from cheap
+// positions (the trainer's per-step hook); check() turns expiry into a typed
+// DeadlineExceeded so the miner can fail the pair without retrying it.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "robust/errors.h"
+
+namespace desmine::robust {
+
+class Deadline {
+ public:
+  /// Budget in seconds; <= 0 means unlimited (never expires).
+  explicit Deadline(double seconds)
+      : limited_(seconds > 0.0),
+        start_(std::chrono::steady_clock::now()),
+        budget_s_(seconds) {}
+
+  bool expired() const {
+    return limited_ && elapsed_s() > budget_s_;
+  }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double budget_s() const { return budget_s_; }
+
+  /// Throws DeadlineExceeded naming `what` when the budget has elapsed.
+  void check(const std::string& what) const {
+    if (expired()) {
+      throw DeadlineExceeded(what + " exceeded its deadline of " +
+                             std::to_string(budget_s_) + "s");
+    }
+  }
+
+ private:
+  bool limited_;
+  std::chrono::steady_clock::time_point start_;
+  double budget_s_;
+};
+
+}  // namespace desmine::robust

@@ -1,0 +1,27 @@
+// Typed errors raised by the fault-tolerance layer.
+//
+// The miner's per-pair isolation distinguishes these from generic runtime
+// failures: a DeadlineExceeded pair is not retried (retrying the same step
+// budget would time out again), and Interrupted aborts the whole run after
+// the checkpoint journal has been flushed.
+#pragma once
+
+#include "util/error.h"
+
+namespace desmine::robust {
+
+/// A wall-clock deadline (per-pair training budget) elapsed.
+class DeadlineExceeded : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+/// Mining was aborted deliberately — SIGINT, an armed kAbort fault, or a
+/// caller-supplied should_abort() hook. Completed pairs are already
+/// journaled; rerun with resume to continue where the run stopped.
+class Interrupted : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+}  // namespace desmine::robust

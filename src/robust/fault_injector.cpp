@@ -1,0 +1,110 @@
+#include "robust/fault_injector.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace desmine::robust {
+
+namespace {
+
+FaultAction parse_action(std::string_view name) {
+  if (name == "throw") return FaultAction::kThrow;
+  if (name == "diverge") return FaultAction::kDiverge;
+  if (name == "abort") return FaultAction::kAbort;
+  throw PreconditionError("unknown fault action '" + std::string(name) + "'");
+}
+
+std::uint64_t parse_number(const std::string& text, const std::string& what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw PreconditionError("fault spec " + what + " '" + text +
+                            "' is not a non-negative integer");
+  }
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    throw PreconditionError("fault spec " + what + " '" + text +
+                            "' is out of range");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("DESMINE_FAULTS"); env && *env) {
+    arm_from_spec(env);
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string point, std::int64_t key,
+                        FaultAction action, std::size_t times) {
+  DESMINE_EXPECTS(action != FaultAction::kNone, "cannot arm a no-op fault");
+  DESMINE_EXPECTS(times > 0, "fault must fire at least once");
+  std::lock_guard lock(mutex_);
+  specs_.push_back(FaultSpec{std::move(point), key, action, times});
+  armed_.store(specs_.size(), std::memory_order_relaxed);
+}
+
+std::size_t FaultInjector::arm_from_spec(std::string_view spec) {
+  std::size_t count = 0;
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  for (const std::string& entry : util::split(normalized, ',')) {
+    const std::string trimmed = util::trim(entry);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    const auto colon = trimmed.rfind(':', eq);
+    if (eq == std::string::npos || colon == std::string::npos || colon == 0) {
+      throw PreconditionError("malformed fault spec '" + trimmed +
+                              "' (want point:key=action[*times])");
+    }
+    const std::string point = trimmed.substr(0, colon);
+    const std::string key_str = trimmed.substr(colon + 1, eq - colon - 1);
+    std::string action_str = trimmed.substr(eq + 1);
+    std::size_t times = std::size_t(-1);
+    if (const auto star = action_str.find('*'); star != std::string::npos) {
+      times = static_cast<std::size_t>(
+          parse_number(action_str.substr(star + 1), "times"));
+      action_str = action_str.substr(0, star);
+    }
+    const std::int64_t key =
+        key_str == "*" ? -1
+                       : static_cast<std::int64_t>(parse_number(key_str, "key"));
+    arm(point, key, parse_action(action_str), times);
+    ++count;
+  }
+  return count;
+}
+
+FaultAction FaultInjector::fire(std::string_view point, std::int64_t key) {
+  if (!any_armed()) return FaultAction::kNone;
+  std::lock_guard lock(mutex_);
+  for (auto it = specs_.begin(); it != specs_.end(); ++it) {
+    if (it->point != point) continue;
+    if (it->key != -1 && it->key != key) continue;
+    const FaultAction action = it->action;
+    if (it->remaining != std::size_t(-1) && --it->remaining == 0) {
+      specs_.erase(it);
+      armed_.store(specs_.size(), std::memory_order_relaxed);
+    }
+    return action;
+  }
+  return FaultAction::kNone;
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mutex_);
+  specs_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace desmine::robust

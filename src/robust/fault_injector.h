@@ -1,0 +1,84 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production code calls fire(point, key) at named injection points (e.g.
+// point "miner.pair" with the pair index as key); the injector returns the
+// armed action, if any. Faults are armed programmatically (tests) or from
+// the DESMINE_FAULTS environment variable (CLI integration tests):
+//
+//   DESMINE_FAULTS="miner.pair:3=throw;miner.pair:5=diverge*1;miner.pair.done:7=abort"
+//
+// Spec grammar: point:key=action[*times], separated by ';' or ','. key is a
+// non-negative integer or '*' (any key). times bounds how often the fault
+// fires (default: unlimited). Actions:
+//   throw    raise a RuntimeError at the injection point
+//   diverge  poison the pair's learning rate so training trips the
+//            divergence guard (a controlled NaN/loss-explosion)
+//   abort    request a run abort (simulates a crash after the point)
+//
+// The injector is process-wide and disabled (zero overhead beyond one
+// relaxed atomic load) when nothing is armed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desmine::robust {
+
+enum class FaultAction {
+  kNone,
+  kThrow,
+  kDiverge,
+  kAbort,
+};
+
+struct FaultSpec {
+  std::string point;
+  std::int64_t key = -1;  ///< -1 matches any key
+  FaultAction action = FaultAction::kNone;
+  std::size_t remaining = 0;  ///< fires left; SIZE_MAX = unlimited
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. On first use it arms any faults described
+  /// by the DESMINE_FAULTS environment variable.
+  static FaultInjector& instance();
+
+  /// Arm one fault. `times` bounds how often it fires (SIZE_MAX = always).
+  void arm(std::string point, std::int64_t key, FaultAction action,
+           std::size_t times = std::size_t(-1));
+
+  /// Arm faults from a spec string (the DESMINE_FAULTS grammar above).
+  /// Returns the number of faults armed; throws PreconditionError on a
+  /// malformed spec.
+  std::size_t arm_from_spec(std::string_view spec);
+
+  /// Poll an injection point. Returns the armed action for (point, key) and
+  /// consumes one fire, or kNone. Thread-safe.
+  FaultAction fire(std::string_view point, std::int64_t key);
+
+  bool any_armed() const {
+    return armed_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Disarm everything (tests).
+  void clear();
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mutex_;
+  std::vector<FaultSpec> specs_;
+  std::atomic<std::size_t> armed_{0};
+};
+
+/// Shorthand for FaultInjector::instance().fire(point, key).
+inline FaultAction fire_fault(std::string_view point, std::int64_t key) {
+  return FaultInjector::instance().fire(point, key);
+}
+
+}  // namespace desmine::robust

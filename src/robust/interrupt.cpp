@@ -1,0 +1,26 @@
+#include "robust/interrupt.h"
+
+#include <csignal>
+
+namespace desmine::robust {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
+}  // namespace
+
+void install_signal_flag() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
+bool interrupted() { return g_interrupted != 0; }
+
+void request_interrupt() { g_interrupted = 1; }
+
+void reset_interrupted() { g_interrupted = 0; }
+
+}  // namespace desmine::robust

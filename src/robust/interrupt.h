@@ -1,0 +1,26 @@
+// SIGINT/SIGTERM-to-flag bridge for graceful shutdown.
+//
+// Signal handlers can do almost nothing async-signal-safely, so the handler
+// only sets an atomic flag. Long-running loops (the miner, between pairs)
+// poll interrupted() through MinerConfig::should_abort and unwind normally —
+// flushing the checkpoint journal and letting the CLI dump metrics — instead
+// of dying mid-write.
+#pragma once
+
+namespace desmine::robust {
+
+/// Install SIGINT/SIGTERM handlers that set the interrupted flag. Safe to
+/// call more than once.
+void install_signal_flag();
+
+/// True once SIGINT/SIGTERM was received (or request_interrupt was called).
+bool interrupted();
+
+/// Set the flag programmatically (tests, or an embedding application's own
+/// shutdown path).
+void request_interrupt();
+
+/// Clear the flag (tests).
+void reset_interrupted();
+
+}  // namespace desmine::robust

@@ -1,0 +1,27 @@
+#include "robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace desmine::robust {
+
+double RetryPolicy::delay_ms(std::size_t retry, util::Rng& rng) const {
+  if (retry == 0 || base_delay_ms <= 0.0) return 0.0;
+  double delay = base_delay_ms *
+                 std::pow(multiplier, static_cast<double>(retry - 1));
+  delay = std::min(delay, max_delay_ms);
+  if (jitter > 0.0) {
+    delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(delay, 0.0);
+}
+
+void RetryPolicy::backoff(std::size_t retry, util::Rng& rng) const {
+  const double delay = delay_ms(retry, rng);
+  if (delay <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+}
+
+}  // namespace desmine::robust

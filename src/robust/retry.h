@@ -1,0 +1,31 @@
+// Retry policy: bounded attempts with exponential backoff and jitter.
+//
+// The miner retries failed pair trainings (crash or divergence) with a
+// forked seed and a halved learning rate; the delay between attempts grows
+// exponentially and is jittered so a burst of correlated failures (e.g. a
+// transient I/O stall hitting every pool worker) does not retry in
+// lockstep. Jitter draws from a caller-supplied Rng, so retry timing is
+// deterministic under a fixed seed — tests can assert the exact schedule.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace desmine::robust {
+
+struct RetryPolicy {
+  std::size_t max_retries = 2;   ///< retries after the first attempt
+  double base_delay_ms = 0.0;    ///< delay before retry 1; 0 = no sleeping
+  double multiplier = 2.0;       ///< exponential growth per retry
+  double max_delay_ms = 30000.0; ///< cap on the un-jittered delay
+  double jitter = 0.25;          ///< +/- fraction of the delay, uniform
+
+  /// Jittered delay before retry `retry` (1-based; retry 0 returns 0).
+  double delay_ms(std::size_t retry, util::Rng& rng) const;
+
+  /// Sleep for delay_ms(retry, rng) on the calling thread.
+  void backoff(std::size_t retry, util::Rng& rng) const;
+};
+
+}  // namespace desmine::robust

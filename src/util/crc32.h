@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by io::serialize to append an integrity trailer to artifacts and by
+// robust::checkpoint to fingerprint miner configurations, so a truncated or
+// bit-flipped file is rejected with a clean error instead of silently
+// loading garbage model weights.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace desmine::util {
+
+/// CRC of `len` bytes, continuing from `seed` (pass a previous crc32 result
+/// to checksum data in chunks; 0 starts a fresh checksum).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace desmine::util

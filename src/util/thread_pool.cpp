@@ -48,6 +48,30 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool::DrainStats ThreadPool::wait_all(
+    std::vector<std::future<void>>& futures) {
+  DrainStats stats;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++stats.completed;
+    } catch (const std::exception& e) {
+      if (stats.failed == 0) {
+        stats.first_error = e.what();
+        stats.first_exception = std::current_exception();
+      }
+      ++stats.failed;
+    } catch (...) {
+      if (stats.failed == 0) {
+        stats.first_error = "(non-standard exception)";
+        stats.first_exception = std::current_exception();
+      }
+      ++stats.failed;
+    }
+  }
+  return stats;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
@@ -55,15 +79,12 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  const DrainStats stats = wait_all(futures);
+  if (stats.failed > 0) {
+    throw RuntimeError("parallel_for: " + std::to_string(stats.failed) +
+                       " of " + std::to_string(n) + " tasks failed; first: " +
+                       stats.first_error);
   }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace desmine::util

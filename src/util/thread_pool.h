@@ -54,8 +54,22 @@ class ThreadPool {
     return fut;
   }
 
+  /// Outcome of draining a batch of futures: every future is consumed even
+  /// when some threw, so one bad task cannot strand the rest.
+  struct DrainStats {
+    std::size_t completed = 0;  ///< futures that resolved without throwing
+    std::size_t failed = 0;
+    std::string first_error;  ///< what() of the first failure, in order
+    std::exception_ptr first_exception;
+  };
+
+  /// Wait for every future, collecting (not rethrowing) all exceptions.
+  /// "First" follows the order of the vector, so it is deterministic.
+  static DrainStats wait_all(std::vector<std::future<void>>& futures);
+
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// All tasks run even when some throw; if any failed, a RuntimeError
+  /// aggregating the failure count and the first message is thrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t thread_count() const { return workers_.size(); }

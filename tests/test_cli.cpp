@@ -1,0 +1,118 @@
+// Integration tests for the desmine_cli exit-code contract (README.md):
+//   0    success
+//   1    runtime failure
+//   2    usage error
+//   3    training completed but some pairs permanently failed
+// The CLI binary path is injected by CMake as DESMINE_CLI_PATH; faults are
+// injected into the spawned process via the DESMINE_FAULTS environment
+// variable (see robust::FaultInjector).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path("/tmp/desmine_cli_" + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+/// Run the CLI with `args` (and an optional DESMINE_FAULTS value for the
+/// child only) and return its exit code; -1 if it died on a signal.
+int run_cli(const std::string& args, const std::string& faults = "") {
+  std::string cmd;
+  if (!faults.empty()) cmd += "DESMINE_FAULTS='" + faults + "' ";
+  cmd += std::string(DESMINE_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status < 0 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// Tiny plant CSVs shared by the train tests (generated once).
+struct Corpora {
+  TempFile train{"train.csv"};
+  TempFile dev{"dev.csv"};
+  Corpora() {
+    EXPECT_EQ(run_cli("generate --out " + train.path +
+                      " --days 2 --minutes 40 --seed 7 --components 1"),
+              0);
+    EXPECT_EQ(run_cli("generate --out " + dev.path +
+                      " --days 1 --minutes 40 --seed 8 --components 1"),
+              0);
+  }
+};
+
+Corpora& corpora() {
+  static Corpora c;
+  return c;
+}
+
+/// train invocation small enough for an integration test.
+std::string tiny_train_args(const std::string& out) {
+  return "train --train " + corpora().train.path + " --dev " +
+         corpora().dev.path + " --out " + out +
+         " --word 3 --sentence 4 --sentence-stride 4"
+         " --embedding 8 --hidden 8 --layers 1 --dropout 0"
+         " --steps 5 --batch 4 --threads 1 --max-retries 1";
+}
+
+}  // namespace
+
+TEST(CliExitCodes, NoArgumentsIsUsageError) { EXPECT_EQ(run_cli(""), 2); }
+
+TEST(CliExitCodes, UnknownCommandIsUsageError) {
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+}
+
+TEST(CliExitCodes, MissingOptionValueIsUsageError) {
+  EXPECT_EQ(run_cli("generate --out"), 2);
+}
+
+TEST(CliExitCodes, MissingRequiredOptionIsUsageError) {
+  EXPECT_EQ(run_cli("generate"), 2);
+}
+
+TEST(CliExitCodes, ResumeWithoutCheckpointIsUsageError) {
+  const TempFile model("resume_model.bin");
+  EXPECT_EQ(run_cli(tiny_train_args(model.path) + " --resume"), 2);
+}
+
+TEST(CliExitCodes, MissingInputFileIsRuntimeError) {
+  EXPECT_EQ(run_cli("detect --model /tmp/desmine_cli_no_such_model.bin "
+                    "--test /tmp/desmine_cli_no_such_test.csv"),
+            1);
+}
+
+TEST(CliExitCodes, GenerateSucceeds) {
+  const TempFile csv("gen.csv");
+  EXPECT_EQ(run_cli("generate --out " + csv.path + " --days 1 --minutes 40"),
+            0);
+}
+
+TEST(CliExitCodes, CleanTrainingSucceeds) {
+  const TempFile model("ok_model.bin");
+  EXPECT_EQ(run_cli(tiny_train_args(model.path)), 0);
+  // The artifact is loadable afterwards.
+  EXPECT_EQ(run_cli("inspect --model " + model.path), 0);
+}
+
+TEST(CliExitCodes, PermanentPairFailureExitsThreeButSavesArtifact) {
+  const TempFile model("faulty_model.bin");
+  // Pair 1 throws on every attempt -> permanently failed -> exit 3; the
+  // artifact must still be written with the surviving edges.
+  EXPECT_EQ(run_cli(tiny_train_args(model.path), "miner.pair:1=throw"), 3);
+  EXPECT_EQ(run_cli("inspect --model " + model.path), 0);
+}
+
+TEST(CliExitCodes, TransientFaultIsRetriedToSuccess) {
+  const TempFile model("retry_model.bin");
+  EXPECT_EQ(run_cli(tiny_train_args(model.path), "miner.pair:1=throw*1"), 0);
+}

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/framework.h"
 #include "data/plant.h"
@@ -153,6 +155,139 @@ TEST(Serialize, FrameworkSnapshotDetectsIdentically) {
   for (std::size_t t = 0; t < r1.anomaly_scores.size(); ++t) {
     EXPECT_DOUBLE_EQ(r1.anomaly_scores[t], r2.anomaly_scores[t]);
   }
+}
+
+namespace {
+
+/// Tiny trained pair-model artifact on disk; the corruption tests below
+/// mutate copies of it. Pair models go through the same crash-safe
+/// write_artifact_file / read_artifact_file path as framework snapshots.
+std::string make_pair_artifact(const std::string& path) {
+  dx::Corpus src = {{"sa", "sb", "sa", "sb"}, {"sb", "sa", "sb", "sa"}};
+  dx::Corpus tgt = {{"ta", "tb", "ta", "tb"}, {"tb", "ta", "tb", "ta"}};
+  dm::TranslationConfig cfg;
+  cfg.model.embedding_dim = 8;
+  cfg.model.hidden_dim = 8;
+  cfg.model.num_layers = 1;
+  cfg.model.dropout = 0.0f;
+  cfg.trainer.steps = 30;
+  cfg.trainer.batch_size = 2;
+  auto model = dm::train_translation_model(src, tgt, cfg, 5);
+  di::save_pair_model(path, model, cfg.model);
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(Serialize, PairModelArtifactRoundTrip) {
+  const TempFile file("pair_roundtrip.bin");
+  const std::string bytes = make_pair_artifact(file.path);
+  ASSERT_GT(bytes.size(), 16u);  // header + payload + CRC trailer
+  auto back = di::load_pair_model(file.path);
+  EXPECT_GT(back.src_vocab().size(), 0u);
+}
+
+TEST(Serialize, TruncatedArtifactAlwaysThrows) {
+  const TempFile file("pair_truncate.bin");
+  const std::string bytes = make_pair_artifact(file.path);
+
+  // Truncation points: empty file, mid-magic, exactly the header, mid-body,
+  // up to each byte of the CRC trailer. Every one must raise RuntimeError —
+  // never a crash, never a silently short model.
+  const std::vector<std::size_t> cuts = {
+      0, 1, 4, 7, 8, bytes.size() / 2, bytes.size() - 9,
+      bytes.size() - 8, bytes.size() - 4, bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    write_bytes(file.path, bytes.substr(0, cut));
+    EXPECT_THROW(di::load_pair_model(file.path), desmine::RuntimeError)
+        << "truncation at byte " << cut << " was not rejected";
+  }
+}
+
+TEST(Serialize, BitFlippedArtifactAlwaysThrows) {
+  const TempFile file("pair_bitflip.bin");
+  const std::string bytes = make_pair_artifact(file.path);
+
+  // Flip one random byte per round (fixed seed => reproducible failures).
+  // Offsets 4..7 hold the version field and are excluded: a flip there can
+  // legally downgrade the artifact to the pre-CRC v1/v2 format, which loads
+  // without trailer verification by design.
+  Rng rng(2024);
+  for (int round = 0; round < 32; ++round) {
+    std::size_t offset = 0;
+    do {
+      offset = rng.index(bytes.size());
+    } while (offset >= 4 && offset < 8);
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(
+        corrupt[offset] ^ static_cast<char>(rng.uniform_int(1, 255)));
+    write_bytes(file.path, corrupt);
+    EXPECT_THROW(di::load_pair_model(file.path), desmine::RuntimeError)
+        << "byte flip at offset " << offset << " was not rejected";
+  }
+}
+
+TEST(Serialize, CorruptFrameworkSnapshotThrows) {
+  // The framework loader shares read_artifact_file: a flipped byte in a
+  // saved snapshot must be caught by the CRC before any payload parsing.
+  dd::PlantConfig pcfg;
+  pcfg.num_components = 1;
+  pcfg.sensors_per_component = 2;
+  pcfg.num_popular = 0;
+  pcfg.num_lazy = 0;
+  pcfg.num_constant = 0;
+  pcfg.days = 2;
+  pcfg.minutes_per_day = 60;
+  pcfg.anomalies.clear();
+  pcfg.precursors = false;
+  pcfg.seed = 9;
+  const auto plant = dd::generate_plant(pcfg);
+
+  dc::FrameworkConfig fcfg;
+  fcfg.window.word_length = 5;
+  fcfg.window.word_stride = 1;
+  fcfg.window.sentence_length = 5;
+  fcfg.window.sentence_stride = 5;
+  fcfg.miner.translation.model.embedding_dim = 8;
+  fcfg.miner.translation.model.hidden_dim = 8;
+  fcfg.miner.translation.model.num_layers = 1;
+  fcfg.miner.translation.model.dropout = 0.0f;
+  fcfg.miner.translation.trainer.steps = 20;
+  fcfg.miner.translation.trainer.batch_size = 4;
+  fcfg.miner.seed = 3;
+  dc::Framework fw(fcfg);
+  fw.fit(plant.days_slice(0, 1), plant.days_slice(1, 1));
+
+  const TempFile file("framework_corrupt.bin");
+  di::save_framework(fw, file.path);
+  std::ifstream is(file.path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_bytes(file.path, bytes);
+  EXPECT_THROW(di::load_framework(file.path, fcfg), desmine::RuntimeError);
+}
+
+TEST(Serialize, AtomicWriteLeavesExistingArtifactIntactOnFailure) {
+  const TempFile file("pair_atomic.bin");
+  const std::string bytes = make_pair_artifact(file.path);
+  // Writing to a path whose parent directory vanished must throw and must
+  // not disturb an existing artifact at a different path.
+  EXPECT_THROW(
+      di::write_artifact_file("/tmp/desmine_missing_dir/x/y.bin", "payload"),
+      desmine::RuntimeError);
+  auto back = di::load_pair_model(file.path);
+  EXPECT_GT(back.src_vocab().size(), 0u);
 }
 
 TEST(Serialize, SaveUnfittedFrameworkThrows) {

@@ -213,3 +213,82 @@ TEST(Seq2Seq, UnknownSourceTokensHandled) {
   // A sentence of never-seen tokens maps to <unk> ids and must not throw.
   EXPECT_NO_THROW(model.translate({"zz", "qq", "zz", "qq"}));
 }
+
+// ------------------------------------------------------ divergence guard ----
+
+TEST(Divergence, AbsurdLearningRateTripsGuardEarly) {
+  dx::Corpus src, tgt;
+  make_substitution_corpus(64, 5, src, tgt, 1);
+  const auto sv = dx::Vocabulary::build(src);
+  const auto tv = dx::Vocabulary::build(tgt);
+  dm::Seq2SeqModel model(sv.size(), tv.size(), tiny_config(), Rng(11));
+  const auto pairs = dm::encode_pairs(sv, tv, src, tgt);
+
+  dm::TrainerConfig tc;
+  tc.steps = 500;
+  tc.batch_size = 8;
+  tc.lr = 1e6f;  // guaranteed numerical blow-up
+  try {
+    dm::train(model, pairs, tc, Rng(12));
+    FAIL() << "training with lr=1e6 should diverge";
+  } catch (const dm::TrainDivergence& e) {
+    // Fail fast: the guard must trip long before the step budget is spent.
+    EXPECT_GT(e.step(), 0u);
+    EXPECT_LT(e.step(), 50u) << e.what();
+    EXPECT_EQ(e.history().diverged_at_step, e.step());
+    EXPECT_LE(e.history().steps_run, e.step());
+    EXPECT_FALSE(std::string(e.what()).empty());
+  }
+}
+
+TEST(Divergence, HistoryRecordsLossesUpToTrip) {
+  dx::Corpus src, tgt;
+  make_substitution_corpus(32, 4, src, tgt, 7);
+  const auto sv = dx::Vocabulary::build(src);
+  const auto tv = dx::Vocabulary::build(tgt);
+  dm::Seq2SeqModel model(sv.size(), tv.size(), tiny_config(), Rng(3));
+  const auto pairs = dm::encode_pairs(sv, tv, src, tgt);
+
+  dm::TrainerConfig tc;
+  tc.steps = 200;
+  tc.batch_size = 4;
+  tc.lr = 1e6f;
+  try {
+    dm::train(model, pairs, tc, Rng(4));
+    FAIL() << "expected TrainDivergence";
+  } catch (const dm::TrainDivergence& e) {
+    // The history carries every loss recorded before (and including) the
+    // offending step, so callers can log the trajectory.
+    EXPECT_EQ(e.history().losses.size(), e.step());
+  }
+}
+
+TEST(Divergence, GuardDisabledRunsFullBudget) {
+  dx::Corpus src, tgt;
+  make_substitution_corpus(16, 4, src, tgt, 9);
+  const auto sv = dx::Vocabulary::build(src);
+  const auto tv = dx::Vocabulary::build(tgt);
+  dm::Seq2SeqModel model(sv.size(), tv.size(), tiny_config(), Rng(5));
+  const auto pairs = dm::encode_pairs(sv, tv, src, tgt);
+
+  dm::TrainerConfig tc;
+  tc.steps = 30;
+  tc.batch_size = 4;
+  tc.lr = 0.01f;
+  tc.divergence_factor = 0.0;  // disabled: a healthy run is unaffected
+  const auto history = dm::train(model, pairs, tc, Rng(6));
+  EXPECT_EQ(history.steps_run, 30u);
+  EXPECT_EQ(history.diverged_at_step, 0u);
+}
+
+TEST(Divergence, HealthyTrainingNeverTrips) {
+  dx::Corpus src, tgt;
+  make_substitution_corpus(32, 4, src, tgt, 13);
+  dm::TranslationConfig cfg;
+  cfg.model = tiny_config();
+  cfg.trainer.steps = 100;
+  cfg.trainer.batch_size = 4;
+  cfg.trainer.lr = 0.01f;
+  // Default divergence_factor stays armed; a normal run must not trip it.
+  EXPECT_NO_THROW(dm::train_translation_model(src, tgt, cfg, 21));
+}

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -231,6 +234,55 @@ TEST(ThreadPool, ExceptionsPropagate) {
                           if (i == 5) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryTaskDespiteFailures) {
+  // Fault isolation: tasks after a failure must still run; the aggregate
+  // error reports how many failed, not just the first one.
+  du::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      ++ran;
+      if (i % 10 == 3) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "parallel_for should have thrown";
+  } catch (const desmine::RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("10 of 100"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitAllCollectsAllExceptions) {
+  du::ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([i] {
+      if (i % 2 == 1) {
+        throw std::runtime_error("failure " + std::to_string(i));
+      }
+    }));
+  }
+  const auto stats = du::ThreadPool::wait_all(futures);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 4u);
+  // "First" is deterministic: vector order, not completion order.
+  EXPECT_EQ(stats.first_error, "failure 1");
+  ASSERT_TRUE(stats.first_exception);
+  EXPECT_THROW(std::rethrow_exception(stats.first_exception),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, WaitAllOnAllSuccesses) {
+  du::ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(pool.submit([] {}));
+  const auto stats = du::ThreadPool::wait_all(futures);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_TRUE(stats.first_error.empty());
+  EXPECT_FALSE(stats.first_exception);
 }
 
 TEST(ThreadPool, DrainsQueueOnDestruction) {

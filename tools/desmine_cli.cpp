@@ -16,10 +16,20 @@
 //   --log-json FILE       structured JSON-lines log in addition to stderr
 //   --metrics-out FILE    dump the metrics registry as JSON on exit
 //   --trace-out FILE      record spans; dump chrome://tracing JSON on exit
+//
+// Exit codes (documented in README.md):
+//   0    success
+//   1    runtime failure (I/O error, corrupt artifact, ...)
+//   2    usage error (unknown command, bad/missing option, precondition)
+//   3    training completed but some pairs permanently failed
+//   130  interrupted (SIGINT/SIGTERM); checkpoint and metrics are flushed
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +40,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/errors.h"
+#include "robust/interrupt.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -38,8 +50,14 @@ using namespace desmine;
 
 namespace {
 
+/// Options that take no value; present means true.
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = {"resume"};
+  return flags;
+}
+
 /// Minimal --key value argument map. Accepts both "--key value" and
-/// "--key=value".
+/// "--key=value"; flags listed in boolean_flags() take no value.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -51,6 +69,10 @@ class Args {
       key = key.substr(2);
       if (const auto eq = key.find('='); eq != std::string::npos) {
         values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      if (boolean_flags().count(key) != 0) {
+        values_[key] = "true";
         continue;
       }
       if (i + 1 >= argc) {
@@ -76,6 +98,11 @@ class Args {
   double number(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool flag(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second != "false" && it->second != "0";
   }
 
  private:
@@ -106,6 +133,15 @@ core::FrameworkConfig config_from(const Args& args) {
 
   cfg.miner.seed = static_cast<std::uint64_t>(args.number("seed", 42));
   cfg.miner.threads = static_cast<std::size_t>(args.number("threads", 0));
+
+  cfg.miner.checkpoint_path = args.get_or("checkpoint", "");
+  cfg.miner.resume = args.flag("resume");
+  cfg.miner.pair_timeout_s = args.number("pair-timeout-s", 0.0);
+  cfg.miner.retry.max_retries =
+      static_cast<std::size_t>(args.number("max-retries", 2));
+  if (cfg.miner.resume && cfg.miner.checkpoint_path.empty()) {
+    throw PreconditionError("--resume requires --checkpoint FILE");
+  }
 
   cfg.detector.valid_lo = args.number("lo", 80.0);
   cfg.detector.valid_hi = args.number("hi", 90.0);
@@ -142,15 +178,20 @@ int cmd_train(const Args& args) {
   const auto dev_series = io::read_series_csv(args.get("dev"));
   core::FrameworkConfig cfg = config_from(args);
 
+  // Ctrl-C unwinds mining gracefully: the miner stops scheduling pairs and
+  // throws robust::Interrupted after the checkpoint journal is flushed.
+  robust::install_signal_flag();
+  cfg.miner.should_abort = [] { return robust::interrupted(); };
+
   // Per-pair progress through the logger (visible at --log-level info;
   // the miner also emits per-pair debug records with step counts).
   cfg.miner.on_pair = [](const core::PairEvent& e) {
     obs::logger().info(
         "pair " + std::to_string(e.pair_index + 1) + "/" +
-            std::to_string(e.pair_count),
+            std::to_string(e.pair_count) + (e.resumed ? " (resumed)" : ""),
         {obs::kv("src", e.src_name), obs::kv("dst", e.dst_name),
          obs::kv("bleu", e.bleu), obs::kv("wall_ms", e.wall_ms),
-         obs::kv("steps", e.steps_run)});
+         obs::kv("steps", e.steps_run), obs::kv("attempts", e.attempts)});
   };
 
   std::cout << "training pairwise models over " << train_series.size()
@@ -163,6 +204,19 @@ int cmd_train(const Args& args) {
             << fw.encrypter().dropped_sensors().size()
             << " constant sensors dropped); saved to " << args.get("out")
             << "\n";
+
+  const auto& failures = fw.graph().failures();
+  if (!failures.empty()) {
+    std::cerr << failures.size()
+              << " pair(s) permanently failed (artifact saved without "
+                 "those edges):\n";
+    for (const auto& f : failures) {
+      std::cerr << "  " << fw.graph().name(f.src) << " -> "
+                << fw.graph().name(f.dst) << " after " << f.attempts
+                << " attempt(s): " << f.reason << "\n";
+    }
+    return 3;
+  }
   return 0;
 }
 
@@ -230,13 +284,17 @@ void usage() {
          "           [--word 10 --word-stride 1 --sentence 20 --sentence-stride 20\n"
          "            --hidden 64 --embedding 64 --layers 2 --dropout 0.2\n"
          "            --steps 1000 --batch 16 --lr 0.01 --seed 42 --threads 0]\n"
+         "           [--checkpoint FILE [--resume] --pair-timeout-s 0\n"
+         "            --max-retries 2]\n"
          "  detect   --model model.bin --test c.csv [--lo 80 --hi 90 --tolerance 0]\n"
          "  inspect  --model model.bin [--lo 80 --hi 90]\n"
          "observability (any subcommand; --key=value also accepted):\n"
          "  --log-level trace|debug|info|warn|error|off   (default info)\n"
          "  --log-json FILE      JSON-lines log in addition to stderr\n"
          "  --metrics-out FILE   dump counters/gauges/histograms JSON on exit\n"
-         "  --trace-out FILE     dump chrome://tracing span JSON on exit\n";
+         "  --trace-out FILE     dump chrome://tracing span JSON on exit\n"
+         "exit codes: 0 ok | 1 runtime error | 2 usage error |\n"
+         "            3 trained with permanently failed pairs | 130 interrupted\n";
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -278,24 +336,45 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  std::unique_ptr<Args> args;
   try {
-    const Args args(argc, argv, 2);
-    setup_observability(args);
+    args = std::make_unique<Args>(argc, argv, 2);
+    setup_observability(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+  try {
     int rc = 2;
     if (command == "generate") {
-      rc = cmd_generate(args);
+      rc = cmd_generate(*args);
     } else if (command == "train") {
-      rc = cmd_train(args);
+      rc = cmd_train(*args);
     } else if (command == "detect") {
-      rc = cmd_detect(args);
+      rc = cmd_detect(*args);
     } else if (command == "inspect") {
-      rc = cmd_inspect(args);
+      rc = cmd_inspect(*args);
     } else {
       usage();
       return 2;
     }
-    dump_observability(args);
+    dump_observability(*args);
     return rc;
+  } catch (const robust::Interrupted& e) {
+    // Completed pairs are already durable in the checkpoint journal; flush
+    // the observability dumps so an interrupted run is still inspectable.
+    std::cerr << "interrupted: " << e.what() << "\n";
+    try {
+      dump_observability(*args);
+    } catch (const std::exception& dump_error) {
+      std::cerr << "error: " << dump_error.what() << "\n";
+    }
+    return 130;
+  } catch (const PreconditionError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
