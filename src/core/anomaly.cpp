@@ -3,14 +3,17 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/errors.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace desmine::core {
 
 AnomalyDetector::AnomalyDetector(const MvrGraph& graph, DetectorConfig config)
-    : config_(config) {
+    : config_(config), names_(graph.sensor_names()) {
   DESMINE_EXPECTS(config.valid_lo <= config.valid_hi, "valid band order");
+  DESMINE_EXPECTS(config.min_coverage >= 0.0 && config.min_coverage <= 1.0,
+                  "min_coverage must lie in [0, 1]");
   for (const MvrEdge& e : graph.edges()) {
     if (e.bleu >= config_.valid_lo && e.bleu < config_.valid_hi) {
       DESMINE_EXPECTS(e.model != nullptr,
@@ -21,18 +24,29 @@ AnomalyDetector::AnomalyDetector(const MvrGraph& graph, DetectorConfig config)
 }
 
 DetectionResult AnomalyDetector::detect(
-    const std::vector<text::Corpus>& test_sentences) const {
+    const std::vector<text::Corpus>& test_sentences,
+    const HealthMask* unhealthy) const {
   DESMINE_EXPECTS(!test_sentences.empty(), "no test sentences");
   const std::size_t windows = test_sentences.front().size();
-  for (const text::Corpus& corpus : test_sentences) {
-    DESMINE_EXPECTS(corpus.size() == windows,
-                    "test corpora must be aligned across sensors");
+  for (std::size_t k = 0; k < test_sentences.size(); ++k) {
+    if (test_sentences[k].size() != windows) {
+      throw robust::MisalignedCorpus(
+          k < names_.size() ? names_[k]
+                            : "sensor[" + std::to_string(k) + "]",
+          windows, test_sentences[k].size());
+    }
+  }
+  if (unhealthy != nullptr) {
+    DESMINE_EXPECTS(unhealthy->size() == windows,
+                    "health mask must hold one entry per window");
   }
 
   const obs::ScopedTimer detect_timer(
       "detect", {obs::kv("windows", windows),
                  obs::kv("valid_edges", valid_edges_.size())});
   obs::Histogram& edge_ms = obs::metrics().histogram("detector.edge_score_ms");
+  obs::Counter& degraded_windows =
+      obs::metrics().counter("detect.window.degraded");
 
   DetectionResult result;
   result.valid_edges = valid_edges_;
@@ -41,8 +55,36 @@ DetectionResult AnomalyDetector::detect(
                           std::vector<double>(windows, 0.0));
   result.anomaly_scores.assign(windows, 0.0);
   result.broken_edges.assign(windows, {});
+  result.coverage.assign(windows, valid_edges_.empty() ? 0.0 : 1.0);
+  result.degraded.assign(windows, 0);
+
+  // Per-window excluded-edge bitmap from the health mask: an edge leaves a
+  // window's valid set when either endpoint is unhealthy there.
+  std::vector<std::vector<std::uint8_t>> excluded;
+  if (unhealthy != nullptr && !valid_edges_.empty()) {
+    excluded.assign(windows,
+                    std::vector<std::uint8_t>(valid_edges_.size(), 0));
+    std::vector<std::uint8_t> bad(names_.size(), 0);
+    for (std::size_t t = 0; t < windows; ++t) {
+      const std::vector<std::size_t>& nodes = (*unhealthy)[t];
+      if (nodes.empty()) continue;
+      for (std::size_t n : nodes) {
+        DESMINE_EXPECTS(n < names_.size(),
+                        "health mask names a sensor outside the graph");
+        bad[n] = 1;
+      }
+      for (std::size_t e = 0; e < valid_edges_.size(); ++e) {
+        if (bad[valid_edges_[e].src] || bad[valid_edges_[e].dst]) {
+          excluded[t][e] = 1;
+        }
+      }
+      for (std::size_t n : nodes) bad[n] = 0;
+    }
+  }
 
   // Each edge owns its model, so edges are independent units of work.
+  // Excluded (edge, window) pairs are skipped entirely: an unhealthy
+  // sensor's sentences are plumbing artifacts, not data worth scoring.
   auto score_edge = [&](std::size_t e) {
     const MvrEdge& edge = valid_edges_[e];
     DESMINE_EXPECTS(edge.src < test_sentences.size() &&
@@ -52,6 +94,7 @@ DetectionResult AnomalyDetector::detect(
     const text::Corpus& src = test_sentences[edge.src];
     const text::Corpus& dst = test_sentences[edge.dst];
     for (std::size_t t = 0; t < windows; ++t) {
+      if (!excluded.empty() && excluded[t][e]) continue;
       const text::Sentence candidate = edge.model->translate(src[t]);
       result.edge_bleu[e][t] =
           text::corpus_bleu({candidate}, {dst[t]}, config_.bleu).score;
@@ -65,17 +108,34 @@ DetectionResult AnomalyDetector::detect(
     pool.parallel_for(valid_edges_.size(), score_edge);
   }
 
-  const double pt = static_cast<double>(valid_edges_.size());
+  const double total = static_cast<double>(valid_edges_.size());
   for (std::size_t t = 0; t < windows; ++t) {
+    std::size_t surviving = 0;
     std::size_t broken = 0;
     for (std::size_t e = 0; e < valid_edges_.size(); ++e) {
+      if (!excluded.empty() && excluded[t][e]) continue;
+      ++surviving;
       if (result.edge_bleu[e][t] <
           valid_edges_[e].bleu - config_.tolerance) {
         ++broken;
         result.broken_edges[t].push_back(e);
       }
     }
-    result.anomaly_scores[t] = pt == 0.0 ? 0.0 : static_cast<double>(broken) / pt;
+    result.coverage[t] =
+        total == 0.0 ? 0.0 : static_cast<double>(surviving) / total;
+    if (unhealthy != nullptr && result.coverage[t] < config_.min_coverage) {
+      // Below quorum: no verdict. The placeholder 0.0 keeps the series
+      // NaN-free; `degraded` tells consumers to ignore it. Broken edges of
+      // the surviving (genuinely scored) models are kept for diagnosis.
+      result.degraded[t] = 1;
+      result.anomaly_scores[t] = 0.0;
+      degraded_windows.inc();
+    } else {
+      result.anomaly_scores[t] =
+          surviving == 0 ? 0.0
+                         : static_cast<double>(broken) /
+                               static_cast<double>(surviving);
+    }
   }
 
   obs::metrics().counter("detector.windows_scored").inc(windows);

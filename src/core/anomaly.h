@@ -7,9 +7,20 @@
 // BLEU f(i,j) falls below s(i,j) (minus an optional tolerance). The anomaly
 // score a_t is the fraction of valid relationships broken at t, and the
 // alert status W_t records which edges broke — the input to fault diagnosis.
+//
+// Degraded-mode extension (deviation from the paper, see DESIGN.md §8):
+// detect() optionally takes a per-window health mask naming unhealthy
+// sensors. Edges incident to an unhealthy sensor are *excluded* from that
+// window's valid set — not scored, not counted as broken — and a_t is
+// renormalized over the surviving edges. Each window reports its coverage
+// (surviving / total valid edges); when coverage falls below the
+// min_coverage quorum the window is flagged degraded and emits a
+// no-verdict score of 0.0 that consumers must gate on the flag.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/mvr_graph.h"
@@ -21,19 +32,37 @@ struct DetectorConfig {
   double valid_lo = 80.0;  ///< valid-model band lower BLEU bound (inclusive)
   double valid_hi = 90.0;  ///< upper bound (exclusive)
   double tolerance = 0.0;  ///< broken when f < s - tolerance
+  /// Quorum for degraded-mode detection: a window whose surviving-edge
+  /// coverage falls below this fraction emits no verdict (degraded flag set,
+  /// score forced to 0.0). Only consulted when a health mask is supplied.
+  double min_coverage = 0.5;
   text::BleuOptions bleu{};  ///< sentence-BLEU options (smoothing on)
   std::size_t threads = 0;   ///< 0 = hardware concurrency
 };
 
+/// Per-window exclusion mask for degraded-mode detection: mask[t] holds the
+/// sensor node indices (graph indexing) considered unhealthy at window t.
+using HealthMask = std::vector<std::vector<std::size_t>>;
+
 struct DetectionResult {
-  /// Anomaly score a_t per test window, in [0, 1].
+  /// Anomaly score a_t per test window, in [0, 1]. For a degraded window
+  /// (see `degraded`) the score is a placeholder 0.0 — no verdict, not
+  /// "no anomaly".
   std::vector<double> anomaly_scores;
   /// W_t: per window, the indices (into valid_edges) of broken edges.
+  /// Edges excluded by the health mask are never listed.
   std::vector<std::vector<std::size_t>> broken_edges;
   /// The valid edges used (src, dst, training BLEU; models not retained).
   std::vector<MvrEdge> valid_edges;
-  /// f(i,j) per valid edge per window: edge_bleu[e][t].
+  /// f(i,j) per valid edge per window: edge_bleu[e][t]. Stays 0.0 for
+  /// (edge, window) pairs excluded by the health mask (never scored).
   std::vector<std::vector<double>> edge_bleu;
+  /// Surviving valid edges / total valid edges per window (1.0 when no
+  /// health mask excluded anything; 0.0 when there are no valid edges).
+  std::vector<double> coverage;
+  /// 1 when the window's coverage fell below DetectorConfig::min_coverage
+  /// (degraded-mode runs only; always 0 without a health mask).
+  std::vector<std::uint8_t> degraded;
 };
 
 class AnomalyDetector {
@@ -42,9 +71,13 @@ class AnomalyDetector {
   AnomalyDetector(const MvrGraph& graph, DetectorConfig config);
 
   /// `test_sentences[k]` is the aligned test corpus of sensor node k (same
-  /// node indexing as the graph; all corpora equal length). Returns scores
-  /// for every window.
-  DetectionResult detect(const std::vector<text::Corpus>& test_sentences) const;
+  /// node indexing as the graph; all corpora equal length — a ragged input
+  /// raises robust::MisalignedCorpus naming the offending sensor). When
+  /// `unhealthy` is given it must hold one entry per window; edges incident
+  /// to a listed sensor are excluded from that window and a_t is
+  /// renormalized over the survivors (see DetectionResult::coverage).
+  DetectionResult detect(const std::vector<text::Corpus>& test_sentences,
+                         const HealthMask* unhealthy = nullptr) const;
 
   std::size_t valid_model_count() const { return valid_edges_.size(); }
   const std::vector<MvrEdge>& valid_edges() const { return valid_edges_; }
@@ -52,6 +85,7 @@ class AnomalyDetector {
  private:
   DetectorConfig config_;
   std::vector<MvrEdge> valid_edges_;  ///< edges within the valid band
+  std::vector<std::string> names_;    ///< sensor names, graph node indexing
 };
 
 }  // namespace desmine::core

@@ -1,5 +1,6 @@
 #include "core/framework.h"
 
+#include "core/online.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -62,6 +63,16 @@ DetectionResult Framework::detect(const MultivariateSeries& test) const {
   DESMINE_EXPECTS(fitted(), "fit() must run first");
   const AnomalyDetector detector(*graph_, config_.detector);
   return detector.detect(to_corpora(test));
+}
+
+DetectionResult Framework::detect_degraded(
+    const MultivariateSeries& test, const robust::HealthConfig& health,
+    const std::vector<std::size_t>& missing_ticks) const {
+  DESMINE_EXPECTS(fitted(), "fit() must run first");
+  const HealthMask mask = window_health_mask(*encrypter_, config_.window,
+                                             test, health, missing_ticks);
+  const AnomalyDetector detector(*graph_, config_.detector);
+  return detector.detect(to_corpora(test), &mask);
 }
 
 void Framework::restore(SensorEncrypter encrypter, MvrGraph graph) {

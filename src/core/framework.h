@@ -17,6 +17,7 @@
 #include "core/language.h"
 #include "core/miner.h"
 #include "core/mvr_graph.h"
+#include "robust/sensor_health.h"
 
 namespace desmine::core {
 
@@ -37,6 +38,15 @@ class Framework {
 
   /// Online detection over a test series (must contain every kept sensor).
   DetectionResult detect(const MultivariateSeries& test) const;
+
+  /// Degraded-mode batch detection (DESIGN.md §8): replay the test series
+  /// through a sensor-health tracker, exclude unhealthy sensors per window,
+  /// renormalize a_t over the surviving edges, and gate verdicts on
+  /// config().detector.min_coverage. `missing_ticks` lists tick indices
+  /// whose source rows were quarantined at ingestion (io::CsvReport).
+  DetectionResult detect_degraded(
+      const MultivariateSeries& test, const robust::HealthConfig& health,
+      const std::vector<std::size_t>& missing_ticks = {}) const;
 
   /// Aligned sentence corpora for the kept sensors, indexed like the graph's
   /// nodes. Exposed for benches that score custom windows.

@@ -1,20 +1,28 @@
 #include "core/online.h"
 
+#include <algorithm>
+
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "robust/errors.h"
+#include "robust/fault_injector.h"
 #include "util/error.h"
 
 namespace desmine::core {
 
 OnlineDetector::OnlineDetector(const MvrGraph& graph,
                                SensorEncrypter encrypter, WindowConfig window,
-                               DetectorConfig detector)
+                               DetectorConfig detector,
+                               DegradedConfig degraded)
     : encrypter_(std::move(encrypter)),
       language_(window),
-      detector_(graph, detector) {
+      detector_(graph, detector),
+      degraded_(degraded),
+      health_(encrypter_.kept_sensors(), degraded.health) {
   DESMINE_EXPECTS(graph.sensor_count() == encrypter_.kept_sensors().size(),
                   "graph/encrypter sensor counts disagree");
   buffers_.resize(encrypter_.kept_sensors().size());
+  taints_.resize(encrypter_.kept_sensors().size());
 }
 
 std::size_t OnlineDetector::window_span() const {
@@ -32,8 +40,35 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
   const auto& kept = encrypter_.kept_sensors();
   for (std::size_t k = 0; k < kept.size(); ++k) {
     const auto it = states.find(kept[k]);
-    DESMINE_EXPECTS(it != states.end(), "missing state for sensor " + kept[k]);
-    buffers_[k] += encrypter_.encode(kept[k], {it->second});
+    bool present = it != states.end();
+    switch (robust::fire_fault("detect.push",
+                               static_cast<std::int64_t>(k))) {
+      case robust::FaultAction::kThrow:
+        throw RuntimeError("injected fault at detect.push for sensor " +
+                           kept[k]);
+      case robust::FaultAction::kDrop:
+        present = false;  // simulated sensor dropout for this tick
+        break;
+      default:
+        break;
+    }
+    if (!present && !degraded_.enabled) {
+      throw robust::MissingSensor(kept[k], ticks_);
+    }
+    // A missing tick still occupies one buffer slot so the kept sensors'
+    // streams stay tick-aligned; the filler never reaches a verdict
+    // because the taint flag excludes every window covering it.
+    const char ch = present
+                        ? encrypter_.encode(kept[k], {it->second}).front()
+                        : SensorEncrypter::kUnknownChar;
+    buffers_[k] += ch;
+    bool tainted = false;
+    if (degraded_.enabled) {
+      const robust::SensorState state = health_.observe(
+          k, {present, ch == SensorEncrypter::kUnknownChar, ch});
+      tainted = !present || state != robust::SensorState::kHealthy;
+    }
+    taints_[k].push_back(tainted ? 1 : 0);
   }
   ++ticks_;
   obs::metrics().counter("online.ticks").inc();
@@ -45,20 +80,37 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
   // Slice the window's characters per sensor and build one-sentence corpora.
   std::vector<text::Corpus> corpora(buffers_.size());
   const std::size_t start = window_start(next_window_) - trimmed_;
+  const std::size_t span = window_span();
   for (std::size_t k = 0; k < buffers_.size(); ++k) {
-    const std::string window_chars =
-        buffers_[k].substr(start, window_span());
+    const std::string window_chars = buffers_[k].substr(start, span);
     text::Corpus sentences = language_.generate(window_chars);
     DESMINE_ENSURES(sentences.size() == 1,
                     "window slice must yield exactly one sentence");
     corpora[k] = std::move(sentences);
   }
 
-  const DetectionResult result = detector_.detect(corpora);
+  // Degraded mode: a sensor leaves this window's valid set when any tick
+  // the window covers is tainted (missing sample or unhealthy state).
+  HealthMask mask(1);
+  if (degraded_.enabled) {
+    for (std::size_t k = 0; k < taints_.size(); ++k) {
+      const auto& taint = taints_[k];
+      const bool bad = std::any_of(taint.begin() + static_cast<long>(start),
+                                   taint.begin() + static_cast<long>(start + span),
+                                   [](std::uint8_t t) { return t != 0; });
+      if (bad) mask[0].push_back(k);
+    }
+  }
+
+  const DetectionResult result =
+      detector_.detect(corpora, degraded_.enabled ? &mask : nullptr);
   WindowResult out;
   out.window_index = next_window_;
   out.end_tick = ticks_;
   out.anomaly_score = result.anomaly_scores.front();
+  out.coverage = result.coverage.front();
+  out.degraded = result.degraded.front() != 0;
+  out.unhealthy = std::move(mask[0]);
   for (std::size_t e : result.broken_edges.front()) {
     out.broken.emplace_back(result.valid_edges[e].src,
                             result.valid_edges[e].dst);
@@ -69,7 +121,9 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
                     {obs::kv("window", out.window_index),
                      obs::kv("end_tick", out.end_tick),
                      obs::kv("score", out.anomaly_score),
-                     obs::kv("broken", out.broken.size())});
+                     obs::kv("broken", out.broken.size()),
+                     obs::kv("coverage", out.coverage),
+                     obs::kv("degraded", out.degraded)});
 
   // Characters before the next window's start are never needed again;
   // trimming in bulk keeps memory bounded on unbounded streams without
@@ -78,9 +132,64 @@ std::optional<OnlineDetector::WindowResult> OnlineDetector::push(
   if (keep_from > trimmed_ + 4096) {
     const std::size_t drop = keep_from - trimmed_;
     for (std::string& buffer : buffers_) buffer.erase(0, drop);
+    for (auto& taint : taints_) {
+      taint.erase(taint.begin(), taint.begin() + static_cast<long>(drop));
+    }
     trimmed_ = keep_from;
   }
   return out;
+}
+
+HealthMask window_health_mask(const SensorEncrypter& encrypter,
+                              const WindowConfig& window,
+                              const MultivariateSeries& series,
+                              const robust::HealthConfig& health,
+                              const std::vector<std::size_t>& missing_ticks) {
+  const std::vector<std::string> chars = encrypter.encode_all(series);
+  DESMINE_EXPECTS(chars.size() == encrypter.kept_sensors().size(),
+                  "series must contain every kept sensor");
+  const std::size_t ticks = chars.empty() ? 0 : chars.front().size();
+
+  std::vector<std::uint8_t> missing(ticks, 0);
+  for (std::size_t t : missing_ticks) {
+    DESMINE_EXPECTS(t < ticks, "missing tick beyond the series length");
+    missing[t] = 1;
+  }
+
+  // Replay the stream through the tracker, recording per-tick taint.
+  robust::SensorHealthTracker tracker(encrypter.kept_sensors(), health);
+  std::vector<std::vector<std::uint8_t>> taints(
+      chars.size(), std::vector<std::uint8_t>(ticks, 0));
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const bool present = missing[t] == 0;
+    for (std::size_t k = 0; k < chars.size(); ++k) {
+      const char ch = chars[k][t];
+      const robust::SensorState state = tracker.observe(
+          k, {present, ch == SensorEncrypter::kUnknownChar, ch});
+      taints[k][t] =
+          (!present || state != robust::SensorState::kHealthy) ? 1 : 0;
+    }
+  }
+
+  const std::size_t span =
+      (window.sentence_length - 1) * window.word_stride + window.word_length;
+  const std::size_t stride = window.sentence_stride * window.word_stride;
+  const std::size_t windows = ticks < span ? 0 : (ticks - span) / stride + 1;
+
+  HealthMask mask(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t start = w * stride;
+    for (std::size_t k = 0; k < chars.size(); ++k) {
+      const auto& taint = taints[k];
+      for (std::size_t i = start; i < start + span; ++i) {
+        if (taint[i]) {
+          mask[w].push_back(k);
+          break;
+        }
+      }
+    }
+  }
+  return mask;
 }
 
 }  // namespace desmine::core

@@ -7,6 +7,16 @@
 // sentence per sensor, §II-A2), scores that window and emits its anomaly
 // score and alert set. Detection latency therefore equals the sentence
 // stride — exactly the granularity trade-off the paper discusses.
+//
+// Two ingestion contracts (DESIGN.md §8):
+//  * strict (default) — a kept sensor missing from a tick raises a typed
+//    robust::MissingSensor; scores are bit-identical to the pre-degraded
+//    implementation.
+//  * degraded (DegradedConfig::enabled) — missing samples feed the
+//    robust::SensorHealthTracker instead of throwing; windows touched by a
+//    missing tick or an unhealthy sensor exclude that sensor's edges, a_t
+//    renormalizes over the survivors, and windows below the min_coverage
+//    quorum emit a no-verdict result (degraded flag) instead of a fake 0.
 #pragma once
 
 #include <map>
@@ -16,10 +26,18 @@
 
 #include "core/anomaly.h"
 #include "core/encryption.h"
+#include "core/event.h"
 #include "core/language.h"
 #include "core/mvr_graph.h"
+#include "robust/sensor_health.h"
 
 namespace desmine::core {
+
+/// Degraded-mode ingestion policy for OnlineDetector.
+struct DegradedConfig {
+  bool enabled = false;  ///< false = strict: missing sensors throw
+  robust::HealthConfig health{};
+};
 
 class OnlineDetector {
  public:
@@ -30,16 +48,27 @@ class OnlineDetector {
     double anomaly_score = 0.0;
     /// Broken (src, dst) sensor-node pairs at this window.
     std::vector<std::pair<std::size_t, std::size_t>> broken;
+    /// Surviving valid edges / total valid edges (1.0 in strict mode).
+    double coverage = 1.0;
+    /// True when coverage fell below the min_coverage quorum; the
+    /// anomaly_score is then a no-verdict placeholder 0.0.
+    bool degraded = false;
+    /// Node indices whose edges were excluded from this window (degraded
+    /// mode only; empty in strict mode).
+    std::vector<std::size_t> unhealthy;
   };
 
   /// `graph` must carry trained models; `encrypter` must be the one the
   /// graph was mined with (same kept-sensor order).
   OnlineDetector(const MvrGraph& graph, SensorEncrypter encrypter,
-                 WindowConfig window, DetectorConfig detector);
+                 WindowConfig window, DetectorConfig detector,
+                 DegradedConfig degraded = {});
 
   /// Feed one tick: the categorical state of every kept sensor, keyed by
-  /// sensor name (missing kept sensors throw; unknown states map to <unk>).
-  /// Returns a result whenever this tick completed a detection window.
+  /// sensor name (unknown states map to <unk>). In strict mode a missing
+  /// kept sensor throws robust::MissingSensor; in degraded mode it is
+  /// recorded with the health tracker and the tick proceeds. Returns a
+  /// result whenever this tick completed a detection window.
   std::optional<WindowResult> push(
       const std::map<std::string, std::string>& states);
 
@@ -48,6 +77,8 @@ class OnlineDetector {
   /// Windows emitted so far.
   std::size_t windows_emitted() const { return next_window_; }
   std::size_t valid_model_count() const { return detector_.valid_model_count(); }
+  /// Health states (degraded mode; all-healthy in strict mode).
+  const robust::SensorHealthTracker& health() const { return health_; }
 
  private:
   /// First stream position (char index) of window w and its char span.
@@ -57,10 +88,28 @@ class OnlineDetector {
   SensorEncrypter encrypter_;
   LanguageGenerator language_;
   AnomalyDetector detector_;
+  DegradedConfig degraded_;
+  robust::SensorHealthTracker health_;
   std::vector<std::string> buffers_;  ///< encrypted chars per kept sensor
+  /// Per kept sensor, one flag per buffered tick: 1 when the tick must not
+  /// contribute to a verdict (missing sample, or sensor unhealthy after
+  /// observing it). Trimmed in lockstep with buffers_.
+  std::vector<std::vector<std::uint8_t>> taints_;
   std::size_t ticks_ = 0;
   std::size_t next_window_ = 0;
   std::size_t trimmed_ = 0;  ///< chars dropped from the buffer fronts
 };
+
+/// Batch counterpart of the online health tracking: replay `series` through
+/// a SensorHealthTracker tick by tick and derive the per-window exclusion
+/// mask for AnomalyDetector::detect (a sensor is excluded from a window
+/// when any tick the window covers was missing or left the sensor
+/// unhealthy). `missing_ticks` lists tick indices where *no* sensor
+/// delivered a value — e.g. CSV rows quarantined at ingestion.
+HealthMask window_health_mask(const SensorEncrypter& encrypter,
+                              const WindowConfig& window,
+                              const MultivariateSeries& series,
+                              const robust::HealthConfig& health,
+                              const std::vector<std::size_t>& missing_ticks = {});
 
 }  // namespace desmine::core

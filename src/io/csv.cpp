@@ -5,6 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/serialize.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "robust/fault_injector.h"
+#include "util/crc32.h"
 #include "util/error.h"
 
 namespace desmine::io {
@@ -60,13 +65,36 @@ bool is_timestamp_header(const std::string& name) {
   return lower == "timestamp" || lower == "time" || lower == "t";
 }
 
+/// One quarantined row as a flat JSON object with a self-checksum of the
+/// raw line, so journal consumers can verify each record independently.
+std::string quarantine_record(std::size_t row_number, std::size_t expected,
+                              std::size_t got, const std::string& line) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("row").value(static_cast<std::uint64_t>(row_number));
+  w.key("expected_fields").value(static_cast<std::uint64_t>(expected));
+  w.key("got_fields").value(static_cast<std::uint64_t>(got));
+  w.key("line").value(line);
+  w.key("crc32").value(static_cast<std::uint64_t>(util::crc32(line)));
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 
 core::MultivariateSeries parse_series_csv(std::istream& in) {
+  return parse_series_csv(in, CsvOptions{}, nullptr);
+}
+
+core::MultivariateSeries parse_series_csv(std::istream& in,
+                                          const CsvOptions& options,
+                                          CsvReport* report) {
   std::string line;
   if (!std::getline(in, line)) {
     throw RuntimeError("empty CSV: no header row");
   }
+  // Strip a UTF-8 byte-order mark before the header (spreadsheet exports).
+  if (line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
   const std::vector<std::string> header = split_csv_row(line);
   if (header.empty() || (header.size() == 1 && header[0].empty())) {
     throw RuntimeError("empty CSV header");
@@ -84,20 +112,75 @@ core::MultivariateSeries parse_series_csv(std::istream& in) {
     series.push_back(std::move(sensor));
   }
 
+  CsvReport local;
+  CsvReport& rep = report != nullptr ? *report : local;
+  rep = CsvReport{};
+  std::vector<std::string> journal_lines;
+
   std::size_t row_number = 1;
   while (std::getline(in, line)) {
     ++row_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    ++rep.rows_total;
     const std::vector<std::string> fields = split_csv_row(line);
-    if (fields.size() != header.size()) {
-      throw RuntimeError("CSV row " + std::to_string(row_number) + " has " +
-                         std::to_string(fields.size()) + " fields, expected " +
-                         std::to_string(header.size()));
+    bool injected = false;
+    switch (robust::fire_fault("csv.row",
+                               static_cast<std::int64_t>(row_number))) {
+      case robust::FaultAction::kThrow:
+        throw RuntimeError("injected fault at csv.row for row " +
+                           std::to_string(row_number));
+      case robust::FaultAction::kDrop:
+        injected = true;  // the keyed row parses as malformed
+        break;
+      default:
+        break;
     }
+    if (fields.size() != header.size() || injected) {
+      if (options.on_bad_row == OnBadRow::kThrow) {
+        throw RuntimeError("CSV row " + std::to_string(row_number) + " has " +
+                           std::to_string(fields.size()) +
+                           " fields, expected " +
+                           std::to_string(header.size()));
+      }
+      ++rep.rows_bad;
+      rep.bad_row_numbers.push_back(row_number);
+      obs::metrics().counter("csv.rows_bad").inc();
+      if (rep.rows_bad > options.max_bad_rows) {
+        throw RuntimeError(
+            "CSV has more than " + std::to_string(options.max_bad_rows) +
+            " malformed rows (first bad row " +
+            std::to_string(rep.bad_row_numbers.front()) +
+            "); refusing to continue");
+      }
+      if (options.on_bad_row == OnBadRow::kQuarantine) {
+        // Keep the tick so the timeline stays evenly sampled; the health
+        // tracker sees it as missing via CsvReport::missing_ticks.
+        rep.missing_ticks.push_back(series.front().events.size());
+        for (core::SensorSeries& sensor : series) {
+          sensor.events.emplace_back();
+        }
+        journal_lines.push_back(quarantine_record(
+            row_number, header.size(), fields.size(), line));
+        obs::metrics().counter("csv.rows_quarantined").inc();
+      }
+      continue;  // kSkip: the row (and its tick) simply disappears
+    }
+    ++rep.rows_ok;
     for (std::size_t c = first_col; c < fields.size(); ++c) {
       series[c - first_col].events.push_back(fields[c]);
     }
+  }
+
+  if (!journal_lines.empty() && !options.quarantine_path.empty()) {
+    std::string payload;
+    for (const std::string& l : journal_lines) {
+      payload += l;
+      payload += '\n';
+    }
+    // Crash-safe journal: temp file + fsync + atomic rename (same path
+    // trained artifacts take), so a partial journal never appears.
+    write_file_atomic(options.quarantine_path, payload);
   }
   return series;
 }
@@ -106,6 +189,14 @@ core::MultivariateSeries read_series_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw RuntimeError("cannot open for reading: " + path);
   return parse_series_csv(in);
+}
+
+core::MultivariateSeries read_series_csv(const std::string& path,
+                                         const CsvOptions& options,
+                                         CsvReport* report) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open for reading: " + path);
+  return parse_series_csv(in, options, report);
 }
 
 void write_series_csv(std::ostream& out,

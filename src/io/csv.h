@@ -4,22 +4,73 @@
 // tick, each cell holding that sensor's categorical state. A leading
 // "timestamp" column (case-insensitive) is accepted and ignored — sampling
 // is assumed even, as the paper requires (§II-A). Quoted fields with
-// embedded commas/quotes follow RFC-4180.
+// embedded commas/quotes follow RFC-4180 (fields spanning multiple physical
+// lines are not supported); a UTF-8 BOM before the header is stripped.
+//
+// Ingestion has a strict mode (default: any malformed row throws) and a
+// tolerant mode (CsvOptions) for degraded-mode detection: malformed rows
+// are skipped or quarantined instead of aborting the run. Quarantined rows
+// keep their tick (every sensor's cell becomes empty, reported in
+// CsvReport::missing_ticks so the sensor-health tracker can treat the tick
+// as missing) and are journaled to a crash-safe JSON-lines file, one
+// self-checksummed record per row. Skipped rows are removed entirely (the
+// timeline contracts by one tick).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/event.h"
 
 namespace desmine::io {
 
+/// What to do with a malformed data row (wrong field count).
+enum class OnBadRow {
+  kThrow,       ///< strict: raise RuntimeError naming the row (default)
+  kSkip,        ///< drop the row; the tick disappears from the series
+  kQuarantine,  ///< journal the row; the tick stays, with empty cells
+};
+
+struct CsvOptions {
+  OnBadRow on_bad_row = OnBadRow::kThrow;
+  /// Tolerated malformed rows before the parse gives up with RuntimeError
+  /// (a wholly-garbage file should not silently yield an empty series).
+  std::size_t max_bad_rows = 1000;
+  /// Quarantine journal path (JSON lines, one object per bad row with a
+  /// crc32 of the raw line). Empty = count/report but do not journal.
+  std::string quarantine_path;
+};
+
+/// Data-quality report of one tolerant parse.
+struct CsvReport {
+  std::size_t rows_total = 0;  ///< data rows seen (header/blank excluded)
+  std::size_t rows_ok = 0;
+  std::size_t rows_bad = 0;    ///< malformed rows skipped or quarantined
+  /// Tick indices (series positions) preserved as missing — quarantine
+  /// mode only; feed to core::window_health_mask / detect_degraded.
+  std::vector<std::size_t> missing_ticks;
+  /// 1-based physical row numbers of the malformed rows.
+  std::vector<std::size_t> bad_row_numbers;
+};
+
 /// Parse a series from a stream; throws RuntimeError on malformed input
 /// (ragged rows, empty header).
 core::MultivariateSeries parse_series_csv(std::istream& in);
 
-/// Read a series from a file.
+/// Tolerant parse: malformed rows are handled per `options`; `report`
+/// (optional) receives the data-quality summary. Throws RuntimeError when
+/// the header is unusable or more than options.max_bad_rows rows are bad.
+core::MultivariateSeries parse_series_csv(std::istream& in,
+                                          const CsvOptions& options,
+                                          CsvReport* report = nullptr);
+
+/// Read a series from a file (strict / tolerant).
 core::MultivariateSeries read_series_csv(const std::string& path);
+core::MultivariateSeries read_series_csv(const std::string& path,
+                                         const CsvOptions& options,
+                                         CsvReport* report = nullptr);
 
 /// Write a series (header + one row per tick).
 void write_series_csv(std::ostream& out, const core::MultivariateSeries& series);

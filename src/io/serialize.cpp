@@ -12,6 +12,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "robust/fault_injector.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -304,18 +305,15 @@ core::SensorEncrypter read_encrypter(std::istream& is) {
                                                std::move(dropped_names));
 }
 
-void write_artifact_file(const std::string& path, std::string_view payload) {
+void write_file_atomic(const std::string& path, std::string_view payload) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     throw RuntimeError("cannot open for writing: " + tmp + ": " +
                        std::strerror(errno));
   }
-  const std::uint32_t crc = util::crc32(payload);
   bool ok = std::fwrite(payload.data(), 1, payload.size(), f) ==
             payload.size();
-  ok = ok && std::fwrite(kCrcMagic, 1, 4, f) == 4;
-  ok = ok && std::fwrite(&crc, 1, sizeof(crc), f) == sizeof(crc);
   ok = ok && std::fflush(f) == 0;
   ok = ok && ::fsync(::fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
@@ -337,6 +335,14 @@ void write_artifact_file(const std::string& path, std::string_view payload) {
     ::fsync(dfd);
     ::close(dfd);
   }
+}
+
+void write_artifact_file(const std::string& path, std::string_view payload) {
+  const std::uint32_t crc = util::crc32(payload);
+  std::string bytes(payload);
+  bytes.append(kCrcMagic, 4);
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  write_file_atomic(path, bytes);
 }
 
 std::string read_artifact_file(const std::string& path) {
@@ -381,6 +387,9 @@ void save_pair_model(const std::string& path, nmt::TranslationModel& model,
 }
 
 nmt::TranslationModel load_pair_model(const std::string& path) {
+  if (robust::fire_fault("model.load", 0) == robust::FaultAction::kThrow) {
+    throw RuntimeError("injected fault at model.load for " + path);
+  }
   std::istringstream is(read_artifact_file(path), std::ios::binary);
   const std::uint32_t version = read_header(is);
   return read_translation_model(is, version);
@@ -407,6 +416,9 @@ void save_framework(const core::Framework& framework,
 
 core::Framework load_framework(const std::string& path,
                                core::FrameworkConfig config_overlay) {
+  if (robust::fire_fault("model.load", 0) == robust::FaultAction::kThrow) {
+    throw RuntimeError("injected fault at model.load for " + path);
+  }
   std::istringstream is(read_artifact_file(path), std::ios::binary);
   const std::uint32_t version = read_header(is);
 

@@ -58,9 +58,15 @@ core::SensorEncrypter read_encrypter(std::istream& is);
 
 // ---- crash-safe file primitives -------------------------------------------
 
-/// Write `payload` + CRC-32 trailer to `path` via temp file + flush + fsync
-/// + atomic rename. Throws RuntimeError on any I/O failure; on failure the
-/// previous contents of `path` (if any) are untouched.
+/// Write `payload` verbatim to `path` via temp file + flush + fsync + atomic
+/// rename (+ directory fsync). Throws RuntimeError on any I/O failure; on
+/// failure the previous contents of `path` (if any) are untouched. Used for
+/// any file that must appear all-or-nothing (quarantine journals, traces).
+void write_file_atomic(const std::string& path, std::string_view payload);
+
+/// Write `payload` + CRC-32 trailer to `path` via write_file_atomic. Throws
+/// RuntimeError on any I/O failure; on failure the previous contents of
+/// `path` (if any) are untouched.
 void write_artifact_file(const std::string& path, std::string_view payload);
 
 /// Read a whole artifact file. For v3+ payloads (decided by the version

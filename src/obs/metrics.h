@@ -12,6 +12,15 @@
 //   checkpoint.pairs_skipped    counter: pairs restored from the journal
 //   checkpoint.pairs_journaled  counter: pair records durably appended
 //   nmt.train.divergences       counter: divergence-guard trips
+//
+// Degraded-mode detection instruments (ISSUE 3):
+//   detect.sensor.dropped       counter: healthy -> dropped transitions
+//   detect.sensor.stale         counter: healthy -> stale transitions
+//   detect.sensor.flooding      counter: healthy -> flooding transitions
+//   detect.sensor.readmitted    counter: unhealthy -> healthy re-admissions
+//   detect.window.degraded      counter: windows below the coverage quorum
+//   csv.rows_bad                counter: malformed rows seen in tolerant mode
+//   csv.rows_quarantined        counter: malformed rows journaled
 #pragma once
 
 #include <array>

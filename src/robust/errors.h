@@ -3,8 +3,14 @@
 // The miner's per-pair isolation distinguishes these from generic runtime
 // failures: a DeadlineExceeded pair is not retried (retrying the same step
 // budget would time out again), and Interrupted aborts the whole run after
-// the checkpoint journal has been flushed.
+// the checkpoint journal has been flushed. The detection-side errors
+// (MissingSensor, MisalignedCorpus) carry the offending sensor so a
+// degraded-mode caller can route the fault to the health tracker instead
+// of aborting the stream.
 #pragma once
+
+#include <cstddef>
+#include <string>
 
 #include "util/error.h"
 
@@ -22,6 +28,50 @@ class DeadlineExceeded : public RuntimeError {
 class Interrupted : public RuntimeError {
  public:
   using RuntimeError::RuntimeError;
+};
+
+/// A kept sensor delivered no value for a tick while the detector runs in
+/// strict mode. Degraded-mode detection routes the same condition to the
+/// sensor-health tracker instead of throwing.
+class MissingSensor : public RuntimeError {
+ public:
+  MissingSensor(std::string sensor, std::size_t tick)
+      : RuntimeError("sensor '" + sensor + "' delivered no value at tick " +
+                     std::to_string(tick)),
+        sensor_(std::move(sensor)),
+        tick_(tick) {}
+
+  const std::string& sensor() const { return sensor_; }
+  std::size_t tick() const { return tick_; }
+
+ private:
+  std::string sensor_;
+  std::size_t tick_;
+};
+
+/// Test corpora handed to the detector are not aligned: the named sensor's
+/// corpus has a different window count than the first sensor's. Raised up
+/// front (with the offender named) instead of surfacing as undefined
+/// behavior deep inside edge scoring.
+class MisalignedCorpus : public PreconditionError {
+ public:
+  MisalignedCorpus(std::string sensor, std::size_t expected, std::size_t got)
+      : PreconditionError("test corpus of sensor '" + sensor + "' has " +
+                          std::to_string(got) + " windows, expected " +
+                          std::to_string(expected) +
+                          " (test corpora must be aligned across sensors)"),
+        sensor_(std::move(sensor)),
+        expected_(expected),
+        got_(got) {}
+
+  const std::string& sensor() const { return sensor_; }
+  std::size_t expected() const { return expected_; }
+  std::size_t got() const { return got_; }
+
+ private:
+  std::string sensor_;
+  std::size_t expected_;
+  std::size_t got_;
 };
 
 }  // namespace desmine::robust

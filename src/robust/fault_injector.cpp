@@ -13,6 +13,7 @@ FaultAction parse_action(std::string_view name) {
   if (name == "throw") return FaultAction::kThrow;
   if (name == "diverge") return FaultAction::kDiverge;
   if (name == "abort") return FaultAction::kAbort;
+  if (name == "drop") return FaultAction::kDrop;
   throw PreconditionError("unknown fault action '" + std::string(name) + "'");
 }
 

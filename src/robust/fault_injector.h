@@ -14,6 +14,14 @@
 //   diverge  poison the pair's learning rate so training trips the
 //            divergence guard (a controlled NaN/loss-explosion)
 //   abort    request a run abort (simulates a crash after the point)
+//   drop     suppress the keyed datum (detection-phase points: at
+//            detect.push the keyed sensor's sample goes missing for one
+//            tick; at csv.row the keyed row parses as malformed)
+//
+// Detection-phase points (ISSUE 3): "detect.push" keyed by kept-sensor
+// index (fired every tick), "csv.row" keyed by 1-based CSV row number,
+// "model.load" keyed 0 (artifact loads). E.g. dropping sensor 2 for 40
+// consecutive ticks mid-stream: DESMINE_FAULTS="detect.push:2=drop*40".
 //
 // The injector is process-wide and disabled (zero overhead beyond one
 // relaxed atomic load) when nothing is armed.
@@ -33,6 +41,7 @@ enum class FaultAction {
   kThrow,
   kDiverge,
   kAbort,
+  kDrop,
 };
 
 struct FaultSpec {

@@ -1,0 +1,141 @@
+#include "robust/sensor_health.h"
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace desmine::robust {
+
+std::string_view to_string(SensorState state) {
+  switch (state) {
+    case SensorState::kHealthy:
+      return "healthy";
+    case SensorState::kStale:
+      return "stale";
+    case SensorState::kDropped:
+      return "dropped";
+    case SensorState::kFlooding:
+      return "flooding";
+  }
+  return "unknown";
+}
+
+SensorHealthTracker::SensorHealthTracker(
+    std::vector<std::string> sensor_names, HealthConfig config)
+    : config_(config) {
+  DESMINE_EXPECTS(config_.drop_after_missing > 0,
+                  "drop_after_missing must be positive");
+  DESMINE_EXPECTS(config_.unk_window > 0, "unk_window must be positive");
+  DESMINE_EXPECTS(config_.readmit_after > 0, "readmit_after must be positive");
+  DESMINE_EXPECTS(config_.max_unk_rate >= 0.0 && config_.max_unk_rate <= 1.0,
+                  "max_unk_rate must lie in [0, 1]");
+  sensors_.reserve(sensor_names.size());
+  for (std::string& name : sensor_names) {
+    Sensor s;
+    s.name = std::move(name);
+    s.unk_ring.assign(config_.unk_window, 0);
+    sensors_.push_back(std::move(s));
+  }
+}
+
+void SensorHealthTracker::transition(Sensor& sensor, SensorState next) {
+  if (sensor.state == next) return;
+  switch (next) {
+    case SensorState::kDropped:
+      obs::metrics().counter("detect.sensor.dropped").inc();
+      break;
+    case SensorState::kStale:
+      obs::metrics().counter("detect.sensor.stale").inc();
+      break;
+    case SensorState::kFlooding:
+      obs::metrics().counter("detect.sensor.flooding").inc();
+      break;
+    case SensorState::kHealthy:
+      obs::metrics().counter("detect.sensor.readmitted").inc();
+      break;
+  }
+  sensor.state = next;
+}
+
+SensorState SensorHealthTracker::observe(std::size_t k,
+                                         const Observation& obs) {
+  DESMINE_EXPECTS(k < sensors_.size(), "sensor index out of range");
+  Sensor& s = sensors_[k];
+
+  if (!obs.present) {
+    ++s.consecutive_missing;
+    // A gap does not reset the change clock: a sensor that vanishes while
+    // stuck is still stuck.
+    if (s.seen) ++s.ticks_since_change;
+  } else {
+    s.consecutive_missing = 0;
+    // Slide the <unk> window forward by one present tick.
+    s.unk_in_ring -= s.unk_ring[s.ring_pos];
+    s.unk_ring[s.ring_pos] = obs.unknown ? 1 : 0;
+    s.unk_in_ring += s.unk_ring[s.ring_pos];
+    s.ring_pos = (s.ring_pos + 1) % s.unk_ring.size();
+    if (s.ring_count < s.unk_ring.size()) ++s.ring_count;
+
+    const bool changed = !s.seen || obs.value != s.last_value;
+    s.seen = true;
+    s.last_value = obs.value;
+    s.ticks_since_change = changed ? 0 : s.ticks_since_change + 1;
+  }
+
+  const bool cond_dropped = s.consecutive_missing >= config_.drop_after_missing;
+  const bool cond_flooding =
+      s.unk_in_ring > 0 && s.ring_count >= config_.min_unk_samples &&
+      static_cast<double>(s.unk_in_ring) >=
+          config_.max_unk_rate * static_cast<double>(s.ring_count);
+  const bool cond_stale = config_.stale_after > 0 &&
+                          s.ticks_since_change >= config_.stale_after;
+
+  if (cond_dropped) {
+    s.clean_streak = 0;
+    transition(s, SensorState::kDropped);
+  } else if (cond_flooding) {
+    s.clean_streak = 0;
+    transition(s, SensorState::kFlooding);
+  } else if (cond_stale) {
+    s.clean_streak = 0;
+    transition(s, SensorState::kStale);
+  } else if (s.state != SensorState::kHealthy) {
+    // Hysteresis: only a run of clean ticks re-admits the sensor.
+    if (obs.present && !obs.unknown) {
+      if (++s.clean_streak >= config_.readmit_after) {
+        s.clean_streak = 0;
+        transition(s, SensorState::kHealthy);
+      }
+    } else {
+      s.clean_streak = 0;
+    }
+  }
+  return s.state;
+}
+
+SensorState SensorHealthTracker::state(std::size_t k) const {
+  DESMINE_EXPECTS(k < sensors_.size(), "sensor index out of range");
+  return sensors_[k].state;
+}
+
+std::vector<std::size_t> SensorHealthTracker::unhealthy_sensors() const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < sensors_.size(); ++k) {
+    if (sensors_[k].state != SensorState::kHealthy) out.push_back(k);
+  }
+  return out;
+}
+
+std::size_t SensorHealthTracker::unhealthy_count() const {
+  std::size_t n = 0;
+  for (const Sensor& s : sensors_) {
+    if (s.state != SensorState::kHealthy) ++n;
+  }
+  return n;
+}
+
+const std::string& SensorHealthTracker::name(std::size_t k) const {
+  DESMINE_EXPECTS(k < sensors_.size(), "sensor index out of range");
+  return sensors_[k].name;
+}
+
+}  // namespace desmine::robust

@@ -1,0 +1,113 @@
+// Per-sensor health tracking for degraded-mode detection.
+//
+// The paper's anomaly score a_t assumes every kept sensor reports a clean
+// value at every tick, but deployed telemetry routinely violates that:
+// feeds drop out, go stale, or flood with states never seen in training.
+// Scoring such a sensor's pair models would report *broken relationships*
+// that are really *broken plumbing*. The tracker classifies each sensor
+// per tick so the detector can exclude unhealthy sensors from a window's
+// valid set instead of counting their edges as anomalies:
+//
+//   healthy   normal operation
+//   dropped   >= drop_after_missing consecutive missing ticks
+//   flooding  <unk> rate over a sliding window >= max_unk_rate
+//   stale     value unchanged for >= stale_after ticks (opt-in; many real
+//             sensors are legitimately lazy, so 0 disables the check)
+//
+// Re-admission is hysteresis-based: once unhealthy, a sensor must deliver
+// readmit_after consecutive clean ticks (present, not <unk>) with no
+// condition firing before it counts as healthy again — a flapping feed
+// cannot oscillate the valid set every tick.
+//
+// Transitions are recorded in the metrics registry (detect.sensor.dropped /
+// .stale / .flooding / .readmitted) so runs can be audited after the fact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desmine::robust {
+
+enum class SensorState : std::uint8_t {
+  kHealthy,
+  kStale,
+  kDropped,
+  kFlooding,
+};
+
+std::string_view to_string(SensorState state);
+
+struct HealthConfig {
+  /// Consecutive missing ticks before a sensor is dropped.
+  std::size_t drop_after_missing = 3;
+  /// Ticks without a value change before a sensor is stale; 0 disables.
+  std::size_t stale_after = 0;
+  /// <unk> fraction over the sliding window at/above which the sensor is
+  /// flooding (its states were never seen in training).
+  double max_unk_rate = 0.5;
+  /// Sliding-window length for the <unk> rate.
+  std::size_t unk_window = 64;
+  /// Observations required before the <unk> rate is trusted (a single
+  /// leading <unk> must not flood a sensor).
+  std::size_t min_unk_samples = 8;
+  /// Clean ticks (present, known state, no condition firing) required to
+  /// re-admit an unhealthy sensor.
+  std::size_t readmit_after = 8;
+};
+
+class SensorHealthTracker {
+ public:
+  /// One tick's reading of one sensor.
+  struct Observation {
+    bool present = true;  ///< false = the tick carried no value (dropout)
+    bool unknown = false;  ///< the value mapped to <unk> (unseen in training)
+    char value = 0;        ///< encoded state, for change detection
+  };
+
+  SensorHealthTracker(std::vector<std::string> sensor_names,
+                      HealthConfig config);
+
+  /// Feed sensor k's observation for its next tick and return the state
+  /// after applying it. Each sensor keeps its own clock, so sensors may be
+  /// observed in any order within a tick.
+  SensorState observe(std::size_t k, const Observation& obs);
+
+  SensorState state(std::size_t k) const;
+  bool healthy(std::size_t k) const {
+    return state(k) == SensorState::kHealthy;
+  }
+
+  /// Indices of sensors currently not healthy, ascending.
+  std::vector<std::size_t> unhealthy_sensors() const;
+  std::size_t unhealthy_count() const;
+
+  std::size_t sensor_count() const { return sensors_.size(); }
+  const std::string& name(std::size_t k) const;
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  struct Sensor {
+    std::string name;
+    SensorState state = SensorState::kHealthy;
+    std::size_t consecutive_missing = 0;
+    std::size_t clean_streak = 0;
+    std::size_t ticks_since_change = 0;
+    bool seen = false;
+    char last_value = 0;
+    // Ring buffer over the last unk_window present ticks.
+    std::vector<std::uint8_t> unk_ring;
+    std::size_t ring_pos = 0;
+    std::size_t ring_count = 0;
+    std::size_t unk_in_ring = 0;
+  };
+
+  void transition(Sensor& sensor, SensorState next);
+
+  HealthConfig config_;
+  std::vector<Sensor> sensors_;
+};
+
+}  // namespace desmine::robust

@@ -7,6 +7,7 @@
 #include "core/anomaly.h"
 #include "core/mvr_graph.h"
 #include "nmt/translation.h"
+#include "robust/errors.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -181,6 +182,170 @@ TEST(AnomalyDetector, MisalignedTestCorporaThrow) {
   b.pop_back();
   EXPECT_THROW(detector.detect({a, b}), desmine::PreconditionError);
   EXPECT_THROW(detector.detect({}), desmine::PreconditionError);
+}
+
+TEST(AnomalyDetector, MisalignedCorpusCarriesTypedFields) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = 0.0;
+  cfg.valid_hi = 101.0;
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  dx::Corpus a, b;
+  make_corpus(3, 5, a, b, 9);
+  b.pop_back();
+  try {
+    detector.detect({a, b});
+    FAIL() << "expected robust::MisalignedCorpus";
+  } catch (const desmine::robust::MisalignedCorpus& e) {
+    EXPECT_EQ(e.sensor(), "dst");  // graph node 1's name
+    EXPECT_EQ(e.expected(), 3u);
+    EXPECT_EQ(e.got(), 2u);
+    EXPECT_NE(std::string(e.what()).find("dst"), std::string::npos);
+  }
+}
+
+namespace {
+
+/// Two edges sharing one trained model: a -> b (aligned target) and
+/// a -> c (whatever corpus the test supplies for node c).
+struct FanoutFixture {
+  dc::MvrGraph graph{std::vector<std::string>{"a", "b", "c"}};
+  double dev_bleu = 0.0;
+};
+
+FanoutFixture make_fanout_fixture() {
+  FanoutFixture f;
+  dx::Corpus train_src, train_tgt;
+  make_corpus(96, 5, train_src, train_tgt, 1);
+  auto model = trained_model(train_src, train_tgt);
+  dx::Corpus dev_src, dev_tgt;
+  make_corpus(12, 5, dev_src, dev_tgt, 2);
+  f.dev_bleu = model->score(dev_src, dev_tgt).score;
+  for (std::size_t dst : {std::size_t{1}, std::size_t{2}}) {
+    dc::MvrEdge e;
+    e.src = 0;
+    e.dst = dst;
+    e.bleu = f.dev_bleu;
+    e.model = model;
+    f.graph.add_edge(e);
+  }
+  return f;
+}
+
+/// Training is the expensive part; share one fan-out fixture across tests.
+const FanoutFixture& fanout_fixture() {
+  static const FanoutFixture f = make_fanout_fixture();
+  return f;
+}
+
+dc::DetectorConfig fanout_config(const FanoutFixture& f) {
+  dc::DetectorConfig cfg;
+  cfg.valid_lo = f.dev_bleu - 5.0;
+  cfg.valid_hi = f.dev_bleu + 5.0;
+  cfg.tolerance = 5.0;
+  cfg.threads = 1;
+  return cfg;
+}
+
+/// Two windows: node b mirrors the source (healthy relationship), node c is
+/// degenerate garbage (relationship a -> c breaks in every window).
+void fanout_corpora(dx::Corpus& src, dx::Corpus& aligned, dx::Corpus& garbage) {
+  make_corpus(2, 5, src, aligned, 3);
+  for (std::size_t t = 0; t < src.size(); ++t) {
+    if (src[t] == dx::Sentence(5, "sc")) src[t][0] = "sa";
+    garbage.push_back(dx::Sentence(5, "tc"));
+  }
+}
+
+}  // namespace
+
+TEST(AnomalyDetector, HealthMaskExcludesAndRenormalizes) {
+  const FanoutFixture& f = fanout_fixture();
+  dc::DetectorConfig cfg = fanout_config(f);
+  cfg.min_coverage = 0.2;
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  ASSERT_EQ(detector.valid_model_count(), 2u);
+
+  dx::Corpus src, aligned, garbage;
+  fanout_corpora(src, aligned, garbage);
+
+  // Unmasked: a->c is broken everywhere, a->b nowhere; a_t = 1/2.
+  const auto plain = detector.detect({src, aligned, garbage});
+  ASSERT_EQ(plain.anomaly_scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(plain.anomaly_scores[0], 0.5);
+  EXPECT_DOUBLE_EQ(plain.anomaly_scores[1], 0.5);
+  EXPECT_DOUBLE_EQ(plain.coverage[0], 1.0);
+  EXPECT_EQ(plain.degraded[0], 0);
+
+  // Excluding sensor c at window 1 removes a->c from that window's valid
+  // set: the broken plumbing no longer masquerades as an anomaly and the
+  // score renormalizes over the single survivor.
+  const dc::HealthMask mask = {{}, {2}};
+  const auto masked = detector.detect({src, aligned, garbage}, &mask);
+  EXPECT_DOUBLE_EQ(masked.anomaly_scores[0], 0.5);  // untouched window
+  EXPECT_DOUBLE_EQ(masked.coverage[0], 1.0);
+  EXPECT_DOUBLE_EQ(masked.anomaly_scores[1], 0.0);  // 0 broken / 1 surviving
+  EXPECT_DOUBLE_EQ(masked.coverage[1], 0.5);
+  EXPECT_EQ(masked.degraded[1], 0);  // 0.5 >= min_coverage 0.2
+  EXPECT_TRUE(masked.broken_edges[1].empty());
+  // The excluded edge was never scored at window 1.
+  EXPECT_DOUBLE_EQ(masked.edge_bleu[1][1], 0.0);
+  EXPECT_GT(plain.edge_bleu[0][1], 0.0);
+}
+
+TEST(AnomalyDetector, CoverageQuorumGatesVerdicts) {
+  const FanoutFixture& f = fanout_fixture();
+  dc::DetectorConfig cfg = fanout_config(f);
+  cfg.min_coverage = 0.6;  // 1 of 2 surviving edges is below quorum
+  const dc::AnomalyDetector detector(f.graph, cfg);
+
+  dx::Corpus src, aligned, garbage;
+  fanout_corpora(src, aligned, garbage);
+  const dc::HealthMask mask = {{}, {2}};
+  const auto result = detector.detect({src, aligned, garbage}, &mask);
+  EXPECT_EQ(result.degraded[0], 0);
+  EXPECT_EQ(result.degraded[1], 1);
+  // No verdict: a NaN-free placeholder, not a claim of "no anomaly".
+  EXPECT_DOUBLE_EQ(result.anomaly_scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(result.coverage[1], 0.5);
+}
+
+TEST(AnomalyDetector, HealthMaskValidation) {
+  const FanoutFixture& f = fanout_fixture();
+  const dc::AnomalyDetector detector(f.graph, fanout_config(f));
+  dx::Corpus src, aligned, garbage;
+  fanout_corpora(src, aligned, garbage);
+
+  const dc::HealthMask wrong_size = {{}};  // 1 entry for 2 windows
+  EXPECT_THROW(detector.detect({src, aligned, garbage}, &wrong_size),
+               desmine::PreconditionError);
+  const dc::HealthMask bad_node = {{}, {7}};
+  EXPECT_THROW(detector.detect({src, aligned, garbage}, &bad_node),
+               desmine::PreconditionError);
+}
+
+TEST(AnomalyDetector, NoMaskLeavesCoverageFullAndVerdictsUngated) {
+  const FanoutFixture& f = fanout_fixture();
+  dc::DetectorConfig cfg = fanout_config(f);
+  cfg.min_coverage = 1.0;  // would gate everything if a mask were supplied
+  const dc::AnomalyDetector detector(f.graph, cfg);
+  dx::Corpus src, aligned, garbage;
+  fanout_corpora(src, aligned, garbage);
+  const auto result = detector.detect({src, aligned, garbage});
+  for (std::size_t t = 0; t < result.anomaly_scores.size(); ++t) {
+    EXPECT_DOUBLE_EQ(result.coverage[t], 1.0);
+    EXPECT_EQ(result.degraded[t], 0);
+    EXPECT_DOUBLE_EQ(result.anomaly_scores[t], 0.5);
+  }
+}
+
+TEST(AnomalyDetector, RejectsInvalidMinCoverage) {
+  const Fixture f = make_fixture();
+  dc::DetectorConfig cfg;
+  cfg.min_coverage = 1.5;
+  EXPECT_THROW(dc::AnomalyDetector(f.graph, cfg), desmine::PreconditionError);
+  cfg.min_coverage = -0.1;
+  EXPECT_THROW(dc::AnomalyDetector(f.graph, cfg), desmine::PreconditionError);
 }
 
 TEST(AnomalyDetector, NoValidModelsGivesZeroScores) {

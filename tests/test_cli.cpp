@@ -3,6 +3,7 @@
 //   1    runtime failure
 //   2    usage error
 //   3    training completed but some pairs permanently failed
+//   4    detection completed degraded (windows below the coverage quorum)
 // The CLI binary path is injected by CMake as DESMINE_CLI_PATH; faults are
 // injected into the spawned process via the DESMINE_FAULTS environment
 // variable (see robust::FaultInjector).
@@ -12,6 +13,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -115,4 +118,95 @@ TEST(CliExitCodes, PermanentPairFailureExitsThreeButSavesArtifact) {
 TEST(CliExitCodes, TransientFaultIsRetriedToSuccess) {
   const TempFile model("retry_model.bin");
   EXPECT_EQ(run_cli(tiny_train_args(model.path), "miner.pair:1=throw*1"), 0);
+}
+
+namespace {
+
+/// One trained artifact + clean test series shared by the detect tests.
+struct DetectFixture {
+  TempFile model{"detect_model.bin"};
+  TempFile test{"detect_test.csv"};
+  DetectFixture() {
+    EXPECT_EQ(run_cli(tiny_train_args(model.path)), 0);
+    EXPECT_EQ(run_cli("generate --out " + test.path +
+                      " --days 1 --minutes 40 --seed 9 --components 1"),
+              0);
+  }
+};
+
+DetectFixture& detect_fixture() {
+  static DetectFixture f;
+  return f;
+}
+
+/// Detect invocation with a wide-open band so edges always qualify.
+std::string detect_args(const std::string& test_csv) {
+  return "detect --model " + detect_fixture().model.path + " --test " +
+         test_csv + " --lo 0 --hi 100.5";
+}
+
+/// Copy `src` to `dst`, inserting a ragged "BAD" row after `after_rows`
+/// data rows.
+void corrupt_csv(const std::string& src, const std::string& dst,
+                 std::size_t after_rows) {
+  std::ifstream in(src);
+  std::ofstream out(dst);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    out << line << "\n";
+    if (++n == after_rows + 1) out << "BAD\n";  // +1 skips the header
+  }
+}
+
+}  // namespace
+
+TEST(CliExitCodes, StrictDetectOnCleanSeriesSucceeds) {
+  EXPECT_EQ(run_cli(detect_args(detect_fixture().test.path)), 0);
+}
+
+TEST(CliExitCodes, MalformedRowInStrictModeIsRuntimeError) {
+  TempFile bad("detect_bad.csv");
+  corrupt_csv(detect_fixture().test.path, bad.path, 20);
+  EXPECT_EQ(run_cli(detect_args(bad.path)), 1);
+}
+
+TEST(CliExitCodes, DegradedCleanRunSucceeds) {
+  EXPECT_EQ(run_cli(detect_args(detect_fixture().test.path) + " --degraded"),
+            0);
+}
+
+TEST(CliExitCodes, DegradedQuarantineRunExitsFour) {
+  TempFile bad("detect_hole.csv");
+  TempFile journal("detect_hole.quarantine.jsonl");
+  corrupt_csv(detect_fixture().test.path, bad.path, 20);
+  // The quarantined row blanks a mid-stream tick for every sensor: windows
+  // covering it lose all edges, fall below the quorum, and the run reports
+  // "completed degraded".
+  EXPECT_EQ(run_cli(detect_args(bad.path) +
+                    " --degraded --on-bad-row quarantine --quarantine " +
+                    journal.path),
+            4);
+  std::ifstream in(journal.path);
+  EXPECT_TRUE(in.good());  // journal was written
+}
+
+TEST(CliExitCodes, SkipModeDetectSucceedsDespiteBadRow) {
+  TempFile bad("detect_skip.csv");
+  corrupt_csv(detect_fixture().test.path, bad.path, 20);
+  // Skipping removes the tick for every sensor, so alignment (and strict
+  // scoring) survives.
+  EXPECT_EQ(run_cli(detect_args(bad.path) + " --on-bad-row skip"), 0);
+}
+
+TEST(CliExitCodes, BadOnBadRowValueIsUsageError) {
+  EXPECT_EQ(run_cli(detect_args(detect_fixture().test.path) +
+                    " --on-bad-row bogus"),
+            2);
+}
+
+TEST(CliExitCodes, ModelLoadFaultIsRuntimeError) {
+  EXPECT_EQ(run_cli(detect_args(detect_fixture().test.path),
+                    "model.load:0=throw"),
+            1);
 }

@@ -6,6 +6,8 @@
 
 #include "core/framework.h"
 #include "core/online.h"
+#include "robust/errors.h"
+#include "robust/fault_injector.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -149,11 +151,170 @@ TEST(OnlineDetector, BrokenEdgesNameValidPairs) {
   }
 }
 
-TEST(OnlineDetector, MissingSensorThrows) {
+TEST(OnlineDetector, MissingSensorThrowsTypedError) {
   auto& f = fixture();
   dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
                             f.cfg.window, f.cfg.detector);
-  EXPECT_THROW(online.push({{"lead", "ON"}}), desmine::PreconditionError);
+  std::string expected;
+  for (const auto& name : f.framework.encrypter().kept_sensors()) {
+    if (name != "lead") {
+      expected = name;  // first kept sensor absent from the tick
+      break;
+    }
+  }
+  try {
+    online.push({{"lead", "ON"}});
+    FAIL() << "expected robust::MissingSensor";
+  } catch (const desmine::robust::MissingSensor& e) {
+    EXPECT_EQ(e.sensor(), expected);
+    EXPECT_EQ(e.tick(), 0u);
+    EXPECT_NE(std::string(e.what()).find(expected), std::string::npos);
+  }
+  // MissingSensor derives from RuntimeError (plumbing, not misuse).
+  dc::OnlineDetector online2(f.framework.graph(), f.framework.encrypter(),
+                             f.cfg.window, f.cfg.detector);
+  EXPECT_THROW(online2.push({{"lead", "ON"}}), desmine::RuntimeError);
+}
+
+TEST(OnlineDetector, DegradedCleanRunMatchesStrict) {
+  auto& f = fixture();
+  const auto series = make_series(120, false, 9);
+  dc::OnlineDetector strict(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  dc::DegradedConfig degraded;
+  degraded.enabled = true;
+  dc::OnlineDetector tolerant(f.framework.graph(), f.framework.encrypter(),
+                              f.cfg.window, f.cfg.detector, degraded);
+  for (std::size_t t = 0; t < 120; ++t) {
+    const auto a = strict.push(tick_states(series, t));
+    const auto b = tolerant.push(tick_states(series, t));
+    ASSERT_EQ(a.has_value(), b.has_value()) << t;
+    if (!a) continue;
+    EXPECT_EQ(a->anomaly_score, b->anomaly_score) << t;  // bit-identical
+    EXPECT_EQ(b->coverage, 1.0) << t;
+    EXPECT_FALSE(b->degraded) << t;
+    EXPECT_TRUE(b->unhealthy.empty()) << t;
+  }
+}
+
+TEST(OnlineDetector, DegradedDropoutRenormalizesAndRecovers) {
+  auto& f = fixture();
+  const auto series = make_series(200, false, 10);
+  const auto& kept = f.framework.encrypter().kept_sensors();
+  std::size_t noise_idx = kept.size();
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    if (kept[k] == "noise") noise_idx = k;
+  }
+  ASSERT_LT(noise_idx, kept.size());
+
+  dc::OnlineDetector strict(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  dc::DetectorConfig lax = f.cfg.detector;
+  lax.min_coverage = 0.2;  // below 2/6 so dropout windows still score
+  dc::DegradedConfig degraded;
+  degraded.enabled = true;
+  dc::OnlineDetector tolerant(f.framework.graph(), f.framework.encrypter(),
+                              f.cfg.window, lax, degraded);
+
+  // "noise" delivers nothing for ticks [40, 60). With readmit_after = 8
+  // clean ticks, its taint clears at tick 60 + 8 - 1 = 67.
+  const std::size_t taint_lo = 40;
+  const std::size_t taint_hi = 60 + degraded.health.readmit_after - 1;
+  std::size_t affected = 0;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const auto full = tick_states(series, t);
+    auto holed = full;
+    if (t >= 40 && t < 60) holed.erase("noise");
+    const auto a = strict.push(full);
+    const auto b = tolerant.push(holed);
+    ASSERT_EQ(a.has_value(), b.has_value()) << t;
+    if (!a) continue;
+    const std::size_t start = b->window_index * 4;  // sentence stride 4
+    const std::size_t span = 7;                     // (4-1)*1 + 4
+    const bool clean = start + span <= taint_lo || start > taint_hi;
+    if (clean) {
+      // Outside the taint range the score must be bit-identical to the
+      // no-fault run — the acceptance criterion for re-admission.
+      EXPECT_EQ(a->anomaly_score, b->anomaly_score) << b->window_index;
+      EXPECT_EQ(b->coverage, 1.0) << b->window_index;
+      EXPECT_TRUE(b->unhealthy.empty()) << b->window_index;
+    } else {
+      ++affected;
+      // noise's 4 incident edges leave the valid set; 2 of 6 survive.
+      EXPECT_NEAR(b->coverage, 2.0 / 6.0, 1e-12) << b->window_index;
+      EXPECT_FALSE(b->degraded) << b->window_index;  // above the 0.2 quorum
+      ASSERT_EQ(b->unhealthy.size(), 1u) << b->window_index;
+      EXPECT_EQ(b->unhealthy.front(), noise_idx);
+    }
+  }
+  EXPECT_GT(affected, 0u);
+}
+
+TEST(OnlineDetector, DefaultQuorumFlagsDegradedWindows) {
+  auto& f = fixture();
+  const auto series = make_series(80, false, 11);
+  dc::DegradedConfig degraded;
+  degraded.enabled = true;
+  // Default min_coverage 0.5: losing noise leaves 2/6 < 0.5 -> no verdict.
+  dc::OnlineDetector tolerant(f.framework.graph(), f.framework.encrypter(),
+                              f.cfg.window, f.cfg.detector, degraded);
+  std::size_t degraded_windows = 0;
+  for (std::size_t t = 0; t < 80; ++t) {
+    auto states = tick_states(series, t);
+    if (t >= 20 && t < 40) states.erase("noise");
+    const auto r = tolerant.push(states);
+    if (r && r->degraded) {
+      ++degraded_windows;
+      EXPECT_EQ(r->anomaly_score, 0.0);  // placeholder, not a verdict
+      EXPECT_LT(r->coverage, 0.5);
+    }
+  }
+  EXPECT_GT(degraded_windows, 0u);
+}
+
+TEST(OnlineDetector, InjectedDropFaultTaintsSensor) {
+  auto& f = fixture();
+  const auto series = make_series(60, false, 12);
+  const auto& kept = f.framework.encrypter().kept_sensors();
+  std::size_t noise_idx = kept.size();
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    if (kept[k] == "noise") noise_idx = k;
+  }
+  ASSERT_LT(noise_idx, kept.size());
+
+  auto& injector = desmine::robust::FaultInjector::instance();
+  injector.clear();
+  injector.arm("detect.push", static_cast<std::int64_t>(noise_idx),
+               desmine::robust::FaultAction::kDrop, 10);
+  dc::DetectorConfig lax = f.cfg.detector;
+  lax.min_coverage = 0.2;
+  dc::DegradedConfig degraded;
+  degraded.enabled = true;
+  dc::OnlineDetector tolerant(f.framework.graph(), f.framework.encrypter(),
+                              f.cfg.window, lax, degraded);
+  std::size_t tainted_windows = 0;
+  for (std::size_t t = 0; t < 60; ++t) {
+    const auto r = tolerant.push(tick_states(series, t));
+    if (r && !r->unhealthy.empty()) {
+      ++tainted_windows;
+      EXPECT_EQ(r->unhealthy.front(), noise_idx);
+    }
+  }
+  injector.clear();
+  EXPECT_GT(tainted_windows, 0u);
+}
+
+TEST(OnlineDetector, InjectedDropFaultInStrictModeThrowsMissingSensor) {
+  auto& f = fixture();
+  const auto series = make_series(10, false, 13);
+  auto& injector = desmine::robust::FaultInjector::instance();
+  injector.clear();
+  injector.arm("detect.push", 0, desmine::robust::FaultAction::kDrop, 1);
+  dc::OnlineDetector strict(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  EXPECT_THROW(strict.push(tick_states(series, 0)),
+               desmine::robust::MissingSensor);
+  injector.clear();
 }
 
 TEST(OnlineDetector, LongStreamStaysConsistentAcrossTrim) {

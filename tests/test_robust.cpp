@@ -232,6 +232,15 @@ TEST_F(RobustMiner, InjectorSpecParsing) {
   EXPECT_EQ(inj.fire("c", 4), dr::FaultAction::kNone);
 }
 
+TEST_F(RobustMiner, InjectorSpecParsesDropAction) {
+  auto& inj = dr::FaultInjector::instance();
+  EXPECT_EQ(inj.arm_from_spec("detect.push:2=drop*2"), 1u);
+  EXPECT_EQ(inj.fire("detect.push", 2), dr::FaultAction::kDrop);
+  EXPECT_EQ(inj.fire("detect.push", 2), dr::FaultAction::kDrop);
+  EXPECT_EQ(inj.fire("detect.push", 2), dr::FaultAction::kNone);  // spent
+  EXPECT_EQ(inj.fire("detect.push", 1), dr::FaultAction::kNone);
+}
+
 TEST_F(RobustMiner, InjectorRejectsMalformedSpecs) {
   auto& inj = dr::FaultInjector::instance();
   EXPECT_THROW(inj.arm_from_spec("nonsense"), desmine::PreconditionError);

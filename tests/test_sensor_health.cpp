@@ -1,0 +1,194 @@
+// Tests for the per-sensor health state machine driving degraded-mode
+// detection: dropout, flooding, opt-in staleness, and hysteresis
+// re-admission.
+#include <gtest/gtest.h>
+
+#include "robust/sensor_health.h"
+#include "util/error.h"
+
+using desmine::robust::HealthConfig;
+using desmine::robust::SensorHealthTracker;
+using desmine::robust::SensorState;
+
+namespace {
+
+SensorHealthTracker make_tracker(HealthConfig cfg) {
+  return SensorHealthTracker({"a", "b"}, cfg);
+}
+
+SensorHealthTracker::Observation present(char value, bool unknown = false) {
+  return {true, unknown, value};
+}
+
+constexpr SensorHealthTracker::Observation kMissing{false, false, 0};
+
+}  // namespace
+
+TEST(SensorHealth, StartsHealthyAndStaysHealthyOnCleanFeed) {
+  auto tracker = make_tracker({});
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(tracker.observe(0, present(t % 2 == 0 ? 'x' : 'y')),
+              SensorState::kHealthy);
+  }
+  EXPECT_EQ(tracker.unhealthy_count(), 0u);
+  EXPECT_TRUE(tracker.unhealthy_sensors().empty());
+}
+
+TEST(SensorHealth, DropsAfterConsecutiveMissingTicks) {
+  HealthConfig cfg;
+  cfg.drop_after_missing = 3;
+  auto tracker = make_tracker(cfg);
+  tracker.observe(0, present('x'));
+  EXPECT_EQ(tracker.observe(0, kMissing), SensorState::kHealthy);
+  EXPECT_EQ(tracker.observe(0, kMissing), SensorState::kHealthy);
+  EXPECT_EQ(tracker.observe(0, kMissing), SensorState::kDropped);
+  EXPECT_FALSE(tracker.healthy(0));
+  // The other sensor is unaffected.
+  EXPECT_TRUE(tracker.healthy(1));
+  EXPECT_EQ(tracker.unhealthy_sensors(), std::vector<std::size_t>{0});
+}
+
+TEST(SensorHealth, SparseGapsBelowThresholdNeverDrop) {
+  HealthConfig cfg;
+  cfg.drop_after_missing = 3;
+  auto tracker = make_tracker(cfg);
+  for (int t = 0; t < 50; ++t) {
+    // Two-tick gaps, always interrupted by a real value.
+    tracker.observe(0, kMissing);
+    tracker.observe(0, kMissing);
+    EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kHealthy) << t;
+  }
+}
+
+TEST(SensorHealth, ReadmissionNeedsFullCleanStreak) {
+  HealthConfig cfg;
+  cfg.drop_after_missing = 2;
+  cfg.readmit_after = 4;
+  auto tracker = make_tracker(cfg);
+  tracker.observe(0, kMissing);
+  ASSERT_EQ(tracker.observe(0, kMissing), SensorState::kDropped);
+
+  // Three clean ticks, then another dropout: streak resets.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kDropped);
+  }
+  tracker.observe(0, kMissing);
+  tracker.observe(0, kMissing);  // dropped again
+  // Now a full clean streak re-admits on exactly the 4th clean tick.
+  EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kDropped);
+  EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kDropped);
+  EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kDropped);
+  EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kHealthy);
+}
+
+TEST(SensorHealth, FloodingOnHighUnkRateAndRecovery) {
+  HealthConfig cfg;
+  cfg.max_unk_rate = 0.5;
+  cfg.unk_window = 8;
+  cfg.min_unk_samples = 4;
+  cfg.readmit_after = 2;
+  auto tracker = make_tracker(cfg);
+  // Four straight <unk> ticks: rate 4/4 >= 0.5 once min samples reached.
+  tracker.observe(0, present('?', true));
+  tracker.observe(0, present('?', true));
+  tracker.observe(0, present('?', true));
+  EXPECT_EQ(tracker.observe(0, present('?', true)), SensorState::kFlooding);
+
+  // Known values push the rate below 0.5; once the condition clears, the
+  // clean streak re-admits.
+  SensorState state = SensorState::kFlooding;
+  for (int i = 0; i < 16; ++i) {
+    state = tracker.observe(0, present('x'));
+    if (state == SensorState::kHealthy) break;
+  }
+  EXPECT_EQ(state, SensorState::kHealthy);
+}
+
+TEST(SensorHealth, SingleLeadingUnkDoesNotFlood) {
+  HealthConfig cfg;
+  cfg.max_unk_rate = 0.5;
+  cfg.unk_window = 8;
+  cfg.min_unk_samples = 4;
+  auto tracker = make_tracker(cfg);
+  // One unseen state, then normal traffic: rate 1/4 < 0.5 at min samples.
+  EXPECT_EQ(tracker.observe(0, present('?', true)), SensorState::kHealthy);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kHealthy) << i;
+  }
+}
+
+TEST(SensorHealth, StaleIsOptIn) {
+  // Default stale_after = 0: a constant sensor never goes stale (many real
+  // sensors are legitimately lazy).
+  auto lax = make_tracker({});
+  for (int t = 0; t < 200; ++t) {
+    EXPECT_EQ(lax.observe(0, present('x')), SensorState::kHealthy);
+  }
+
+  HealthConfig cfg;
+  cfg.stale_after = 5;
+  cfg.readmit_after = 2;
+  auto strict = make_tracker(cfg);
+  SensorState state = SensorState::kHealthy;
+  for (int t = 0; t < 6; ++t) state = strict.observe(0, present('x'));
+  EXPECT_EQ(state, SensorState::kStale);
+  // A change of value clears the condition; hysteresis then re-admits.
+  EXPECT_EQ(strict.observe(0, present('y')), SensorState::kStale);
+  EXPECT_EQ(strict.observe(0, present('z')), SensorState::kHealthy);
+}
+
+TEST(SensorHealth, GapKeepsChangeClockRunning) {
+  HealthConfig cfg;
+  cfg.stale_after = 4;
+  cfg.drop_after_missing = 10;  // stay below the dropout threshold
+  auto tracker = make_tracker(cfg);
+  tracker.observe(0, present('x'));
+  // Stuck at 'x' across a gap: the gap ticks still count toward staleness.
+  tracker.observe(0, kMissing);
+  tracker.observe(0, kMissing);
+  tracker.observe(0, kMissing);
+  EXPECT_EQ(tracker.observe(0, present('x')), SensorState::kStale);
+}
+
+TEST(SensorHealth, DroppedTakesPrecedenceOverFlooding) {
+  HealthConfig cfg;
+  cfg.drop_after_missing = 2;
+  cfg.max_unk_rate = 0.1;
+  cfg.unk_window = 4;
+  cfg.min_unk_samples = 2;
+  auto tracker = make_tracker(cfg);
+  tracker.observe(0, present('?', true));
+  tracker.observe(0, present('?', true));  // flooding
+  ASSERT_EQ(tracker.state(0), SensorState::kFlooding);
+  tracker.observe(0, kMissing);
+  EXPECT_EQ(tracker.observe(0, kMissing), SensorState::kDropped);
+}
+
+TEST(SensorHealth, ValidatesConfigAndIndices) {
+  HealthConfig bad;
+  bad.drop_after_missing = 0;
+  EXPECT_THROW(make_tracker(bad), desmine::PreconditionError);
+  bad = {};
+  bad.unk_window = 0;
+  EXPECT_THROW(make_tracker(bad), desmine::PreconditionError);
+  bad = {};
+  bad.readmit_after = 0;
+  EXPECT_THROW(make_tracker(bad), desmine::PreconditionError);
+  bad = {};
+  bad.max_unk_rate = 1.5;
+  EXPECT_THROW(make_tracker(bad), desmine::PreconditionError);
+
+  auto tracker = make_tracker({});
+  EXPECT_THROW(tracker.observe(2, present('x')), desmine::PreconditionError);
+  EXPECT_THROW(tracker.state(2), desmine::PreconditionError);
+  EXPECT_EQ(tracker.sensor_count(), 2u);
+  EXPECT_EQ(tracker.name(0), "a");
+  EXPECT_EQ(tracker.name(1), "b");
+}
+
+TEST(SensorHealth, StateNamesRoundTrip) {
+  EXPECT_EQ(desmine::robust::to_string(SensorState::kHealthy), "healthy");
+  EXPECT_EQ(desmine::robust::to_string(SensorState::kStale), "stale");
+  EXPECT_EQ(desmine::robust::to_string(SensorState::kDropped), "dropped");
+  EXPECT_EQ(desmine::robust::to_string(SensorState::kFlooding), "flooding");
+}

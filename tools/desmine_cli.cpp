@@ -8,6 +8,13 @@
 //       artifact.
 //   detect --model model.bin --test c.csv [--lo L --hi H --tolerance T]
 //       Score a CSV test series (Algorithm 2); prints one line per window.
+//       Degraded-mode options (DESIGN.md §8): --degraded enables sensor
+//       health tracking; unhealthy sensors are excluded per window, scores
+//       renormalized over the survivors, and windows below --min-coverage
+//       emit "no-verdict" instead of a fake score. --on-bad-row
+//       throw|skip|quarantine selects the CSV tolerant mode; quarantined
+//       rows are journaled to --quarantine FILE (default
+//       <test>.quarantine.jsonl) and surface as missing ticks.
 //   inspect --model model.bin [--lo L --hi H]
 //       Print graph statistics (per-band edges, degrees, popular sensors).
 //
@@ -22,6 +29,8 @@
 //   1    runtime failure (I/O error, corrupt artifact, ...)
 //   2    usage error (unknown command, bad/missing option, precondition)
 //   3    training completed but some pairs permanently failed
+//   4    detection completed degraded (some windows below the coverage
+//        quorum emitted no verdict)
 //   130  interrupted (SIGINT/SIGTERM); checkpoint and metrics are flushed
 #include <csignal>
 #include <cstdlib>
@@ -52,7 +61,7 @@ namespace {
 
 /// Options that take no value; present means true.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"resume"};
+  static const std::set<std::string> flags = {"resume", "degraded"};
   return flags;
 }
 
@@ -220,25 +229,111 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+io::OnBadRow parse_on_bad_row(const std::string& v) {
+  if (v == "throw") return io::OnBadRow::kThrow;
+  if (v == "skip") return io::OnBadRow::kSkip;
+  if (v == "quarantine") return io::OnBadRow::kQuarantine;
+  throw PreconditionError("--on-bad-row must be throw|skip|quarantine, got '" +
+                          v + "'");
+}
+
+robust::HealthConfig health_from(const Args& args) {
+  robust::HealthConfig h;
+  h.drop_after_missing =
+      static_cast<std::size_t>(args.number("health-drop-after", 3));
+  h.stale_after =
+      static_cast<std::size_t>(args.number("health-stale-after", 0));
+  h.max_unk_rate = args.number("health-unk-rate", 0.5);
+  h.unk_window = static_cast<std::size_t>(args.number("health-unk-window", 64));
+  h.readmit_after =
+      static_cast<std::size_t>(args.number("health-readmit-after", 8));
+  return h;
+}
+
 int cmd_detect(const Args& args) {
   core::FrameworkConfig cfg;
   cfg.detector.valid_lo = args.number("lo", 80.0);
   cfg.detector.valid_hi = args.number("hi", 90.0);
   cfg.detector.tolerance = args.number("tolerance", 0.0);
-  core::Framework fw = io::load_framework(args.get("model"), cfg);
-  const auto test_series = io::read_series_csv(args.get("test"));
+  cfg.detector.min_coverage = args.number("min-coverage", 0.5);
 
-  const auto result = fw.detect(test_series);
-  util::Table t({"window", "anomaly score", "broken", "valid"});
-  const core::AnomalyDetector detector(fw.graph(), cfg.detector);
-  for (std::size_t w = 0; w < result.anomaly_scores.size(); ++w) {
-    t.add_row({std::to_string(w), util::fixed(result.anomaly_scores[w], 3),
-               std::to_string(result.broken_edges[w].size()),
-               std::to_string(result.valid_edges.size())});
+  const bool degraded_mode = args.flag("degraded");
+  io::CsvOptions csv_opts;
+  csv_opts.on_bad_row = parse_on_bad_row(args.get_or("on-bad-row", "throw"));
+  csv_opts.max_bad_rows =
+      static_cast<std::size_t>(args.number("max-bad-rows", 1000));
+  if (csv_opts.on_bad_row == io::OnBadRow::kQuarantine) {
+    csv_opts.quarantine_path =
+        args.get_or("quarantine", args.get("test") + ".quarantine.jsonl");
   }
-  std::cout << t.to_text("detection (band [" +
-                         util::fixed(cfg.detector.valid_lo, 0) + ", " +
-                         util::fixed(cfg.detector.valid_hi, 0) + "))");
+
+  // Pre-register the degraded-mode audit counters so --metrics-out always
+  // carries them (zero-valued on a clean run).
+  obs::metrics().counter("csv.rows_bad");
+  obs::metrics().counter("csv.rows_quarantined");
+  obs::metrics().counter("detect.window.degraded");
+  obs::metrics().counter("detect.sensor.dropped");
+
+  core::Framework fw = io::load_framework(args.get("model"), cfg);
+  io::CsvReport report;
+  const auto test_series =
+      io::read_series_csv(args.get("test"), csv_opts, &report);
+  if (report.rows_bad > 0) {
+    std::cerr << report.rows_bad << " malformed CSV row(s) "
+              << (csv_opts.on_bad_row == io::OnBadRow::kQuarantine
+                      ? "quarantined to " + csv_opts.quarantine_path
+                      : "skipped")
+              << "\n";
+  }
+
+  const auto result =
+      degraded_mode
+          ? fw.detect_degraded(test_series, health_from(args),
+                               report.missing_ticks)
+          : fw.detect(test_series);
+
+  std::size_t degraded_windows = 0;
+  if (degraded_mode) {
+    util::Table t({"window", "anomaly score", "broken", "valid", "coverage"});
+    for (std::size_t w = 0; w < result.anomaly_scores.size(); ++w) {
+      const bool no_verdict = result.degraded[w] != 0;
+      if (no_verdict) ++degraded_windows;
+      t.add_row({std::to_string(w),
+                 no_verdict ? "no-verdict"
+                            : util::fixed(result.anomaly_scores[w], 3),
+                 std::to_string(result.broken_edges[w].size()),
+                 std::to_string(result.valid_edges.size()),
+                 util::fixed(result.coverage[w], 2)});
+    }
+    std::cout << t.to_text("detection (band [" +
+                           util::fixed(cfg.detector.valid_lo, 0) + ", " +
+                           util::fixed(cfg.detector.valid_hi, 0) +
+                           "), degraded mode)");
+  } else {
+    util::Table t({"window", "anomaly score", "broken", "valid"});
+    for (std::size_t w = 0; w < result.anomaly_scores.size(); ++w) {
+      t.add_row({std::to_string(w), util::fixed(result.anomaly_scores[w], 3),
+                 std::to_string(result.broken_edges[w].size()),
+                 std::to_string(result.valid_edges.size())});
+    }
+    std::cout << t.to_text("detection (band [" +
+                           util::fixed(cfg.detector.valid_lo, 0) + ", " +
+                           util::fixed(cfg.detector.valid_hi, 0) + "))");
+  }
+
+  if (degraded_mode) {
+    std::cerr << "sensor dropouts: "
+              << obs::metrics().counter("detect.sensor.dropped").value()
+              << ", rows quarantined: "
+              << obs::metrics().counter("csv.rows_quarantined").value()
+              << ", degraded windows: " << degraded_windows << "\n";
+  }
+  if (degraded_mode && degraded_windows > 0) {
+    std::cerr << degraded_windows << " of " << result.anomaly_scores.size()
+              << " window(s) emitted no verdict (coverage below "
+              << util::fixed(cfg.detector.min_coverage, 2) << ")\n";
+    return 4;
+  }
   return 0;
 }
 
@@ -287,6 +382,10 @@ void usage() {
          "           [--checkpoint FILE [--resume] --pair-timeout-s 0\n"
          "            --max-retries 2]\n"
          "  detect   --model model.bin --test c.csv [--lo 80 --hi 90 --tolerance 0]\n"
+         "           [--degraded --min-coverage 0.5 --on-bad-row throw|skip|quarantine\n"
+         "            --quarantine FILE --max-bad-rows 1000 --health-drop-after 3\n"
+         "            --health-stale-after 0 --health-unk-rate 0.5\n"
+         "            --health-unk-window 64 --health-readmit-after 8]\n"
          "  inspect  --model model.bin [--lo 80 --hi 90]\n"
          "observability (any subcommand; --key=value also accepted):\n"
          "  --log-level trace|debug|info|warn|error|off   (default info)\n"
@@ -294,7 +393,8 @@ void usage() {
          "  --metrics-out FILE   dump counters/gauges/histograms JSON on exit\n"
          "  --trace-out FILE     dump chrome://tracing span JSON on exit\n"
          "exit codes: 0 ok | 1 runtime error | 2 usage error |\n"
-         "            3 trained with permanently failed pairs | 130 interrupted\n";
+         "            3 trained with permanently failed pairs |\n"
+         "            4 detection completed degraded | 130 interrupted\n";
 }
 
 void write_file(const std::string& path, const std::string& content) {
