@@ -82,7 +82,9 @@ DetectionResult AnomalyDetector::detect(
     }
   }
 
-  // Each edge owns its model, so edges are independent units of work.
+  // Each edge owns its model — and therefore its scoring workspace, which
+  // translate() rewinds and reuses across this window loop — so edges are
+  // independent units of work and the decode path stays allocation-free.
   // Excluded (edge, window) pairs are skipped entirely: an unhealthy
   // sensor's sentences are plumbing artifacts, not data worth scoring.
   auto score_edge = [&](std::size_t e) {

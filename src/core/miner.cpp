@@ -18,6 +18,7 @@
 #include "robust/deadline.h"
 #include "robust/errors.h"
 #include "robust/fault_injector.h"
+#include "tensor/workspace.h"
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -258,8 +259,13 @@ MvrGraph RelationshipMiner::mine(
                         obs::kv("attempt", attempt + 1)});
         const auto start = std::chrono::steady_clock::now();
         nmt::TrainingHistory history;
+        // One arena per pool thread: successive pairs on the same thread
+        // reuse the already-grown chunks instead of re-warming a fresh heap.
+        // Rewinding (not releasing) keeps capacity at the high-water mark.
+        thread_local tensor::Workspace pair_ws;
+        pair_ws.reset();
         nmt::TranslationModel model = nmt::train_translation_model(
-            src.train, dst.train, cfg, seed, &history);
+            src.train, dst.train, cfg, seed, &history, &pair_ws);
         deadline.check("pair training");
         text::BleuBreakdown dev_score;
         {
@@ -270,6 +276,10 @@ MvrGraph RelationshipMiner::mine(
         const double wall_ms =
             std::chrono::duration<double, std::milli>(end - start).count();
         span.annotate(obs::kv("bleu", dev_score.score));
+        // The model outlives this pool thread (it is published to the graph
+        // and scored during detection), so it must stop referencing the
+        // thread-local arena before leaving this scope.
+        model.model().use_own_workspace();
 
         MvrEdge edge;
         edge.src = i;

@@ -31,7 +31,8 @@ std::vector<std::vector<std::int32_t>> to_timesteps(
 }  // namespace
 
 Seq2SeqModel::Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
-                           const Seq2SeqConfig& config, util::Rng rng)
+                           const Seq2SeqConfig& config, util::Rng rng,
+                           tensor::Workspace* workspace)
     : config_(config),
       rng_(rng),
       src_embed_(src_vocab, config.embedding_dim, rng_, config.init_scale),
@@ -43,7 +44,8 @@ Seq2SeqModel::Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
       attention_("attn", config.hidden_dim, rng_, config.init_scale,
                  config.attention),
       out_("out", config.hidden_dim, tgt_vocab, rng_, /*with_bias=*/true,
-           config.init_scale) {
+           config.init_scale),
+      ws_(workspace != nullptr ? workspace : &own_ws_) {
   DESMINE_EXPECTS(src_vocab > text::Vocabulary::kEos &&
                       tgt_vocab > text::Vocabulary::kEos,
                   "vocabs must include the special tokens");
@@ -53,6 +55,31 @@ Seq2SeqModel::Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
   decoder_.register_params(registry_);
   attention_.register_params(registry_);
   out_.register_params(registry_);
+}
+
+void Seq2SeqModel::reserve_workspace(std::size_t max_src_len,
+                                     std::size_t max_tgt_len,
+                                     std::size_t batch) {
+  const std::size_t B = batch;
+  const std::size_t E = config_.embedding_dim;
+  const std::size_t H = config_.hidden_dim;
+  const std::size_t L = config_.num_layers;
+  const std::size_t V = tgt_vocab();
+  const std::size_t S = max_src_len;
+  const std::size_t T = max_tgt_len + 1;  // +1 for the </s> step
+  // Per-step LSTM footprint: input copy + mask + 7 gate/cell caches per
+  // layer, plus the transient 4H pre-activation. Attention adds transformed
+  // + d_encoder (per source position) and h_dec/align/concat/attn per target
+  // step; the output layer adds dlogits per step. Backward adds dx per step
+  // plus per-layer running gradients. Doubled for slack — over-reserving
+  // only costs address space in one chunk.
+  const std::size_t lstm_step = 2 * (E + (L - 1) * H) + 7 * L * H + 4 * H;
+  const std::size_t per_src = lstm_step + 2 * H + E;     // + attention accums, dx
+  const std::size_t per_tgt = lstm_step + 5 * H + 2 * S  // + attention caches
+                              + 2 * V + E;               // + dlogits/logits, dx
+  const std::size_t fixed = 8 * L * H + 8 * H;           // running BPTT grads
+  const std::size_t floats = B * (S * per_src + T * per_tgt + fixed);
+  ws_->reserve(2 * floats * sizeof(float));
 }
 
 double Seq2SeqModel::run_teacher_forced(
@@ -65,18 +92,23 @@ double Seq2SeqModel::run_teacher_forced(
   const std::size_t T = tgt_steps.size() + 1;  // +1 for the </s> step
   DESMINE_EXPECTS(S > 0 && tgt_steps.size() > 0, "sequences must be non-empty");
 
+  // Everything from the previous batch is dead; reclaim the whole arena.
+  ws_->reset();
+
   // ---- Encoder ----
-  encoder_.begin(B, nullptr, train, &rng_);
-  std::vector<tensor::Matrix> enc_outputs;
-  enc_outputs.reserve(S);
+  encoder_.begin(B, nullptr, train, &rng_, ws_);
+  enc_outputs_.clear();
+  enc_outputs_.reserve(S);
   for (std::size_t t = 0; t < S; ++t) {
-    enc_outputs.push_back(encoder_.step(src_embed_.forward(src_steps[t])));
+    tensor::MatrixView src_emb = ws_->alloc(B, config_.embedding_dim);
+    src_embed_.forward_into(src_steps[t], src_emb);
+    enc_outputs_.push_back(encoder_.step(src_emb));
   }
   const nn::LstmState enc_final = encoder_.state();
 
   // ---- Decoder (teacher forcing: input <s>, w1..wm; predict w1..wm, </s>) --
-  decoder_.begin(B, &enc_final, train, &rng_);
-  attention_.begin(&enc_outputs, B);
+  decoder_.begin(B, &enc_final, train, &rng_, ws_);
+  attention_.begin(enc_outputs_, B, ws_);
 
   std::vector<std::vector<std::int32_t>> dec_inputs(T);
   std::vector<std::vector<std::int32_t>> dec_targets(T);
@@ -93,35 +125,43 @@ double Seq2SeqModel::run_teacher_forced(
   const float grad_scale = 1.0f / static_cast<float>(total_tokens);
 
   double loss_sum = 0.0;
-  std::vector<tensor::Matrix> attn_states(T);
-  std::vector<tensor::Matrix> dlogits(T);
+  attn_states_.assign(T, tensor::ConstMatrixView());
+  dlogits_.assign(T, tensor::MatrixView());
   for (std::size_t t = 0; t < T; ++t) {
-    const tensor::Matrix& h_dec = decoder_.step(tgt_embed_.forward(dec_inputs[t]));
-    attn_states[t] = attention_.step(h_dec);
-    const tensor::Matrix logits = out_.forward(attn_states[t]);
+    tensor::MatrixView tgt_emb = ws_->alloc(B, config_.embedding_dim);
+    tgt_embed_.forward_into(dec_inputs[t], tgt_emb);
+    const tensor::ConstMatrixView h_dec = decoder_.step(tgt_emb);
+    attn_states_[t] = attention_.step(h_dec);
+    dlogits_[t] = ws_->alloc(B, tgt_vocab());
+    // The logits themselves are transient: only their xent gradient is kept.
+    const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
+    tensor::MatrixView logits = ws_->alloc(B, tgt_vocab());
+    out_.forward_into(attn_states_[t], logits);
     const nn::XentResult res =
-        nn::softmax_xent(logits, dec_targets[t], dlogits[t], grad_scale);
+        nn::softmax_xent(tensor::ConstMatrixView(logits), dec_targets[t],
+                         dlogits_[t], grad_scale);
+    ws_->rewind(scratch);
     loss_sum += res.loss_sum;
   }
   const double mean_loss = loss_sum / static_cast<double>(total_tokens);
   if (!train) return mean_loss;
 
   // ---- Backward ----
-  std::vector<tensor::Matrix> dh_dec(T);
+  dh_dec_.assign(T, tensor::ConstMatrixView());
   for (std::size_t t = T; t-- > 0;) {
-    tensor::Matrix d_attn = out_.backward(attn_states[t], dlogits[t]);
-    dh_dec[t] = attention_.backward_step(d_attn);
+    tensor::MatrixView d_attn = ws_->alloc(B, config_.hidden_dim);
+    out_.backward_into(attn_states_[t], dlogits_[t], d_attn);
+    dh_dec_[t] = attention_.backward_step(d_attn);
   }
-  nn::LstmStack::BackwardResult dec_back = decoder_.backward(dh_dec);
+  nn::LstmStack::BackwardResult dec_back = decoder_.backward(dh_dec_);
   for (std::size_t t = 0; t < T; ++t) {
     tgt_embed_.backward(dec_inputs[t], dec_back.dx[t]);
   }
 
   // Encoder receives gradient from attention (per step) and from the
   // decoder's initial state.
-  std::vector<tensor::Matrix> dh_enc = attention_.encoder_grads();
   nn::LstmStack::BackwardResult enc_back =
-      encoder_.backward(dh_enc, &dec_back.dstate0);
+      encoder_.backward(attention_.encoder_grads(), &dec_back.dstate0);
   for (std::size_t t = 0; t < S; ++t) {
     src_embed_.backward(src_steps[t], enc_back.dx[t]);
   }
@@ -138,29 +178,42 @@ double Seq2SeqModel::evaluate_loss(
   return run_teacher_forced(batch, /*train=*/false);
 }
 
+void Seq2SeqModel::encode_single(const std::vector<std::int32_t>& source) {
+  encoder_.begin(1, nullptr, /*train=*/false, nullptr, ws_);
+  enc_outputs_.clear();
+  enc_outputs_.reserve(source.size());
+  for (std::int32_t id : source) {
+    tensor::MatrixView src_emb = ws_->alloc(1, config_.embedding_dim);
+    src_embed_.forward_into({id}, src_emb);
+    enc_outputs_.push_back(encoder_.step(src_emb));
+  }
+}
+
 std::vector<std::int32_t> Seq2SeqModel::translate(
     const std::vector<std::int32_t>& source) {
   DESMINE_EXPECTS(!source.empty(), "cannot translate an empty sentence");
 
-  encoder_.begin(1, nullptr, /*train=*/false);
-  std::vector<tensor::Matrix> enc_outputs;
-  enc_outputs.reserve(source.size());
-  for (std::int32_t id : source) {
-    enc_outputs.push_back(encoder_.step(src_embed_.forward({id})));
-  }
+  ws_->reset();
+  encode_single(source);
   const nn::LstmState enc_final = encoder_.state();
 
-  decoder_.begin(1, &enc_final, /*train=*/false);
-  attention_.begin(&enc_outputs, 1);
+  decoder_.begin(1, &enc_final, /*train=*/false, nullptr, ws_);
+  attention_.begin(enc_outputs_, 1, ws_);
 
   std::vector<std::int32_t> output;
   std::int32_t prev = text::Vocabulary::kBos;
   bool saw_eos = false;
   for (std::size_t t = 0; t < config_.max_decode_length; ++t) {
-    const tensor::Matrix& h_dec = decoder_.step(tgt_embed_.forward({prev}));
-    const tensor::Matrix attn = attention_.step(h_dec);
-    const tensor::Matrix logits = out_.forward(attn);
-    const std::int32_t next = nn::argmax_rows(logits)[0];
+    tensor::MatrixView tgt_emb = ws_->alloc(1, config_.embedding_dim);
+    tgt_embed_.forward_into({prev}, tgt_emb);
+    const tensor::ConstMatrixView h_dec = decoder_.step(tgt_emb);
+    const tensor::ConstMatrixView attn = attention_.step(h_dec);
+    const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
+    tensor::MatrixView logits = ws_->alloc(1, tgt_vocab());
+    out_.forward_into(attn, logits);
+    const std::int32_t next =
+        nn::argmax_rows(tensor::ConstMatrixView(logits))[0];
+    ws_->rewind(scratch);
     if (next == text::Vocabulary::kEos) {
       saw_eos = true;
       break;
@@ -183,13 +236,9 @@ std::vector<std::int32_t> Seq2SeqModel::translate_beam(
   DESMINE_EXPECTS(!source.empty(), "cannot translate an empty sentence");
   DESMINE_EXPECTS(beam_width >= 1, "beam width must be >= 1");
 
-  encoder_.begin(1, nullptr, /*train=*/false);
-  std::vector<tensor::Matrix> enc_outputs;
-  enc_outputs.reserve(source.size());
-  for (std::int32_t id : source) {
-    enc_outputs.push_back(encoder_.step(src_embed_.forward({id})));
-  }
-  attention_.begin(&enc_outputs, 1);
+  ws_->reset();
+  encode_single(source);
+  attention_.begin(enc_outputs_, 1, ws_);
 
   struct Hypothesis {
     nn::LstmState state;

@@ -6,6 +6,13 @@
 // sentence token by token, and Luong "general" attention over the encoder
 // outputs feeds an attentional hidden state into the output projection.
 // Training uses teacher forcing; inference uses greedy decoding.
+//
+// All activations, per-timestep caches, and backward scratch live in one
+// tensor::Workspace per model (or a caller-provided one, e.g. the miner's
+// per-thread arena), rewound wholesale at the start of every batch/decode.
+// After the first step has grown the arena to its high-water mark, training
+// and greedy decoding perform no steady-state heap allocation in the
+// numeric path (see DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include "nn/linear.h"
 #include "nn/lstm.h"
 #include "nn/param.h"
+#include "tensor/workspace.h"
 #include "text/vocabulary.h"
 #include "util/rng.h"
 
@@ -43,9 +51,12 @@ struct EncodedPair {
 class Seq2SeqModel {
  public:
   /// All weights are drawn from `rng`, so a (seed, config) pair fully
-  /// determines the initial model.
+  /// determines the initial model. `workspace`, if given, backs the model's
+  /// hot path (the model rewinds it per batch/decode and must be its only
+  /// concurrent user); otherwise the model owns a private arena.
   Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
-               const Seq2SeqConfig& config, util::Rng rng);
+               const Seq2SeqConfig& config, util::Rng rng,
+               tensor::Workspace* workspace = nullptr);
 
   /// Teacher-forced forward+backward over a batch. All sources must share
   /// one length and all targets another (the trainer buckets accordingly).
@@ -66,6 +77,21 @@ class Seq2SeqModel {
   std::vector<std::int32_t> translate_beam(
       const std::vector<std::int32_t>& source, std::size_t beam_width);
 
+  /// Pre-size the workspace for the largest (source length, target length,
+  /// batch) the caller will run, so the hot loop never grows the arena.
+  /// A deliberate over-estimate; growing later is still correct.
+  void reserve_workspace(std::size_t max_src_len, std::size_t max_tgt_len,
+                         std::size_t batch);
+
+  /// The workspace backing this model's hot path (for stats/bench).
+  const tensor::Workspace& workspace() const { return *ws_; }
+
+  /// Detach from a caller-provided workspace and fall back to the model's
+  /// own arena. Must be called before the external workspace dies while the
+  /// model lives on — e.g. the miner trains against a pool-thread arena,
+  /// then detaches the finished model before publishing it to the graph.
+  void use_own_workspace() { ws_ = &own_ws_; }
+
   nn::ParamRegistry& params() { return registry_; }
   const Seq2SeqConfig& config() const { return config_; }
   std::size_t src_vocab() const { return src_embed_.vocab_size(); }
@@ -77,6 +103,10 @@ class Seq2SeqModel {
   double run_teacher_forced(const std::vector<const EncodedPair*>& batch,
                             bool train);
 
+  /// Encoder pass over `source` (batch 1) into the workspace; fills
+  /// enc_outputs_ and leaves the encoder holding its final state.
+  void encode_single(const std::vector<std::int32_t>& source);
+
   Seq2SeqConfig config_;
   util::Rng rng_;
 
@@ -87,6 +117,15 @@ class Seq2SeqModel {
   nn::LuongAttention attention_;
   nn::Linear out_;
   nn::ParamRegistry registry_;
+
+  tensor::Workspace* ws_ = nullptr;
+  tensor::Workspace own_ws_;
+  // Per-batch scratch lists (capacity reused across batches; the views they
+  // hold die at the next workspace rewind).
+  std::vector<tensor::ConstMatrixView> enc_outputs_;
+  std::vector<tensor::ConstMatrixView> attn_states_;
+  std::vector<tensor::MatrixView> dlogits_;
+  std::vector<tensor::ConstMatrixView> dh_dec_;
 };
 
 }  // namespace desmine::nmt

@@ -1,5 +1,6 @@
 #include "nmt/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -69,6 +70,23 @@ TrainingHistory run_training(Seq2SeqModel& model,
   const Buckets buckets = bucket_pairs(pairs);
   Buckets dev;
   if (evaluating) dev = bucket_pairs(*dev_pairs);
+
+  // Pre-size the model's workspace for the largest bucket so the training
+  // loop never grows the arena mid-flight.
+  {
+    std::size_t max_src = 0, max_tgt = 0;
+    for (const EncodedPair& p : pairs) {
+      max_src = std::max(max_src, p.source.size());
+      max_tgt = std::max(max_tgt, p.target.size());
+    }
+    if (evaluating) {
+      for (const EncodedPair& p : *dev_pairs) {
+        max_src = std::max(max_src, p.source.size());
+        max_tgt = std::max(max_tgt, p.target.size());
+      }
+    }
+    model.reserve_workspace(max_src, max_tgt, config.batch_size);
+  }
 
   nn::AdamConfig adam_config = config.adam;
   adam_config.lr = config.lr;

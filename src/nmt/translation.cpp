@@ -48,14 +48,16 @@ TranslationModel train_translation_model(const text::Corpus& train_source,
                                          const text::Corpus& train_target,
                                          const TranslationConfig& config,
                                          std::uint64_t seed,
-                                         TrainingHistory* history) {
+                                         TrainingHistory* history,
+                                         tensor::Workspace* workspace) {
   DESMINE_EXPECTS(!train_source.empty(), "training corpus must be non-empty");
   text::Vocabulary src_vocab = text::Vocabulary::build(train_source);
   text::Vocabulary tgt_vocab = text::Vocabulary::build(train_target);
 
   util::Rng rng(seed);
   auto model = std::make_unique<Seq2SeqModel>(
-      src_vocab.size(), tgt_vocab.size(), config.model, rng.fork(1));
+      src_vocab.size(), tgt_vocab.size(), config.model, rng.fork(1),
+      workspace);
   const std::vector<EncodedPair> pairs =
       encode_pairs(src_vocab, tgt_vocab, train_source, train_target);
   {

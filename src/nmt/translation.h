@@ -57,11 +57,14 @@ std::vector<EncodedPair> encode_pairs(const text::Vocabulary& src_vocab,
 /// Algorithm 1, one edge: build vocabularies from the training corpora,
 /// train a Seq2SeqModel on the aligned pairs, and return the artifact.
 /// When `history` is non-null, the training history (per-step losses, steps
-/// run) is copied out for telemetry.
+/// run) is copied out for telemetry. `workspace`, if given, backs the
+/// model's hot path (e.g. the miner's per-thread arena, reused across
+/// pairs); the model must remain its only concurrent user.
 TranslationModel train_translation_model(const text::Corpus& train_source,
                                          const text::Corpus& train_target,
                                          const TranslationConfig& config,
                                          std::uint64_t seed,
-                                         TrainingHistory* history = nullptr);
+                                         TrainingHistory* history = nullptr,
+                                         tensor::Workspace* workspace = nullptr);
 
 }  // namespace desmine::nmt

@@ -17,6 +17,24 @@ Adam::Adam(ParamRegistry& registry, AdamConfig config)
   }
 }
 
+void adam_apply(tensor::MatrixView value, tensor::ConstMatrixView grad,
+                tensor::MatrixView m_view, tensor::MatrixView v_view,
+                const AdamConfig& config, float lr_t) {
+  DESMINE_EXPECTS(value.same_shape(grad) && value.same_shape(m_view) &&
+                      value.same_shape(v_view),
+                  "adam_apply shape mismatch");
+  float* val = value.data();
+  const float* g = grad.data();
+  float* m = m_view.data();
+  float* v = v_view.data();
+  const std::size_t n = value.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    m[k] = config.beta1 * m[k] + (1.0f - config.beta1) * g[k];
+    v[k] = config.beta2 * v[k] + (1.0f - config.beta2) * g[k] * g[k];
+    val[k] -= lr_t * m[k] / (std::sqrt(v[k]) + config.eps);
+  }
+}
+
 void Adam::step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
@@ -25,16 +43,7 @@ void Adam::step() {
 
   auto& params = registry_.params();
   for (std::size_t i = 0; i < params.size(); ++i) {
-    float* value = params[i]->value.data();
-    const float* grad = params[i]->grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
-    const std::size_t n = params[i]->value.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      m[k] = config_.beta1 * m[k] + (1.0f - config_.beta1) * grad[k];
-      v[k] = config_.beta2 * v[k] + (1.0f - config_.beta2) * grad[k] * grad[k];
-      value[k] -= lr_t * m[k] / (std::sqrt(v[k]) + config_.eps);
-    }
+    adam_apply(params[i]->value, params[i]->grad, m_[i], v_[i], config_, lr_t);
   }
 }
 

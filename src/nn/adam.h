@@ -14,6 +14,14 @@ struct AdamConfig {
   float eps = 1e-8f;
 };
 
+/// One bias-corrected Adam update over equal-shaped buffers: updates the
+/// moment estimates `m`/`v` in place and applies the step to `value`.
+/// `lr_t` is the bias-corrected rate lr * sqrt(1-beta2^t) / (1-beta1^t).
+/// View-based so values/moments can live in owned matrices or arena slices.
+void adam_apply(tensor::MatrixView value, tensor::ConstMatrixView grad,
+                tensor::MatrixView m, tensor::MatrixView v,
+                const AdamConfig& config, float lr_t);
+
 /// Owns first/second-moment slots matching the registry's parameter order.
 /// The registry must not change after construction.
 class Adam {

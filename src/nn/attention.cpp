@@ -18,43 +18,60 @@ LuongAttention::LuongAttention(const std::string& name, std::size_t hidden,
   wc_.value.init_uniform(rng, init_scale);
 }
 
-void LuongAttention::begin(const std::vector<tensor::Matrix>* encoder_outputs,
-                           std::size_t batch) {
-  DESMINE_EXPECTS(encoder_outputs != nullptr && !encoder_outputs->empty(),
-                  "attention needs encoder outputs");
-  enc_ = encoder_outputs;
+void LuongAttention::begin(
+    const std::vector<tensor::ConstMatrixView>& encoder_outputs,
+    std::size_t batch, tensor::Workspace* workspace) {
+  DESMINE_EXPECTS(!encoder_outputs.empty(), "attention needs encoder outputs");
+  ws_ = workspace != nullptr ? workspace : &own_ws_;
+  if (workspace == nullptr) own_ws_.reset();
+  enc_.assign(encoder_outputs.begin(), encoder_outputs.end());
   batch_ = batch;
   transformed_.clear();
-  transformed_.reserve(enc_->size());
-  for (const auto& e : *enc_) {
+  transformed_.reserve(enc_.size());
+  for (const tensor::ConstMatrixView e : enc_) {
     DESMINE_EXPECTS(e.rows() == batch && e.cols() == hidden_,
                     "encoder output shape");
     if (score_ == AttentionScore::kGeneral) {
-      tensor::Matrix t(batch, hidden_);
+      tensor::MatrixView t = ws_->alloc(batch, hidden_);
       tensor::matmul(e, wa_.value, t);
-      transformed_.push_back(std::move(t));
+      transformed_.push_back(t);
     } else {
       transformed_.push_back(e);  // dot score: transformed == encoder output
     }
   }
-  d_encoder_.assign(enc_->size(), tensor::Matrix(batch, hidden_));
+  d_encoder_.clear();
+  d_encoder_.reserve(enc_.size());
+  for (std::size_t s = 0; s < enc_.size(); ++s) {
+    d_encoder_.push_back(ws_->alloc(batch, hidden_));
+  }
   steps_.clear();
   backward_cursor_ = 0;
 }
 
-tensor::Matrix LuongAttention::step(const tensor::Matrix& h_dec) {
-  DESMINE_EXPECTS(enc_ != nullptr, "begin() not called");
+void LuongAttention::begin(const std::vector<tensor::Matrix>* encoder_outputs,
+                           std::size_t batch, tensor::Workspace* workspace) {
+  DESMINE_EXPECTS(encoder_outputs != nullptr, "attention needs encoder outputs");
+  std::vector<tensor::ConstMatrixView> views;
+  views.reserve(encoder_outputs->size());
+  for (const tensor::Matrix& e : *encoder_outputs) views.emplace_back(e);
+  begin(views, batch, workspace);
+}
+
+tensor::ConstMatrixView LuongAttention::step(tensor::ConstMatrixView h_dec) {
+  DESMINE_EXPECTS(!enc_.empty(), "begin() not called");
   DESMINE_EXPECTS(h_dec.rows() == batch_ && h_dec.cols() == hidden_,
                   "h_dec shape");
-  const std::size_t S = enc_->size();
+  const std::size_t S = enc_.size();
 
   StepCache cache;
-  cache.h_dec = h_dec;
+  // h_dec is copied so the cache survives transient caller buffers.
+  cache.h_dec = ws_->alloc(batch_, hidden_);
+  cache.h_dec.copy_from(h_dec);
 
   // Scores: score(b, s) = <h_dec[b], (enc[s] Wa)[b]>.
-  cache.align = tensor::Matrix(batch_, S);
+  cache.align = ws_->alloc(batch_, S);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& tr = transformed_[s];
+    const tensor::ConstMatrixView tr = transformed_[s];
     for (std::size_t b = 0; b < batch_; ++b) {
       const float* hd = h_dec.row(b);
       const float* tv = tr.row(b);
@@ -65,10 +82,11 @@ tensor::Matrix LuongAttention::step(const tensor::Matrix& h_dec) {
   }
   tensor::softmax_rows(cache.align);
 
-  // Context vector and [context; h_dec] concat.
-  cache.concat = tensor::Matrix(batch_, 2 * hidden_);
+  // Context vector and [context; h_dec] concat (relies on the zeroed alloc
+  // for the skipped zero-weight accumulations).
+  cache.concat = ws_->alloc(batch_, 2 * hidden_);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& e = (*enc_)[s];
+    const tensor::ConstMatrixView e = enc_[s];
     for (std::size_t b = 0; b < batch_; ++b) {
       const float w = cache.align(b, s);
       if (w == 0.0f) continue;
@@ -83,27 +101,34 @@ tensor::Matrix LuongAttention::step(const tensor::Matrix& h_dec) {
     for (std::size_t k = 0; k < hidden_; ++k) dst[k] = hd[k];
   }
 
-  cache.attn = tensor::Matrix(batch_, hidden_);
+  cache.attn = ws_->alloc(batch_, hidden_);
   tensor::matmul(cache.concat, wc_.value, cache.attn);
   cache.attn.apply([](float v) { return std::tanh(v); });
 
-  steps_.push_back(std::move(cache));
+  steps_.push_back(cache);
   backward_cursor_ = steps_.size();
   return steps_.back().attn;
 }
 
-const tensor::Matrix& LuongAttention::alignment(std::size_t t) const {
+tensor::ConstMatrixView LuongAttention::alignment(std::size_t t) const {
   DESMINE_EXPECTS(t < steps_.size(), "alignment step out of range");
   return steps_[t].align;
 }
 
-tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
+tensor::MatrixView LuongAttention::backward_step(
+    tensor::ConstMatrixView d_attn) {
   DESMINE_EXPECTS(backward_cursor_ > 0, "no forward step left to backprop");
   const StepCache& cache = steps_[--backward_cursor_];
-  const std::size_t S = enc_->size();
+  const std::size_t S = enc_.size();
+
+  // dh_dec is the step's output and must outlive the rewind below; the rest
+  // is scratch reclaimed when this step's backward is done.
+  tensor::MatrixView dh_dec = ws_->alloc(batch_, hidden_);
+  const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
 
   // Through tanh.
-  tensor::Matrix dpre = d_attn;
+  tensor::MatrixView dpre = ws_->alloc(batch_, hidden_);
+  dpre.copy_from(d_attn);
   for (std::size_t idx = 0; idx < dpre.size(); ++idx) {
     const float a = cache.attn.data()[idx];
     dpre.data()[idx] *= (1.0f - a * a);
@@ -111,11 +136,10 @@ tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
 
   // Through the combine layer: attn_pre = concat * Wc.
   tensor::matmul_transA_accum(cache.concat, dpre, wc_.grad);
-  tensor::Matrix dconcat(batch_, 2 * hidden_);
+  tensor::MatrixView dconcat = ws_->alloc(batch_, 2 * hidden_);
   tensor::matmul_transB_accum(dpre, wc_.value, dconcat);
 
   // Split into dcontext (first H) and dh_dec (second H).
-  tensor::Matrix dh_dec(batch_, hidden_);
   for (std::size_t b = 0; b < batch_; ++b) {
     const float* src = dconcat.row(b) + hidden_;
     float* dst = dh_dec.row(b);
@@ -123,10 +147,10 @@ tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
   }
 
   // dalign(b,s) = <dcontext[b], enc[s][b]>; denc[s][b] += align(b,s) dcontext[b].
-  tensor::Matrix dalign(batch_, S);
+  tensor::MatrixView dalign = ws_->alloc(batch_, S);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& e = (*enc_)[s];
-    tensor::Matrix& de = d_encoder_[s];
+    const tensor::ConstMatrixView e = enc_[s];
+    tensor::MatrixView de = d_encoder_[s];
     for (std::size_t b = 0; b < batch_; ++b) {
       const float* dctx = dconcat.row(b);
       const float* ev = e.row(b);
@@ -142,7 +166,7 @@ tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
   }
 
   // Softmax backward: dscore = align ⊙ (dalign - <align, dalign>).
-  tensor::Matrix dscore(batch_, S);
+  tensor::MatrixView dscore = ws_->alloc(batch_, S);
   for (std::size_t b = 0; b < batch_; ++b) {
     float inner = 0.0f;
     for (std::size_t s = 0; s < S; ++s) {
@@ -153,12 +177,15 @@ tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
     }
   }
 
-  // Through the score: score(b,s) = <h_dec[b], transformed[s][b]>.
+  // Through the score: score(b,s) = <h_dec[b], transformed[s][b]>. dtr is
+  // re-zeroed per source position, matching the fresh zero matrix the
+  // pre-arena code allocated (zero rows are skipped via ds == 0).
+  tensor::MatrixView dtr = ws_->alloc(batch_, hidden_);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& tr = transformed_[s];
-    const tensor::Matrix& e = (*enc_)[s];
-    tensor::Matrix& de = d_encoder_[s];
-    tensor::Matrix dtr(batch_, hidden_);
+    const tensor::ConstMatrixView tr = transformed_[s];
+    const tensor::ConstMatrixView e = enc_[s];
+    tensor::MatrixView de = d_encoder_[s];
+    dtr.zero();
     for (std::size_t b = 0; b < batch_; ++b) {
       const float ds = dscore(b, s);
       if (ds == 0.0f) continue;
@@ -181,19 +208,20 @@ tensor::Matrix LuongAttention::backward_step(const tensor::Matrix& d_attn) {
     }
   }
 
+  ws_->rewind(scratch);
   return dh_dec;
 }
 
 tensor::Matrix LuongAttention::infer(const tensor::Matrix& h_dec) const {
-  DESMINE_EXPECTS(enc_ != nullptr, "begin() not called");
+  DESMINE_EXPECTS(!enc_.empty(), "begin() not called");
   const std::size_t B = h_dec.rows();
   DESMINE_EXPECTS(h_dec.cols() == hidden_, "h_dec shape");
   DESMINE_EXPECTS(B == batch_, "infer batch must match begin()");
-  const std::size_t S = enc_->size();
+  const std::size_t S = enc_.size();
 
   tensor::Matrix align(B, S);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& tr = transformed_[s];
+    const tensor::ConstMatrixView tr = transformed_[s];
     for (std::size_t b = 0; b < B; ++b) {
       const float* hd = h_dec.row(b);
       const float* tv = tr.row(b);
@@ -206,7 +234,7 @@ tensor::Matrix LuongAttention::infer(const tensor::Matrix& h_dec) const {
 
   tensor::Matrix concat(B, 2 * hidden_);
   for (std::size_t s = 0; s < S; ++s) {
-    const tensor::Matrix& e = (*enc_)[s];
+    const tensor::ConstMatrixView e = enc_[s];
     for (std::size_t b = 0; b < B; ++b) {
       const float w = align(b, s);
       if (w == 0.0f) continue;

@@ -9,6 +9,12 @@
 // order (backward_step), mirroring how the decoder interleaves it with the
 // LSTM stack. Gradients w.r.t. the encoder outputs accumulate across steps
 // and are handed back once at the end.
+//
+// Per-step caches live in a tensor::Workspace handed to begin() (or an
+// internal fallback arena); transient backward scratch is reclaimed via
+// checkpoint/rewind inside each backward_step. Views returned by step()/
+// backward_step() stay valid until that workspace is next rewound by its
+// owner.
 #pragma once
 
 #include <string>
@@ -16,6 +22,7 @@
 
 #include "nn/param.h"
 #include "tensor/matrix.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace desmine::nn {
@@ -31,25 +38,33 @@ class LuongAttention {
                  float init_scale = 0.1f,
                  AttentionScore score = AttentionScore::kGeneral);
 
-  /// Bind the encoder outputs (one (batch x H) matrix per source position)
-  /// for the coming decode. The pointed-to vector must outlive the sequence.
+  /// Bind the encoder outputs (one (batch x H) view per source position) for
+  /// the coming decode. The viewed storage must outlive the sequence.
+  /// `workspace`, if given, backs the per-step caches and encoder-gradient
+  /// accumulators (never rewound here — the owner rewinds between
+  /// sequences); otherwise an internal arena is used and reset here.
+  void begin(const std::vector<tensor::ConstMatrixView>& encoder_outputs,
+             std::size_t batch, tensor::Workspace* workspace = nullptr);
+
+  /// Convenience overload over owned encoder outputs. The pointed-to vector
+  /// must outlive the sequence.
   void begin(const std::vector<tensor::Matrix>* encoder_outputs,
-             std::size_t batch);
+             std::size_t batch, tensor::Workspace* workspace = nullptr);
 
   /// One decoder step: consume the decoder top hidden state, return the
   /// attentional hidden state h~ (batch x H).
-  tensor::Matrix step(const tensor::Matrix& h_dec);
+  tensor::ConstMatrixView step(tensor::ConstMatrixView h_dec);
 
   /// Alignment weights of forward step t (batch x src_len); for inspection.
-  const tensor::Matrix& alignment(std::size_t t) const;
+  tensor::ConstMatrixView alignment(std::size_t t) const;
 
   /// Backward for the most recent un-backpropagated step (call in reverse
   /// step order). Takes dL/dh~ and returns dL/dh_dec. Parameter gradients
   /// accumulate; encoder-output gradients accumulate into encoder_grads().
-  tensor::Matrix backward_step(const tensor::Matrix& d_attn);
+  tensor::MatrixView backward_step(tensor::ConstMatrixView d_attn);
 
   /// Accumulated dL/d encoder_outputs, valid after all backward_step calls.
-  const std::vector<tensor::Matrix>& encoder_grads() const {
+  const std::vector<tensor::MatrixView>& encoder_grads() const {
     return d_encoder_;
   }
 
@@ -68,10 +83,10 @@ class LuongAttention {
 
  private:
   struct StepCache {
-    tensor::Matrix h_dec;   ///< (batch x H)
-    tensor::Matrix align;   ///< (batch x S)
-    tensor::Matrix concat;  ///< [context; h_dec] (batch x 2H)
-    tensor::Matrix attn;    ///< h~ (batch x H)
+    tensor::MatrixView h_dec;   ///< (batch x H), copied into the workspace
+    tensor::MatrixView align;   ///< (batch x S)
+    tensor::MatrixView concat;  ///< [context; h_dec] (batch x 2H)
+    tensor::MatrixView attn;    ///< h~ (batch x H)
   };
 
   std::size_t hidden_;
@@ -79,9 +94,11 @@ class LuongAttention {
   Param wa_;  ///< (H x H) for the "general" score (unused for kDot)
   Param wc_;  ///< (2H x H) combine layer
 
-  const std::vector<tensor::Matrix>* enc_ = nullptr;
-  std::vector<tensor::Matrix> transformed_;  ///< enc[s] * Wa, cached
-  std::vector<tensor::Matrix> d_encoder_;
+  tensor::Workspace* ws_ = nullptr;
+  tensor::Workspace own_ws_;
+  std::vector<tensor::ConstMatrixView> enc_;
+  std::vector<tensor::ConstMatrixView> transformed_;  ///< enc[s] * Wa, cached
+  std::vector<tensor::MatrixView> d_encoder_;
   std::vector<StepCache> steps_;
   std::size_t backward_cursor_ = 0;  ///< steps remaining to backprop
   std::size_t batch_ = 0;

@@ -14,17 +14,34 @@ Linear::Linear(std::string name, std::size_t in, std::size_t out,
 }
 
 tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
-  DESMINE_EXPECTS(x.cols() == in_dim(), "linear input dim mismatch");
   tensor::Matrix y(x.rows(), out_dim());
+  forward_into(x, y);
+  return y;
+}
+
+void Linear::forward_into(tensor::ConstMatrixView x,
+                          tensor::MatrixView y) const {
+  DESMINE_EXPECTS(x.cols() == in_dim(), "linear input dim mismatch");
+  DESMINE_EXPECTS(y.rows() == x.rows() && y.cols() == out_dim(),
+                  "linear output shape");
   tensor::matmul(x, weight_.value, y);
   if (with_bias_) tensor::add_row_bias(y, bias_.value);
-  return y;
 }
 
 tensor::Matrix Linear::backward(const tensor::Matrix& x,
                                 const tensor::Matrix& grad_out) {
+  tensor::Matrix grad_in(x.rows(), in_dim());
+  backward_into(x, grad_out, grad_in);
+  return grad_in;
+}
+
+void Linear::backward_into(tensor::ConstMatrixView x,
+                           tensor::ConstMatrixView grad_out,
+                           tensor::MatrixView grad_in) {
   DESMINE_EXPECTS(grad_out.rows() == x.rows() && grad_out.cols() == out_dim(),
                   "linear backward shape");
+  DESMINE_EXPECTS(grad_in.rows() == x.rows() && grad_in.cols() == in_dim(),
+                  "linear backward grad_in shape");
   // dW += x^T * dy
   tensor::matmul_transA_accum(x, grad_out, weight_.grad);
   if (with_bias_) {
@@ -34,10 +51,10 @@ tensor::Matrix Linear::backward(const tensor::Matrix& x,
       for (std::size_t c = 0; c < out_dim(); ++c) bg[c] += g[c];
     }
   }
-  // dx = dy * W^T
-  tensor::Matrix grad_in(x.rows(), in_dim());
+  // dx = dy * W^T (grad_in is overwritten, like the fresh matrix the owning
+  // overload allocates)
+  grad_in.zero();
   tensor::matmul_transB_accum(grad_out, weight_.value, grad_in);
-  return grad_in;
 }
 
 }  // namespace desmine::nn

@@ -11,7 +11,9 @@ namespace desmine::nn {
 ///
 /// The layer is stateless across calls: backward takes the saved input, so a
 /// single Linear can be applied at many timesteps and back-propagated per
-/// step (gradients accumulate into the shared parameters).
+/// step (gradients accumulate into the shared parameters). The *_into
+/// variants write into caller-provided (typically workspace-backed) buffers;
+/// the owning variants wrap them.
 class Linear {
  public:
   Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
@@ -19,10 +21,18 @@ class Linear {
 
   tensor::Matrix forward(const tensor::Matrix& x) const;
 
+  /// y = x W + b into a pre-shaped (batch x out) buffer (overwritten).
+  void forward_into(tensor::ConstMatrixView x, tensor::MatrixView y) const;
+
   /// Given dL/dy and the forward input, accumulate parameter gradients and
   /// return dL/dx.
   tensor::Matrix backward(const tensor::Matrix& x,
                           const tensor::Matrix& grad_out);
+
+  /// Same, writing dL/dx into a pre-shaped (batch x in) buffer
+  /// (overwritten).
+  void backward_into(tensor::ConstMatrixView x, tensor::ConstMatrixView grad_out,
+                     tensor::MatrixView grad_in);
 
   void register_params(ParamRegistry& reg) {
     reg.add(&weight_);

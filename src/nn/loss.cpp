@@ -10,10 +10,21 @@ namespace desmine::nn {
 XentResult softmax_xent(const tensor::Matrix& logits,
                         const std::vector<std::int32_t>& targets,
                         tensor::Matrix& dlogits, float grad_scale) {
+  if (!dlogits.same_shape(logits)) {
+    dlogits = tensor::Matrix(logits.rows(), logits.cols());
+  }
+  return softmax_xent(tensor::ConstMatrixView(logits), targets,
+                      tensor::MatrixView(dlogits), grad_scale);
+}
+
+XentResult softmax_xent(tensor::ConstMatrixView logits,
+                        const std::vector<std::int32_t>& targets,
+                        tensor::MatrixView dlogits, float grad_scale) {
   DESMINE_EXPECTS(targets.size() == logits.rows(),
                   "one target per logits row");
+  DESMINE_EXPECTS(dlogits.same_shape(logits), "dlogits shape mismatch");
   const std::size_t V = logits.cols();
-  dlogits = tensor::Matrix(logits.rows(), V);
+  dlogits.zero();
 
   XentResult result;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
@@ -42,7 +53,7 @@ XentResult softmax_xent(const tensor::Matrix& logits,
   return result;
 }
 
-std::vector<std::int32_t> argmax_rows(const tensor::Matrix& logits) {
+std::vector<std::int32_t> argmax_rows(tensor::ConstMatrixView logits) {
   std::vector<std::int32_t> out(logits.rows());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const float* row = logits.row(r);

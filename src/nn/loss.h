@@ -25,7 +25,13 @@ XentResult softmax_xent(const tensor::Matrix& logits,
                         const std::vector<std::int32_t>& targets,
                         tensor::Matrix& dlogits, float grad_scale);
 
+/// View variant: `dlogits` must be pre-shaped like `logits`; it is fully
+/// overwritten (padded rows are zeroed).
+XentResult softmax_xent(tensor::ConstMatrixView logits,
+                        const std::vector<std::int32_t>& targets,
+                        tensor::MatrixView dlogits, float grad_scale);
+
 /// Row-wise argmax of logits (greedy decode step).
-std::vector<std::int32_t> argmax_rows(const tensor::Matrix& logits);
+std::vector<std::int32_t> argmax_rows(tensor::ConstMatrixView logits);
 
 }  // namespace desmine::nn

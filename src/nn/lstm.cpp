@@ -1,6 +1,7 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/error.h"
 
@@ -38,7 +39,7 @@ LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
 }
 
 void LstmStack::begin(std::size_t batch, const LstmState* init, bool train,
-                      util::Rng* dropout_rng) {
+                      util::Rng* dropout_rng, tensor::Workspace* workspace) {
   DESMINE_EXPECTS(batch > 0, "lstm batch must be > 0");
   batch_ = batch;
   train_ = train;
@@ -47,9 +48,22 @@ void LstmStack::begin(std::size_t batch, const LstmState* init, bool train,
     DESMINE_EXPECTS(dropout_rng_ != nullptr,
                     "training with dropout needs an rng");
   }
+  // A shared workspace is rewound by its owner (it may already hold live
+  // sequences, e.g. the encoder's caches while the decoder begins); only the
+  // private fallback arena is safe to reset here.
+  ws_ = workspace != nullptr ? workspace : &own_ws_;
+  if (workspace == nullptr) own_ws_.reset();
   caches_.clear();
-  state0_.h.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
-  state0_.c.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  if (state0_.h.size() != layers_.size() || state0_.h.empty() ||
+      state0_.h[0].rows() != batch) {
+    state0_.h.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+    state0_.c.assign(layers_.size(), tensor::Matrix(batch, hidden_dim_));
+  } else {
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      state0_.h[l].zero();
+      state0_.c[l].zero();
+    }
+  }
   if (init != nullptr && !init->empty()) {
     DESMINE_EXPECTS(init->h.size() == layers_.size(), "init state layer count");
     for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -62,22 +76,24 @@ void LstmStack::begin(std::size_t batch, const LstmState* init, bool train,
   }
 }
 
-void LstmStack::step_layer(std::size_t l, const tensor::Matrix& input,
-                           const tensor::Matrix& h_prev,
-                           const tensor::Matrix& c_prev, LayerCache& cache) {
+void LstmStack::step_layer(std::size_t l, tensor::ConstMatrixView input,
+                           tensor::ConstMatrixView h_prev,
+                           tensor::ConstMatrixView c_prev, LayerCache& cache) {
   const std::size_t H = hidden_dim_;
-  tensor::Matrix z(batch_, 4 * H);
+  cache.i = ws_->alloc(batch_, H);
+  cache.f = ws_->alloc(batch_, H);
+  cache.g = ws_->alloc(batch_, H);
+  cache.o = ws_->alloc(batch_, H);
+  cache.c = ws_->alloc(batch_, H);
+  cache.tanh_c = ws_->alloc(batch_, H);
+  cache.h = ws_->alloc(batch_, H);
+
+  // The fused pre-activation is transient: reclaim it once the gates are out.
+  const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
+  tensor::MatrixView z = ws_->alloc(batch_, 4 * H);
   tensor::matmul_accum(input, layers_[l].wx.value, z);
   tensor::matmul_accum(h_prev, layers_[l].wh.value, z);
   tensor::add_row_bias(z, layers_[l].b.value);
-
-  cache.i = tensor::Matrix(batch_, H);
-  cache.f = tensor::Matrix(batch_, H);
-  cache.g = tensor::Matrix(batch_, H);
-  cache.o = tensor::Matrix(batch_, H);
-  cache.c = tensor::Matrix(batch_, H);
-  cache.tanh_c = tensor::Matrix(batch_, H);
-  cache.h = tensor::Matrix(batch_, H);
 
   for (std::size_t r = 0; r < batch_; ++r) {
     const float* zr = z.row(r);
@@ -99,88 +115,109 @@ void LstmStack::step_layer(std::size_t l, const tensor::Matrix& input,
       hr[k] = orow[k] * tcr[k];
     }
   }
+  ws_->rewind(scratch);
 }
 
-const tensor::Matrix& LstmStack::step(const tensor::Matrix& x_t) {
+tensor::ConstMatrixView LstmStack::step(tensor::ConstMatrixView x_t) {
   DESMINE_EXPECTS(x_t.rows() == batch_ && x_t.cols() == input_dim_,
                   "lstm step input shape");
-  const std::size_t t = caches_.size();
-  caches_.emplace_back(layers_.size());
-  StepCache& sc = caches_.back();
+  const std::size_t L = layers_.size();
+  const std::size_t t = caches_.size() / L;
+  caches_.resize(caches_.size() + L);
 
-  const tensor::Matrix* layer_in = &x_t;
-  for (std::size_t l = 0; l < layers_.size(); ++l) {
-    LayerCache& lc = sc[l];
-    // Inverted dropout on the layer's (non-recurrent) input.
-    lc.input = *layer_in;
+  tensor::ConstMatrixView layer_in = x_t;
+  for (std::size_t l = 0; l < L; ++l) {
+    LayerCache& lc = cache_at(t, l);
+    // Inverted dropout on the layer's (non-recurrent) input. The input is
+    // copied into the workspace so it stays valid through backward() even
+    // when the caller's buffer is transient.
+    lc.input = ws_->alloc(layer_in.rows(), layer_in.cols());
+    lc.input.copy_from(layer_in);
     if (train_ && dropout_ > 0.0f) {
-      lc.mask = tensor::Matrix(lc.input.rows(), lc.input.cols());
+      lc.mask = ws_->alloc(lc.input.rows(), lc.input.cols());
       const float keep = 1.0f - dropout_;
       for (std::size_t idx = 0; idx < lc.mask.size(); ++idx) {
         lc.mask.data()[idx] = dropout_rng_->bernoulli(keep) ? 1.0f / keep : 0.0f;
       }
       lc.input.hadamard(lc.mask);
     }
-    const tensor::Matrix& h_prev =
-        (t == 0) ? state0_.h[l] : caches_[t - 1][l].h;
-    const tensor::Matrix& c_prev =
-        (t == 0) ? state0_.c[l] : caches_[t - 1][l].c;
+    const tensor::ConstMatrixView h_prev =
+        (t == 0) ? tensor::ConstMatrixView(state0_.h[l]) : cache_at(t - 1, l).h;
+    const tensor::ConstMatrixView c_prev =
+        (t == 0) ? tensor::ConstMatrixView(state0_.c[l]) : cache_at(t - 1, l).c;
     step_layer(l, lc.input, h_prev, c_prev, lc);
-    layer_in = &lc.h;
+    layer_in = lc.h;
   }
-  return sc.back().h;
+  return cache_at(t, L - 1).h;
 }
 
 LstmState LstmStack::state() const {
   DESMINE_EXPECTS(!caches_.empty() || !state0_.empty(), "no state yet");
   LstmState s;
   if (caches_.empty()) return state0_;
+  const std::size_t t = steps() - 1;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    s.h.push_back(caches_.back()[l].h);
-    s.c.push_back(caches_.back()[l].c);
+    s.h.emplace_back(cache_at(t, l).h);
+    s.c.emplace_back(cache_at(t, l).c);
   }
   return s;
 }
 
-const tensor::Matrix& LstmStack::output(std::size_t t) const {
-  DESMINE_EXPECTS(t < caches_.size(), "output step out of range");
-  return caches_[t].back().h;
+tensor::ConstMatrixView LstmStack::output(std::size_t t) const {
+  DESMINE_EXPECTS(t < steps(), "output step out of range");
+  return cache_at(t, layers_.size() - 1).h;
 }
 
 LstmStack::BackwardResult LstmStack::backward(
-    const std::vector<tensor::Matrix>& dh_top, const LstmState* dfinal) {
-  const std::size_t T = caches_.size();
+    const std::vector<tensor::ConstMatrixView>& dh_top,
+    const LstmState* dfinal) {
+  const std::size_t T = steps();
   const std::size_t L = layers_.size();
   const std::size_t H = hidden_dim_;
   DESMINE_EXPECTS(dh_top.size() == T, "dh_top must cover every step");
 
   BackwardResult result;
-  result.dx.assign(T, tensor::Matrix());
+  result.dx.assign(T, tensor::MatrixView());
+  for (std::size_t t = 0; t < T; ++t) {
+    result.dx[t] = ws_->alloc(batch_, input_dim_);
+  }
 
-  // Running gradients flowing backward through time, per layer.
-  std::vector<tensor::Matrix> dh_next(L, tensor::Matrix(batch_, H));
-  std::vector<tensor::Matrix> dc_next(L, tensor::Matrix(batch_, H));
+  // Running gradients flowing backward through time, per layer. dh ping-pongs
+  // between two slots (the new dh_prev must start from zero, exactly like the
+  // fresh matrix the pre-arena code allocated); dc is updated in place.
+  std::vector<tensor::MatrixView> dh_cur(L), dh_alt(L), dc_next(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    dh_cur[l] = ws_->alloc(batch_, H);
+    dh_alt[l] = ws_->alloc(batch_, H);
+    dc_next[l] = ws_->alloc(batch_, H);
+  }
   if (dfinal != nullptr && !dfinal->empty()) {
     DESMINE_EXPECTS(dfinal->h.size() == L, "dfinal layer count");
     for (std::size_t l = 0; l < L; ++l) {
-      dh_next[l] += dfinal->h[l];
+      dh_cur[l] += dfinal->h[l];
       dc_next[l] += dfinal->c[l];
     }
   }
 
-  tensor::Matrix dz(batch_, 4 * H);
+  tensor::MatrixView dz = ws_->alloc(batch_, 4 * H);
+  // Gradient flowing into lower layers from the layer above at one step;
+  // written at layer l, consumed at l-1, so two alternating slots suffice.
+  tensor::MatrixView din_a = ws_->alloc(batch_, H);
+  tensor::MatrixView din_b = ws_->alloc(batch_, H);
+
   for (std::size_t ti = T; ti-- > 0;) {
-    // Gradient flowing into lower layers from the layer above at this step.
-    tensor::Matrix d_from_above;
+    tensor::MatrixView d_from_above;
+    bool use_a = true;
     for (std::size_t l = L; l-- > 0;) {
-      const LayerCache& lc = caches_[ti][l];
-      tensor::Matrix dh = std::move(dh_next[l]);
+      const LayerCache& lc = cache_at(ti, l);
+      tensor::MatrixView dh = dh_cur[l];
       if (l == L - 1 && dh_top[ti].rows() > 0) dh += dh_top[ti];
       if (l < L - 1 && d_from_above.rows() > 0) dh += d_from_above;
-      tensor::Matrix dc = std::move(dc_next[l]);
+      tensor::MatrixView dc = dc_next[l];
 
-      const tensor::Matrix& c_prev =
-          (ti == 0) ? state0_.c[l] : caches_[ti - 1][l].c;
+      const tensor::ConstMatrixView c_prev =
+          (ti == 0) ? tensor::ConstMatrixView(state0_.c[l])
+                    : cache_at(ti - 1, l).c;
 
       // Gate gradients -> fused dz in [i f g o] layout.
       for (std::size_t r = 0; r < batch_; ++r) {
@@ -207,12 +244,12 @@ LstmStack::BackwardResult LstmStack::backward(
           dcr[k] *= fr[k];
         }
       }
-      dc_next[l] = std::move(dc);
 
       // Parameter gradients.
       tensor::matmul_transA_accum(lc.input, dz, layers_[l].wx.grad);
-      const tensor::Matrix& h_prev =
-          (ti == 0) ? state0_.h[l] : caches_[ti - 1][l].h;
+      const tensor::ConstMatrixView h_prev =
+          (ti == 0) ? tensor::ConstMatrixView(state0_.h[l])
+                    : cache_at(ti - 1, l).h;
       tensor::matmul_transA_accum(h_prev, dz, layers_[l].wh.grad);
       {
         float* bg = layers_[l].b.grad.row(0);
@@ -223,25 +260,45 @@ LstmStack::BackwardResult LstmStack::backward(
       }
 
       // Gradient to previous hidden state.
-      tensor::Matrix dh_prev(batch_, H);
+      tensor::MatrixView dh_prev = dh_alt[l];
+      dh_prev.zero();
       tensor::matmul_transB_accum(dz, layers_[l].wh.value, dh_prev);
-      dh_next[l] = std::move(dh_prev);
+      std::swap(dh_cur[l], dh_alt[l]);
 
       // Gradient to the layer input (dropout mask re-applied).
-      tensor::Matrix din(batch_, lc.input.cols());
+      tensor::MatrixView din;
+      if (l == 0) {
+        din = result.dx[ti];
+      } else {
+        din = use_a ? din_a : din_b;
+        use_a = !use_a;
+        din.zero();
+      }
       tensor::matmul_transB_accum(dz, layers_[l].wx.value, din);
       if (lc.mask.rows() > 0) din.hadamard(lc.mask);
-      if (l == 0) {
-        result.dx[ti] = std::move(din);
-      } else {
-        d_from_above = std::move(din);
-      }
+      if (l > 0) d_from_above = din;
     }
   }
 
-  result.dstate0.h = std::move(dh_next);
-  result.dstate0.c = std::move(dc_next);
+  for (std::size_t l = 0; l < L; ++l) {
+    result.dstate0.h.emplace_back(dh_cur[l]);
+    result.dstate0.c.emplace_back(dc_next[l]);
+  }
   return result;
+}
+
+LstmStack::BackwardResult LstmStack::backward(
+    const std::vector<tensor::MatrixView>& dh_top, const LstmState* dfinal) {
+  std::vector<tensor::ConstMatrixView> views(dh_top.begin(), dh_top.end());
+  return backward(views, dfinal);
+}
+
+LstmStack::BackwardResult LstmStack::backward(
+    const std::vector<tensor::Matrix>& dh_top, const LstmState* dfinal) {
+  std::vector<tensor::ConstMatrixView> views;
+  views.reserve(dh_top.size());
+  for (const tensor::Matrix& m : dh_top) views.emplace_back(m);
+  return backward(views, dfinal);
 }
 
 LstmState LstmStack::zero_state(std::size_t batch) const {

@@ -6,6 +6,12 @@
 // fused into one (dim x 4H) matmul per layer per step in [i f g o] order.
 // Dropout (inverted) is applied to each layer's input during training, i.e.
 // to the non-recurrent connections, following Luong et al.'s setup.
+//
+// Activations and per-timestep caches live in a tensor::Workspace: pass one
+// to begin() (shared with attention/seq2seq and rewound by the owner between
+// sequences) or let the stack fall back to an internal arena. After warm-up
+// the sequence loop performs no heap allocation. Views returned by step()/
+// output()/backward() are valid until that workspace is next rewound.
 #pragma once
 
 #include <string>
@@ -13,6 +19,7 @@
 
 #include "nn/param.h"
 #include "tensor/matrix.h"
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace desmine::nn {
@@ -33,34 +40,42 @@ class LstmStack {
 
   /// Reset caches and set the initial state (zero state if `init` is empty).
   /// `train` enables dropout; `dropout_rng` must outlive the sequence when
-  /// training with dropout > 0.
+  /// training with dropout > 0. `workspace`, if given, backs all caches for
+  /// this sequence (the caller rewinds it between sequences; begin() never
+  /// rewinds a shared workspace). With no workspace an internal arena is
+  /// used and reset here.
   void begin(std::size_t batch, const LstmState* init = nullptr,
-             bool train = false, util::Rng* dropout_rng = nullptr);
+             bool train = false, util::Rng* dropout_rng = nullptr,
+             tensor::Workspace* workspace = nullptr);
 
   /// Advance one timestep with input (batch x input_dim); returns the
   /// top-layer hidden output (batch x hidden).
-  const tensor::Matrix& step(const tensor::Matrix& x_t);
+  tensor::ConstMatrixView step(tensor::ConstMatrixView x_t);
 
   /// Number of steps taken since begin().
-  std::size_t steps() const { return caches_.size(); }
+  std::size_t steps() const { return caches_.size() / layers_.size(); }
 
-  /// Current (last-step) state of all layers.
+  /// Current (last-step) state of all layers (owned copies).
   LstmState state() const;
 
   /// Top-layer hidden output at step t (valid after step()).
-  const tensor::Matrix& output(std::size_t t) const;
+  tensor::ConstMatrixView output(std::size_t t) const;
 
   struct BackwardResult {
-    /// Gradient w.r.t. the input of each step.
-    std::vector<tensor::Matrix> dx;
+    /// Gradient w.r.t. the input of each step (workspace-backed).
+    std::vector<tensor::MatrixView> dx;
     /// Gradient w.r.t. the initial state passed to begin().
     LstmState dstate0;
   };
 
-  /// Run BPTT. `dh_top[t]` is dL/d output(t); pass an empty matrix (0x0) for
+  /// Run BPTT. `dh_top[t]` is dL/d output(t); pass an empty view/matrix for
   /// steps without a loss term. `dfinal`, if non-null, adds gradient on the
   /// final state (used when the encoder's last state seeds the decoder).
   /// Parameter gradients accumulate into the registry's Params.
+  BackwardResult backward(const std::vector<tensor::ConstMatrixView>& dh_top,
+                          const LstmState* dfinal = nullptr);
+  BackwardResult backward(const std::vector<tensor::MatrixView>& dh_top,
+                          const LstmState* dfinal = nullptr);
   BackwardResult backward(const std::vector<tensor::Matrix>& dh_top,
                           const LstmState* dfinal = nullptr);
 
@@ -89,19 +104,27 @@ class LstmStack {
   };
 
   /// Everything one backward step needs, for one layer at one timestep.
+  /// All views point into the sequence workspace.
   struct LayerCache {
-    tensor::Matrix input;     ///< layer input after dropout (batch x in)
-    tensor::Matrix mask;      ///< dropout mask (empty when not training)
-    tensor::Matrix i, f, g, o;  ///< post-activation gates (batch x H)
-    tensor::Matrix c;         ///< new cell state
-    tensor::Matrix tanh_c;    ///< tanh(c)
-    tensor::Matrix h;         ///< new hidden state
+    tensor::MatrixView input;  ///< layer input after dropout (batch x in)
+    tensor::MatrixView mask;   ///< dropout mask (empty when not training)
+    tensor::MatrixView i, f, g, o;  ///< post-activation gates (batch x H)
+    tensor::MatrixView c;       ///< new cell state
+    tensor::MatrixView tanh_c;  ///< tanh(c)
+    tensor::MatrixView h;       ///< new hidden state
   };
-  using StepCache = std::vector<LayerCache>;  // one entry per layer
 
-  void step_layer(std::size_t l, const tensor::Matrix& input,
-                  const tensor::Matrix& h_prev, const tensor::Matrix& c_prev,
-                  LayerCache& cache);
+  /// Cache of layer l at timestep t (row-major in t).
+  LayerCache& cache_at(std::size_t t, std::size_t l) {
+    return caches_[t * layers_.size() + l];
+  }
+  const LayerCache& cache_at(std::size_t t, std::size_t l) const {
+    return caches_[t * layers_.size() + l];
+  }
+
+  void step_layer(std::size_t l, tensor::ConstMatrixView input,
+                  tensor::ConstMatrixView h_prev,
+                  tensor::ConstMatrixView c_prev, LayerCache& cache);
 
   std::size_t input_dim_;
   std::size_t hidden_dim_;
@@ -112,8 +135,10 @@ class LstmStack {
   std::size_t batch_ = 0;
   bool train_ = false;
   util::Rng* dropout_rng_ = nullptr;
+  tensor::Workspace* ws_ = nullptr;
+  tensor::Workspace own_ws_;
   LstmState state0_;
-  std::vector<StepCache> caches_;
+  std::vector<LayerCache> caches_;  ///< flat [t * L + l]
 };
 
 }  // namespace desmine::nn

@@ -21,6 +21,12 @@
 //   detect.window.degraded      counter: windows below the coverage quorum
 //   csv.rows_bad                counter: malformed rows seen in tolerant mode
 //   csv.rows_quarantined        counter: malformed rows journaled
+//
+// Arena instruments for the zero-allocation hot path (ISSUE 4):
+//   tensor.workspace.bytes_peak gauge: largest bytes-reserved across all
+//                               workspaces (a flat value across training
+//                               steps is the zero-steady-state-growth claim)
+//   tensor.workspace.rewinds    counter: arena rewinds/resets (reuse events)
 #pragma once
 
 #include <array>

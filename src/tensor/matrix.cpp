@@ -7,6 +7,13 @@
 
 namespace desmine::tensor {
 
+Matrix::Matrix(ConstMatrixView view)
+    : rows_(view.rows()),
+      cols_(view.cols()),
+      data_(view.data(), view.data() + view.size()) {}
+
+Matrix::Matrix(MatrixView view) : Matrix(ConstMatrixView(view)) {}
+
 Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
   DESMINE_EXPECTS(!rows.empty(), "from_rows needs at least one row");
   Matrix m(rows.size(), rows.front().size());
@@ -15,6 +22,11 @@ Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
     std::copy(rows[r].begin(), rows[r].end(), m.row(r));
   }
   return m;
+}
+
+MatrixView Matrix::view() { return MatrixView(data(), rows_, cols_); }
+ConstMatrixView Matrix::view() const {
+  return ConstMatrixView(data(), rows_, cols_);
 }
 
 void Matrix::fill(float value) {
@@ -33,15 +45,15 @@ void Matrix::init_normal(util::Rng& rng, float stddev) {
   }
 }
 
-Matrix& Matrix::operator+=(const Matrix& other) {
-  DESMINE_EXPECTS(same_shape(other), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+Matrix& Matrix::operator+=(ConstMatrixView other) {
+  MatrixView(*this) += other;
   return *this;
 }
 
-Matrix& Matrix::operator-=(const Matrix& other) {
-  DESMINE_EXPECTS(same_shape(other), "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+Matrix& Matrix::operator-=(ConstMatrixView other) {
+  DESMINE_EXPECTS(view().same_shape(other), "shape mismatch in -=");
+  const float* os = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= os[i];
   return *this;
 }
 
@@ -50,9 +62,8 @@ Matrix& Matrix::operator*=(float scalar) {
   return *this;
 }
 
-Matrix& Matrix::hadamard(const Matrix& other) {
-  DESMINE_EXPECTS(same_shape(other), "shape mismatch in hadamard");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+Matrix& Matrix::hadamard(ConstMatrixView other) {
+  MatrixView(*this).hadamard(other);
   return *this;
 }
 
@@ -88,10 +99,37 @@ std::string Matrix::shape_string() const {
   return os.str();
 }
 
+void MatrixView::fill(float value) const {
+  std::fill(data_, data_ + size(), value);
+}
+
+void MatrixView::copy_from(ConstMatrixView src) const {
+  DESMINE_EXPECTS(same_shape(src), "shape mismatch in copy_from");
+  std::copy(src.data(), src.data() + src.size(), data_);
+}
+
+const MatrixView& MatrixView::operator+=(ConstMatrixView other) const {
+  DESMINE_EXPECTS(same_shape(other), "shape mismatch in +=");
+  const float* os = other.data();
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += os[i];
+  return *this;
+}
+
+const MatrixView& MatrixView::hadamard(ConstMatrixView other) const {
+  DESMINE_EXPECTS(same_shape(other), "shape mismatch in hadamard");
+  const float* os = other.data();
+  for (std::size_t i = 0; i < size(); ++i) data_[i] *= os[i];
+  return *this;
+}
+
+void MatrixView::apply(const std::function<float(float)>& f) const {
+  for (std::size_t i = 0; i < size(); ++i) data_[i] = f(data_[i]);
+}
+
 namespace {
 
 void check_matmul_shapes(std::size_t am, std::size_t ak, std::size_t bk,
-                         std::size_t bn, const Matrix& out) {
+                         std::size_t bn, MatrixView out) {
   DESMINE_EXPECTS(ak == bk, "inner dimensions must agree");
   DESMINE_EXPECTS(out.rows() == am && out.cols() == bn,
                   "output shape mismatch");
@@ -99,14 +137,14 @@ void check_matmul_shapes(std::size_t am, std::size_t ak, std::size_t bk,
 
 }  // namespace
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   out.zero();
   matmul_accum(a, b, out);
 }
 
 // i-k-j loop order keeps B and out accesses sequential, which the compiler
 // auto-vectorizes well; good enough for the hidden sizes desmine uses (<=256).
-void matmul_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_accum(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
   check_matmul_shapes(a.rows(), a.cols(), b.rows(), b.cols(), out);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   for (std::size_t i = 0; i < m; ++i) {
@@ -121,7 +159,8 @@ void matmul_accum(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
-void matmul_transA_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_transA_accum(ConstMatrixView a, ConstMatrixView b,
+                         MatrixView out) {
   check_matmul_shapes(a.cols(), a.rows(), b.rows(), b.cols(), out);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   for (std::size_t p = 0; p < k; ++p) {
@@ -136,7 +175,8 @@ void matmul_transA_accum(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
-void matmul_transB_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_transB_accum(ConstMatrixView a, ConstMatrixView b,
+                         MatrixView out) {
   check_matmul_shapes(a.rows(), a.cols(), b.cols(), b.rows(), out);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i) {
@@ -151,7 +191,7 @@ void matmul_transB_accum(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
-void add_row_bias(Matrix& m, const Matrix& bias) {
+void add_row_bias(MatrixView m, ConstMatrixView bias) {
   DESMINE_EXPECTS(bias.rows() == 1 && bias.cols() == m.cols(),
                   "bias must be 1 x cols");
   for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -161,14 +201,14 @@ void add_row_bias(Matrix& m, const Matrix& bias) {
   }
 }
 
-void axpy(float alpha, const Matrix& x, Matrix& y) {
+void axpy(float alpha, ConstMatrixView x, MatrixView y) {
   DESMINE_EXPECTS(x.same_shape(y), "axpy shape mismatch");
   const float* xs = x.data();
   float* ys = y.data();
   for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
 }
 
-void softmax_rows(Matrix& m) {
+void softmax_rows(MatrixView m) {
   for (std::size_t r = 0; r < m.rows(); ++r) {
     float* row = m.row(r);
     float mx = row[0];

@@ -4,6 +4,16 @@
 // dense f32 storage, a cache-blocked GEMM with transpose variants, and the
 // elementwise helpers the LSTM/attention layers need. Vectors are 1xN or Nx1
 // matrices; there is no broadcasting beyond the row-bias helper.
+//
+// Two storage flavours share one kernel path (ISSUE 4):
+//  * Matrix            — owning, heap-backed (parameters, long-lived state);
+//  * MatrixView /      — non-owning windows over any row-major float block,
+//    ConstMatrixView     typically a Workspace arena slice (activations,
+//                        per-timestep caches, gradients in the hot path).
+// All kernels (gemm variants, axpy, softmax, row bias) take views; an owned
+// Matrix converts implicitly, so call sites are agnostic to where the bytes
+// live. Views never allocate and never outlive their backing storage — see
+// DESIGN.md §10 for the aliasing and lifetime rules.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +27,9 @@
 
 namespace desmine::tensor {
 
+class MatrixView;
+class ConstMatrixView;
+
 class Matrix {
  public:
   Matrix() = default;
@@ -28,6 +41,13 @@ class Matrix {
   /// rows x cols matrix filled with `value`.
   Matrix(std::size_t rows, std::size_t cols, float value)
       : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Deep copy of a view (implicit so view-returning hot paths interoperate
+  /// with owned storage at call sites that need to keep the values). The
+  /// MatrixView overload exists because two user conversions
+  /// (MatrixView -> ConstMatrixView -> Matrix) would not chain implicitly.
+  Matrix(ConstMatrixView view);  // NOLINT(google-explicit-constructor)
+  Matrix(MatrixView view);       // NOLINT(google-explicit-constructor)
 
   /// Build from nested initializer data (row major). Rows must be equal
   /// length.
@@ -60,6 +80,11 @@ class Matrix {
   float* row(std::size_t r) { return data_.data() + r * cols_; }
   const float* row(std::size_t r) const { return data_.data() + r * cols_; }
 
+  /// Non-owning views of this matrix (valid while the matrix lives and is
+  /// not resized).
+  MatrixView view();
+  ConstMatrixView view() const;
+
   void fill(float value);
   void zero() { fill(0.0f); }
 
@@ -68,12 +93,12 @@ class Matrix {
   /// Gaussian init with the given stddev.
   void init_normal(util::Rng& rng, float stddev);
 
-  Matrix& operator+=(const Matrix& other);
-  Matrix& operator-=(const Matrix& other);
+  Matrix& operator+=(ConstMatrixView other);
+  Matrix& operator-=(ConstMatrixView other);
   Matrix& operator*=(float scalar);
 
   /// Elementwise (Hadamard) product into this.
-  Matrix& hadamard(const Matrix& other);
+  Matrix& hadamard(ConstMatrixView other);
 
   /// Apply f to every element in place.
   void apply(const std::function<float(float)>& f);
@@ -98,27 +123,115 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Mutable non-owning window over a contiguous row-major float block. A
+/// default-constructed view is empty (rows == cols == 0, null data) and is
+/// how the nn layers mark "no value here" (e.g. steps without a loss term).
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(float* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
+
+  float& at(std::size_t r, std::size_t c) const {
+    DESMINE_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  float& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() const { return data_; }
+  float* row(std::size_t r) const { return data_ + r * cols_; }
+
+  void fill(float value) const;
+  void zero() const { fill(0.0f); }
+
+  /// Copy the values of an equal-shaped source into this view.
+  void copy_from(ConstMatrixView src) const;
+
+  const MatrixView& operator+=(ConstMatrixView other) const;
+  const MatrixView& hadamard(ConstMatrixView other) const;
+
+  /// Apply f to every element in place.
+  void apply(const std::function<float(float)>& f) const;
+
+  bool same_shape(ConstMatrixView other) const;
+
+ private:
+  float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Read-only counterpart of MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
+
+  float at(std::size_t r, std::size_t c) const {
+    DESMINE_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const float* data() const { return data_; }
+  const float* row(std::size_t r) const { return data_ + r * cols_; }
+
+  bool same_shape(ConstMatrixView other) const {
+    return rows_ == other.rows() && cols_ == other.cols();
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+inline bool MatrixView::same_shape(ConstMatrixView other) const {
+  return rows_ == other.rows() && cols_ == other.cols();
+}
+
 /// out = A * B. Shapes: (m x k) * (k x n) -> (m x n). `out` is overwritten
 /// and may not alias A or B.
-void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
 /// out += A * B.
-void matmul_accum(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_accum(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
 /// out += A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
-void matmul_transA_accum(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_transA_accum(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
 /// out += A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
-void matmul_transB_accum(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_transB_accum(ConstMatrixView a, ConstMatrixView b, MatrixView out);
 
 /// Add a 1 x cols bias row to every row of m.
-void add_row_bias(Matrix& m, const Matrix& bias);
+void add_row_bias(MatrixView m, ConstMatrixView bias);
 
 /// y += alpha * x (flat AXPY over equal-shaped matrices).
-void axpy(float alpha, const Matrix& x, Matrix& y);
+void axpy(float alpha, ConstMatrixView x, MatrixView y);
 
 /// Row-wise softmax in place.
-void softmax_rows(Matrix& m);
+void softmax_rows(MatrixView m);
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
 

@@ -230,3 +230,59 @@ TEST(GradCheck, FullSeq2SeqWithAttention) {
   EXPECT_GT(report.checked, 40u);
   EXPECT_LT(report.max_rel_error, kTolerance) << report.worst_param;
 }
+
+TEST(GradCheck, LstmBpttInExplicitWorkspace) {
+  // Same network as TwoLayerLstmBptt, but every activation, logit buffer,
+  // and per-step gradient lives in one caller-provided arena that is
+  // rewound between evaluations — the exact memory discipline the seq2seq
+  // hot path runs under. Any view-lifetime bug (a cache clobbered by a
+  // scratch rewind, a stale slice surviving reset) breaks the check.
+  Rng rng(11);
+  dn::LstmStack lstm("l", 2, 3, 2, rng, 0.0f, 0.5f);
+  dn::Linear head("head", 3, 2, rng, true, 0.5f);
+  dn::ParamRegistry reg;
+  lstm.register_params(reg);
+  head.register_params(reg);
+
+  const std::size_t T = 3, B = 2;
+  std::vector<dt::Matrix> xs;
+  for (std::size_t t = 0; t < T; ++t) {
+    dt::Matrix x(B, 2);
+    x.init_uniform(rng, 1.0f);
+    xs.push_back(x);
+  }
+  const std::vector<std::vector<std::int32_t>> targets = {
+      {0, 1}, {1, 0}, {1, 1}};
+
+  dt::Workspace ws;
+  auto loss_fn = [&](bool accumulate) {
+    ws.reset();
+    lstm.begin(B, nullptr, false, nullptr, &ws);
+    double loss = 0.0;
+    std::vector<dt::ConstMatrixView> hs(T);
+    std::vector<dt::MatrixView> dlogits(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      hs[t] = lstm.step(xs[t]);
+      dlogits[t] = ws.alloc(B, 2);
+      // Logits are transient: reclaimed as soon as dlogits is computed.
+      const auto cp = ws.checkpoint();
+      dt::MatrixView logits = ws.alloc(B, 2);
+      head.forward_into(hs[t], logits);
+      const auto res = dn::softmax_xent(logits, targets[t], dlogits[t], 1.0f);
+      loss += res.loss_sum;
+      ws.rewind(cp);
+    }
+    if (accumulate) {
+      std::vector<dt::MatrixView> dh(T);
+      for (std::size_t t = 0; t < T; ++t) {
+        dh[t] = ws.alloc(B, 3);
+        head.backward_into(hs[t], dlogits[t], dh[t]);
+      }
+      lstm.backward(dh);
+    }
+    return loss;
+  };
+
+  const auto report = dn::gradient_check(reg, loss_fn, 5, 1e-2);
+  EXPECT_LT(report.max_rel_error, kTolerance) << report.worst_param;
+}

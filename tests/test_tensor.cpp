@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "tensor/matrix.h"
+#include "tensor/workspace.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -189,4 +190,127 @@ TEST(Matrix, InitUniformWithinScale) {
   }
   // Not all zero.
   EXPECT_GT(m.squared_norm(), 0.0);
+}
+
+// ---- views ------------------------------------------------------------------
+
+TEST(MatrixView, AliasesOwningMatrix) {
+  auto m = dt::Matrix::from_rows({{1, 2}, {3, 4}});
+  dt::MatrixView v = m;  // implicit: views alias, never copy
+  EXPECT_EQ(v.data(), m.data());
+  v.at(0, 1) = 20.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), 20.0f);
+  m(1, 0) = 30.0f;
+  EXPECT_FLOAT_EQ(v.at(1, 0), 30.0f);
+
+  dt::ConstMatrixView cv = m;
+  EXPECT_EQ(cv.data(), m.data());
+  EXPECT_FLOAT_EQ(cv.at(1, 0), 30.0f);
+
+  // Materializing a Matrix from a view copies.
+  dt::Matrix copy = cv;
+  EXPECT_NE(copy.data(), m.data());
+  m(0, 0) = -1.0f;
+  EXPECT_FLOAT_EQ(copy(0, 0), 1.0f);
+}
+
+TEST(MatrixView, BoundsAndShapeChecks) {
+  dt::Matrix m(2, 3);
+  dt::MatrixView v = m;
+  EXPECT_THROW(v.at(2, 0), desmine::PreconditionError);
+  EXPECT_THROW(v.at(0, 3), desmine::PreconditionError);
+  dt::Matrix other(2, 2);
+  EXPECT_THROW(v.copy_from(other), desmine::PreconditionError);
+  EXPECT_THROW(v += dt::ConstMatrixView(other), desmine::PreconditionError);
+}
+
+TEST(MatrixView, KernelsMatchOwnedPath) {
+  // The same GEMM through views over arena storage must produce exactly
+  // what the owned-Matrix call does (one shared kernel path).
+  Rng rng(7);
+  const auto a = random_matrix(4, 6, rng);
+  const auto b = random_matrix(6, 5, rng);
+  dt::Matrix owned(4, 5);
+  dt::matmul(a, b, owned);
+
+  dt::Workspace ws;
+  dt::MatrixView out = ws.alloc(4, 5);
+  dt::matmul(a, b, out);
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    EXPECT_EQ(out.data()[i], owned.data()[i]) << "at flat index " << i;
+  }
+}
+
+// ---- workspace --------------------------------------------------------------
+
+TEST(Workspace, AllocIsZeroedAndShaped) {
+  dt::Workspace ws;
+  dt::MatrixView v = ws.alloc(3, 4);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 4u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(v.data()[i], 0.0f);
+  v.fill(9.0f);
+  dt::MatrixView w = ws.alloc(2, 2);
+  EXPECT_NE(w.data(), v.data());
+  EXPECT_FLOAT_EQ(v.at(2, 3), 9.0f);  // earlier slice untouched
+}
+
+TEST(Workspace, CheckpointRewindReusesAndRezeroes) {
+  dt::Workspace ws;
+  dt::MatrixView persistent = ws.alloc(2, 2);
+  persistent.fill(1.0f);
+  const auto cp = ws.checkpoint();
+  const std::size_t used_at_cp = ws.bytes_used();
+
+  dt::MatrixView scratch = ws.alloc(8, 8);
+  scratch.fill(7.0f);
+  float* scratch_ptr = scratch.data();
+  EXPECT_GT(ws.bytes_used(), used_at_cp);
+
+  ws.rewind(cp);
+  EXPECT_EQ(ws.bytes_used(), used_at_cp);
+  EXPECT_FLOAT_EQ(persistent.at(1, 1), 1.0f);  // survives the rewind
+
+  // Same-size realloc lands on the same storage, zeroed again.
+  dt::MatrixView again = ws.alloc(8, 8);
+  EXPECT_EQ(again.data(), scratch_ptr);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(again.data()[i], 0.0f);
+}
+
+TEST(Workspace, SteadyStateDoesNotGrow) {
+  dt::Workspace ws;
+  // Warm-up pass: force multiple chunks.
+  for (int i = 0; i < 4; ++i) ws.alloc(300, 300);
+  const auto warm = ws.stats();
+  EXPECT_GE(warm.grows, 1u);
+  EXPECT_GE(warm.bytes_reserved, warm.bytes_peak);
+
+  // Steady state: identical passes after reset must never allocate.
+  for (int pass = 0; pass < 3; ++pass) {
+    ws.reset();
+    for (int i = 0; i < 4; ++i) ws.alloc(300, 300);
+    const auto s = ws.stats();
+    EXPECT_EQ(s.grows, warm.grows);
+    EXPECT_EQ(s.bytes_reserved, warm.bytes_reserved);
+    EXPECT_EQ(s.bytes_peak, warm.bytes_peak);
+  }
+  EXPECT_EQ(ws.stats().rewinds, warm.rewinds + 3);
+}
+
+TEST(Workspace, ReservePreventsGrowthInLoop) {
+  dt::Workspace ws;
+  ws.reserve(4 * 100 * 100 * sizeof(float) + 4096);
+  const auto before = ws.stats();
+  for (int i = 0; i < 4; ++i) ws.alloc(100, 100);
+  EXPECT_EQ(ws.stats().grows, before.grows);  // capacity was enough
+  EXPECT_GE(before.bytes_reserved, 4 * 100 * 100 * sizeof(float));
+}
+
+TEST(Workspace, RewindForeignOrForwardCheckpointRejected) {
+  dt::Workspace ws;
+  ws.alloc(4, 4);
+  const auto cp = ws.checkpoint();
+  ws.reset();
+  // cp is now ahead of the cursor: rewinding "forward" must be refused.
+  EXPECT_THROW(ws.rewind(cp), desmine::PreconditionError);
 }

@@ -411,6 +411,10 @@ void setup_observability(const Args& args) {
     obs::logger().add_sink(std::make_shared<obs::JsonLinesSink>(log_json));
   }
   if (!args.get_or("trace-out", "").empty()) obs::tracer().enable();
+  // Pre-register the arena instruments so every --metrics-out dump carries
+  // them, even for commands that never touch the numeric hot path.
+  obs::metrics().gauge("tensor.workspace.bytes_peak");
+  obs::metrics().counter("tensor.workspace.rewinds");
 }
 
 /// Export metrics/trace dumps after a command finished.
