@@ -120,7 +120,8 @@ void run_dropout(const dc::Framework& fw, const dd::PlantDataset& plant,
   const auto plain = detector.detect(corpora);
   const dc::HealthMask mask = dc::window_health_mask(
       fw.encrypter(), fw.config().window, test, desmine::robust::HealthConfig{});
-  const auto degraded = detector.detect(corpora, &mask);
+  const auto degraded =
+      detector.detect(corpora, dc::DetectOptions{.unhealthy = &mask});
 
   const std::size_t windows_per_day = plain.anomaly_scores.size() / test_days;
   const auto day_mean = [&](const dc::DetectionResult& r, std::size_t d) {

@@ -1,0 +1,270 @@
+// Serving-layer throughput bench (ISSUE 5 acceptance): windows/sec and p99
+// window latency for N concurrent sessions through serve::SessionManager,
+// against N sequential per-session OnlineDetector replays of the same
+// streams. Acceptance: >= 3x windows/sec at 8 sessions, with every served
+// score bit-identical (IEEE-754) to its sequential replay.
+//
+// The speedup on this scale comes from what the serving layer shares and
+// the sequential path cannot: duplicate sentence-windows across sessions
+// are decoded once per batch (TranslationModel::translate_batch dedup), and
+// the per-edge decode cache turns the periodic plant's repeating windows
+// into pure BLEU evaluations. Both are exact — greedy decode is a pure
+// function of the source tokens.
+//
+// Results: bench_artifacts/BENCH_serve.json (+ _metrics/_trace dumps).
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/online.h"
+#include "data/plant.h"
+#include "io/serialize.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/session_manager.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace db = desmine::bench;
+namespace dc = desmine::core;
+namespace ds = desmine::serve;
+namespace dd = desmine::data;
+using desmine::obs::JsonWriter;
+
+namespace {
+
+constexpr std::size_t kSliceTicks = 240;  // one plant day per session stream
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Small serving plant: 9 kept sensors -> 72 pair models, mined once and
+/// cached (bench_artifacts/serve_mvrg.bin).
+dd::PlantConfig serve_plant_config() {
+  dd::PlantConfig cfg;
+  cfg.days = 8;
+  cfg.minutes_per_day = 240;
+  cfg.seed = 7;
+  cfg.num_components = 2;
+  cfg.sensors_per_component = 3;
+  cfg.num_popular = 1;
+  cfg.num_lazy = 2;
+  cfg.num_constant = 1;
+  cfg.anomalies.clear();
+  return cfg;
+}
+
+dc::FrameworkConfig serve_framework_config() {
+  dc::FrameworkConfig cfg;
+  cfg.window = {10, 1, 20, 20};  // paper windowing
+  cfg.miner.translation.model.embedding_dim = 24;
+  cfg.miner.translation.model.hidden_dim = 24;
+  cfg.miner.translation.model.num_layers = 1;
+  cfg.miner.translation.model.dropout = 0.0f;
+  cfg.miner.translation.model.max_decode_length = 22;
+  cfg.miner.translation.trainer.steps = 250;
+  cfg.miner.translation.trainer.batch_size = 16;
+  cfg.miner.seed = 5;
+  cfg.miner.threads = 1;
+  cfg.detector.valid_lo = 0.0;  // keep every edge: maximum scoring work
+  cfg.detector.valid_hi = 100.5;
+  cfg.detector.threads = 1;
+  return cfg;
+}
+
+dc::Framework serve_framework(const dc::MultivariateSeries& series) {
+  const std::string path = db::artifact_dir() + "/serve_mvrg.bin";
+  const dc::FrameworkConfig cfg = serve_framework_config();
+  if (std::ifstream probe(path); probe.good()) {
+    std::cout << "loading cached serving artifact " << path << "\n";
+    return desmine::io::load_framework(path, cfg);
+  }
+  std::cout << "mining serving artifact (once; cached at " << path << ")\n";
+  const std::size_t day = serve_plant_config().minutes_per_day;
+  dc::MultivariateSeries train, dev;
+  for (const auto& s : series) {
+    dc::EventSequence tr(s.events.begin(), s.events.begin() + 6 * day);
+    dc::EventSequence dv(s.events.begin() + 6 * day,
+                         s.events.begin() + 8 * day);
+    train.push_back({s.name, tr});
+    dev.push_back({s.name, dv});
+  }
+  dc::Framework fw(cfg);
+  fw.fit(train, dev);
+  desmine::io::save_framework(fw, path);
+  return fw;
+}
+
+std::map<std::string, std::string> tick_states(
+    const dc::MultivariateSeries& series, std::size_t t) {
+  std::map<std::string, std::string> out;
+  for (const auto& sensor : series) out[sensor.name] = sensor.events[t];
+  return out;
+}
+
+/// Session s replays one day of the stream starting at a day offset, so
+/// concurrent sessions overlap the way independent plants on the same
+/// duty cycle would.
+std::size_t slice_start(std::size_t session, std::size_t total_ticks) {
+  const std::size_t day = serve_plant_config().minutes_per_day;
+  return (session * day) % (total_ticks - kSliceTicks + 1);
+}
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  std::size_t windows = 0;
+  std::vector<std::vector<double>> scores;  // per session, in window order
+};
+
+RunResult run_sequential(const dc::Framework& fw,
+                         const dc::MultivariateSeries& series,
+                         std::size_t sessions) {
+  const dc::FrameworkConfig& cfg = fw.config();
+  RunResult out;
+  out.scores.resize(sessions);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    dc::OnlineDetector online(fw.graph(), fw.encrypter(), cfg.window,
+                              cfg.detector);
+    const std::size_t start = slice_start(s, series.front().events.size());
+    for (std::size_t t = 0; t < kSliceTicks; ++t) {
+      const auto r = online.push(tick_states(series, start + t));
+      if (r) {
+        out.scores[s].push_back(r->anomaly_score);
+        ++out.windows;
+      }
+    }
+  }
+  out.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+RunResult run_served(const dc::Framework& fw,
+                     const dc::MultivariateSeries& series,
+                     std::size_t sessions, double* p99_ms) {
+  const dc::FrameworkConfig& cfg = fw.config();
+  ds::ServeConfig scfg;
+  scfg.detector = cfg.detector;
+  RunResult out;
+  out.scores.resize(sessions);
+  desmine::obs::metrics().histogram("serve.window.latency_ms").reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ds::SessionManager manager(fw.graph(), fw.encrypter(), cfg.window, scfg);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t s = 0; s < sessions; ++s) ids.push_back(manager.open());
+    for (std::size_t t = 0; t < kSliceTicks; ++t) {
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const std::size_t start =
+            slice_start(s, series.front().events.size());
+        manager.ingest(ids[s], tick_states(series, start + t));
+      }
+    }
+    manager.drain();
+    for (std::size_t s = 0; s < sessions; ++s) {
+      while (const auto r = manager.poll(ids[s])) {
+        out.scores[s].push_back(r->anomaly_score);
+        ++out.windows;
+      }
+    }
+  }
+  out.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  *p99_ms = desmine::obs::metrics()
+                .histogram("serve.window.latency_ms")
+                .snapshot()
+                .quantile(0.99);
+  return out;
+}
+
+bool bit_identical(const RunResult& a, const RunResult& b) {
+  if (a.scores.size() != b.scores.size()) return false;
+  for (std::size_t s = 0; s < a.scores.size(); ++s) {
+    if (a.scores[s].size() != b.scores[s].size()) return false;
+    for (std::size_t w = 0; w < a.scores[s].size(); ++w) {
+      if (bits(a.scores[s][w]) != bits(b.scores[s][w])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  db::enable_observability("warn");
+  const dd::PlantDataset plant = dd::generate_plant(serve_plant_config());
+  const dc::Framework fw = serve_framework(plant.series);
+  std::cout << "valid edges: " << fw.graph().edges().size() << ", slice "
+            << kSliceTicks << " ticks/session\n";
+
+  desmine::util::Table table({"sessions", "sequential w/s", "served w/s",
+                              "speedup", "p99 latency ms", "bit-identical"});
+  JsonWriter json;
+  json.begin_object().key("bench").value("serve");
+  json.key("slice_ticks").value(static_cast<std::uint64_t>(kSliceTicks));
+  json.key("runs").begin_array();
+
+  bool all_identical = true;
+  double speedup_at_8 = 0.0;
+  for (const std::size_t sessions : {std::size_t{1}, std::size_t{8},
+                                     std::size_t{32}}) {
+    const RunResult seq = run_sequential(fw, plant.series, sessions);
+    double p99_ms = 0.0;
+    const RunResult served = run_served(fw, plant.series, sessions, &p99_ms);
+    const bool identical = bit_identical(seq, served);
+    all_identical = all_identical && identical;
+
+    const double seq_wps =
+        static_cast<double>(seq.windows) / std::max(seq.elapsed_s, 1e-9);
+    const double served_wps =
+        static_cast<double>(served.windows) / std::max(served.elapsed_s, 1e-9);
+    const double speedup = served_wps / std::max(seq_wps, 1e-9);
+    if (sessions == 8) speedup_at_8 = speedup;
+
+    table.add_row({std::to_string(sessions),
+                   desmine::util::fixed(seq_wps, 1),
+                   desmine::util::fixed(served_wps, 1),
+                   desmine::util::fixed(speedup, 2) + "x",
+                   desmine::util::fixed(p99_ms, 1),
+                   identical ? "yes" : "NO"});
+
+    json.begin_object();
+    json.key("sessions").value(static_cast<std::uint64_t>(sessions));
+    json.key("windows").value(static_cast<std::uint64_t>(served.windows));
+    json.key("sequential_windows_per_sec").value(seq_wps);
+    json.key("served_windows_per_sec").value(served_wps);
+    json.key("speedup").value(speedup);
+    json.key("p99_window_latency_ms").value(p99_ms);
+    json.key("bit_identical").value(identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedup_at_8_sessions").value(speedup_at_8);
+  json.key("all_bit_identical").value(all_identical);
+  json.end_object();
+
+  std::cout << table.to_text("serving layer throughput (1 artifact, N streams)");
+  db::expectation("speedup at 8 sessions", ">= 3x",
+                  desmine::util::fixed(speedup_at_8, 2) + "x");
+  db::expectation("served scores vs sequential replay", "bit-identical",
+                  all_identical ? "bit-identical" : "MISMATCH");
+
+  const std::string out_path = db::artifact_dir() + "/BENCH_serve.json";
+  std::ofstream out(out_path);
+  out << json.str() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  db::dump_observability("serve");
+  return all_identical && speedup_at_8 >= 3.0 ? 0 : 1;
+}

@@ -25,7 +25,8 @@ AnomalyDetector::AnomalyDetector(const MvrGraph& graph, DetectorConfig config)
 
 DetectionResult AnomalyDetector::detect(
     const std::vector<text::Corpus>& test_sentences,
-    const HealthMask* unhealthy) const {
+    const DetectOptions& options) const {
+  const HealthMask* unhealthy = options.unhealthy;
   DESMINE_EXPECTS(!test_sentences.empty(), "no test sentences");
   const std::size_t windows = test_sentences.front().size();
   for (std::size_t k = 0; k < test_sentences.size(); ++k) {

@@ -65,6 +65,17 @@ struct DetectionResult {
   std::vector<std::uint8_t> degraded;
 };
 
+/// Per-call options for AnomalyDetector::detect. A struct rather than bare
+/// defaulted pointer arguments so call sites stay readable and future knobs
+/// don't multiply overloads.
+struct DetectOptions {
+  /// Per-window exclusion mask for degraded-mode detection; must hold one
+  /// entry per window when set. Null = strict scoring (no exclusions, the
+  /// degraded quorum never fires). The pointed-to mask must outlive the
+  /// detect() call.
+  const HealthMask* unhealthy = nullptr;
+};
+
 class AnomalyDetector {
  public:
   /// `graph` must carry trained models on its edges.
@@ -72,12 +83,27 @@ class AnomalyDetector {
 
   /// `test_sentences[k]` is the aligned test corpus of sensor node k (same
   /// node indexing as the graph; all corpora equal length — a ragged input
-  /// raises robust::MisalignedCorpus naming the offending sensor). When
-  /// `unhealthy` is given it must hold one entry per window; edges incident
-  /// to a listed sensor are excluded from that window and a_t is
+  /// raises robust::MisalignedCorpus naming the offending sensor). Strict
+  /// scoring; see the DetectOptions overload for degraded mode.
+  DetectionResult detect(const std::vector<text::Corpus>& test_sentences) const {
+    return detect(test_sentences, DetectOptions{});
+  }
+
+  /// As above, honouring `options`: with DetectOptions::unhealthy set, edges
+  /// incident to a listed sensor are excluded from that window and a_t is
   /// renormalized over the survivors (see DetectionResult::coverage).
   DetectionResult detect(const std::vector<text::Corpus>& test_sentences,
-                         const HealthMask* unhealthy = nullptr) const;
+                         const DetectOptions& options) const;
+
+  /// Deprecated shim for the pre-DetectOptions signature. Callers passing a
+  /// raw mask pointer should move to detect(corpora, DetectOptions{...}).
+  [[deprecated("use detect(test_sentences, DetectOptions{.unhealthy = mask})")]]
+  DetectionResult detect(const std::vector<text::Corpus>& test_sentences,
+                         const HealthMask* unhealthy) const {
+    DetectOptions options;
+    options.unhealthy = unhealthy;
+    return detect(test_sentences, options);
+  }
 
   std::size_t valid_model_count() const { return valid_edges_.size(); }
   const std::vector<MvrEdge>& valid_edges() const { return valid_edges_; }

@@ -72,7 +72,9 @@ DetectionResult Framework::detect_degraded(
   const HealthMask mask = window_health_mask(*encrypter_, config_.window,
                                              test, health, missing_ticks);
   const AnomalyDetector detector(*graph_, config_.detector);
-  return detector.detect(to_corpora(test), &mask);
+  DetectOptions options;
+  options.unhealthy = &mask;
+  return detector.detect(to_corpora(test), options);
 }
 
 void Framework::restore(SensorEncrypter encrypter, MvrGraph graph) {

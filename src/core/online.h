@@ -2,11 +2,15 @@
 //
 // The batch AnomalyDetector (Algorithm 2) scores a whole test corpus at
 // once; a deployed system instead receives one multivariate sample per tick.
-// OnlineDetector buffers encrypted characters per sensor and, whenever the
-// stream has advanced far enough to complete the next detection window (one
-// sentence per sensor, §II-A2), scores that window and emits its anomaly
-// score and alert set. Detection latency therefore equals the sentence
-// stride — exactly the granularity trade-off the paper discusses.
+// OnlineDetector layers a WindowAssembler (per-sensor buffering + window
+// slicing + strict/degraded health semantics, see window_assembler.h) over
+// an AnomalyDetector: whenever the stream completes the next detection
+// window (one sentence per sensor, §II-A2), it scores that window
+// immediately and emits its anomaly score and alert set. Detection latency
+// therefore equals the sentence stride — exactly the granularity trade-off
+// the paper discusses. For many concurrent streams sharing one model set,
+// use serve::SessionManager instead, which defers scoring to a cross-session
+// batch scheduler with identical semantics.
 //
 // Two ingestion contracts (DESIGN.md §8):
 //  * strict (default) — a kept sensor missing from a tick raises a typed
@@ -29,15 +33,10 @@
 #include "core/event.h"
 #include "core/language.h"
 #include "core/mvr_graph.h"
+#include "core/window_assembler.h"
 #include "robust/sensor_health.h"
 
 namespace desmine::core {
-
-/// Degraded-mode ingestion policy for OnlineDetector.
-struct DegradedConfig {
-  bool enabled = false;  ///< false = strict: missing sensors throw
-  robust::HealthConfig health{};
-};
 
 class OnlineDetector {
  public:
@@ -73,31 +72,18 @@ class OnlineDetector {
       const std::map<std::string, std::string>& states);
 
   /// Ticks consumed so far.
-  std::size_t ticks() const { return ticks_; }
+  std::size_t ticks() const { return assembler_.ticks(); }
   /// Windows emitted so far.
-  std::size_t windows_emitted() const { return next_window_; }
+  std::size_t windows_emitted() const { return assembler_.windows_emitted(); }
   std::size_t valid_model_count() const { return detector_.valid_model_count(); }
   /// Health states (degraded mode; all-healthy in strict mode).
-  const robust::SensorHealthTracker& health() const { return health_; }
+  const robust::SensorHealthTracker& health() const {
+    return assembler_.health();
+  }
 
  private:
-  /// First stream position (char index) of window w and its char span.
-  std::size_t window_start(std::size_t w) const;
-  std::size_t window_span() const;
-
-  SensorEncrypter encrypter_;
-  LanguageGenerator language_;
+  WindowAssembler assembler_;
   AnomalyDetector detector_;
-  DegradedConfig degraded_;
-  robust::SensorHealthTracker health_;
-  std::vector<std::string> buffers_;  ///< encrypted chars per kept sensor
-  /// Per kept sensor, one flag per buffered tick: 1 when the tick must not
-  /// contribute to a verdict (missing sample, or sensor unhealthy after
-  /// observing it). Trimmed in lockstep with buffers_.
-  std::vector<std::vector<std::uint8_t>> taints_;
-  std::size_t ticks_ = 0;
-  std::size_t next_window_ = 0;
-  std::size_t trimmed_ = 0;  ///< chars dropped from the buffer fronts
 };
 
 /// Batch counterpart of the online health tracking: replay `series` through

@@ -1,0 +1,42 @@
+// desmine — umbrella header for the public API.
+//
+// Include this one header to embed the framework: offline mining
+// (core::Framework), online single-stream detection (core::OnlineDetector),
+// the multi-session serving layer (serve::SessionManager), artifact and CSV
+// io, config JSON round-trip, and the observability hooks tools are
+// expected to wire up.
+//
+// Public surface (covered by the tier-1 tests and kept
+// backwards-compatible across PRs):
+//   core::FrameworkConfig / Framework        — fit / detect / detect_degraded
+//   core::AnomalyDetector / DetectOptions    — windowed scoring over corpora
+//   core::OnlineDetector / WindowAssembler   — streaming single-session path
+//   core::MvrGraph / MvrEdge                 — mined relationship graph
+//   core::SensorEncrypter / LanguageGenerator— event encoding / language gen
+//   serve::SessionManager / ServeConfig      — multi-session batched serving
+//   io::read_csv / save_framework / load_framework — data + artifact io
+//   io::RunConfig / run_config_{to,from}_json — config files (--config)
+//   obs::init_logging / metrics / trace      — structured obs surface
+//
+// Everything else under src/ (tensor, nn, nmt, text, robust internals,
+// serve::BatchScheduler, util) is internal: tools and tests may reach in,
+// but embedders should not — those layers rearrange freely between PRs.
+#pragma once
+
+#include "core/anomaly.h"
+#include "core/encryption.h"
+#include "core/event.h"
+#include "core/framework.h"
+#include "core/language.h"
+#include "core/miner.h"
+#include "core/mvr_graph.h"
+#include "core/online.h"
+#include "core/window_assembler.h"
+#include "io/config_json.h"
+#include "io/csv.h"
+#include "io/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/sensor_health.h"
+#include "serve/session_manager.h"

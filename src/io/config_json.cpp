@@ -1,0 +1,534 @@
+#include "io/config_json.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace desmine::io {
+namespace {
+
+using obs::JsonValue;
+
+[[noreturn]] void bad(const std::string& what) {
+  throw PreconditionError("config: " + what);
+}
+
+// ---------------------------------------------------------------------------
+// Emission. The tree is built as a JsonValue and pretty-printed so that
+// --dump-config output is directly editable; parse_json reads it back.
+
+JsonValue make_object() {
+  JsonValue v;
+  v.type = JsonValue::Type::kObject;
+  return v;
+}
+
+void put_number(JsonValue& obj, const char* key, double value) {
+  JsonValue v;
+  v.type = JsonValue::Type::kNumber;
+  v.number = value;
+  obj.object.emplace_back(key, std::move(v));
+}
+
+void put_bool(JsonValue& obj, const char* key, bool value) {
+  JsonValue v;
+  v.type = JsonValue::Type::kBool;
+  v.boolean = value;
+  obj.object.emplace_back(key, std::move(v));
+}
+
+void put_string(JsonValue& obj, const char* key, std::string value) {
+  JsonValue v;
+  v.type = JsonValue::Type::kString;
+  v.string = std::move(value);
+  obj.object.emplace_back(key, std::move(v));
+}
+
+void put_object(JsonValue& obj, const char* key, JsonValue child) {
+  obj.object.emplace_back(key, std::move(child));
+}
+
+void dump(const JsonValue& v, std::string& out, int depth) {
+  const auto indent = [&](int d) { out.append(static_cast<std::size_t>(d) * 2, ' '); };
+  switch (v.type) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", v.number);
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString: out += obs::JsonWriter::quote(v.string); break;
+    case JsonValue::Type::kObject: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        indent(depth + 1);
+        out += obs::JsonWriter::quote(v.object[i].first);
+        out += ": ";
+        dump(v.object[i].second, out, depth + 1);
+        if (i + 1 < v.object.size()) out += ',';
+        out += '\n';
+      }
+      indent(depth);
+      out += '}';
+      break;
+    }
+    case JsonValue::Type::kArray: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        indent(depth + 1);
+        dump(v.array[i], out, depth + 1);
+        if (i + 1 < v.array.size()) out += ',';
+        out += '\n';
+      }
+      indent(depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+JsonValue bleu_to_json(const text::BleuOptions& bleu) {
+  JsonValue v = make_object();
+  put_number(v, "max_order", static_cast<double>(bleu.max_order));
+  put_bool(v, "smooth", bleu.smooth);
+  return v;
+}
+
+JsonValue window_to_json(const core::WindowConfig& w) {
+  JsonValue v = make_object();
+  put_number(v, "word_length", static_cast<double>(w.word_length));
+  put_number(v, "word_stride", static_cast<double>(w.word_stride));
+  put_number(v, "sentence_length", static_cast<double>(w.sentence_length));
+  put_number(v, "sentence_stride", static_cast<double>(w.sentence_stride));
+  return v;
+}
+
+JsonValue model_to_json(const nmt::Seq2SeqConfig& m) {
+  JsonValue v = make_object();
+  put_number(v, "embedding_dim", static_cast<double>(m.embedding_dim));
+  put_number(v, "hidden_dim", static_cast<double>(m.hidden_dim));
+  put_number(v, "num_layers", static_cast<double>(m.num_layers));
+  put_number(v, "dropout", static_cast<double>(m.dropout));
+  put_number(v, "init_scale", static_cast<double>(m.init_scale));
+  put_number(v, "max_decode_length", static_cast<double>(m.max_decode_length));
+  put_string(v, "attention",
+             m.attention == nn::AttentionScore::kDot ? "dot" : "general");
+  return v;
+}
+
+JsonValue trainer_to_json(const nmt::TrainerConfig& t) {
+  JsonValue v = make_object();
+  put_number(v, "steps", static_cast<double>(t.steps));
+  put_number(v, "batch_size", static_cast<double>(t.batch_size));
+  put_number(v, "lr", static_cast<double>(t.lr));
+  put_number(v, "clip_norm", static_cast<double>(t.clip_norm));
+  put_number(v, "lr_decay_start", static_cast<double>(t.lr_decay_start));
+  put_number(v, "lr_decay_every", static_cast<double>(t.lr_decay_every));
+  put_number(v, "eval_every", static_cast<double>(t.eval_every));
+  put_number(v, "patience", static_cast<double>(t.patience));
+  put_number(v, "divergence_factor", t.divergence_factor);
+  return v;
+}
+
+JsonValue retry_to_json(const robust::RetryPolicy& r) {
+  JsonValue v = make_object();
+  put_number(v, "max_retries", static_cast<double>(r.max_retries));
+  put_number(v, "base_delay_ms", r.base_delay_ms);
+  put_number(v, "multiplier", r.multiplier);
+  put_number(v, "max_delay_ms", r.max_delay_ms);
+  put_number(v, "jitter", r.jitter);
+  return v;
+}
+
+JsonValue miner_to_json(const core::MinerConfig& m) {
+  JsonValue v = make_object();
+  put_number(v, "threads", static_cast<double>(m.threads));
+  put_number(v, "seed", static_cast<double>(m.seed));
+  put_number(v, "pair_timeout_s", m.pair_timeout_s);
+  put_string(v, "checkpoint_path", m.checkpoint_path);
+  put_bool(v, "resume", m.resume);
+  put_object(v, "retry", retry_to_json(m.retry));
+  put_object(v, "model", model_to_json(m.translation.model));
+  put_object(v, "trainer", trainer_to_json(m.translation.trainer));
+  put_object(v, "bleu", bleu_to_json(m.translation.bleu));
+  return v;
+}
+
+JsonValue detector_to_json(const core::DetectorConfig& d) {
+  JsonValue v = make_object();
+  put_number(v, "valid_lo", d.valid_lo);
+  put_number(v, "valid_hi", d.valid_hi);
+  put_number(v, "tolerance", d.tolerance);
+  put_number(v, "min_coverage", d.min_coverage);
+  put_number(v, "threads", static_cast<double>(d.threads));
+  put_object(v, "bleu", bleu_to_json(d.bleu));
+  return v;
+}
+
+JsonValue health_to_json(const robust::HealthConfig& h) {
+  JsonValue v = make_object();
+  put_number(v, "drop_after_missing", static_cast<double>(h.drop_after_missing));
+  put_number(v, "stale_after", static_cast<double>(h.stale_after));
+  put_number(v, "max_unk_rate", h.max_unk_rate);
+  put_number(v, "unk_window", static_cast<double>(h.unk_window));
+  put_number(v, "min_unk_samples", static_cast<double>(h.min_unk_samples));
+  put_number(v, "readmit_after", static_cast<double>(h.readmit_after));
+  return v;
+}
+
+JsonValue serve_to_json(const serve::ServeConfig& s) {
+  JsonValue v = make_object();
+  put_number(v, "workers", static_cast<double>(s.workers));
+  put_number(v, "max_batch", static_cast<double>(s.max_batch));
+  put_number(v, "decode_cache", static_cast<double>(s.decode_cache));
+  put_number(v, "max_pending_windows",
+             static_cast<double>(s.limits.max_pending_windows));
+  put_bool(v, "reject_when_full", s.limits.reject_when_full);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing. Every reader names the full dotted path of the key it rejects.
+
+double number_at(const JsonValue& v, const std::string& path) {
+  if (!v.is_number()) bad("key '" + path + "' must be a number");
+  return v.number;
+}
+
+double positive_at(const JsonValue& v, const std::string& path) {
+  const double d = number_at(v, path);
+  if (!(d > 0.0)) bad("key '" + path + "' must be > 0");
+  return d;
+}
+
+double nonneg_at(const JsonValue& v, const std::string& path) {
+  const double d = number_at(v, path);
+  if (!(d >= 0.0)) bad("key '" + path + "' must be >= 0");
+  return d;
+}
+
+double fraction_at(const JsonValue& v, const std::string& path) {
+  const double d = number_at(v, path);
+  if (!(d >= 0.0 && d <= 1.0)) bad("key '" + path + "' must lie in [0, 1]");
+  return d;
+}
+
+std::size_t uint_at(const JsonValue& v, const std::string& path) {
+  const double d = number_at(v, path);
+  if (d < 0.0 || d != std::floor(d) || d > 9007199254740992.0) {
+    bad("key '" + path + "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::size_t positive_uint_at(const JsonValue& v, const std::string& path) {
+  const std::size_t n = uint_at(v, path);
+  if (n == 0) bad("key '" + path + "' must be > 0");
+  return n;
+}
+
+bool bool_at(const JsonValue& v, const std::string& path) {
+  if (!v.is_bool()) bad("key '" + path + "' must be a boolean");
+  return v.boolean;
+}
+
+std::string string_at(const JsonValue& v, const std::string& path) {
+  if (!v.is_string()) bad("key '" + path + "' must be a string");
+  return v.string;
+}
+
+void expect_object(const JsonValue& v, const std::string& path) {
+  if (!v.is_object()) bad("key '" + path + "' must be an object");
+}
+
+void parse_bleu(const JsonValue& v, const std::string& prefix,
+                text::BleuOptions* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "max_order") {
+      out->max_order = positive_uint_at(value, path);
+    } else if (key == "smooth") {
+      out->smooth = bool_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_window(const JsonValue& v, const std::string& prefix,
+                  core::WindowConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "word_length") {
+      out->word_length = positive_uint_at(value, path);
+    } else if (key == "word_stride") {
+      out->word_stride = positive_uint_at(value, path);
+    } else if (key == "sentence_length") {
+      out->sentence_length = positive_uint_at(value, path);
+    } else if (key == "sentence_stride") {
+      out->sentence_stride = positive_uint_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_model(const JsonValue& v, const std::string& prefix,
+                 nmt::Seq2SeqConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "embedding_dim") {
+      out->embedding_dim = positive_uint_at(value, path);
+    } else if (key == "hidden_dim") {
+      out->hidden_dim = positive_uint_at(value, path);
+    } else if (key == "num_layers") {
+      out->num_layers = positive_uint_at(value, path);
+    } else if (key == "dropout") {
+      const double d = fraction_at(value, path);
+      if (d >= 1.0) bad("key '" + path + "' must lie in [0, 1)");
+      out->dropout = static_cast<float>(d);
+    } else if (key == "init_scale") {
+      out->init_scale = static_cast<float>(positive_at(value, path));
+    } else if (key == "max_decode_length") {
+      out->max_decode_length = positive_uint_at(value, path);
+    } else if (key == "attention") {
+      const std::string name = string_at(value, path);
+      if (name == "general") {
+        out->attention = nn::AttentionScore::kGeneral;
+      } else if (name == "dot") {
+        out->attention = nn::AttentionScore::kDot;
+      } else {
+        bad("key '" + path + "' must be \"general\" or \"dot\"");
+      }
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_trainer(const JsonValue& v, const std::string& prefix,
+                   nmt::TrainerConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "steps") {
+      out->steps = positive_uint_at(value, path);
+    } else if (key == "batch_size") {
+      out->batch_size = positive_uint_at(value, path);
+    } else if (key == "lr") {
+      out->lr = static_cast<float>(positive_at(value, path));
+    } else if (key == "clip_norm") {
+      out->clip_norm = static_cast<float>(nonneg_at(value, path));
+    } else if (key == "lr_decay_start") {
+      out->lr_decay_start = uint_at(value, path);
+    } else if (key == "lr_decay_every") {
+      out->lr_decay_every = uint_at(value, path);
+    } else if (key == "eval_every") {
+      out->eval_every = uint_at(value, path);
+    } else if (key == "patience") {
+      out->patience = positive_uint_at(value, path);
+    } else if (key == "divergence_factor") {
+      out->divergence_factor = nonneg_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_retry(const JsonValue& v, const std::string& prefix,
+                 robust::RetryPolicy* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "max_retries") {
+      out->max_retries = uint_at(value, path);
+    } else if (key == "base_delay_ms") {
+      out->base_delay_ms = nonneg_at(value, path);
+    } else if (key == "multiplier") {
+      const double d = number_at(value, path);
+      if (!(d >= 1.0)) bad("key '" + path + "' must be >= 1");
+      out->multiplier = d;
+    } else if (key == "max_delay_ms") {
+      out->max_delay_ms = nonneg_at(value, path);
+    } else if (key == "jitter") {
+      out->jitter = fraction_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_miner(const JsonValue& v, const std::string& prefix,
+                 core::MinerConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "threads") {
+      out->threads = uint_at(value, path);
+    } else if (key == "seed") {
+      out->seed = static_cast<std::uint64_t>(uint_at(value, path));
+    } else if (key == "pair_timeout_s") {
+      out->pair_timeout_s = nonneg_at(value, path);
+    } else if (key == "checkpoint_path") {
+      out->checkpoint_path = string_at(value, path);
+    } else if (key == "resume") {
+      out->resume = bool_at(value, path);
+    } else if (key == "retry") {
+      parse_retry(value, path, &out->retry);
+    } else if (key == "model") {
+      parse_model(value, path, &out->translation.model);
+    } else if (key == "trainer") {
+      parse_trainer(value, path, &out->translation.trainer);
+    } else if (key == "bleu") {
+      parse_bleu(value, path, &out->translation.bleu);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_detector(const JsonValue& v, const std::string& prefix,
+                    core::DetectorConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "valid_lo") {
+      out->valid_lo = number_at(value, path);
+    } else if (key == "valid_hi") {
+      out->valid_hi = number_at(value, path);
+    } else if (key == "tolerance") {
+      out->tolerance = nonneg_at(value, path);
+    } else if (key == "min_coverage") {
+      out->min_coverage = fraction_at(value, path);
+    } else if (key == "threads") {
+      out->threads = uint_at(value, path);
+    } else if (key == "bleu") {
+      parse_bleu(value, path, &out->bleu);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+  if (out->valid_lo > out->valid_hi) {
+    bad("key '" + prefix + ".valid_lo' must be <= '" + prefix + ".valid_hi'");
+  }
+}
+
+void parse_health(const JsonValue& v, const std::string& prefix,
+                  robust::HealthConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "drop_after_missing") {
+      out->drop_after_missing = positive_uint_at(value, path);
+    } else if (key == "stale_after") {
+      out->stale_after = uint_at(value, path);
+    } else if (key == "max_unk_rate") {
+      out->max_unk_rate = fraction_at(value, path);
+    } else if (key == "unk_window") {
+      out->unk_window = positive_uint_at(value, path);
+    } else if (key == "min_unk_samples") {
+      out->min_unk_samples = positive_uint_at(value, path);
+    } else if (key == "readmit_after") {
+      out->readmit_after = positive_uint_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_serve(const JsonValue& v, const std::string& prefix,
+                 serve::ServeConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "workers") {
+      out->workers = uint_at(value, path);
+    } else if (key == "max_batch") {
+      out->max_batch = positive_uint_at(value, path);
+    } else if (key == "decode_cache") {
+      out->decode_cache = uint_at(value, path);
+    } else if (key == "max_pending_windows") {
+      out->limits.max_pending_windows = positive_uint_at(value, path);
+    } else if (key == "reject_when_full") {
+      out->limits.reject_when_full = bool_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+}  // namespace
+
+std::string run_config_to_json(const RunConfig& config) {
+  JsonValue doc = make_object();
+  put_object(doc, "window", window_to_json(config.framework.window));
+  put_object(doc, "miner", miner_to_json(config.framework.miner));
+  put_object(doc, "detector", detector_to_json(config.framework.detector));
+  put_object(doc, "health", health_to_json(config.health));
+  put_object(doc, "serve", serve_to_json(config.serve));
+  std::string out;
+  dump(doc, out, 0);
+  out += '\n';
+  return out;
+}
+
+RunConfig run_config_from_json(std::string_view text) {
+  const JsonValue doc = obs::parse_json(text);
+  if (!doc.is_object()) bad("document must be a JSON object");
+  RunConfig config;
+  for (const auto& [key, value] : doc.object) {
+    if (key == "window") {
+      parse_window(value, key, &config.framework.window);
+    } else if (key == "miner") {
+      parse_miner(value, key, &config.framework.miner);
+    } else if (key == "detector") {
+      parse_detector(value, key, &config.framework.detector);
+    } else if (key == "health") {
+      parse_health(value, key, &config.health);
+    } else if (key == "serve") {
+      parse_serve(value, key, &config.serve);
+    } else {
+      bad("unknown key '" + key + "'");
+    }
+  }
+  config.serve.detector = config.framework.detector;
+  return config;
+}
+
+RunConfig load_run_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PreconditionError("config: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return run_config_from_json(buffer.str());
+  } catch (const PreconditionError& e) {
+    throw PreconditionError(std::string(e.what()) + " (in '" + path +
+                                  "')");
+  } catch (const RuntimeError& e) {
+    throw PreconditionError(std::string(e.what()) + " (in '" + path +
+                                  "')");
+  }
+}
+
+}  // namespace desmine::io

@@ -1,0 +1,50 @@
+// JSON round-trip for the run configuration (ISSUE 5 satellite).
+//
+// RunConfig bundles everything a tool run is parameterised by: the
+// FrameworkConfig (window / miner / detector), the degraded-mode
+// HealthConfig, and the serving-layer ServeConfig. run_config_to_json
+// emits a pretty-printed document with every knob at its current value —
+// `desmine_cli --dump-config` uses it to print a complete, editable
+// starting point. run_config_from_json parses and validates strictly:
+// unknown keys and out-of-range values throw PreconditionError
+// naming the offending dotted key (e.g. "miner.trainer.stepz"), so a typo
+// never silently falls back to a default. Keys that are simply absent keep
+// their defaults, which makes partial override files work.
+//
+// Deliberately NOT covered: callback hooks (MinerConfig::on_pair,
+// should_abort) and ServeConfig::detector (the detector section is the
+// single source of truth; callers mirror it into ServeConfig themselves,
+// as run_config_from_json already does).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/framework.h"
+#include "robust/sensor_health.h"
+#include "serve/session_manager.h"
+
+namespace desmine::io {
+
+struct RunConfig {
+  core::FrameworkConfig framework{};
+  robust::HealthConfig health{};
+  /// serve.detector is kept mirrored from framework.detector rather than
+  /// serialized separately.
+  serve::ServeConfig serve{};
+};
+
+/// Pretty-printed JSON document covering every RunConfig knob.
+std::string run_config_to_json(const RunConfig& config);
+
+/// Parse a config document produced by run_config_to_json (or any subset of
+/// it). Throws PreconditionError naming the dotted key for unknown
+/// keys, type mismatches, and out-of-range values; RuntimeError for
+/// malformed JSON.
+RunConfig run_config_from_json(std::string_view text);
+
+/// Read `path` and run_config_from_json its contents; errors mention the
+/// file path.
+RunConfig load_run_config(const std::string& path);
+
+}  // namespace desmine::io

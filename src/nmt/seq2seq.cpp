@@ -231,6 +231,89 @@ std::vector<std::int32_t> Seq2SeqModel::translate(
   return output;
 }
 
+std::vector<std::vector<std::int32_t>> Seq2SeqModel::translate_batch(
+    const std::vector<const std::vector<std::int32_t>*>& sources) {
+  DESMINE_EXPECTS(!sources.empty(), "cannot translate an empty batch");
+  const std::size_t B = sources.size();
+  std::vector<std::size_t> lengths(B);
+  std::size_t max_len = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    DESMINE_EXPECTS(sources[b] != nullptr && !sources[b]->empty(),
+                    "cannot translate an empty sentence");
+    lengths[b] = sources[b]->size();
+    max_len = std::max(max_len, lengths[b]);
+  }
+
+  ws_->reset();
+
+  // Lock-step ragged encode: rows run to the longest source; a row past its
+  // own length steps on <pad> and is immediately rolled back, so its final
+  // state is exactly the state at its true length.
+  encoder_.begin(B, nullptr, /*train=*/false, nullptr, ws_);
+  enc_outputs_.clear();
+  enc_outputs_.reserve(max_len);
+  std::vector<std::int32_t> step_ids(B);
+  std::vector<std::uint8_t> frozen(B);
+  for (std::size_t t = 0; t < max_len; ++t) {
+    bool any_frozen = false;
+    for (std::size_t b = 0; b < B; ++b) {
+      if (t < lengths[b]) {
+        step_ids[b] = (*sources[b])[t];
+        frozen[b] = 0;
+      } else {
+        step_ids[b] = text::Vocabulary::kPad;
+        frozen[b] = 1;
+        any_frozen = true;
+      }
+    }
+    tensor::MatrixView src_emb = ws_->alloc(B, config_.embedding_dim);
+    src_embed_.forward_into(step_ids, src_emb);
+    enc_outputs_.push_back(encoder_.step(src_emb));
+    if (any_frozen) encoder_.retain_rows(frozen);
+  }
+  const nn::LstmState enc_final = encoder_.state();
+
+  decoder_.begin(B, &enc_final, /*train=*/false, nullptr, ws_);
+  attention_.begin(enc_outputs_, B, ws_, &lengths);
+
+  // Lock-step greedy decode. A finished row keeps stepping (its state no
+  // longer feeds anything that is kept), which cannot perturb other rows:
+  // every kernel is row-independent.
+  std::vector<std::vector<std::int32_t>> outputs(B);
+  std::vector<std::int32_t> prev(B, text::Vocabulary::kBos);
+  std::vector<std::uint8_t> done(B, 0);
+  std::size_t done_count = 0;
+  for (std::size_t t = 0;
+       t < config_.max_decode_length && done_count < B; ++t) {
+    tensor::MatrixView tgt_emb = ws_->alloc(B, config_.embedding_dim);
+    tgt_embed_.forward_into(prev, tgt_emb);
+    const tensor::ConstMatrixView h_dec = decoder_.step(tgt_emb);
+    const tensor::ConstMatrixView attn = attention_.step(h_dec);
+    const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
+    tensor::MatrixView logits = ws_->alloc(B, tgt_vocab());
+    out_.forward_into(attn, logits);
+    const std::vector<std::int32_t> next =
+        nn::argmax_rows(tensor::ConstMatrixView(logits));
+    ws_->rewind(scratch);
+    for (std::size_t b = 0; b < B; ++b) {
+      if (done[b]) continue;
+      if (next[b] == text::Vocabulary::kEos) {
+        done[b] = 1;
+        ++done_count;
+      } else {
+        outputs[b].push_back(next[b]);
+        prev[b] = next[b];
+      }
+    }
+  }
+  if (done_count < B) {
+    DESMINE_LOG_DEBUG("batched greedy decode truncated before </s>",
+                      {obs::kv("max_decode_length", config_.max_decode_length),
+                       obs::kv("unfinished_rows", B - done_count)});
+  }
+  return outputs;
+}
+
 std::vector<std::int32_t> Seq2SeqModel::translate_beam(
     const std::vector<std::int32_t>& source, std::size_t beam_width) {
   DESMINE_EXPECTS(!source.empty(), "cannot translate an empty sentence");

@@ -71,6 +71,18 @@ class Seq2SeqModel {
   std::vector<std::int32_t> translate(
       const std::vector<std::int32_t>& source);
 
+  /// Greedy-decode B ragged-length sources in one lock-step batched pass
+  /// (the serve layer's score_batch kernel). Sources are padded to the
+  /// longest; encoder rows past their own length are frozen via
+  /// LstmStack::retain_rows and attention masks padded positions to -inf,
+  /// so every kernel still sees each row's exact sequential inputs. Every
+  /// kernel on this path (matmul, bias, softmax, LSTM gates, attention,
+  /// argmax) computes each output row purely from that row's inputs, so the
+  /// returned ids — and any score derived from them — are bit-identical to
+  /// calling translate() per sentence.
+  std::vector<std::vector<std::int32_t>> translate_batch(
+      const std::vector<const std::vector<std::int32_t>*>& sources);
+
   /// Beam-search decode with the given width; returns the
   /// length-normalized-highest-log-probability hypothesis (ids without
   /// specials). beam_width == 1 degenerates to greedy.

@@ -1,5 +1,8 @@
 #include "nmt/translation.h"
 
+#include <map>
+#include <utility>
+
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -28,6 +31,51 @@ text::BleuBreakdown TranslationModel::score(const text::Corpus& source,
   candidates.reserve(source.size());
   for (const text::Sentence& s : source) candidates.push_back(translate(s));
   return text::corpus_bleu(candidates, reference, options);
+}
+
+std::vector<text::Sentence> TranslationModel::translate_batch(
+    const std::vector<const text::Sentence*>& sources) {
+  DESMINE_EXPECTS(!sources.empty(), "cannot translate an empty batch");
+  // Dedup on encoded ids: greedy decoding is deterministic, so one decode
+  // serves every occurrence and the fan-out stays bit-identical.
+  std::vector<std::vector<std::int32_t>> encoded;
+  std::vector<std::size_t> slot(sources.size());
+  std::map<std::vector<std::int32_t>, std::size_t> seen;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    DESMINE_EXPECTS(sources[i] != nullptr, "null source sentence");
+    std::vector<std::int32_t> ids = src_vocab_.encode(*sources[i]);
+    const auto [it, inserted] = seen.emplace(std::move(ids), encoded.size());
+    if (inserted) encoded.push_back(it->first);
+    slot[i] = it->second;
+  }
+  std::vector<const std::vector<std::int32_t>*> unique_ptrs;
+  unique_ptrs.reserve(encoded.size());
+  for (const auto& ids : encoded) unique_ptrs.push_back(&ids);
+  const std::vector<std::vector<std::int32_t>> decoded =
+      model_->translate_batch(unique_ptrs);
+
+  std::vector<text::Sentence> out;
+  out.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    out.push_back(tgt_vocab_.decode(decoded[slot[i]]));
+  }
+  return out;
+}
+
+std::vector<double> TranslationModel::score_batch(
+    const std::vector<const text::Sentence*>& sources,
+    const std::vector<const text::Sentence*>& references,
+    const text::BleuOptions& options) {
+  DESMINE_EXPECTS(sources.size() == references.size(),
+                  "source/reference batches must align");
+  const std::vector<text::Sentence> candidates = translate_batch(sources);
+  std::vector<double> scores(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    DESMINE_EXPECTS(references[i] != nullptr, "null reference sentence");
+    scores[i] =
+        text::corpus_bleu({candidates[i]}, {*references[i]}, options).score;
+  }
+  return scores;
 }
 
 std::vector<EncodedPair> encode_pairs(const text::Vocabulary& src_vocab,

@@ -38,6 +38,22 @@ class TranslationModel {
                             const text::Corpus& reference,
                             const text::BleuOptions& options = {});
 
+  /// Translate a batch of sentences in one stacked greedy decode
+  /// (Seq2SeqModel::translate_batch), bit-identical per sentence to
+  /// translate(). Duplicate sources — the common case for periodic discrete
+  /// event streams — are decoded once and fanned back out.
+  std::vector<text::Sentence> translate_batch(
+      const std::vector<const text::Sentence*>& sources);
+
+  /// Batched per-sentence scoring (the serve hot path): sentence BLEU
+  /// (0..100) of the batched greedy translation of each source against its
+  /// aligned reference. Element i is bit-identical to
+  /// corpus_bleu({translate(*sources[i])}, {*references[i]}, options).score.
+  std::vector<double> score_batch(
+      const std::vector<const text::Sentence*>& sources,
+      const std::vector<const text::Sentence*>& references,
+      const text::BleuOptions& options = {});
+
   const text::Vocabulary& src_vocab() const { return src_vocab_; }
   const text::Vocabulary& tgt_vocab() const { return tgt_vocab_; }
   Seq2SeqModel& model() { return *model_; }

@@ -1,6 +1,7 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/error.h"
 
@@ -20,12 +21,24 @@ LuongAttention::LuongAttention(const std::string& name, std::size_t hidden,
 
 void LuongAttention::begin(
     const std::vector<tensor::ConstMatrixView>& encoder_outputs,
-    std::size_t batch, tensor::Workspace* workspace) {
+    std::size_t batch, tensor::Workspace* workspace,
+    const std::vector<std::size_t>* source_lengths) {
   DESMINE_EXPECTS(!encoder_outputs.empty(), "attention needs encoder outputs");
   ws_ = workspace != nullptr ? workspace : &own_ws_;
   if (workspace == nullptr) own_ws_.reset();
   enc_.assign(encoder_outputs.begin(), encoder_outputs.end());
   batch_ = batch;
+  if (source_lengths != nullptr) {
+    DESMINE_EXPECTS(source_lengths->size() == batch,
+                    "one source length per batch row");
+    for (const std::size_t len : *source_lengths) {
+      DESMINE_EXPECTS(len > 0 && len <= enc_.size(),
+                      "source length outside [1, src_len]");
+    }
+    src_lengths_ = *source_lengths;
+  } else {
+    src_lengths_.clear();
+  }
   transformed_.clear();
   transformed_.reserve(enc_.size());
   for (const tensor::ConstMatrixView e : enc_) {
@@ -70,9 +83,17 @@ tensor::ConstMatrixView LuongAttention::step(tensor::ConstMatrixView h_dec) {
 
   // Scores: score(b, s) = <h_dec[b], (enc[s] Wa)[b]>.
   cache.align = ws_->alloc(batch_, S);
+  const bool masked = !src_lengths_.empty();
   for (std::size_t s = 0; s < S; ++s) {
     const tensor::ConstMatrixView tr = transformed_[s];
     for (std::size_t b = 0; b < batch_; ++b) {
+      if (masked && s >= src_lengths_[b]) {
+        // Padded position: -inf survives the row max untouched and its
+        // exp() contributes an exact 0.0f to the softmax sum, so the valid
+        // prefix's weights match the compact (unpadded) decode bit for bit.
+        cache.align(b, s) = -std::numeric_limits<float>::infinity();
+        continue;
+      }
       const float* hd = h_dec.row(b);
       const float* tv = tr.row(b);
       float dot = 0.0f;

@@ -43,8 +43,17 @@ class LuongAttention {
   /// `workspace`, if given, backs the per-step caches and encoder-gradient
   /// accumulators (never rewound here — the owner rewinds between
   /// sequences); otherwise an internal arena is used and reset here.
+  /// `source_lengths`, if given, holds one true source length per batch row
+  /// (rows were encoded in lock-step and padded to the longest): step() then
+  /// pins align(b, s) to -inf for s >= source_lengths[b] before the softmax,
+  /// which makes every padded position's weight exactly 0.0f. Because
+  /// max(x, -inf) == x and x + 0.0f == x bitwise, the softmax over the valid
+  /// prefix — and hence the context and h~ — is bit-identical to running
+  /// that row alone at its compact length. Masked decodes are inference
+  /// only: backward_step through a -inf score is undefined.
   void begin(const std::vector<tensor::ConstMatrixView>& encoder_outputs,
-             std::size_t batch, tensor::Workspace* workspace = nullptr);
+             std::size_t batch, tensor::Workspace* workspace = nullptr,
+             const std::vector<std::size_t>* source_lengths = nullptr);
 
   /// Convenience overload over owned encoder outputs. The pointed-to vector
   /// must outlive the sequence.
@@ -98,6 +107,7 @@ class LuongAttention {
   tensor::Workspace own_ws_;
   std::vector<tensor::ConstMatrixView> enc_;
   std::vector<tensor::ConstMatrixView> transformed_;  ///< enc[s] * Wa, cached
+  std::vector<std::size_t> src_lengths_;  ///< per-row mask; empty = no mask
   std::vector<tensor::MatrixView> d_encoder_;
   std::vector<StepCache> steps_;
   std::size_t backward_cursor_ = 0;  ///< steps remaining to backprop

@@ -151,6 +151,31 @@ tensor::ConstMatrixView LstmStack::step(tensor::ConstMatrixView x_t) {
   return cache_at(t, L - 1).h;
 }
 
+void LstmStack::retain_rows(const std::vector<std::uint8_t>& frozen) {
+  DESMINE_EXPECTS(!caches_.empty(), "retain_rows needs a prior step()");
+  DESMINE_EXPECTS(frozen.size() == batch_, "one freeze flag per batch row");
+  const std::size_t t = steps() - 1;
+  const std::size_t H = hidden_dim_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const tensor::ConstMatrixView h_prev =
+        (t == 0) ? tensor::ConstMatrixView(state0_.h[l]) : cache_at(t - 1, l).h;
+    const tensor::ConstMatrixView c_prev =
+        (t == 0) ? tensor::ConstMatrixView(state0_.c[l]) : cache_at(t - 1, l).c;
+    LayerCache& cur = cache_at(t, l);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      if (!frozen[b]) continue;
+      float* hr = cur.h.row(b);
+      float* cr = cur.c.row(b);
+      const float* hp = h_prev.row(b);
+      const float* cp = c_prev.row(b);
+      for (std::size_t k = 0; k < H; ++k) {
+        hr[k] = hp[k];
+        cr[k] = cp[k];
+      }
+    }
+  }
+}
+
 LstmState LstmStack::state() const {
   DESMINE_EXPECTS(!caches_.empty() || !state0_.empty(), "no state yet");
   LstmState s;

@@ -14,6 +14,7 @@
 // output()/backward() are valid until that workspace is next rewound.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,15 @@ class LstmStack {
 
   /// Number of steps taken since begin().
   std::size_t steps() const { return caches_.size() / layers_.size(); }
+
+  /// Undo the most recent step() for the flagged batch rows: their h/c (all
+  /// layers) are restored to the previous step's values, so a frozen row's
+  /// state is exactly what it was when it froze. This is how a ragged batch
+  /// is encoded in lock-step — rows past their own source length keep
+  /// stepping on padding, then have the step rolled back — keeping each
+  /// row's final state bit-identical to encoding it alone. Inference only:
+  /// the overwritten caches make a subsequent backward() meaningless.
+  void retain_rows(const std::vector<std::uint8_t>& frozen);
 
   /// Current (last-step) state of all layers (owned copies).
   LstmState state() const;

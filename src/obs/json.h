@@ -1,16 +1,50 @@
-// Minimal streaming JSON emitter for the observability exporters.
+// Minimal JSON emitter + recursive-descent parser.
 //
-// Handles comma placement, string escaping, and non-finite number clamping;
-// callers drive nesting with begin/end pairs (checked via DESMINE_ENSURES).
-// This is an emitter only — the library never needs to parse JSON.
+// The emitter handles comma placement, string escaping, and non-finite
+// number clamping; callers drive nesting with begin/end pairs (checked via
+// DESMINE_ENSURES). The parser (parse_json) covers the full nested grammar
+// needed by config files and the serve protocol: objects, arrays, strings
+// with standard escapes (incl. \uXXXX for the BMP), numbers, booleans, and
+// null. Errors throw util::RuntimeError naming the byte offset. For flat
+// single-level objects on hot paths, robust::parse_flat_json remains the
+// cheaper non-throwing alternative.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace desmine::obs {
+
+/// A parsed JSON document node. Object members keep insertion order so
+/// error messages and re-emission stay deterministic.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// First member named `key`, or null when absent / not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws util::RuntimeError with the byte offset of
+/// the first offending character.
+JsonValue parse_json(std::string_view text);
 
 class JsonWriter {
  public:

@@ -1,0 +1,176 @@
+#include "serve/batch_scheduler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace desmine::serve {
+
+BatchScheduler::BatchScheduler(
+    std::vector<Edge> edges, std::size_t max_batch, std::size_t decode_cache,
+    text::BleuOptions bleu,
+    std::function<void(std::unique_ptr<PendingWindow>)> on_scored)
+    : edges_(std::move(edges)),
+      max_batch_(max_batch),
+      cache_capacity_(decode_cache),
+      bleu_(bleu),
+      on_scored_(std::move(on_scored)) {
+  DESMINE_EXPECTS(max_batch_ > 0, "max_batch must be > 0");
+  DESMINE_EXPECTS(on_scored_ != nullptr, "scheduler needs an on_scored sink");
+  for (const Edge& e : edges_) {
+    DESMINE_EXPECTS(e.model != nullptr, "scheduler edge lacks a model");
+  }
+  caches_.resize(edges_.size());
+  queues_.resize(edges_.size());
+  in_ready_.assign(edges_.size(), 0);
+  busy_.assign(edges_.size(), 0);
+}
+
+void BatchScheduler::submit(std::unique_ptr<PendingWindow> window) {
+  DESMINE_EXPECTS(window != nullptr && !window->edges.empty(),
+                  "submit needs at least one edge to score");
+  DESMINE_EXPECTS(window->remaining == window->edges.size() &&
+                      window->edge_bleu.size() == window->edges.size(),
+                  "window score bookkeeping not initialized");
+  PendingWindow* raw = window.get();
+  {
+    std::lock_guard lock(mu_);
+    DESMINE_EXPECTS(!stopping_, "submit after stop()");
+    owned_.emplace(raw, std::move(window));
+    for (std::size_t slot = 0; slot < raw->edges.size(); ++slot) {
+      const std::size_t edge_id = raw->edges[slot];
+      DESMINE_EXPECTS(edge_id < edges_.size(), "edge id out of range");
+      queues_[edge_id].push_back({raw, slot});
+      ++queued_items_;
+      if (!busy_[edge_id] && !in_ready_[edge_id]) {
+        ready_.push_back(edge_id);
+        in_ready_[edge_id] = 1;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+bool BatchScheduler::run_one() {
+  std::vector<Item> batch;
+  std::size_t edge_id = 0;
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] {
+      return !ready_.empty() || (stopping_ && queued_items_ == 0);
+    });
+    if (ready_.empty()) return false;  // stopping and fully drained
+    edge_id = ready_.front();
+    ready_.pop_front();
+    in_ready_[edge_id] = 0;
+    busy_[edge_id] = 1;
+    std::deque<Item>& queue = queues_[edge_id];
+    while (batch.size() < max_batch_ && !queue.empty()) {
+      batch.push_back(queue.front());
+      queue.pop_front();
+    }
+    queued_items_ -= batch.size();
+  }
+
+  score_batch(edge_id, batch);
+
+  std::vector<std::unique_ptr<PendingWindow>> completed;
+  {
+    std::lock_guard lock(mu_);
+    busy_[edge_id] = 0;
+    if (!queues_[edge_id].empty() && !in_ready_[edge_id]) {
+      // Re-queue at the tail: round-robin fairness across hot edges.
+      ready_.push_back(edge_id);
+      in_ready_[edge_id] = 1;
+    }
+    for (const Item& item : batch) {
+      if (--item.window->remaining == 0) {
+        const auto it = owned_.find(item.window);
+        completed.push_back(std::move(it->second));
+        owned_.erase(it);
+      }
+    }
+  }
+  cv_.notify_all();
+  for (std::unique_ptr<PendingWindow>& window : completed) {
+    on_scored_(std::move(window));
+  }
+  return true;
+}
+
+void BatchScheduler::score_batch(std::size_t edge_id,
+                                 const std::vector<Item>& batch) {
+  static obs::Histogram& batch_size =
+      obs::metrics().histogram("serve.batch.size");
+  static obs::Histogram& score_ms =
+      obs::metrics().histogram("serve.batch.score_ms");
+  static obs::Counter& cache_hits =
+      obs::metrics().counter("serve.batch.cache_hits");
+  static obs::Counter& decoded = obs::metrics().counter("serve.batch.decoded");
+
+  const obs::ScopedTimer timer("serve.score-batch", score_ms);
+  batch_size.record(static_cast<double>(batch.size()));
+
+  const Edge& edge = edges_[edge_id];
+  std::map<text::Sentence, text::Sentence>& cache = caches_[edge_id];
+
+  // Partition into cache hits and sources still to decode. The decode pass
+  // itself dedups identical sources, so `misses` may hold repeats.
+  std::vector<const text::Sentence*> sources(batch.size());
+  std::vector<const text::Sentence*> misses;
+  std::vector<std::size_t> miss_index;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingWindow& w = *batch[i].window;
+    sources[i] = &w.corpora[edge.src].front();
+    if (cache_capacity_ > 0 && cache.count(*sources[i]) != 0) {
+      cache_hits.inc();
+    } else {
+      misses.push_back(sources[i]);
+      miss_index.push_back(i);
+    }
+  }
+  std::vector<text::Sentence> fresh;
+  if (!misses.empty()) {
+    fresh = edge.model->translate_batch(misses);
+    decoded.inc(misses.size());
+  }
+
+  // Score every item. Hits and fresh decodes are interchangeable bit for
+  // bit: greedy decoding is a pure function of the source tokens.
+  std::vector<const text::Sentence*> candidates(batch.size(), nullptr);
+  for (std::size_t m = 0; m < miss_index.size(); ++m) {
+    candidates[miss_index[m]] = &fresh[m];
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingWindow& w = *batch[i].window;
+    const text::Sentence& candidate =
+        candidates[i] != nullptr ? *candidates[i] : cache.at(*sources[i]);
+    const text::Sentence& reference = w.corpora[edge.dst].front();
+    batch[i].window->edge_bleu[batch[i].slot] =
+        text::corpus_bleu({candidate}, {reference}, bleu_).score;
+  }
+
+  if (cache_capacity_ > 0) {
+    for (std::size_t m = 0; m < miss_index.size(); ++m) {
+      if (cache.size() >= cache_capacity_) {
+        // Epoch eviction: periodic discrete streams repopulate the working
+        // set within a few windows, and clearing keeps the bound simple.
+        cache.clear();
+        obs::metrics().counter("serve.batch.cache_evictions").inc();
+      }
+      cache.emplace(*misses[m], fresh[m]);
+    }
+  }
+}
+
+void BatchScheduler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace desmine::serve

@@ -1,0 +1,127 @@
+// Cross-session batched scoring (the serving layer's hot path).
+//
+// Detection sessions emit sentence-windows; each window must be scored by
+// every valid edge model f(i, j). Scoring one window at a time (what
+// OnlineDetector does) decodes each source sentence alone. The scheduler
+// instead keeps one FIFO of (window, edge) work items per edge model, and a
+// worker drains up to ServeConfig::max_batch items of ONE edge in a single
+// TranslationModel::score pass: duplicate sources decode once, the rest go
+// through Seq2SeqModel::translate_batch's stacked GEMMs, and a per-edge
+// decode cache carries results across batches. All three layers preserve
+// IEEE-754 bit-identity with the sequential path because greedy decoding is
+// deterministic and every kernel is row-independent (see seq2seq.h).
+//
+// Concurrency contract (TSan-clean by construction):
+//  * All queue/ownership bookkeeping happens under one mutex.
+//  * An edge is scored by at most one worker at a time (busy flag, handed
+//    over under the mutex), so its model + decode cache need no own locks.
+//  * A window's edge_bleu slots are disjoint per work item; the finalize
+//    handoff happens only after the last slot's count-down under the mutex.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nmt/translation.h"
+#include "text/bleu.h"
+
+namespace desmine::serve {
+
+/// One sentence-window awaiting its per-edge scores. Created by a Session,
+/// owned by the BatchScheduler while any score is outstanding, then handed
+/// back (fully scored) through the on_scored callback.
+struct PendingWindow {
+  std::uint64_t session_id = 0;
+  std::size_t window_index = 0;  ///< per session, 0-based
+  std::size_t end_tick = 0;
+  /// One single-sentence corpus per sensor node (WindowAssembler output).
+  std::vector<text::Corpus> corpora;
+  /// Node indices excluded from this window (degraded sessions only).
+  std::vector<std::size_t> unhealthy;
+  bool masked = false;  ///< session runs degraded-mode semantics
+  /// Scheduler edge ids to score (ascending; excluded edges absent).
+  std::vector<std::size_t> edges;
+  /// f(i, j) per entry of `edges`, filled by workers (disjoint slots).
+  std::vector<double> edge_bleu;
+  /// Outstanding scores; guarded by the scheduler mutex.
+  std::size_t remaining = 0;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class BatchScheduler {
+ public:
+  /// One valid edge of the MVR graph with its shared trained model. The
+  /// scheduler is the model's only user while serving (one worker at a
+  /// time per edge).
+  struct Edge {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double train_bleu = 0.0;  ///< s(i, j) — the broken threshold baseline
+    std::shared_ptr<nmt::TranslationModel> model;
+  };
+
+  /// `on_scored` receives each fully scored window, called from a worker
+  /// thread with no scheduler lock held. `decode_cache` bounds the per-edge
+  /// source->translation cache (0 disables caching).
+  BatchScheduler(std::vector<Edge> edges, std::size_t max_batch,
+                 std::size_t decode_cache, text::BleuOptions bleu,
+                 std::function<void(std::unique_ptr<PendingWindow>)> on_scored);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Queue every edge score of `window` (window->edges must be non-empty;
+  /// remaining must equal edges.size()). The scheduler owns the window
+  /// until its last score lands.
+  void submit(std::unique_ptr<PendingWindow> window);
+
+  /// Worker loop body: wait for a ready edge, score one batch of its queue.
+  /// Returns false once stop() was called and every queued item is done —
+  /// run as `while (run_one()) {}` on pool threads.
+  bool run_one();
+
+  /// Let workers drain what is queued, then have run_one() return false.
+  void stop();
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  struct Item {
+    PendingWindow* window = nullptr;
+    std::size_t slot = 0;  ///< index into window->edges / edge_bleu
+  };
+
+  /// Score `batch` against edge `edge_id`. Runs without the scheduler lock;
+  /// exclusive edge access is guaranteed by the busy flag.
+  void score_batch(std::size_t edge_id, const std::vector<Item>& batch);
+
+  std::vector<Edge> edges_;
+  const std::size_t max_batch_;
+  const std::size_t cache_capacity_;
+  const text::BleuOptions bleu_;
+  const std::function<void(std::unique_ptr<PendingWindow>)> on_scored_;
+
+  /// Per-edge source->translation memo. Greedy decoding is deterministic,
+  /// so a hit is bit-identical to a fresh decode. Touched only by the
+  /// worker currently holding the edge's busy flag.
+  std::vector<std::map<text::Sentence, text::Sentence>> caches_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Item>> queues_;     ///< per edge
+  std::deque<std::size_t> ready_;            ///< edges with work, round-robin
+  std::vector<std::uint8_t> in_ready_;
+  std::vector<std::uint8_t> busy_;
+  std::map<PendingWindow*, std::unique_ptr<PendingWindow>> owned_;
+  std::size_t queued_items_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace desmine::serve

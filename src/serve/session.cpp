@@ -1,0 +1,183 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace desmine::serve {
+
+Session::Session(std::uint64_t id, const SharedModel& shared,
+                 core::SensorEncrypter encrypter, core::WindowConfig window,
+                 core::DegradedConfig degraded, SessionLimits limits)
+    : id_(id),
+      shared_(shared),
+      limits_(limits),
+      degraded_enabled_(degraded.enabled),
+      assembler_(std::move(encrypter), window, degraded) {
+  DESMINE_EXPECTS(limits_.max_pending_windows > 0,
+                  "max_pending_windows must be > 0");
+}
+
+IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
+                             std::unique_ptr<PendingWindow>* to_schedule) {
+  DESMINE_EXPECTS(to_schedule != nullptr, "ingest needs an output slot");
+  to_schedule->reset();
+  std::unique_lock lock(mu_);
+  if (closed_) return IngestStatus::kClosed;
+  // Backpressure gates every tick once the budget is full — not only the
+  // window-completing ones — so a blocked or rejected tick is never
+  // half-consumed and the caller can always retry the same sample.
+  while (pending_locked() >= limits_.max_pending_windows) {
+    if (limits_.reject_when_full) {
+      obs::metrics().counter("serve.ingest.rejected").inc();
+      return IngestStatus::kRejected;
+    }
+    cv_.wait(lock);
+    if (closed_) return IngestStatus::kClosed;
+  }
+
+  std::optional<core::WindowAssembler::Window> window =
+      assembler_.push(states);
+  obs::metrics().counter("serve.ticks").inc();
+  if (!window) return IngestStatus::kAccepted;
+
+  auto pending = std::make_unique<PendingWindow>();
+  pending->session_id = id_;
+  pending->window_index = window->window_index;
+  pending->end_tick = window->end_tick;
+  pending->corpora = std::move(window->corpora);
+  pending->unhealthy = std::move(window->unhealthy);
+  pending->masked = degraded_enabled_;
+  pending->enqueued = std::chrono::steady_clock::now();
+
+  // The per-window valid set: every shared edge, minus edges incident to an
+  // unhealthy sensor — the same exclusion rule AnomalyDetector applies.
+  std::vector<std::uint8_t> bad;
+  if (!pending->unhealthy.empty()) {
+    bad.assign(pending->corpora.size(), 0);
+    for (const std::size_t n : pending->unhealthy) {
+      DESMINE_EXPECTS(n < bad.size(),
+                      "health mask names a sensor outside the graph");
+      bad[n] = 1;
+    }
+  }
+  for (std::size_t e = 0; e < shared_.edges.size(); ++e) {
+    const BatchScheduler::Edge& edge = shared_.edges[e];
+    if (!bad.empty() && (bad[edge.src] || bad[edge.dst])) continue;
+    pending->edges.push_back(e);
+  }
+  pending->edge_bleu.assign(pending->edges.size(), 0.0);
+  pending->remaining = pending->edges.size();
+
+  ++inflight_;
+  if (pending->edges.empty()) {
+    // Nothing to score (no valid edges, or every edge excluded): finalize
+    // inline so the window still emits its no-verdict result in order.
+    lock.unlock();
+    finalize(std::move(pending));
+    return IngestStatus::kAccepted;
+  }
+  *to_schedule = std::move(pending);
+  return IngestStatus::kAccepted;
+}
+
+void Session::finalize(std::unique_ptr<PendingWindow> window) {
+  // The scored window is exclusively ours here; compute the result before
+  // taking the session lock. The math mirrors AnomalyDetector::detect()
+  // operation for operation so served scores are bit-identical to replay.
+  WindowResult out;
+  out.window_index = window->window_index;
+  out.end_tick = window->end_tick;
+  out.unhealthy = std::move(window->unhealthy);
+  const double total = static_cast<double>(shared_.edges.size());
+  const std::size_t surviving = window->edges.size();
+  std::size_t broken = 0;
+  for (std::size_t i = 0; i < window->edges.size(); ++i) {
+    const BatchScheduler::Edge& edge = shared_.edges[window->edges[i]];
+    if (window->edge_bleu[i] < edge.train_bleu - shared_.detector.tolerance) {
+      ++broken;
+      out.broken.emplace_back(edge.src, edge.dst);
+    }
+  }
+  out.coverage =
+      total == 0.0 ? 0.0 : static_cast<double>(surviving) / total;
+  if (window->masked && out.coverage < shared_.detector.min_coverage) {
+    out.degraded = true;
+    out.anomaly_score = 0.0;
+    obs::metrics().counter("detect.window.degraded").inc();
+  } else {
+    out.anomaly_score = surviving == 0
+                            ? 0.0
+                            : static_cast<double>(broken) /
+                                  static_cast<double>(surviving);
+  }
+
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - window->enqueued)
+          .count();
+  obs::metrics().histogram("serve.window.latency_ms").record(latency_ms);
+  obs::metrics().counter("serve.windows_scored").inc();
+
+  {
+    std::lock_guard lock(mu_);
+    --inflight_;
+    enqueue_result_locked(out.window_index, std::move(out));
+  }
+  cv_.notify_all();
+}
+
+void Session::enqueue_result_locked(std::size_t window_index,
+                                    WindowResult result) {
+  reorder_.emplace(window_index, std::move(result));
+  while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
+    completed_.push_back(std::move(reorder_.begin()->second));
+    reorder_.erase(reorder_.begin());
+    ++next_emit_;
+  }
+}
+
+std::optional<WindowResult> Session::poll() {
+  std::optional<WindowResult> out;
+  {
+    std::lock_guard lock(mu_);
+    if (completed_.empty()) return std::nullopt;
+    out = std::move(completed_.front());
+    completed_.pop_front();
+    ++delivered_;
+  }
+  cv_.notify_all();  // budget freed: wake a blocked ingest
+  return out;
+}
+
+void Session::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Session::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+void Session::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return inflight_ == 0 && reorder_.empty(); });
+}
+
+Session::Stats Session::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.ticks = assembler_.ticks();
+  s.windows_assembled = assembler_.windows_emitted();
+  s.windows_delivered = delivered_;
+  s.pending = pending_locked();
+  return s;
+}
+
+}  // namespace desmine::serve

@@ -1,0 +1,121 @@
+// One detection session of the serving layer.
+//
+// A Session wraps a core::WindowAssembler (per-sensor buffering, health
+// tracking, strict/degraded ingestion — the exact machinery OnlineDetector
+// uses) and the bookkeeping that deferred, out-of-order batched scoring
+// needs: a bounded pending-window budget with block-or-reject backpressure,
+// a reorder buffer so results are delivered in window order regardless of
+// which edge batch finishes last, and a completed queue the client polls.
+// Finalization replicates AnomalyDetector::detect()'s per-window math
+// exactly (same order of operations), so a served stream's scores are
+// bit-identical to replaying it through an OnlineDetector.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/anomaly.h"
+#include "core/online.h"
+#include "core/window_assembler.h"
+#include "serve/batch_scheduler.h"
+
+namespace desmine::serve {
+
+/// Served results reuse the online detector's result shape — the serving
+/// layer is a multi-session, batched OnlineDetector by contract.
+using WindowResult = core::OnlineDetector::WindowResult;
+
+/// Outcome of one ingest() call.
+enum class IngestStatus {
+  kAccepted,  ///< tick consumed (a window may have been queued for scoring)
+  kRejected,  ///< backpressure, tick NOT consumed — retry the same tick
+  kClosed,    ///< session closed, tick NOT consumed
+};
+
+/// Per-session flow-control limits.
+struct SessionLimits {
+  /// Upper bound on windows in flight for one session: queued for scoring,
+  /// being scored, or scored but not yet polled. Bounds per-session memory
+  /// and isolates a flooding session from the rest of the fleet.
+  std::size_t max_pending_windows = 64;
+  /// Full-budget policy: false blocks ingest() until the client polls (or
+  /// the session closes); true returns kRejected immediately.
+  bool reject_when_full = false;
+};
+
+/// The immutable trained state every session scores against: the valid-band
+/// edges (shared with the BatchScheduler) and the detector thresholds.
+struct SharedModel {
+  std::vector<BatchScheduler::Edge> edges;
+  core::DetectorConfig detector;
+};
+
+class Session {
+ public:
+  Session(std::uint64_t id, const SharedModel& shared,
+          core::SensorEncrypter encrypter, core::WindowConfig window,
+          core::DegradedConfig degraded, SessionLimits limits);
+
+  /// Consume one tick. When the tick completes a window, `*to_schedule`
+  /// receives the pending window to hand to the BatchScheduler (null
+  /// otherwise — including when the window had nothing to score and was
+  /// finalized inline). Applies backpressure per SessionLimits. Strict-mode
+  /// sessions throw robust::MissingSensor on a missing kept sensor.
+  IngestStatus ingest(const std::map<std::string, std::string>& states,
+                      std::unique_ptr<PendingWindow>* to_schedule);
+
+  /// Deliver a fully scored window (BatchScheduler::on_scored). Computes
+  /// the WindowResult, reorders, and wakes pollers/blocked ingests.
+  void finalize(std::unique_ptr<PendingWindow> window);
+
+  /// Pop the next completed window result, in window order.
+  std::optional<WindowResult> poll();
+
+  /// Refuse further ticks; in-flight windows still get scored and polled.
+  void close();
+  bool closed() const;
+
+  /// Block until no submitted window awaits scoring (completed results may
+  /// still be queued for poll()).
+  void drain();
+
+  std::uint64_t id() const { return id_; }
+  bool degraded_enabled() const { return degraded_enabled_; }
+
+  struct Stats {
+    std::size_t ticks = 0;
+    std::size_t windows_assembled = 0;
+    std::size_t windows_delivered = 0;
+    std::size_t pending = 0;  ///< in flight + awaiting poll
+  };
+  Stats stats() const;
+
+ private:
+  /// pending budget used: windows being scored + results not yet polled.
+  std::size_t pending_locked() const {
+    return inflight_ + reorder_.size() + completed_.size();
+  }
+  void enqueue_result_locked(std::size_t window_index, WindowResult result);
+
+  const std::uint64_t id_;
+  const SharedModel& shared_;
+  const SessionLimits limits_;
+  const bool degraded_enabled_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  core::WindowAssembler assembler_;
+  bool closed_ = false;
+  std::size_t inflight_ = 0;   ///< submitted to the scheduler, not finalized
+  std::size_t next_emit_ = 0;  ///< next window index to deliver in order
+  std::map<std::size_t, WindowResult> reorder_;
+  std::deque<WindowResult> completed_;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace desmine::serve

@@ -1,0 +1,156 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace desmine::serve {
+
+SessionManager::SessionManager(const core::MvrGraph& graph,
+                               core::SensorEncrypter encrypter,
+                               core::WindowConfig window, ServeConfig config)
+    : config_(config), encrypter_(std::move(encrypter)), window_(window) {
+  DESMINE_EXPECTS(
+      graph.sensor_count() == encrypter_.kept_sensors().size(),
+      "graph/encrypter sensor counts disagree");
+  DESMINE_EXPECTS(config_.detector.valid_lo <= config_.detector.valid_hi,
+                  "valid band order");
+  DESMINE_EXPECTS(config_.detector.min_coverage >= 0.0 &&
+                      config_.detector.min_coverage <= 1.0,
+                  "min_coverage must lie in [0, 1]");
+  shared_.detector = config_.detector;
+  // Same valid-band rule as AnomalyDetector: an edge is served when its
+  // training BLEU lies in [valid_lo, valid_hi).
+  for (const core::MvrEdge& e : graph.edges()) {
+    if (e.bleu >= config_.detector.valid_lo &&
+        e.bleu < config_.detector.valid_hi) {
+      DESMINE_EXPECTS(e.model != nullptr, "valid edge lacks a trained model");
+      shared_.edges.push_back({e.src, e.dst, e.bleu, e.model});
+    }
+  }
+
+  scheduler_ = std::make_unique<BatchScheduler>(
+      shared_.edges, config_.max_batch, config_.decode_cache,
+      config_.detector.bleu,
+      [this](std::unique_ptr<PendingWindow> window) {
+        // The session may already be erased; its in-flight windows are then
+        // dropped on the floor by design.
+        const std::shared_ptr<Session> session = find(window->session_id);
+        if (session) session->finalize(std::move(window));
+      });
+
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool_->submit([this] {
+      while (scheduler_->run_one()) {
+      }
+    });
+  }
+  DESMINE_LOG_INFO("serve engine up",
+                   {obs::kv("valid_edges", shared_.edges.size()),
+                    obs::kv("workers", workers),
+                    obs::kv("max_batch", config_.max_batch)});
+}
+
+SessionManager::~SessionManager() {
+  // Refuse new ticks, let workers drain every queued score, then join.
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, session] : sessions_) session->close();
+  }
+  scheduler_->stop();
+  pool_.reset();  // ThreadPool dtor drains the worker loops
+  obs::metrics().gauge("serve.sessions").set(0.0);
+}
+
+std::uint64_t SessionManager::open(core::DegradedConfig degraded) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_id_++;
+  sessions_.emplace(id, std::make_shared<Session>(id, shared_, encrypter_,
+                                                  window_, degraded,
+                                                  config_.limits));
+  obs::metrics().gauge("serve.sessions").set(
+      static_cast<double>(sessions_.size()));
+  DESMINE_LOG_DEBUG("session opened", {obs::kv("session", id),
+                                       obs::kv("degraded", degraded.enabled)});
+  return id;
+}
+
+std::shared_ptr<Session> SessionManager::find(std::uint64_t session) const {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+IngestStatus SessionManager::ingest(
+    std::uint64_t session, const std::map<std::string, std::string>& states) {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  std::unique_ptr<PendingWindow> to_schedule;
+  const IngestStatus status = s->ingest(states, &to_schedule);
+  if (to_schedule) scheduler_->submit(std::move(to_schedule));
+  return status;
+}
+
+std::optional<WindowResult> SessionManager::poll(std::uint64_t session) {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  return s->poll();
+}
+
+void SessionManager::close(std::uint64_t session) {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  s->close();
+}
+
+void SessionManager::drain(std::uint64_t session) {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  s->drain();
+}
+
+void SessionManager::drain() {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard lock(mu_);
+    all.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) all.push_back(session);
+  }
+  for (const std::shared_ptr<Session>& s : all) s->drain();
+}
+
+void SessionManager::erase(std::uint64_t session) {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  s->close();
+  s->drain();
+  {
+    std::lock_guard lock(mu_);
+    sessions_.erase(session);
+    obs::metrics().gauge("serve.sessions").set(
+        static_cast<double>(sessions_.size()));
+  }
+  DESMINE_LOG_DEBUG("session erased", {obs::kv("session", session)});
+}
+
+Session::Stats SessionManager::stats(std::uint64_t session) const {
+  const std::shared_ptr<Session> s = find(session);
+  DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  return s->stats();
+}
+
+std::size_t SessionManager::session_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace desmine::serve

@@ -1,0 +1,112 @@
+// Multi-session streaming detection engine (DESIGN.md §11).
+//
+// SessionManager is the serving layer's front door: it owns N independent
+// detection sessions, the cross-session BatchScheduler, and the worker pool
+// that drains it. One trained artifact (MvrGraph + SensorEncrypter +
+// WindowConfig — exactly what io::load_framework restores) serves any
+// number of concurrent streams; per-session strict/degraded semantics are
+// chosen at open(). Ingest is thread-safe per session and across sessions;
+// a flooding session exhausts only its own pending-window budget
+// (SessionLimits) and never stalls or degrades its neighbours.
+//
+// Reported metrics: serve.sessions (gauge), serve.batch.size,
+// serve.window.latency_ms, serve.batch.score_ms (histograms), serve.ticks,
+// serve.windows_scored, serve.batch.{decoded,cache_hits}, and
+// serve.ingest.rejected (counters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "core/encryption.h"
+#include "core/language.h"
+#include "core/mvr_graph.h"
+#include "serve/batch_scheduler.h"
+#include "serve/session.h"
+#include "util/thread_pool.h"
+
+namespace desmine::serve {
+
+struct ServeConfig {
+  /// Valid band, tolerance, quorum, and BLEU options — the same knobs an
+  /// AnomalyDetector takes (DetectorConfig::threads is ignored; the serving
+  /// layer's `workers` pool replaces it).
+  core::DetectorConfig detector{};
+  /// Scoring worker threads (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Max sentence-windows one batched decode may stack per edge.
+  std::size_t max_batch = 32;
+  /// Per-edge source->translation cache entries (0 disables). Periodic
+  /// discrete streams repeat sentences heavily; caching turns repeat
+  /// windows into pure BLEU evaluations, bit-identically.
+  std::size_t decode_cache = 4096;
+  /// Per-session flow control (pending-window budget + block/reject).
+  SessionLimits limits{};
+};
+
+class SessionManager {
+ public:
+  /// `graph` must carry trained models on its valid-band edges; `encrypter`
+  /// and `window` must be the ones the graph was mined with (the trio an
+  /// io::load_framework artifact restores).
+  SessionManager(const core::MvrGraph& graph, core::SensorEncrypter encrypter,
+                 core::WindowConfig window, ServeConfig config = {});
+  /// Stops workers after draining every queued score; results never polled
+  /// are discarded.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Open a new detection session; returns its id. Strict by default, or
+  /// degraded-mode health tracking per `degraded`.
+  std::uint64_t open(core::DegradedConfig degraded = {});
+
+  /// Feed one tick into `session`. Thread-safe; see Session::ingest for the
+  /// backpressure contract. Throws PreconditionError for unknown ids.
+  IngestStatus ingest(std::uint64_t session,
+                      const std::map<std::string, std::string>& states);
+
+  /// Next completed window of `session`, in window order.
+  std::optional<WindowResult> poll(std::uint64_t session);
+
+  /// Refuse further ticks on `session`; in-flight windows still complete.
+  void close(std::uint64_t session);
+
+  /// Block until `session` has no window awaiting scoring.
+  void drain(std::uint64_t session);
+  /// Block until no session has a window awaiting scoring.
+  void drain();
+
+  /// Close, drain, and forget `session` (unpolled results are dropped).
+  void erase(std::uint64_t session);
+
+  Session::Stats stats(std::uint64_t session) const;
+  std::size_t session_count() const;
+  std::size_t valid_model_count() const { return shared_.edges.size(); }
+  const ServeConfig& config() const { return config_; }
+  const core::SensorEncrypter& encrypter() const { return encrypter_; }
+
+ private:
+  std::shared_ptr<Session> find(std::uint64_t session) const;
+
+  ServeConfig config_;
+  core::SensorEncrypter encrypter_;
+  core::WindowConfig window_;
+  SharedModel shared_;
+
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace desmine::serve

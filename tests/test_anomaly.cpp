@@ -281,7 +281,7 @@ TEST(AnomalyDetector, HealthMaskExcludesAndRenormalizes) {
   // set: the broken plumbing no longer masquerades as an anomaly and the
   // score renormalizes over the single survivor.
   const dc::HealthMask mask = {{}, {2}};
-  const auto masked = detector.detect({src, aligned, garbage}, &mask);
+  const auto masked = detector.detect({src, aligned, garbage}, dc::DetectOptions{.unhealthy = &mask});
   EXPECT_DOUBLE_EQ(masked.anomaly_scores[0], 0.5);  // untouched window
   EXPECT_DOUBLE_EQ(masked.coverage[0], 1.0);
   EXPECT_DOUBLE_EQ(masked.anomaly_scores[1], 0.0);  // 0 broken / 1 surviving
@@ -302,7 +302,7 @@ TEST(AnomalyDetector, CoverageQuorumGatesVerdicts) {
   dx::Corpus src, aligned, garbage;
   fanout_corpora(src, aligned, garbage);
   const dc::HealthMask mask = {{}, {2}};
-  const auto result = detector.detect({src, aligned, garbage}, &mask);
+  const auto result = detector.detect({src, aligned, garbage}, dc::DetectOptions{.unhealthy = &mask});
   EXPECT_EQ(result.degraded[0], 0);
   EXPECT_EQ(result.degraded[1], 1);
   // No verdict: a NaN-free placeholder, not a claim of "no anomaly".
@@ -317,10 +317,10 @@ TEST(AnomalyDetector, HealthMaskValidation) {
   fanout_corpora(src, aligned, garbage);
 
   const dc::HealthMask wrong_size = {{}};  // 1 entry for 2 windows
-  EXPECT_THROW(detector.detect({src, aligned, garbage}, &wrong_size),
+  EXPECT_THROW(detector.detect({src, aligned, garbage}, dc::DetectOptions{.unhealthy = &wrong_size}),
                desmine::PreconditionError);
   const dc::HealthMask bad_node = {{}, {7}};
-  EXPECT_THROW(detector.detect({src, aligned, garbage}, &bad_node),
+  EXPECT_THROW(detector.detect({src, aligned, garbage}, dc::DetectOptions{.unhealthy = &bad_node}),
                desmine::PreconditionError);
 }
 

@@ -1,0 +1,496 @@
+// Tests for the serving layer (DESIGN.md §11): batched-vs-sequential
+// bit-identity, multi-session replay equivalence, session isolation under
+// flooding, backpressure/close semantics, the config JSON round-trip, and
+// the deprecated detect() shim.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "core/framework.h"
+#include "core/online.h"
+#include "io/config_json.h"
+#include "nmt/translation.h"
+#include "serve/session_manager.h"
+#include "text/bleu.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dc = desmine::core;
+namespace dm = desmine::nmt;
+namespace ds = desmine::serve;
+namespace dx = desmine::text;
+namespace dio = desmine::io;
+using desmine::util::Rng;
+
+namespace {
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Coupled pair (follow repeats lead 2 ticks later) plus a noise sensor —
+/// the same shape test_online uses, so serve results can be replayed
+/// against OnlineDetector.
+dc::MultivariateSeries make_series(std::size_t ticks, std::uint64_t seed) {
+  Rng rng(seed);
+  dc::EventSequence lead, follow, noise;
+  bool state = false;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (t % 13 == 0) state = !state;
+    lead.push_back(state ? "ON" : "OFF");
+    follow.push_back((t >= 2 && lead[t - 2] == "ON") ? "ON" : "OFF");
+    noise.push_back(rng.bernoulli(0.5) ? "ON" : "OFF");
+  }
+  return {{"lead", lead}, {"follow", follow}, {"noise", noise}};
+}
+
+struct Fixture {
+  dc::FrameworkConfig cfg;
+  dc::Framework framework;
+
+  Fixture()
+      : cfg([] {
+          dc::FrameworkConfig c;
+          c.window = {4, 1, 4, 4};
+          c.miner.translation.model.embedding_dim = 16;
+          c.miner.translation.model.hidden_dim = 16;
+          c.miner.translation.model.num_layers = 1;
+          c.miner.translation.model.dropout = 0.0f;
+          c.miner.translation.trainer.steps = 150;
+          c.miner.translation.trainer.batch_size = 8;
+          c.miner.seed = 3;
+          c.detector.valid_lo = 0.0;
+          c.detector.valid_hi = 100.5;
+          c.detector.tolerance = 10.0;
+          c.detector.threads = 1;
+          return c;
+        }()),
+        framework(cfg) {
+    framework.fit(make_series(600, 1), make_series(300, 2));
+  }
+
+  ds::ServeConfig serve_config() const {
+    ds::ServeConfig s;
+    s.detector = cfg.detector;
+    s.workers = 2;
+    s.max_batch = 8;
+    return s;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::map<std::string, std::string> tick_states(
+    const dc::MultivariateSeries& series, std::size_t t) {
+  std::map<std::string, std::string> out;
+  for (const auto& sensor : series) out[sensor.name] = sensor.events[t];
+  return out;
+}
+
+/// Per-window anomaly scores from a sequential OnlineDetector replay.
+std::vector<double> replay_scores(const Fixture& f,
+                                  const dc::MultivariateSeries& series) {
+  dc::OnlineDetector online(f.framework.graph(), f.framework.encrypter(),
+                            f.cfg.window, f.cfg.detector);
+  std::vector<double> scores;
+  for (std::size_t t = 0; t < series.front().events.size(); ++t) {
+    const auto r = online.push(tick_states(series, t));
+    if (r) scores.push_back(r->anomaly_score);
+  }
+  return scores;
+}
+
+/// Ragged word-substitution corpus (every sentence a different length).
+void make_ragged_corpus(std::size_t sentences, dx::Corpus& src,
+                        dx::Corpus& tgt, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> sw = {"sa", "sb", "sc", "sd"};
+  const std::vector<std::string> tw = {"ta", "tb", "tc", "td"};
+  for (std::size_t k = 0; k < sentences; ++k) {
+    const std::size_t length = 1 + (k % 12);
+    dx::Sentence s, t;
+    for (std::size_t i = 0; i < length; ++i) {
+      const std::size_t w = rng.index(sw.size());
+      s.push_back(sw[w]);
+      t.push_back(tw[w]);
+    }
+    src.push_back(s);
+    tgt.push_back(t);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batched decode bit-identity
+
+TEST(ScoreBatch, BitIdenticalToSequentialAcrossRaggedLengths) {
+  dx::Corpus train_src, train_tgt;
+  make_ragged_corpus(64, train_src, train_tgt, 11);
+  dm::TranslationConfig cfg;
+  cfg.model.embedding_dim = 16;
+  cfg.model.hidden_dim = 16;
+  cfg.model.num_layers = 2;  // exercise the stacked-layer rewind path
+  cfg.model.dropout = 0.0f;
+  cfg.trainer.steps = 150;
+  cfg.trainer.batch_size = 8;
+  dm::TranslationModel model =
+      dm::train_translation_model(train_src, train_tgt, cfg, 77);
+
+  dx::Corpus test_src, test_ref;
+  make_ragged_corpus(40, test_src, test_ref, 12);
+
+  // Sequential ground truth: greedy translate + sentence corpus BLEU.
+  std::vector<dx::Sentence> seq_out;
+  std::vector<double> seq_bleu;
+  for (std::size_t i = 0; i < test_src.size(); ++i) {
+    seq_out.push_back(model.translate(test_src[i]));
+    seq_bleu.push_back(
+        dx::corpus_bleu({seq_out.back()}, {test_ref[i]}, {}).score);
+  }
+
+  std::vector<const dx::Sentence*> sources, references;
+  for (std::size_t i = 0; i < test_src.size(); ++i) {
+    sources.push_back(&test_src[i]);
+    references.push_back(&test_ref[i]);
+  }
+  const std::vector<dx::Sentence> batch_out = model.translate_batch(sources);
+  const std::vector<double> batch_bleu =
+      model.score_batch(sources, references);
+
+  ASSERT_EQ(batch_out.size(), test_src.size());
+  ASSERT_EQ(batch_bleu.size(), test_src.size());
+  for (std::size_t i = 0; i < test_src.size(); ++i) {
+    EXPECT_EQ(batch_out[i], seq_out[i]) << "sentence " << i;
+    EXPECT_EQ(bits(batch_bleu[i]), bits(seq_bleu[i])) << "sentence " << i;
+  }
+}
+
+TEST(ScoreBatch, DuplicateSourcesDecodeOnceAndFanOut) {
+  dx::Corpus train_src, train_tgt;
+  make_ragged_corpus(64, train_src, train_tgt, 13);
+  dm::TranslationConfig cfg;
+  cfg.model.embedding_dim = 16;
+  cfg.model.hidden_dim = 16;
+  cfg.model.num_layers = 1;
+  cfg.model.dropout = 0.0f;
+  cfg.trainer.steps = 120;
+  cfg.trainer.batch_size = 8;
+  dm::TranslationModel model =
+      dm::train_translation_model(train_src, train_tgt, cfg, 78);
+
+  // Every sentence appears three times; the fan-out must reproduce the
+  // sequential result at each slot.
+  dx::Corpus base_src, base_ref;
+  make_ragged_corpus(6, base_src, base_ref, 14);
+  std::vector<const dx::Sentence*> sources;
+  std::vector<dx::Sentence> expected;
+  for (std::size_t rep = 0; rep < 3; ++rep) {
+    for (std::size_t i = 0; i < base_src.size(); ++i) {
+      sources.push_back(&base_src[i]);
+    }
+  }
+  for (const dx::Sentence* s : sources) expected.push_back(model.translate(*s));
+  const std::vector<dx::Sentence> batch_out = model.translate_batch(sources);
+  ASSERT_EQ(batch_out.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(batch_out[i], expected[i]) << "slot " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer
+
+TEST(SessionManager, BatchedServeBitIdenticalToSequentialReplay) {
+  auto& f = fixture();
+  ds::SessionManager manager(f.framework.graph(), f.framework.encrypter(),
+                             f.cfg.window, f.serve_config());
+  constexpr std::size_t kSessions = 3;
+  constexpr std::size_t kTicks = 120;
+  std::vector<dc::MultivariateSeries> series;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    series.push_back(make_series(kTicks, 20 + s));
+    ids.push_back(manager.open());
+  }
+
+  // Interleave ticks round-robin so windows from different sessions are
+  // pending simultaneously and batch together.
+  std::vector<std::vector<double>> served(kSessions);
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_EQ(manager.ingest(ids[s], tick_states(series[s], t)),
+                ds::IngestStatus::kAccepted);
+    }
+  }
+  manager.drain();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    std::size_t next_index = 0;
+    while (const auto r = manager.poll(ids[s])) {
+      EXPECT_EQ(r->window_index, next_index++);  // strictly in window order
+      EXPECT_EQ(r->coverage, 1.0);
+      EXPECT_FALSE(r->degraded);
+      served[s].push_back(r->anomaly_score);
+    }
+  }
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::vector<double> expected = replay_scores(f, series[s]);
+    ASSERT_EQ(served[s].size(), expected.size()) << "session " << s;
+    for (std::size_t w = 0; w < expected.size(); ++w) {
+      EXPECT_EQ(bits(served[s][w]), bits(expected[w]))
+          << "session " << s << " window " << w;
+    }
+  }
+}
+
+TEST(SessionManager, FloodingSessionNeverDegradesNeighbour) {
+  auto& f = fixture();
+  ds::ServeConfig scfg = f.serve_config();
+  scfg.limits.max_pending_windows = 1;
+  scfg.limits.reject_when_full = true;
+  ds::SessionManager manager(f.framework.graph(), f.framework.encrypter(),
+                             f.cfg.window, scfg);
+
+  const auto flood_series = make_series(200, 30);
+  const auto good_series = make_series(200, 31);
+  const std::uint64_t flood = manager.open();
+  const std::uint64_t good = manager.open();
+
+  // The flooding session never polls: once one window is complete and
+  // unclaimed its budget (1) stays exhausted, so later ticks reject. The
+  // well-behaved session polls after every tick and must never be
+  // rejected or perturbed.
+  std::size_t rejected = 0;
+  std::vector<double> good_scores;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const auto flood_status =
+        manager.ingest(flood, tick_states(flood_series, t));
+    if (flood_status == ds::IngestStatus::kRejected) ++rejected;
+    ASSERT_EQ(manager.ingest(good, tick_states(good_series, t)),
+              ds::IngestStatus::kAccepted)
+        << t;
+    manager.drain(good);
+    while (const auto r = manager.poll(good)) {
+      good_scores.push_back(r->anomaly_score);
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_LE(manager.stats(flood).pending, 1u);
+
+  const std::vector<double> expected = replay_scores(f, good_series);
+  ASSERT_EQ(good_scores.size(), expected.size());
+  for (std::size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(bits(good_scores[w]), bits(expected[w])) << "window " << w;
+  }
+}
+
+TEST(SessionManager, CloseRefusesTicksButDeliversInflightWindows) {
+  auto& f = fixture();
+  ds::SessionManager manager(f.framework.graph(), f.framework.encrypter(),
+                             f.cfg.window, f.serve_config());
+  const auto series = make_series(40, 32);
+  const std::uint64_t id = manager.open();
+  // Window span 7, stride 4: 20 ticks produce windows 0..3.
+  for (std::size_t t = 0; t < 20; ++t) {
+    ASSERT_EQ(manager.ingest(id, tick_states(series, t)),
+              ds::IngestStatus::kAccepted);
+  }
+  manager.close(id);
+  EXPECT_EQ(manager.ingest(id, tick_states(series, 20)),
+            ds::IngestStatus::kClosed);
+  manager.drain(id);
+  std::size_t delivered = 0;
+  while (const auto r = manager.poll(id)) {
+    EXPECT_EQ(r->window_index, delivered);
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_EQ(manager.stats(id).windows_delivered, 4u);
+  manager.erase(id);
+  EXPECT_EQ(manager.session_count(), 0u);
+  EXPECT_THROW(manager.ingest(id, tick_states(series, 0)),
+               desmine::PreconditionError);
+}
+
+TEST(SessionManager, UnknownSessionThrows) {
+  auto& f = fixture();
+  ds::SessionManager manager(f.framework.graph(), f.framework.encrypter(),
+                             f.cfg.window, f.serve_config());
+  EXPECT_THROW(manager.poll(99), desmine::PreconditionError);
+  EXPECT_THROW(manager.close(99), desmine::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Config JSON
+
+TEST(ConfigJson, RoundTripsEveryKnob) {
+  dio::RunConfig c;
+  c.framework.window = {6, 2, 10, 5};
+  c.framework.miner.seed = 1234;
+  c.framework.miner.threads = 3;
+  c.framework.miner.pair_timeout_s = 2.5;
+  c.framework.miner.checkpoint_path = "ckpt.jsonl";
+  c.framework.miner.resume = true;
+  c.framework.miner.retry.max_retries = 5;
+  c.framework.miner.retry.jitter = 0.125;
+  c.framework.miner.translation.model.hidden_dim = 48;
+  c.framework.miner.translation.model.dropout = 0.25f;
+  c.framework.miner.translation.model.attention =
+      desmine::nn::AttentionScore::kDot;
+  c.framework.miner.translation.trainer.steps = 333;
+  c.framework.miner.translation.trainer.lr = 0.005f;
+  c.framework.miner.translation.bleu.max_order = 3;
+  c.framework.detector.valid_lo = 70.0;
+  c.framework.detector.valid_hi = 95.0;
+  c.framework.detector.tolerance = 1.25;
+  c.framework.detector.min_coverage = 0.75;
+  c.framework.detector.bleu.smooth = false;
+  c.health.drop_after_missing = 7;
+  c.health.max_unk_rate = 0.375;
+  c.serve.workers = 4;
+  c.serve.max_batch = 16;
+  c.serve.decode_cache = 128;
+  c.serve.limits.max_pending_windows = 9;
+  c.serve.limits.reject_when_full = true;
+
+  const std::string json = dio::run_config_to_json(c);
+  const dio::RunConfig back = dio::run_config_from_json(json);
+
+  EXPECT_EQ(back.framework.window.word_length, 6u);
+  EXPECT_EQ(back.framework.window.word_stride, 2u);
+  EXPECT_EQ(back.framework.window.sentence_length, 10u);
+  EXPECT_EQ(back.framework.window.sentence_stride, 5u);
+  EXPECT_EQ(back.framework.miner.seed, 1234u);
+  EXPECT_EQ(back.framework.miner.threads, 3u);
+  EXPECT_EQ(back.framework.miner.pair_timeout_s, 2.5);
+  EXPECT_EQ(back.framework.miner.checkpoint_path, "ckpt.jsonl");
+  EXPECT_TRUE(back.framework.miner.resume);
+  EXPECT_EQ(back.framework.miner.retry.max_retries, 5u);
+  EXPECT_EQ(back.framework.miner.retry.jitter, 0.125);
+  EXPECT_EQ(back.framework.miner.translation.model.hidden_dim, 48u);
+  EXPECT_EQ(back.framework.miner.translation.model.dropout, 0.25f);
+  EXPECT_EQ(back.framework.miner.translation.model.attention,
+            desmine::nn::AttentionScore::kDot);
+  EXPECT_EQ(back.framework.miner.translation.trainer.steps, 333u);
+  EXPECT_EQ(back.framework.miner.translation.trainer.lr, 0.005f);
+  EXPECT_EQ(back.framework.miner.translation.bleu.max_order, 3u);
+  EXPECT_EQ(back.framework.detector.valid_lo, 70.0);
+  EXPECT_EQ(back.framework.detector.valid_hi, 95.0);
+  EXPECT_EQ(back.framework.detector.tolerance, 1.25);
+  EXPECT_EQ(back.framework.detector.min_coverage, 0.75);
+  EXPECT_FALSE(back.framework.detector.bleu.smooth);
+  EXPECT_EQ(back.health.drop_after_missing, 7u);
+  EXPECT_EQ(back.health.max_unk_rate, 0.375);
+  EXPECT_EQ(back.serve.workers, 4u);
+  EXPECT_EQ(back.serve.max_batch, 16u);
+  EXPECT_EQ(back.serve.decode_cache, 128u);
+  EXPECT_EQ(back.serve.limits.max_pending_windows, 9u);
+  EXPECT_TRUE(back.serve.limits.reject_when_full);
+  // ServeConfig mirrors the detector section.
+  EXPECT_EQ(back.serve.detector.tolerance, 1.25);
+
+  // Re-emission is a fixed point: same document, byte for byte.
+  EXPECT_EQ(dio::run_config_to_json(back), json);
+}
+
+TEST(ConfigJson, RejectsUnknownKeysNamingTheDottedPath) {
+  try {
+    dio::run_config_from_json(R"({"miner": {"trainer": {"stepz": 3}}})");
+    FAIL() << "expected PreconditionError";
+  } catch (const desmine::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("miner.trainer.stepz"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(dio::run_config_from_json(R"({"servee": {}})"),
+               desmine::PreconditionError);
+}
+
+TEST(ConfigJson, ValidatesRangesNamingTheBadKey) {
+  try {
+    dio::run_config_from_json(R"({"detector": {"min_coverage": 2.0}})");
+    FAIL() << "expected PreconditionError";
+  } catch (const desmine::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("detector.min_coverage"),
+              std::string::npos);
+  }
+  // valid_lo > valid_hi is a cross-field violation.
+  EXPECT_THROW(dio::run_config_from_json(
+                   R"({"detector": {"valid_lo": 95, "valid_hi": 90}})"),
+               desmine::PreconditionError);
+  EXPECT_THROW(
+      dio::run_config_from_json(R"({"window": {"word_length": 0}})"),
+      desmine::PreconditionError);
+  EXPECT_THROW(
+      dio::run_config_from_json(
+          R"({"miner": {"model": {"attention": "additive"}}})"),
+      desmine::PreconditionError);
+  EXPECT_THROW(dio::run_config_from_json(R"({"serve": {"max_batch": 1.5}})"),
+               desmine::PreconditionError);
+}
+
+TEST(ConfigJson, MalformedJsonNamesTheOffset) {
+  try {
+    dio::run_config_from_json("{\"window\": }");
+    FAIL() << "expected RuntimeError";
+  } catch (const desmine::RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  // Trailing garbage after the document is rejected too.
+  EXPECT_THROW(dio::run_config_from_json("{} x"), desmine::RuntimeError);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated detect() shim
+
+TEST(DetectOptions, DeprecatedPointerShimMatchesOptionsOverload) {
+  auto& f = fixture();
+  const auto series = make_series(80, 40);
+  const auto corpora = f.framework.to_corpora(series);
+  dc::AnomalyDetector detector(f.framework.graph(), f.cfg.detector);
+
+  const std::size_t windows = corpora.front().size();
+  dc::HealthMask mask(windows);
+  mask[0] = {0};  // exclude sensor 0's edges from the first window
+
+  dc::DetectOptions options;
+  options.unhealthy = &mask;
+  const dc::DetectionResult via_options = detector.detect(corpora, options);
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const dc::DetectionResult via_shim = detector.detect(corpora, &mask);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  ASSERT_EQ(via_shim.anomaly_scores.size(), via_options.anomaly_scores.size());
+  for (std::size_t w = 0; w < via_shim.anomaly_scores.size(); ++w) {
+    EXPECT_EQ(bits(via_shim.anomaly_scores[w]),
+              bits(via_options.anomaly_scores[w]));
+    EXPECT_EQ(via_shim.broken_edges[w], via_options.broken_edges[w]);
+  }
+
+  // The two-argument form defaults to strict detection (no mask).
+  const dc::DetectionResult strict_default = detector.detect(corpora);
+  const dc::DetectionResult strict_options =
+      detector.detect(corpora, dc::DetectOptions{});
+  ASSERT_EQ(strict_default.anomaly_scores.size(),
+            strict_options.anomaly_scores.size());
+  for (std::size_t w = 0; w < strict_default.anomaly_scores.size(); ++w) {
+    EXPECT_EQ(bits(strict_default.anomaly_scores[w]),
+              bits(strict_options.anomaly_scores[w]));
+  }
+}

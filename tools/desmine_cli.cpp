@@ -44,6 +44,7 @@
 
 #include "core/framework.h"
 #include "data/plant.h"
+#include "io/config_json.h"
 #include "io/csv.h"
 #include "io/serialize.h"
 #include "obs/log.h"
@@ -61,7 +62,8 @@ namespace {
 
 /// Options that take no value; present means true.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"resume", "degraded"};
+  static const std::set<std::string> flags = {"resume", "degraded",
+                                              "dump-config"};
   return flags;
 }
 
@@ -118,43 +120,62 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-core::FrameworkConfig config_from(const Args& args) {
-  core::FrameworkConfig cfg;
-  cfg.window.word_length = static_cast<std::size_t>(args.number("word", 10));
-  cfg.window.word_stride =
-      static_cast<std::size_t>(args.number("word-stride", 1));
-  cfg.window.sentence_length =
-      static_cast<std::size_t>(args.number("sentence", 20));
-  cfg.window.sentence_stride =
-      static_cast<std::size_t>(args.number("sentence-stride", 20));
+/// --config FILE as the option baseline; explicit flags override it.
+io::RunConfig base_config(const Args& args) {
+  const std::string path = args.get_or("config", "");
+  if (path.empty()) return {};
+  return io::load_run_config(path);
+}
+
+core::FrameworkConfig config_from(const Args& args,
+                                  core::FrameworkConfig cfg) {
+  cfg.window.word_length = static_cast<std::size_t>(
+      args.number("word", static_cast<double>(cfg.window.word_length)));
+  cfg.window.word_stride = static_cast<std::size_t>(
+      args.number("word-stride", static_cast<double>(cfg.window.word_stride)));
+  cfg.window.sentence_length = static_cast<std::size_t>(args.number(
+      "sentence", static_cast<double>(cfg.window.sentence_length)));
+  cfg.window.sentence_stride = static_cast<std::size_t>(args.number(
+      "sentence-stride", static_cast<double>(cfg.window.sentence_stride)));
 
   auto& model = cfg.miner.translation.model;
-  model.embedding_dim = static_cast<std::size_t>(args.number("embedding", 64));
-  model.hidden_dim = static_cast<std::size_t>(args.number("hidden", 64));
-  model.num_layers = static_cast<std::size_t>(args.number("layers", 2));
-  model.dropout = static_cast<float>(args.number("dropout", 0.2));
+  model.embedding_dim = static_cast<std::size_t>(
+      args.number("embedding", static_cast<double>(model.embedding_dim)));
+  model.hidden_dim = static_cast<std::size_t>(
+      args.number("hidden", static_cast<double>(model.hidden_dim)));
+  model.num_layers = static_cast<std::size_t>(
+      args.number("layers", static_cast<double>(model.num_layers)));
+  model.dropout = static_cast<float>(
+      args.number("dropout", static_cast<double>(model.dropout)));
   model.max_decode_length = cfg.window.sentence_length + 2;
 
   auto& trainer = cfg.miner.translation.trainer;
-  trainer.steps = static_cast<std::size_t>(args.number("steps", 1000));
-  trainer.batch_size = static_cast<std::size_t>(args.number("batch", 16));
-  trainer.lr = static_cast<float>(args.number("lr", 0.01));
+  trainer.steps = static_cast<std::size_t>(
+      args.number("steps", static_cast<double>(trainer.steps)));
+  trainer.batch_size = static_cast<std::size_t>(
+      args.number("batch", static_cast<double>(trainer.batch_size)));
+  trainer.lr =
+      static_cast<float>(args.number("lr", static_cast<double>(trainer.lr)));
 
-  cfg.miner.seed = static_cast<std::uint64_t>(args.number("seed", 42));
-  cfg.miner.threads = static_cast<std::size_t>(args.number("threads", 0));
+  cfg.miner.seed = static_cast<std::uint64_t>(
+      args.number("seed", static_cast<double>(cfg.miner.seed)));
+  cfg.miner.threads = static_cast<std::size_t>(
+      args.number("threads", static_cast<double>(cfg.miner.threads)));
 
-  cfg.miner.checkpoint_path = args.get_or("checkpoint", "");
-  cfg.miner.resume = args.flag("resume");
-  cfg.miner.pair_timeout_s = args.number("pair-timeout-s", 0.0);
-  cfg.miner.retry.max_retries =
-      static_cast<std::size_t>(args.number("max-retries", 2));
+  cfg.miner.checkpoint_path =
+      args.get_or("checkpoint", cfg.miner.checkpoint_path);
+  cfg.miner.resume = cfg.miner.resume || args.flag("resume");
+  cfg.miner.pair_timeout_s =
+      args.number("pair-timeout-s", cfg.miner.pair_timeout_s);
+  cfg.miner.retry.max_retries = static_cast<std::size_t>(args.number(
+      "max-retries", static_cast<double>(cfg.miner.retry.max_retries)));
   if (cfg.miner.resume && cfg.miner.checkpoint_path.empty()) {
     throw PreconditionError("--resume requires --checkpoint FILE");
   }
 
-  cfg.detector.valid_lo = args.number("lo", 80.0);
-  cfg.detector.valid_hi = args.number("hi", 90.0);
-  cfg.detector.tolerance = args.number("tolerance", 0.0);
+  cfg.detector.valid_lo = args.number("lo", cfg.detector.valid_lo);
+  cfg.detector.valid_hi = args.number("hi", cfg.detector.valid_hi);
+  cfg.detector.tolerance = args.number("tolerance", cfg.detector.tolerance);
   return cfg;
 }
 
@@ -183,9 +204,15 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  io::RunConfig run = base_config(args);
+  run.framework = config_from(args, run.framework);
+  if (args.flag("dump-config")) {
+    std::cout << io::run_config_to_json(run);
+    return 0;
+  }
   const auto train_series = io::read_series_csv(args.get("train"));
   const auto dev_series = io::read_series_csv(args.get("dev"));
-  core::FrameworkConfig cfg = config_from(args);
+  core::FrameworkConfig cfg = run.framework;
 
   // Ctrl-C unwinds mining gracefully: the miner stops scheduling pairs and
   // throws robust::Interrupted after the checkpoint journal is flushed.
@@ -237,25 +264,35 @@ io::OnBadRow parse_on_bad_row(const std::string& v) {
                           v + "'");
 }
 
-robust::HealthConfig health_from(const Args& args) {
-  robust::HealthConfig h;
-  h.drop_after_missing =
-      static_cast<std::size_t>(args.number("health-drop-after", 3));
-  h.stale_after =
-      static_cast<std::size_t>(args.number("health-stale-after", 0));
-  h.max_unk_rate = args.number("health-unk-rate", 0.5);
-  h.unk_window = static_cast<std::size_t>(args.number("health-unk-window", 64));
-  h.readmit_after =
-      static_cast<std::size_t>(args.number("health-readmit-after", 8));
+robust::HealthConfig health_from(const Args& args, robust::HealthConfig h) {
+  h.drop_after_missing = static_cast<std::size_t>(args.number(
+      "health-drop-after", static_cast<double>(h.drop_after_missing)));
+  h.stale_after = static_cast<std::size_t>(
+      args.number("health-stale-after", static_cast<double>(h.stale_after)));
+  h.max_unk_rate = args.number("health-unk-rate", h.max_unk_rate);
+  h.unk_window = static_cast<std::size_t>(
+      args.number("health-unk-window", static_cast<double>(h.unk_window)));
+  h.readmit_after = static_cast<std::size_t>(args.number(
+      "health-readmit-after", static_cast<double>(h.readmit_after)));
   return h;
 }
 
 int cmd_detect(const Args& args) {
+  io::RunConfig run = base_config(args);
   core::FrameworkConfig cfg;
-  cfg.detector.valid_lo = args.number("lo", 80.0);
-  cfg.detector.valid_hi = args.number("hi", 90.0);
-  cfg.detector.tolerance = args.number("tolerance", 0.0);
-  cfg.detector.min_coverage = args.number("min-coverage", 0.5);
+  cfg.detector = run.framework.detector;
+  cfg.detector.valid_lo = args.number("lo", cfg.detector.valid_lo);
+  cfg.detector.valid_hi = args.number("hi", cfg.detector.valid_hi);
+  cfg.detector.tolerance = args.number("tolerance", cfg.detector.tolerance);
+  cfg.detector.min_coverage =
+      args.number("min-coverage", cfg.detector.min_coverage);
+  const robust::HealthConfig health = health_from(args, run.health);
+  if (args.flag("dump-config")) {
+    run.framework.detector = cfg.detector;
+    run.health = health;
+    std::cout << io::run_config_to_json(run);
+    return 0;
+  }
 
   const bool degraded_mode = args.flag("degraded");
   io::CsvOptions csv_opts;
@@ -288,8 +325,7 @@ int cmd_detect(const Args& args) {
 
   const auto result =
       degraded_mode
-          ? fw.detect_degraded(test_series, health_from(args),
-                               report.missing_ticks)
+          ? fw.detect_degraded(test_series, health, report.missing_ticks)
           : fw.detect(test_series);
 
   std::size_t degraded_windows = 0;
@@ -387,6 +423,11 @@ void usage() {
          "            --health-stale-after 0 --health-unk-rate 0.5\n"
          "            --health-unk-window 64 --health-readmit-after 8]\n"
          "  inspect  --model model.bin [--lo 80 --hi 90]\n"
+         "config files (train/detect):\n"
+         "  --config FILE        JSON config as the option baseline (explicit\n"
+         "                       flags still win); see --dump-config\n"
+         "  --dump-config        print the effective config as JSON and exit\n"
+         "                       (also: desmine_cli --dump-config for defaults)\n"
          "observability (any subcommand; --key=value also accepted):\n"
          "  --log-level trace|debug|info|warn|error|off   (default info)\n"
          "  --log-json FILE      JSON-lines log in addition to stderr\n"
@@ -440,6 +481,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "--dump-config" || command == "dump-config") {
+    std::cout << io::run_config_to_json({});
+    return 0;
+  }
   std::unique_ptr<Args> args;
   try {
     args = std::make_unique<Args>(argc, argv, 2);

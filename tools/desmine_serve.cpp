@@ -1,0 +1,520 @@
+// desmine_serve — long-lived multi-session streaming detection service.
+//
+// Loads one trained artifact (desmine_cli train) and serves any number of
+// concurrent detection sessions over a JSON-lines protocol, batching
+// window scores across sessions by edge model (serve::SessionManager).
+//
+// Protocol: one flat JSON object per line on stdin (default) or per TCP
+// connection (--listen PORT). Requests:
+//   {"op": "open"}                        -> {"ok":true,"op":"open","session":N}
+//     optional "degraded": "true" for per-session health tracking
+//   {"op": "ingest", "session": "N", "<sensor>": "<state>", ...}
+//     one tick; every key besides op/session is a sensor reading. Completed
+//     windows are emitted as events (see below). Silent when accepted.
+//   {"op": "close", "session": "N"}       finish the session: drains
+//     in-flight windows, emits them, then acknowledges.
+//   {"op": "stats", "session": "N"}       session counters
+//   {"op": "ping"}                        liveness check
+// Window events (scored asynchronously, emitted in window order on the
+// session's own connection at the next protocol interaction):
+//   {"event":"window","session":N,"window":W,"end_tick":T,"score":S,
+//    "coverage":C,"degraded":false,"broken":"a->b c->d","unhealthy":"s2"}
+// Errors: {"ok":false,"error":"..."} — the connection stays up.
+//
+// Options: --model FILE (required), --config FILE / --dump-config,
+// --listen PORT, detector band overrides (--lo --hi --tolerance
+// --min-coverage), serving knobs (--workers --max-batch --decode-cache
+// --max-pending --reject-when-full), health knobs as desmine_cli detect,
+// and the shared observability flags. Exit codes match desmine_cli:
+// 0 ok | 1 runtime error | 2 usage error | 130 interrupted.
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "desmine.h"
+#include "obs/json.h"
+#include "robust/checkpoint.h"
+#include "robust/interrupt.h"
+#include "util/error.h"
+
+using namespace desmine;
+
+namespace {
+
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = {"dump-config",
+                                              "reject-when-full"};
+  return flags;
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw PreconditionError("expected --option, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      if (boolean_flags().count(key) != 0) {
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw PreconditionError("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw PreconditionError("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key,
+                     const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool flag(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+io::RunConfig effective_config(const Args& args) {
+  io::RunConfig run;
+  const std::string path = args.get_or("config", "");
+  if (!path.empty()) run = io::load_run_config(path);
+
+  auto& d = run.framework.detector;
+  d.valid_lo = args.number("lo", d.valid_lo);
+  d.valid_hi = args.number("hi", d.valid_hi);
+  d.tolerance = args.number("tolerance", d.tolerance);
+  d.min_coverage = args.number("min-coverage", d.min_coverage);
+
+  auto& h = run.health;
+  h.drop_after_missing = static_cast<std::size_t>(args.number(
+      "health-drop-after", static_cast<double>(h.drop_after_missing)));
+  h.stale_after = static_cast<std::size_t>(
+      args.number("health-stale-after", static_cast<double>(h.stale_after)));
+  h.max_unk_rate = args.number("health-unk-rate", h.max_unk_rate);
+  h.unk_window = static_cast<std::size_t>(
+      args.number("health-unk-window", static_cast<double>(h.unk_window)));
+  h.readmit_after = static_cast<std::size_t>(args.number(
+      "health-readmit-after", static_cast<double>(h.readmit_after)));
+
+  auto& s = run.serve;
+  s.workers = static_cast<std::size_t>(
+      args.number("workers", static_cast<double>(s.workers)));
+  s.max_batch = static_cast<std::size_t>(
+      args.number("max-batch", static_cast<double>(s.max_batch)));
+  s.decode_cache = static_cast<std::size_t>(
+      args.number("decode-cache", static_cast<double>(s.decode_cache)));
+  s.limits.max_pending_windows = static_cast<std::size_t>(args.number(
+      "max-pending", static_cast<double>(s.limits.max_pending_windows)));
+  s.limits.reject_when_full =
+      s.limits.reject_when_full || args.flag("reject-when-full");
+  s.detector = d;
+  return run;
+}
+
+/// One protocol endpoint (stdin/stdout or one TCP connection). Lines are
+/// written whole so concurrent connections never interleave mid-line.
+class LineWriter {
+ public:
+  virtual ~LineWriter() = default;
+  virtual void write(const std::string& line) = 0;
+};
+
+class StdoutWriter : public LineWriter {
+ public:
+  void write(const std::string& line) override {
+    std::cout << line << "\n" << std::flush;
+  }
+};
+
+class FdWriter : public LineWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+  void write(const std::string& line) override {
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      if (n <= 0) return;  // peer went away; drop the rest silently
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+std::string error_line(const std::string& what) {
+  obs::JsonWriter w;
+  w.begin_object().key("ok").value(false).key("error").value(what);
+  w.end_object();
+  return w.str();
+}
+
+std::string window_line(std::uint64_t session,
+                        const serve::WindowResult& r,
+                        const core::SensorEncrypter& encrypter) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("event").value("window");
+  w.key("session").value(static_cast<std::uint64_t>(session));
+  w.key("window").value(static_cast<std::uint64_t>(r.window_index));
+  w.key("end_tick").value(static_cast<std::uint64_t>(r.end_tick));
+  w.key("score").value(r.anomaly_score);
+  w.key("coverage").value(r.coverage);
+  w.key("degraded").value(r.degraded);
+  const auto& names = encrypter.kept_sensors();
+  std::string broken;
+  for (const auto& [src, dst] : r.broken) {
+    if (!broken.empty()) broken += ' ';
+    broken += names[src] + "->" + names[dst];
+  }
+  w.key("broken").value(broken);
+  std::string unhealthy;
+  for (const std::size_t n : r.unhealthy) {
+    if (!unhealthy.empty()) unhealthy += ' ';
+    unhealthy += names[n];
+  }
+  w.key("unhealthy").value(unhealthy);
+  w.end_object();
+  return w.str();
+}
+
+/// The protocol state machine, shared by stdin and TCP front-ends. One
+/// instance per connection; the SessionManager behind it is shared, so
+/// sessions on different connections batch into the same decodes.
+class Protocol {
+ public:
+  Protocol(serve::SessionManager& manager, core::DegradedConfig degraded)
+      : manager_(manager), degraded_(degraded) {}
+
+  ~Protocol() {
+    // A dropped connection takes its sessions with it.
+    for (const std::uint64_t id : mine_) {
+      try {
+        manager_.erase(id);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+
+  void handle(const std::string& line, LineWriter& out) {
+    if (line.empty()) return;
+    std::map<std::string, std::string> fields;
+    if (!robust::parse_flat_json(line, fields)) {
+      out.write(error_line("malformed JSON line"));
+      return;
+    }
+    const auto op_it = fields.find("op");
+    if (op_it == fields.end()) {
+      out.write(error_line("missing \"op\""));
+      return;
+    }
+    const std::string op = op_it->second;
+    try {
+      if (op == "open") {
+        cmd_open(fields, out);
+      } else if (op == "ingest") {
+        cmd_ingest(fields, out);
+      } else if (op == "close") {
+        cmd_close(fields, out);
+      } else if (op == "stats") {
+        cmd_stats(fields, out);
+      } else if (op == "ping") {
+        obs::JsonWriter w;
+        w.begin_object().key("ok").value(true).key("op").value("ping");
+        w.end_object();
+        out.write(w.str());
+      } else {
+        out.write(error_line("unknown op '" + op + "'"));
+      }
+    } catch (const std::exception& e) {
+      out.write(error_line(e.what()));
+    }
+  }
+
+ private:
+  std::uint64_t session_of(const std::map<std::string, std::string>& fields) {
+    const auto it = fields.find("session");
+    if (it == fields.end()) {
+      throw PreconditionError("missing \"session\"");
+    }
+    const std::uint64_t id = std::strtoull(it->second.c_str(), nullptr, 10);
+    if (mine_.count(id) == 0) {
+      throw PreconditionError("unknown session '" + it->second + "'");
+    }
+    return id;
+  }
+
+  void emit_completed(std::uint64_t id, LineWriter& out) {
+    while (const auto r = manager_.poll(id)) {
+      out.write(window_line(id, *r, manager_.encrypter()));
+    }
+  }
+
+  void cmd_open(const std::map<std::string, std::string>& fields,
+                LineWriter& out) {
+    core::DegradedConfig degraded;  // strict unless asked
+    const auto it = fields.find("degraded");
+    if (it != fields.end() && it->second == "true") degraded = degraded_;
+    const std::uint64_t id = manager_.open(degraded);
+    mine_.insert(id);
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("open");
+    w.key("session").value(static_cast<std::uint64_t>(id));
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_ingest(const std::map<std::string, std::string>& fields,
+                  LineWriter& out) {
+    const std::uint64_t id = session_of(fields);
+    std::map<std::string, std::string> states = fields;
+    states.erase("op");
+    states.erase("session");
+    const serve::IngestStatus status = manager_.ingest(id, states);
+    if (status == serve::IngestStatus::kRejected) {
+      out.write(error_line("backpressure: session " + std::to_string(id) +
+                           " is full; poll and retry"));
+    } else if (status == serve::IngestStatus::kClosed) {
+      out.write(error_line("session " + std::to_string(id) + " is closed"));
+    }
+    emit_completed(id, out);
+  }
+
+  void cmd_close(const std::map<std::string, std::string>& fields,
+                 LineWriter& out) {
+    const std::uint64_t id = session_of(fields);
+    manager_.close(id);
+    manager_.drain(id);
+    emit_completed(id, out);
+    const serve::Session::Stats stats = manager_.stats(id);
+    manager_.erase(id);
+    mine_.erase(id);
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("close");
+    w.key("session").value(static_cast<std::uint64_t>(id));
+    w.key("windows").value(static_cast<std::uint64_t>(stats.windows_delivered));
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_stats(const std::map<std::string, std::string>& fields,
+                 LineWriter& out) {
+    const std::uint64_t id = session_of(fields);
+    emit_completed(id, out);
+    const serve::Session::Stats stats = manager_.stats(id);
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("stats");
+    w.key("session").value(static_cast<std::uint64_t>(id));
+    w.key("ticks").value(static_cast<std::uint64_t>(stats.ticks));
+    w.key("windows_assembled")
+        .value(static_cast<std::uint64_t>(stats.windows_assembled));
+    w.key("windows_delivered")
+        .value(static_cast<std::uint64_t>(stats.windows_delivered));
+    w.key("pending").value(static_cast<std::uint64_t>(stats.pending));
+    w.end_object();
+    out.write(w.str());
+  }
+
+  serve::SessionManager& manager_;
+  core::DegradedConfig degraded_;
+  std::set<std::uint64_t> mine_;
+};
+
+int run_stdin(serve::SessionManager& manager, core::DegradedConfig degraded) {
+  Protocol protocol(manager, degraded);
+  StdoutWriter out;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (robust::interrupted()) return 130;
+    protocol.handle(line, out);
+  }
+  return 0;
+}
+
+int run_tcp(serve::SessionManager& manager, core::DegradedConfig degraded,
+            int port) {
+  // std::signal installs SA_RESTART handlers, under which a blocking
+  // accept()/read() silently resumes and SIGINT/SIGTERM never interrupt the
+  // server. Re-install without SA_RESTART so they fail with EINTR instead.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { robust::request_interrupt(); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) throw RuntimeError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    ::close(listener);
+    throw RuntimeError("cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  DESMINE_LOG_INFO("serving", {obs::kv("port", static_cast<std::int64_t>(port))});
+
+  std::vector<std::thread> connections;
+  std::mutex fds_mu;
+  std::vector<int> open_fds;
+  while (!robust::interrupted()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;  // interrupted or listener torn down
+    {
+      std::lock_guard lock(fds_mu);
+      open_fds.push_back(fd);
+    }
+    connections.emplace_back([fd, &manager, degraded] {
+      Protocol protocol(manager, degraded);
+      FdWriter out(fd);
+      std::string buffer;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          std::string line = buffer.substr(0, nl);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          buffer.erase(0, nl + 1);
+          protocol.handle(line, out);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  ::close(listener);
+  {
+    // Unblock connection threads parked in read() so join() cannot hang on
+    // an idle client; their reads return 0/-1 and the threads exit.
+    std::lock_guard lock(fds_mu);
+    for (const int fd : open_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connections) t.join();
+  return robust::interrupted() ? 130 : 0;
+}
+
+void usage() {
+  std::cerr
+      << "usage: desmine_serve --model model.bin [options]\n"
+         "  --listen PORT        serve JSON-lines over TCP (127.0.0.1);\n"
+         "                       default reads stdin, writes stdout\n"
+         "  --config FILE        JSON config baseline (desmine_cli\n"
+         "                       --dump-config for the schema)\n"
+         "  --dump-config        print the effective config as JSON and exit\n"
+         "  --lo 80 --hi 90 --tolerance 0 --min-coverage 0.5\n"
+         "  --workers 0 --max-batch 32 --decode-cache 4096\n"
+         "  --max-pending 64 --reject-when-full\n"
+         "  --health-drop-after 3 --health-stale-after 0 --health-unk-rate\n"
+         "  0.5 --health-unk-window 64 --health-readmit-after 8\n"
+         "  --log-level L --log-json FILE --metrics-out FILE\n"
+         "protocol: one flat JSON object per line; see the tool header\n"
+         "exit codes: 0 ok | 1 runtime error | 2 usage error | 130 interrupted\n";
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot write " + path);
+  out << content << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<Args> args;
+  try {
+    args = std::make_unique<Args>(argc, argv, 1);
+    obs::logger().set_level(
+        obs::parse_level(args->get_or("log-level", "info")));
+    const std::string log_json = args->get_or("log-json", "");
+    if (!log_json.empty()) {
+      obs::logger().add_sink(std::make_shared<obs::JsonLinesSink>(log_json));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+  try {
+    const io::RunConfig run = effective_config(*args);
+    if (args->flag("dump-config")) {
+      std::cout << io::run_config_to_json(run);
+      return 0;
+    }
+
+    core::FrameworkConfig overlay;
+    overlay.detector = run.framework.detector;
+    core::Framework fw = io::load_framework(args->get("model"), overlay);
+    serve::SessionManager manager(fw.graph(), fw.encrypter(),
+                                  fw.config().window, run.serve);
+    core::DegradedConfig degraded;
+    degraded.enabled = true;
+    degraded.health = run.health;
+
+    robust::install_signal_flag();
+    const std::string listen = args->get_or("listen", "");
+    const int rc =
+        listen.empty()
+            ? run_stdin(manager, degraded)
+            : run_tcp(manager, degraded, static_cast<int>(std::stod(listen)));
+
+    const std::string metrics_out = args->get_or("metrics-out", "");
+    if (!metrics_out.empty()) {
+      write_file(metrics_out, obs::metrics().to_json());
+    }
+    return rc;
+  } catch (const PreconditionError& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
