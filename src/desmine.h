@@ -17,6 +17,7 @@
 //   io::read_csv / save_framework / load_framework — data + artifact io
 //   io::RunConfig / run_config_{to,from}_json — config files (--config)
 //   obs::init_logging / metrics / trace      — structured obs surface
+//   obs::telemetry / HttpExposition          — live scrape plane (/metrics)
 //
 // Everything else under src/ (tensor, nn, nmt, text, robust internals,
 // serve::BatchScheduler, util) is internal: tools and tests may reach in,
@@ -35,8 +36,10 @@
 #include "io/config_json.h"
 #include "io/csv.h"
 #include "io/serialize.h"
+#include "obs/http_exposition.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "robust/sensor_health.h"
 #include "serve/session_manager.h"

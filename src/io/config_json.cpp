@@ -201,6 +201,10 @@ JsonValue serve_to_json(const serve::ServeConfig& s) {
   put_number(v, "max_pending_windows",
              static_cast<double>(s.limits.max_pending_windows));
   put_bool(v, "reject_when_full", s.limits.reject_when_full);
+  put_number(v, "telemetry_port", static_cast<double>(s.telemetry_port));
+  put_number(v, "slow_window_ms", s.slow_window_ms);
+  put_number(v, "sliding_window_s", s.sliding_window_s);
+  put_number(v, "sliding_epochs", static_cast<double>(s.sliding_epochs));
   return v;
 }
 
@@ -471,6 +475,15 @@ void parse_serve(const JsonValue& v, const std::string& prefix,
       out->limits.max_pending_windows = positive_uint_at(value, path);
     } else if (key == "reject_when_full") {
       out->limits.reject_when_full = bool_at(value, path);
+    } else if (key == "telemetry_port") {
+      out->telemetry_port = uint_at(value, path);
+      if (out->telemetry_port > 65535) bad("key '" + path + "' must be <= 65535");
+    } else if (key == "slow_window_ms") {
+      out->slow_window_ms = nonneg_at(value, path);
+    } else if (key == "sliding_window_s") {
+      out->sliding_window_s = positive_at(value, path);
+    } else if (key == "sliding_epochs") {
+      out->sliding_epochs = positive_uint_at(value, path);
     } else {
       bad("unknown key '" + path + "'");
     }

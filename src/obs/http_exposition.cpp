@@ -1,0 +1,227 @@
+#include "obs/http_exposition.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "util/error.h"
+
+namespace desmine::obs {
+
+namespace {
+
+/// Reads are bounded so a stuck peer cannot wedge the sequential server.
+void set_io_timeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+std::string render(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+HttpExposition::~HttpExposition() { stop(); }
+
+void HttpExposition::handle(std::string path,
+                            std::function<HttpResponse()> fn) {
+  DESMINE_EXPECTS(!running(), "handle() must precede start()");
+  DESMINE_EXPECTS(fn != nullptr, "handler must be callable");
+  handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpExposition::start(std::uint16_t port) {
+  DESMINE_EXPECTS(!running(), "exposition already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeError("telemetry: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    throw RuntimeError("telemetry: cannot listen on 127.0.0.1:" +
+                       std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    throw RuntimeError("telemetry: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  listener_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpExposition::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock accept(): shutdown wakes it on Linux, close covers the rest.
+  ::shutdown(listener_, SHUT_RDWR);
+  ::close(listener_);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_ = -1;
+}
+
+void HttpExposition::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;  // transient (EINTR / aborted handshake)
+    }
+    set_io_timeout(fd, 5);
+    answer(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExposition::answer(int fd) const {
+  // Read until the end of the request head; the body (if any) is ignored.
+  std::string request;
+  char chunk[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    request.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    write_all(fd, render({400, "text/plain; charset=utf-8",
+                          "malformed request line\n"}));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+
+  if (method != "GET") {
+    write_all(fd, render({405, "text/plain; charset=utf-8",
+                          "only GET is served\n"}));
+    return;
+  }
+  const auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    write_all(fd, render({404, "text/plain; charset=utf-8",
+                          "no handler for " + path + "\n"}));
+    return;
+  }
+  HttpResponse response;
+  try {
+    response = it->second();
+  } catch (const std::exception& e) {
+    response = {500, "text/plain; charset=utf-8",
+                std::string("handler failed: ") + e.what() + "\n"};
+  }
+  write_all(fd, render(response));
+}
+
+HttpGetResult http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeError("http_get: socket() failed");
+  set_io_timeout(fd, 5);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw RuntimeError("http_get: cannot connect to 127.0.0.1:" +
+                       std::to_string(port));
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  write_all(fd, request);
+
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/", 0) != 0) {
+    throw RuntimeError("http_get: malformed response");
+  }
+  HttpGetResult result;
+  const std::size_t sp = raw.find(' ');
+  if (sp != std::string::npos && sp + 4 <= raw.size()) {
+    result.status = std::atoi(raw.c_str() + sp + 1);
+  }
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
+void mount_telemetry(HttpExposition& http,
+                     std::function<std::string()> statusz) {
+  http.handle("/metrics", [] {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        scrape_prometheus()};
+  });
+  http.handle("/healthz", [] {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  if (statusz) {
+    http.handle("/statusz", [fn = std::move(statusz)] {
+      return HttpResponse{200, "application/json; charset=utf-8", fn()};
+    });
+  }
+}
+
+}  // namespace desmine::obs

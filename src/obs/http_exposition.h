@@ -1,0 +1,84 @@
+// Embedded HTTP exposition for the telemetry plane.
+//
+// A deliberately tiny HTTP/1.0 server: one loopback listener, one acceptor
+// thread, requests handled sequentially (a scrape every few seconds from a
+// dashboard or a Prometheus poller — not a web server). Handlers are
+// registered per exact path before start(); unknown paths get 404. start()
+// with port 0 binds an ephemeral port, readable via port() — how tests run
+// a real scrape without a fixed-port race.
+//
+// mount_telemetry() wires the standard trio: /metrics (Prometheus text via
+// obs::scrape_prometheus), /healthz ("ok"), and /statusz (caller-provided
+// JSON, e.g. desmine_serve's uptime/version/stage-quantiles document).
+//
+// http_get() is the matching one-shot loopback client, used by desmine_top
+// and the telemetry tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace desmine::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpExposition {
+ public:
+  HttpExposition() = default;
+  ~HttpExposition();
+
+  HttpExposition(const HttpExposition&) = delete;
+  HttpExposition& operator=(const HttpExposition&) = delete;
+
+  /// Register `fn` for GET requests on exactly `path` (query strings are
+  /// stripped before matching). Must be called before start().
+  void handle(std::string path, std::function<HttpResponse()> fn);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start the acceptor thread.
+  /// Throws util::RuntimeError when the port cannot be bound.
+  void start(std::uint16_t port);
+
+  /// Close the listener and join the acceptor. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  bool running() const { return listener_ >= 0; }
+  /// The bound port (resolved after start(), also for ephemeral binds).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void answer(int fd) const;
+
+  std::map<std::string, std::function<HttpResponse()>> handlers_;
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// One-shot HTTP GET against 127.0.0.1:`port` ("localhost" loopback only —
+/// this is an ops-plane client, not a general fetcher). Throws
+/// util::RuntimeError on connect/IO failure; non-200 statuses are returned,
+/// not thrown.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+HttpGetResult http_get(std::uint16_t port, const std::string& path);
+
+/// Register the standard telemetry endpoints on `http`: /metrics (Prometheus
+/// text format), /healthz, and — when `statusz` is provided — /statusz
+/// serving its JSON document.
+void mount_telemetry(HttpExposition& http,
+                     std::function<std::string()> statusz = {});
+
+}  // namespace desmine::obs

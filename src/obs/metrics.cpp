@@ -86,12 +86,25 @@ void Histogram::reset() {
 double Histogram::Snapshot::quantile(double q) const {
   if (count == 0) return 0.0;
   if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   const auto rank = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count)));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      // Interpolate linearly within the winning bucket: assuming samples
+      // spread uniformly over (lower, upper], the rank's position inside the
+      // bucket picks the estimate. Returning bucket_upper(b) outright (the
+      // old behaviour) overstates mid-bucket distributions by up to 2x.
+      const double upper = bucket_upper(b);
+      const double lower = b == 0 ? std::min(min, upper) : bucket_upper(b - 1);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[b]);
+      const double estimate = lower + (upper - lower) * frac;
+      return std::min(std::max(estimate, min), max);
+    }
     seen += buckets[b];
-    if (seen >= rank) return std::min(bucket_upper(b), max);
   }
   return max;
 }
@@ -117,6 +130,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(name, h->snapshot());
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::to_json() const {

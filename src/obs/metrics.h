@@ -95,8 +95,10 @@ class Histogram {
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
-    /// Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
-    /// the rank falls into, clamped to the observed max.
+    /// Estimate of the q-quantile (q in [0, 1]): linear interpolation within
+    /// the log2 bucket the rank falls into, clamped to [min, max] so a
+    /// single-valued distribution reports that value exactly. quantile(0)
+    /// is min and quantile(1) is max by construction.
     double quantile(double q) const;
   };
 
@@ -122,6 +124,14 @@ class Histogram {
   std::array<Shard, kShards> shards_;
 };
 
+/// Point-in-time copy of every instrument, for exporters that need to walk
+/// the registry without holding its lock (obs::to_prometheus, /statusz).
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
 /// Registry of named instruments. Lookup is mutex-protected; returned
 /// references stay valid for the registry's lifetime (instruments are never
 /// removed, only reset).
@@ -130,6 +140,10 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Copy of every instrument's current value. Approximate under concurrent
+  /// writers, like the dumps.
+  RegistrySnapshot snapshot() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   /// min, max, mean, p50, p95, p99, buckets: [{le, count}...]}}}

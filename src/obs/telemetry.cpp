@@ -1,0 +1,220 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace desmine::obs {
+
+// ---------------------------------------------------- SlidingHistogram -----
+
+SlidingHistogram::SlidingHistogram(double window_s, std::size_t epochs)
+    : window_s_(window_s), base_(Clock::now()) {
+  DESMINE_EXPECTS(window_s > 0.0, "sliding window must be positive");
+  DESMINE_EXPECTS(epochs > 0, "sliding histogram needs at least one epoch");
+  epoch_len_ = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(window_s / static_cast<double>(epochs)));
+  if (epoch_len_.count() <= 0) epoch_len_ = Clock::duration{1};
+  slots_.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    slots_.push_back(std::make_unique<Histogram>());
+  }
+  slot_epoch_.assign(epochs, -1);
+}
+
+std::int64_t SlidingHistogram::epoch_index(Clock::time_point t) const {
+  const auto ticks = (t - base_).count();
+  if (ticks <= 0) return 0;  // pre-base timestamps land in the first epoch
+  return static_cast<std::int64_t>(ticks / epoch_len_.count());
+}
+
+void SlidingHistogram::record_at(Clock::time_point now, double v) {
+  std::lock_guard lock(mutex_);
+  current_ = std::max(current_, epoch_index(now));
+  const std::size_t slot =
+      static_cast<std::size_t>(current_) % slots_.size();
+  if (slot_epoch_[slot] != current_) {
+    // The slot still holds an epoch that fell out of the window; recycle it.
+    slots_[slot]->reset();
+    slot_epoch_[slot] = current_;
+  }
+  slots_[slot]->record(v);
+}
+
+Histogram::Snapshot SlidingHistogram::snapshot_at(Clock::time_point now) const {
+  std::lock_guard lock(mutex_);
+  current_ = std::max(current_, epoch_index(now));
+  const std::int64_t n = static_cast<std::int64_t>(slots_.size());
+  Histogram::Snapshot merged;
+  bool any = false;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    // Live epochs are exactly (current - epochs, current]; stale slots are
+    // skipped here and recycled lazily by record_at.
+    if (slot_epoch_[s] < 0 || slot_epoch_[s] <= current_ - n ||
+        slot_epoch_[s] > current_) {
+      continue;
+    }
+    const Histogram::Snapshot part = slots_[s]->snapshot();
+    if (part.count == 0) continue;
+    merged.count += part.count;
+    merged.sum += part.sum;
+    merged.min = any ? std::min(merged.min, part.min) : part.min;
+    merged.max = any ? std::max(merged.max, part.max) : part.max;
+    for (std::size_t b = 0; b < merged.buckets.size(); ++b) {
+      merged.buckets[b] += part.buckets[b];
+    }
+    any = true;
+  }
+  return merged;
+}
+
+// --------------------------------------------------- TelemetryRegistry -----
+
+void TelemetryRegistry::configure(double window_s, std::size_t epochs) {
+  DESMINE_EXPECTS(window_s > 0.0, "sliding window must be positive");
+  DESMINE_EXPECTS(epochs > 0, "sliding histogram needs at least one epoch");
+  std::lock_guard lock(mutex_);
+  window_s_ = window_s;
+  epochs_ = epochs;
+}
+
+SlidingHistogram& TelemetryRegistry::sliding(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = sliding_[name];
+  if (!slot) slot = std::make_unique<SlidingHistogram>(window_s_, epochs_);
+  return *slot;
+}
+
+std::map<std::string, Histogram::Snapshot> TelemetryRegistry::snapshot()
+    const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, h] : sliding_) out.emplace(name, h->snapshot());
+  return out;
+}
+
+void TelemetryRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  sliding_.clear();
+}
+
+double TelemetryRegistry::window_s() const {
+  std::lock_guard lock(mutex_);
+  return window_s_;
+}
+
+std::size_t TelemetryRegistry::epochs() const {
+  std::lock_guard lock(mutex_);
+  return epochs_;
+}
+
+TelemetryRegistry& telemetry() {
+  static TelemetryRegistry instance;
+  return instance;
+}
+
+// ------------------------------------------------ Prometheus exposition ----
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "desmine_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void emit_histogram_buckets(std::string& out, const std::string& name,
+                            const Histogram::Snapshot& s) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+    if (s.buckets[b] == 0) continue;
+    cumulative += s.buckets[b];
+    out += name + "_bucket{le=\"" +
+           prometheus_escape_label(fmt_value(Histogram::bucket_upper(b))) +
+           "\"} " + std::to_string(cumulative) + "\n";
+  }
+  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+  out += name + "_sum " + fmt_value(s.sum) + "\n";
+  out += name + "_count " + std::to_string(s.count) + "\n";
+}
+
+void emit_summary(std::string& out, const std::string& name,
+                  const Histogram::Snapshot& s) {
+  static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+  for (const double q : kQuantiles) {
+    out += name + "{quantile=\"" + fmt_value(q) + "\"} " +
+           fmt_value(s.quantile(q)) + "\n";
+  }
+  out += name + "_sum " + fmt_value(s.sum) + "\n";
+  out += name + "_count " + std::to_string(s.count) + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(
+    const RegistrySnapshot& registry,
+    const std::map<std::string, Histogram::Snapshot>& sliding) {
+  std::string out;
+  for (const auto& [name, value] : registry.counters) {
+    const std::string n = prometheus_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : registry.gauges) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt_value(value) + "\n";
+  }
+  for (const auto& [name, snap] : registry.histograms) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    emit_histogram_buckets(out, n, snap);
+  }
+  for (const auto& [name, snap] : sliding) {
+    const std::string n = prometheus_name(name) + "_recent";
+    out += "# TYPE " + n + " summary\n";
+    emit_summary(out, n, snap);
+  }
+  return out;
+}
+
+std::string scrape_prometheus() {
+  return to_prometheus(metrics().snapshot(), telemetry().snapshot());
+}
+
+}  // namespace desmine::obs

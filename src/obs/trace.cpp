@@ -23,6 +23,71 @@ std::uint64_t this_thread_hash() {
 
 }  // namespace
 
+// ------------------------------------------------- cross-thread spans ------
+
+SpanContext Tracer::start_span(std::string name, SpanContext parent,
+                               std::vector<Field> attrs) {
+  if (!enabled()) return {};
+  SpanRecord record;
+  record.name = std::move(name);
+  record.attrs = std::move(attrs);
+  record.thread_id = this_thread_hash();
+  if (parent.valid() && parent.tracer == this) record.parent = parent.id;
+  std::uint32_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    record.start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    id = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(record));
+  }
+  return {this, id};
+}
+
+void Tracer::finish_span(SpanContext ctx, std::vector<Field> extra_attrs) {
+  if (!ctx.valid() || ctx.tracer != this) return;
+  std::lock_guard lock(mutex_);
+  if (ctx.id >= records_.size()) return;  // reset() raced the open span
+  SpanRecord& record = records_[ctx.id];
+  record.end_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  for (Field& f : extra_attrs) record.attrs.push_back(std::move(f));
+}
+
+SpanContext Tracer::record_complete(std::string name, SpanContext parent,
+                                    std::chrono::steady_clock::time_point start,
+                                    std::chrono::steady_clock::time_point end,
+                                    std::vector<Field> attrs) {
+  if (!enabled()) return {};
+  SpanRecord record;
+  record.name = std::move(name);
+  record.attrs = std::move(attrs);
+  record.thread_id = this_thread_hash();
+  if (parent.valid() && parent.tracer == this) record.parent = parent.id;
+  std::uint32_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto since_epoch = [this](std::chrono::steady_clock::time_point t) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t - epoch_)
+                          .count();
+      return ns < 0 ? std::uint64_t{0} : static_cast<std::uint64_t>(ns);
+    };
+    record.start_ns = since_epoch(start);
+    // end_ns == 0 flags a still-open span; a retroactive record is finished
+    // by definition, so clamp to at least 1ns past the epoch.
+    record.end_ns = std::max<std::uint64_t>(
+        std::max(since_epoch(end), record.start_ns), 1);
+    id = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(record));
+  }
+  return {this, id};
+}
+
 void Tracer::reset() {
   std::lock_guard lock(mutex_);
   records_.clear();

@@ -40,13 +40,47 @@ struct SpanRecord {
 };
 
 class Span;
+class Tracer;
 
-/// Collects finished spans. All mutation happens through Span.
+/// Handle to a recorded span, detachable from the thread that opened it.
+/// Carried by value through queues (e.g. serve::PendingWindow) so work that
+/// hops threads keeps one connected trace tree instead of severing at every
+/// pool handoff. Invalid (default) contexts are inert: passing one as a
+/// parent makes the child a root, finishing one is a no-op.
+struct SpanContext {
+  const Tracer* tracer = nullptr;
+  std::uint32_t id = SpanRecord::kNoParent;
+
+  bool valid() const {
+    return tracer != nullptr && id != SpanRecord::kNoParent;
+  }
+};
+
+/// Collects finished spans. All mutation happens through Span or the
+/// explicit cross-thread API (start_span / finish_span / record_complete).
 class Tracer {
  public:
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void enable() { enabled_.store(true, std::memory_order_relaxed); }
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Open a span that is NOT tied to this thread's RAII stack: the returned
+  /// context may be carried to any thread and closed there with
+  /// finish_span(). `parent` parents explicitly (invalid context = root).
+  /// Returns an invalid context while the tracer is disabled.
+  SpanContext start_span(std::string name, SpanContext parent = {},
+                         std::vector<Field> attrs = {});
+  /// Close a span opened by start_span(). No-op on invalid contexts.
+  void finish_span(SpanContext ctx, std::vector<Field> extra_attrs = {});
+
+  /// Retroactively append an already-finished span with explicit steady-
+  /// clock endpoints — used to reconstruct per-stage child spans from
+  /// timestamps gathered while the work flowed through queues. Returns an
+  /// invalid context while disabled.
+  SpanContext record_complete(std::string name, SpanContext parent,
+                              std::chrono::steady_clock::time_point start,
+                              std::chrono::steady_clock::time_point end,
+                              std::vector<Field> attrs = {});
 
   /// Drop all records and restart the epoch. Not safe with open spans.
   void reset();

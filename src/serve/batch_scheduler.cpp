@@ -67,9 +67,16 @@ bool BatchScheduler::run_one() {
     in_ready_[edge_id] = 0;
     busy_[edge_id] = 1;
     std::deque<Item>& queue = queues_[edge_id];
+    const auto now = std::chrono::steady_clock::now();
     while (batch.size() < max_batch_ && !queue.empty()) {
       batch.push_back(queue.front());
       queue.pop_front();
+      // Stage stamps: the first pop ends the queue wait, the last pop ends
+      // batch formation (a window contributes one item per edge, so these
+      // land across run_one() calls of different workers — all under mu_).
+      PendingWindow* w = batch.back().window;
+      if (w->dequeued == 0) w->first_dequeue = now;
+      if (++w->dequeued == w->edges.size()) w->last_dequeue = now;
     }
     queued_items_ -= batch.size();
   }
@@ -87,6 +94,7 @@ bool BatchScheduler::run_one() {
     }
     for (const Item& item : batch) {
       if (--item.window->remaining == 0) {
+        item.window->scored_done = std::chrono::steady_clock::now();
         const auto it = owned_.find(item.window);
         completed.push_back(std::move(it->second));
         owned_.erase(it);

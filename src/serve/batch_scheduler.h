@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "nmt/translation.h"
+#include "obs/trace.h"
 #include "text/bleu.h"
 
 namespace desmine::serve {
@@ -52,7 +53,21 @@ struct PendingWindow {
   std::vector<double> edge_bleu;
   /// Outstanding scores; guarded by the scheduler mutex.
   std::size_t remaining = 0;
+  /// Work items already popped by workers; guarded by the scheduler mutex.
+  std::size_t dequeued = 0;
+
+  /// End-to-end trace handle: the "serve.window" root span opened at
+  /// ingest, carried across the scheduler's thread handoffs and closed at
+  /// delivery (invalid while tracing is disabled).
+  obs::SpanContext span;
+  /// Stage timeline, stamped as the window flows through the scheduler:
+  /// enqueued <= first_dequeue <= last_dequeue <= scored_done. Session
+  /// finalization turns the gaps into the serve.stage.* histograms and the
+  /// per-stage child spans.
   std::chrono::steady_clock::time_point enqueued{};
+  std::chrono::steady_clock::time_point first_dequeue{};
+  std::chrono::steady_clock::time_point last_dequeue{};
+  std::chrono::steady_clock::time_point scored_done{};
 };
 
 class BatchScheduler {

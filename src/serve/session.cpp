@@ -2,18 +2,32 @@
 
 #include <utility>
 
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace desmine::serve {
 
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 Session::Session(std::uint64_t id, const SharedModel& shared,
                  core::SensorEncrypter encrypter, core::WindowConfig window,
-                 core::DegradedConfig degraded, SessionLimits limits)
+                 core::DegradedConfig degraded, SessionLimits limits,
+                 TelemetryPolicy telemetry)
     : id_(id),
       shared_(shared),
       limits_(limits),
+      telemetry_(telemetry),
       degraded_enabled_(degraded.enabled),
       assembler_(std::move(encrypter), window, degraded) {
   DESMINE_EXPECTS(limits_.max_pending_windows > 0,
@@ -51,6 +65,12 @@ IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
   pending->unhealthy = std::move(window->unhealthy);
   pending->masked = degraded_enabled_;
   pending->enqueued = std::chrono::steady_clock::now();
+  // Root span of the window's end-to-end trace; carried by value through
+  // the scheduler's thread handoffs, closed at delivery (invalid context —
+  // hence free — while tracing is disabled).
+  pending->span = obs::tracer().start_span(
+      "serve.window", {},
+      {obs::kv("session", id_), obs::kv("window", pending->window_index)});
 
   // The per-window valid set: every shared edge, minus edges incident to an
   // unhealthy sensor — the same exclusion rule AnomalyDetector applies.
@@ -114,28 +134,115 @@ void Session::finalize(std::unique_ptr<PendingWindow> window) {
                                   static_cast<double>(surviving);
   }
 
-  const double latency_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - window->enqueued)
-          .count();
-  obs::metrics().histogram("serve.window.latency_ms").record(latency_ms);
   obs::metrics().counter("serve.windows_scored").inc();
+
+  Delivery delivery;
+  delivery.result = std::move(out);
+  delivery.span = window->span;
+  delivery.enqueued = window->enqueued;
+  delivery.first_dequeue = window->first_dequeue;
+  delivery.last_dequeue = window->last_dequeue;
+  delivery.scored_done = window->scored_done;
+  delivery.scheduled = !window->edges.empty();
+  const std::size_t index = delivery.result.window_index;
 
   {
     std::lock_guard lock(mu_);
     --inflight_;
-    enqueue_result_locked(out.window_index, std::move(out));
+    enqueue_result_locked(index, std::move(delivery));
   }
   cv_.notify_all();
 }
 
 void Session::enqueue_result_locked(std::size_t window_index,
-                                    WindowResult result) {
-  reorder_.emplace(window_index, std::move(result));
+                                    Delivery delivery) {
+  reorder_.emplace(window_index, std::move(delivery));
   while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
-    completed_.push_back(std::move(reorder_.begin()->second));
+    Delivery& next = reorder_.begin()->second;
+    // Delivery is the true end of the window's life cycle: latency and the
+    // reorder stage both close here, not when the score landed.
+    deliver_telemetry(next, std::chrono::steady_clock::now());
+    completed_.push_back(std::move(next.result));
     reorder_.erase(reorder_.begin());
     ++next_emit_;
+  }
+}
+
+void Session::deliver_telemetry(
+    const Delivery& d, std::chrono::steady_clock::time_point delivered) {
+  static obs::Histogram& latency =
+      obs::metrics().histogram("serve.window.latency_ms");
+  static obs::Histogram& queue_ms =
+      obs::metrics().histogram("serve.stage.queue_ms");
+  static obs::Histogram& batch_form_ms =
+      obs::metrics().histogram("serve.stage.batch_form_ms");
+  static obs::Histogram& decode_ms =
+      obs::metrics().histogram("serve.stage.decode_ms");
+  static obs::Histogram& reorder_ms =
+      obs::metrics().histogram("serve.stage.reorder_ms");
+
+  const double latency_ms = ms_between(d.enqueued, delivered);
+  latency.record(latency_ms);
+  obs::telemetry().sliding("serve.window.latency_ms").record(latency_ms);
+
+  double stage_ms[4] = {0.0, 0.0, 0.0, 0.0};
+  if (d.scheduled) {
+    stage_ms[0] = ms_between(d.enqueued, d.first_dequeue);
+    stage_ms[1] = ms_between(d.first_dequeue, d.last_dequeue);
+    stage_ms[2] = ms_between(d.last_dequeue, d.scored_done);
+    stage_ms[3] = ms_between(d.scored_done, delivered);
+    queue_ms.record(stage_ms[0]);
+    batch_form_ms.record(stage_ms[1]);
+    decode_ms.record(stage_ms[2]);
+    reorder_ms.record(stage_ms[3]);
+  }
+
+  if (d.span.valid()) {
+    obs::Tracer& tr = obs::tracer();
+    if (d.scheduled) {
+      tr.record_complete("serve.stage.queue", d.span, d.enqueued,
+                         d.first_dequeue);
+      tr.record_complete("serve.stage.batch_form", d.span, d.first_dequeue,
+                         d.last_dequeue);
+      tr.record_complete("serve.stage.decode", d.span, d.last_dequeue,
+                         d.scored_done);
+      tr.record_complete("serve.stage.reorder", d.span, d.scored_done,
+                         delivered);
+    }
+    tr.finish_span(d.span, {obs::kv("score", d.result.anomaly_score),
+                            obs::kv("latency_ms", latency_ms)});
+  }
+
+  if (telemetry_.slow_window_ms > 0.0 &&
+      latency_ms > telemetry_.slow_window_ms) {
+    obs::metrics().counter("serve.window.slow").inc();
+    // The window's span tree, inline, so a JSON-lines sink yields one
+    // self-contained record per slow window (schema: DESIGN.md §12).
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("name").value("serve.window");
+    w.key("duration_ms").value(latency_ms);
+    w.key("children").begin_array();
+    static constexpr const char* kStageNames[4] = {
+        "serve.stage.queue", "serve.stage.batch_form", "serve.stage.decode",
+        "serve.stage.reorder"};
+    for (std::size_t s = 0; s < 4; ++s) {
+      w.begin_object();
+      w.key("name").value(kStageNames[s]);
+      w.key("duration_ms").value(d.scheduled ? stage_ms[s] : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    DESMINE_LOG_WARN("slow window",
+                     {obs::kv("session", id_),
+                      obs::kv("window", d.result.window_index),
+                      obs::kv("latency_ms", latency_ms),
+                      obs::kv("queue_ms", stage_ms[0]),
+                      obs::kv("batch_form_ms", stage_ms[1]),
+                      obs::kv("decode_ms", stage_ms[2]),
+                      obs::kv("reorder_ms", stage_ms[3]),
+                      obs::kv("trace", w.str())});
   }
 }
 

@@ -55,11 +55,20 @@ struct SharedModel {
   core::DetectorConfig detector;
 };
 
+/// Per-session telemetry knobs (SessionManager copies them out of
+/// ServeConfig).
+struct TelemetryPolicy {
+  /// Windows whose end-to-end latency exceeds this emit their span tree as
+  /// a warn-level JSON log record (0 disables the slow-window log).
+  double slow_window_ms = 0.0;
+};
+
 class Session {
  public:
   Session(std::uint64_t id, const SharedModel& shared,
           core::SensorEncrypter encrypter, core::WindowConfig window,
-          core::DegradedConfig degraded, SessionLimits limits);
+          core::DegradedConfig degraded, SessionLimits limits,
+          TelemetryPolicy telemetry = {});
 
   /// Consume one tick. When the tick completes a window, `*to_schedule`
   /// receives the pending window to hand to the BatchScheduler (null
@@ -96,15 +105,33 @@ class Session {
   Stats stats() const;
 
  private:
+  /// A scored window parked in the reorder buffer: the result plus the
+  /// trace handle and stage timeline it must keep until actual delivery —
+  /// the reorder stage only ends when the window leaves in order.
+  struct Delivery {
+    WindowResult result;
+    obs::SpanContext span;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::chrono::steady_clock::time_point first_dequeue{};
+    std::chrono::steady_clock::time_point last_dequeue{};
+    std::chrono::steady_clock::time_point scored_done{};
+    bool scheduled = false;  ///< went through the BatchScheduler
+  };
+
   /// pending budget used: windows being scored + results not yet polled.
   std::size_t pending_locked() const {
     return inflight_ + reorder_.size() + completed_.size();
   }
-  void enqueue_result_locked(std::size_t window_index, WindowResult result);
+  void enqueue_result_locked(std::size_t window_index, Delivery delivery);
+  /// Record latency + stage histograms, close the window's span tree, and
+  /// emit the slow-window log. Called at delivery time (in window order).
+  void deliver_telemetry(const Delivery& d,
+                         std::chrono::steady_clock::time_point delivered);
 
   const std::uint64_t id_;
   const SharedModel& shared_;
   const SessionLimits limits_;
+  const TelemetryPolicy telemetry_;
   const bool degraded_enabled_;
 
   mutable std::mutex mu_;
@@ -113,7 +140,7 @@ class Session {
   bool closed_ = false;
   std::size_t inflight_ = 0;   ///< submitted to the scheduler, not finalized
   std::size_t next_emit_ = 0;  ///< next window index to deliver in order
-  std::map<std::size_t, WindowResult> reorder_;
+  std::map<std::size_t, Delivery> reorder_;
   std::deque<WindowResult> completed_;
   std::size_t delivered_ = 0;
 };

@@ -6,6 +6,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/error.h"
 
 namespace desmine::serve {
@@ -32,6 +33,22 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
       shared_.edges.push_back({e.src, e.dst, e.bleu, e.model});
     }
   }
+
+  // Telemetry plane: shape the sliding windows before any instrument is
+  // created, then pre-register the scrape-visible instruments so /metrics
+  // carries them (zero-valued) from the first scrape, not the first window.
+  if (config_.sliding_window_s > 0.0 && config_.sliding_epochs > 0) {
+    obs::telemetry().configure(config_.sliding_window_s,
+                               config_.sliding_epochs);
+  }
+  obs::telemetry().sliding("serve.window.latency_ms");
+  obs::metrics().histogram("serve.window.latency_ms");
+  obs::metrics().histogram("serve.stage.queue_ms");
+  obs::metrics().histogram("serve.stage.batch_form_ms");
+  obs::metrics().histogram("serve.stage.decode_ms");
+  obs::metrics().histogram("serve.stage.reorder_ms");
+  obs::metrics().counter("serve.windows_scored");
+  obs::metrics().counter("serve.ticks");
 
   scheduler_ = std::make_unique<BatchScheduler>(
       shared_.edges, config_.max_batch, config_.decode_cache,
@@ -74,9 +91,11 @@ SessionManager::~SessionManager() {
 std::uint64_t SessionManager::open(core::DegradedConfig degraded) {
   std::lock_guard lock(mu_);
   const std::uint64_t id = next_id_++;
+  TelemetryPolicy telemetry;
+  telemetry.slow_window_ms = config_.slow_window_ms;
   sessions_.emplace(id, std::make_shared<Session>(id, shared_, encrypter_,
                                                   window_, degraded,
-                                                  config_.limits));
+                                                  config_.limits, telemetry));
   obs::metrics().gauge("serve.sessions").set(
       static_cast<double>(sessions_.size()));
   DESMINE_LOG_DEBUG("session opened", {obs::kv("session", id),
@@ -151,6 +170,12 @@ Session::Stats SessionManager::stats(std::uint64_t session) const {
 std::size_t SessionManager::session_count() const {
   std::lock_guard lock(mu_);
   return sessions_.size();
+}
+
+double SessionManager::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
 }
 
 }  // namespace desmine::serve

@@ -10,9 +10,13 @@
 // (SessionLimits) and never stalls or degrades its neighbours.
 //
 // Reported metrics: serve.sessions (gauge), serve.batch.size,
-// serve.window.latency_ms, serve.batch.score_ms (histograms), serve.ticks,
-// serve.windows_scored, serve.batch.{decoded,cache_hits}, and
-// serve.ingest.rejected (counters).
+// serve.window.latency_ms, serve.batch.score_ms, the per-stage breakdown
+// serve.stage.{queue,batch_form,decode,reorder}_ms (histograms),
+// serve.ticks, serve.windows_scored, serve.batch.{decoded,cache_hits},
+// serve.ingest.rejected, and serve.window.slow (counters), plus a sliding
+// serve.window.latency_ms in obs::telemetry() for recent quantiles on
+// /metrics. serve.window.latency_ms is measured at delivery (poll order),
+// so it includes the reorder wait.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +52,19 @@ struct ServeConfig {
   std::size_t decode_cache = 4096;
   /// Per-session flow control (pending-window budget + block/reject).
   SessionLimits limits{};
+
+  // --- Telemetry plane (DESIGN.md §12) ---
+  /// Loopback port for the /metrics + /healthz + /statusz exposition
+  /// (0 = off). The listener itself is mounted by the serving tool; the
+  /// knob lives here so config files carry it.
+  std::size_t telemetry_port = 0;
+  /// Windows slower than this (end-to-end ms) emit their span tree as a
+  /// warn-level JSON-lines record (0 = off).
+  double slow_window_ms = 0.0;
+  /// Shape of the sliding-window quantiles on /metrics: total window in
+  /// seconds and the number of ring epochs it is divided into.
+  double sliding_window_s = 60.0;
+  std::size_t sliding_epochs = 6;
 };
 
 class SessionManager {
@@ -93,9 +110,14 @@ class SessionManager {
   const ServeConfig& config() const { return config_; }
   const core::SensorEncrypter& encrypter() const { return encrypter_; }
 
+  /// Seconds since this manager came up (/statusz and the stats op).
+  double uptime_s() const;
+
  private:
   std::shared_ptr<Session> find(std::uint64_t session) const;
 
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   ServeConfig config_;
   core::SensorEncrypter encrypter_;
   core::WindowConfig window_;

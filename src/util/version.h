@@ -1,0 +1,12 @@
+// Build identity embedded at CMake configure time.
+#pragma once
+
+namespace desmine::util {
+
+/// "<semver>+<git-sha> (<build-type>)", e.g. "1.0.0+27cb76d (Release)".
+/// The SHA is resolved by CMake at configure time ("unknown" outside a git
+/// checkout), so the string identifies exactly what a running server was
+/// built from — surfaced by the desmine_serve stats op and /statusz.
+const char* desmine_version();
+
+}  // namespace desmine::util

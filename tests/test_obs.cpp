@@ -315,6 +315,34 @@ TEST(Metrics, HistogramBasics) {
   EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
 }
 
+TEST(Metrics, HistogramQuantileInterpolation) {
+  // A single-valued distribution must report that value at every quantile:
+  // the estimate interpolates within the bucket and clamps to [min, max],
+  // so it cannot drift to the bucket's upper bound (100 lands in the
+  // (64, 128] bucket — the old upper-bound estimator answered 128).
+  obs::Histogram single;
+  for (int i = 0; i < 1000; ++i) single.record(100.0);
+  const auto one = single.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(one.quantile(q), 100.0) << "q=" << q;
+  }
+
+  // Two bucket-separated values: interpolated quantiles stay inside each
+  // value's own bucket and the endpoints are exact.
+  obs::Histogram two;
+  for (int i = 0; i < 50; ++i) two.record(2.0);
+  for (int i = 0; i < 50; ++i) two.record(1000.0);
+  const auto snap = two.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0);
+  EXPECT_LE(snap.quantile(0.25), obs::Histogram::bucket_upper(
+                                     obs::Histogram::bucket_of(2.0)));
+  EXPECT_GE(snap.quantile(0.25), snap.min);
+  EXPECT_GT(snap.quantile(0.95), obs::Histogram::bucket_upper(
+                                     obs::Histogram::bucket_of(2.0)));
+  EXPECT_LE(snap.quantile(0.95), snap.max);
+}
+
 TEST(Metrics, HistogramBucketsMonotonic) {
   for (std::size_t b = 1; b + 1 < obs::Histogram::kBuckets; ++b) {
     EXPECT_LT(obs::Histogram::bucket_upper(b - 1),

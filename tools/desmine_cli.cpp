@@ -22,6 +22,8 @@
 //   --log-level trace|debug|info|warn|error|off   (default info)
 //   --log-json FILE       structured JSON-lines log in addition to stderr
 //   --metrics-out FILE    dump the metrics registry as JSON on exit
+//   --metrics-interval-s N  additionally re-write --metrics-out atomically
+//                         every N seconds while the command runs
 //   --trace-out FILE      record spans; dump chrome://tracing JSON on exit
 //
 // Exit codes (documented in README.md):
@@ -32,14 +34,18 @@
 //   4    detection completed degraded (some windows below the coverage
 //        quorum emitted no verdict)
 //   130  interrupted (SIGINT/SIGTERM); checkpoint and metrics are flushed
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/framework.h"
@@ -432,6 +438,8 @@ void usage() {
          "  --log-level trace|debug|info|warn|error|off   (default info)\n"
          "  --log-json FILE      JSON-lines log in addition to stderr\n"
          "  --metrics-out FILE   dump counters/gauges/histograms JSON on exit\n"
+         "  --metrics-interval-s N  also re-write --metrics-out atomically\n"
+         "                       every N seconds during the run\n"
          "  --trace-out FILE     dump chrome://tracing span JSON on exit\n"
          "exit codes: 0 ok | 1 runtime error | 2 usage error |\n"
          "            3 trained with permanently failed pairs |\n"
@@ -457,6 +465,50 @@ void setup_observability(const Args& args) {
   obs::metrics().gauge("tensor.workspace.bytes_peak");
   obs::metrics().counter("tensor.workspace.rewinds");
 }
+
+/// Background metrics flusher for long runs: while a command executes,
+/// re-write --metrics-out every interval via io::write_file_atomic, so an
+/// external watcher always reads a complete JSON document mid-run (a plain
+/// ofstream would expose torn half-written files). Tool-level on purpose —
+/// the obs layer stays io-free.
+class PeriodicMetricsWriter {
+ public:
+  PeriodicMetricsWriter(std::string path, double interval_s)
+      : path_(std::move(path)) {
+    DESMINE_EXPECTS(interval_s > 0.0, "--metrics-interval-s must be > 0");
+    worker_ = std::thread([this, interval_s] {
+      std::unique_lock lock(mu_);
+      const auto interval = std::chrono::duration<double>(interval_s);
+      while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+        lock.unlock();
+        try {
+          io::write_file_atomic(path_, obs::metrics().to_json());
+        } catch (const std::exception& e) {
+          // A failed flush must not kill the run; the exit dump still runs.
+          obs::logger().warn("periodic metrics write failed",
+                             {obs::kv("path", path_), obs::kv("error", e.what())});
+        }
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicMetricsWriter() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+ private:
+  const std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
 
 /// Export metrics/trace dumps after a command finished.
 void dump_observability(const Args& args) {
@@ -495,6 +547,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    // --metrics-interval-s N: flush --metrics-out atomically every N
+    // seconds while the command runs (long mining runs become observable).
+    std::unique_ptr<PeriodicMetricsWriter> metrics_writer;
+    const double metrics_interval = args->number("metrics-interval-s", 0.0);
+    const std::string metrics_out = args->get_or("metrics-out", "");
+    if (metrics_interval > 0.0) {
+      if (metrics_out.empty()) {
+        throw PreconditionError(
+            "--metrics-interval-s requires --metrics-out");
+      }
+      metrics_writer = std::make_unique<PeriodicMetricsWriter>(
+          metrics_out, metrics_interval);
+    }
+
     int rc = 2;
     if (command == "generate") {
       rc = cmd_generate(*args);

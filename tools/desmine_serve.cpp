@@ -24,8 +24,11 @@
 // Options: --model FILE (required), --config FILE / --dump-config,
 // --listen PORT, detector band overrides (--lo --hi --tolerance
 // --min-coverage), serving knobs (--workers --max-batch --decode-cache
-// --max-pending --reject-when-full), health knobs as desmine_cli detect,
-// and the shared observability flags. Exit codes match desmine_cli:
+// --max-pending --reject-when-full), telemetry knobs (--telemetry-port
+// --slow-window-ms --sliding-window-s --sliding-epochs; /metrics serves
+// Prometheus text, /statusz the version/uptime/stage-quantiles document),
+// health knobs as desmine_cli detect, and the shared observability flags.
+// Exit codes match desmine_cli:
 // 0 ok | 1 runtime error | 2 usage error | 130 interrupted.
 #include <csignal>
 #include <netinet/in.h>
@@ -50,6 +53,7 @@
 #include "robust/checkpoint.h"
 #include "robust/interrupt.h"
 #include "util/error.h"
+#include "util/version.h"
 
 using namespace desmine;
 
@@ -146,8 +150,50 @@ io::RunConfig effective_config(const Args& args) {
       "max-pending", static_cast<double>(s.limits.max_pending_windows)));
   s.limits.reject_when_full =
       s.limits.reject_when_full || args.flag("reject-when-full");
+  s.telemetry_port = static_cast<std::size_t>(
+      args.number("telemetry-port", static_cast<double>(s.telemetry_port)));
+  s.slow_window_ms = args.number("slow-window-ms", s.slow_window_ms);
+  s.sliding_window_s = args.number("sliding-window-s", s.sliding_window_s);
+  s.sliding_epochs = static_cast<std::size_t>(args.number(
+      "sliding-epochs", static_cast<double>(s.sliding_epochs)));
   s.detector = d;
   return run;
+}
+
+/// Per-stage latency quantiles out of the cumulative stage histograms —
+/// shared by the stats op and /statusz.
+void stage_quantiles_json(obs::JsonWriter& w) {
+  const obs::RegistrySnapshot snap = obs::metrics().snapshot();
+  w.key("stages").begin_object();
+  for (const char* stage :
+       {"queue_ms", "batch_form_ms", "decode_ms", "reorder_ms"}) {
+    w.key(stage).begin_object();
+    const auto it = snap.histograms.find(std::string("serve.stage.") + stage);
+    const obs::Histogram::Snapshot s =
+        it == snap.histograms.end() ? obs::Histogram::Snapshot{} : it->second;
+    w.key("count").value(s.count);
+    w.key("p50").value(s.quantile(0.50));
+    w.key("p95").value(s.quantile(0.95));
+    w.key("p99").value(s.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+/// The /statusz document: build identity, uptime, live session/model
+/// counts, and the per-stage quantiles.
+std::string statusz_json(const serve::SessionManager& manager) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("version").value(util::desmine_version());
+  w.key("uptime_s").value(manager.uptime_s());
+  w.key("sessions").value(
+      static_cast<std::uint64_t>(manager.session_count()));
+  w.key("valid_models").value(
+      static_cast<std::uint64_t>(manager.valid_model_count()));
+  stage_quantiles_json(w);
+  w.end_object();
+  return w.str();
 }
 
 /// One protocol endpoint (stdin/stdout or one TCP connection). Lines are
@@ -352,6 +398,9 @@ class Protocol {
     w.key("windows_delivered")
         .value(static_cast<std::uint64_t>(stats.windows_delivered));
     w.key("pending").value(static_cast<std::uint64_t>(stats.pending));
+    w.key("uptime_s").value(manager_.uptime_s());
+    w.key("version").value(util::desmine_version());
+    stage_quantiles_json(w);
     w.end_object();
     out.write(w.str());
   }
@@ -451,6 +500,10 @@ void usage() {
          "  --lo 80 --hi 90 --tolerance 0 --min-coverage 0.5\n"
          "  --workers 0 --max-batch 32 --decode-cache 4096\n"
          "  --max-pending 64 --reject-when-full\n"
+         "  --telemetry-port P   expose /metrics /healthz /statusz on\n"
+         "                       127.0.0.1:P (Prometheus text format)\n"
+         "  --slow-window-ms MS  log span trees of windows slower than MS\n"
+         "  --sliding-window-s 60 --sliding-epochs 6\n"
          "  --health-drop-after 3 --health-stale-after 0 --health-unk-rate\n"
          "  0.5 --health-unk-window 64 --health-readmit-after 8\n"
          "  --log-level L --log-json FILE --metrics-out FILE\n"
@@ -496,6 +549,18 @@ int main(int argc, char** argv) {
     core::DegradedConfig degraded;
     degraded.enabled = true;
     degraded.health = run.health;
+
+    // Telemetry plane: declared after the manager so the listener stops
+    // before the sessions it reads from are torn down.
+    obs::HttpExposition exposition;
+    if (run.serve.telemetry_port != 0) {
+      obs::mount_telemetry(exposition,
+                           [&manager] { return statusz_json(manager); });
+      exposition.start(static_cast<std::uint16_t>(run.serve.telemetry_port));
+      DESMINE_LOG_INFO("telemetry up",
+                       {obs::kv("port", exposition.port()),
+                        obs::kv("endpoints", "/metrics /healthz /statusz")});
+    }
 
     robust::install_signal_flag();
     const std::string listen = args->get_or("listen", "");
