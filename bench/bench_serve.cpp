@@ -15,6 +15,11 @@
 // sessions with the /metrics HTTP exposition off vs scraped every 50 ms;
 // the overhead must stay <= 2%.
 //
+// Overload scenario (ISSUE 7): an open-loop driver offers 2x the measured
+// saturation throughput with deadline shedding armed; the run records the
+// shed rate, the p99 latency of accepted windows (must stay <= 2x the
+// 1x-load p99), and the accepted throughput (within 10% of saturation).
+//
 // Results: bench_artifacts/BENCH_serve.json (+ _metrics/_trace dumps).
 #include <chrono>
 #include <cstdint>
@@ -122,9 +127,10 @@ std::map<std::string, std::string> tick_states(
 /// Session s replays one day of the stream starting at a day offset, so
 /// concurrent sessions overlap the way independent plants on the same
 /// duty cycle would.
-std::size_t slice_start(std::size_t session, std::size_t total_ticks) {
+std::size_t slice_start(std::size_t session, std::size_t total_ticks,
+                        std::size_t slice_ticks = kSliceTicks) {
   const std::size_t day = serve_plant_config().minutes_per_day;
-  return (session * day) % (total_ticks - kSliceTicks + 1);
+  return (session * day) % (total_ticks - slice_ticks + 1);
 }
 
 struct RunResult {
@@ -257,6 +263,98 @@ double exposition_overhead_pct(const dc::Framework& fw,
   return std::max(0.0, (*off_wps - *on_wps) / std::max(*off_wps, 1e-9) * 100.0);
 }
 
+// ---------------------------------------------------------------------------
+// Overload scenario (ISSUE 7): open-loop offered load vs deadline shedding
+
+constexpr std::size_t kOverloadTicks = 480;  // two plant days per session
+
+struct OverloadRun {
+  double offered_wps = 0.0;   ///< realized open-loop offered window rate
+  double accepted_wps = 0.0;  ///< scored (non-shed) windows per second
+  double shed_rate = 0.0;     ///< shed / (shed + accepted)
+  double p99_ms = 0.0;        ///< p99 latency of ACCEPTED windows only
+  std::size_t accepted = 0;
+  std::size_t shed = 0;
+};
+
+/// Open-loop driver: ticks are offered on a fixed wall-clock schedule
+/// derived from `offered_wps` (one window needs sentence_stride ticks per
+/// session) and never slowed down by the server — if the fleet cannot keep
+/// up, windows go stale in the scheduler queue and the `deadline_ms`
+/// shedding policy drops them as counted no-verdict results. Shed windows
+/// are excluded from serve.window.latency_ms by design, so the measured p99
+/// is the accepted-windows p99 the acceptance bound speaks about.
+OverloadRun run_overload(const dc::Framework& fw,
+                         const dc::MultivariateSeries& series,
+                         std::size_t sessions, double offered_wps,
+                         double deadline_ms) {
+  const dc::FrameworkConfig& cfg = fw.config();
+  ds::ServeConfig scfg;
+  scfg.detector = cfg.detector;
+  scfg.max_queue_delay_ms = deadline_ms;
+  // The bench measures steady-state shedding, not the starvation guard:
+  // effectively-unbounded budgets keep the open loop from ever blocking,
+  // and an unreachable consecutive-shed cap keeps guard-forced stragglers
+  // (accepted windows with unbounded queue age) out of the p99.
+  scfg.limits.max_pending_windows = 1u << 20;
+  scfg.limits.max_consecutive_shed = 1u << 20;
+
+  const std::size_t stride = cfg.window.sentence_stride;
+  // One round feeds one tick to every session = sessions/stride windows.
+  const double rounds_per_s =
+      offered_wps * static_cast<double>(stride) / static_cast<double>(sessions);
+  const auto round_interval = std::chrono::duration<double>(1.0 / rounds_per_s);
+
+  OverloadRun out;
+  desmine::obs::metrics().histogram("serve.window.latency_ms").reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed_s = 0.0;
+  {
+    ds::SessionManager manager(fw.graph(), fw.encrypter(), cfg.window, scfg);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t s = 0; s < sessions; ++s) ids.push_back(manager.open());
+    for (std::size_t t = 0; t < kOverloadTicks; ++t) {
+      // Absolute schedule: a late round never stretches the offered rate.
+      const auto due = t0 + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                round_interval * static_cast<double>(t));
+      while (std::chrono::steady_clock::now() < due) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const std::size_t start = slice_start(s, series.front().events.size(),
+                                              kOverloadTicks);
+        manager.ingest(ids[s], tick_states(series, start + t));
+      }
+    }
+    manager.drain();
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (std::size_t s = 0; s < sessions; ++s) {
+      while (const auto r = manager.poll(ids[s])) {
+        if (r->shed) {
+          ++out.shed;
+        } else {
+          ++out.accepted;
+        }
+      }
+    }
+  }
+  const std::size_t total = out.accepted + out.shed;
+  out.offered_wps = static_cast<double>(total) / std::max(elapsed_s, 1e-9);
+  out.accepted_wps =
+      static_cast<double>(out.accepted) / std::max(elapsed_s, 1e-9);
+  out.shed_rate = total == 0 ? 0.0
+                             : static_cast<double>(out.shed) /
+                                   static_cast<double>(total);
+  out.p99_ms = desmine::obs::metrics()
+                   .histogram("serve.window.latency_ms")
+                   .snapshot()
+                   .quantile(0.99);
+  return out;
+}
+
 bool bit_identical(const RunResult& a, const RunResult& b) {
   if (a.scores.size() != b.scores.size()) return false;
   for (std::size_t s = 0; s < a.scores.size(); ++s) {
@@ -286,6 +384,7 @@ int main() {
 
   bool all_identical = true;
   double speedup_at_8 = 0.0;
+  double capacity_wps = 0.0;
   for (const std::size_t sessions : {std::size_t{1}, std::size_t{8},
                                      std::size_t{32}}) {
     const RunResult seq = run_sequential(fw, plant.series, sessions);
@@ -299,7 +398,10 @@ int main() {
     const double served_wps =
         static_cast<double>(served.windows) / std::max(served.elapsed_s, 1e-9);
     const double speedup = served_wps / std::max(seq_wps, 1e-9);
-    if (sessions == 8) speedup_at_8 = speedup;
+    if (sessions == 8) {
+      speedup_at_8 = speedup;
+      capacity_wps = served_wps;  // no-shedding saturation throughput
+    }
 
     table.add_row({std::to_string(sessions),
                    desmine::util::fixed(seq_wps, 1),
@@ -332,6 +434,60 @@ int main() {
   json.key("exposition_on_windows_per_sec").value(on_wps);
   json.key("exposition_scrapes").value(static_cast<std::uint64_t>(scrapes));
   json.key("exposition_overhead_pct").value(overhead_pct);
+
+  // Overload scenario (ISSUE 7): a 1x open-loop run with shedding off sets
+  // the reference p99 and the shedding deadline, then the same fleet takes
+  // 2x its measured saturation throughput with deadline shedding on. The
+  // acceptance bounds: sheds happen, the accepted-windows p99 stays within
+  // 2x the 1x-load p99, and accepted throughput stays within 10% of the
+  // no-shedding saturation.
+  const OverloadRun base =
+      run_overload(fw, plant.series, 8, capacity_wps, 0.0);
+  const double deadline_ms = std::max(base.p99_ms, 0.5);
+  const OverloadRun loaded =
+      run_overload(fw, plant.series, 8, 2.0 * capacity_wps, deadline_ms);
+  const bool overload_sheds = loaded.shed_rate > 0.0;
+  const bool overload_p99_bounded = loaded.p99_ms <= 2.0 * base.p99_ms;
+  const bool overload_throughput_held =
+      loaded.accepted_wps >= 0.9 * capacity_wps;
+
+  desmine::util::Table overload({"offered", "offered w/s", "accepted w/s",
+                                 "shed rate", "p99 accepted ms"});
+  overload.add_row({"1x", desmine::util::fixed(base.offered_wps, 1),
+                    desmine::util::fixed(base.accepted_wps, 1),
+                    desmine::util::fixed(base.shed_rate, 3),
+                    desmine::util::fixed(base.p99_ms, 1)});
+  overload.add_row({"2x", desmine::util::fixed(loaded.offered_wps, 1),
+                    desmine::util::fixed(loaded.accepted_wps, 1),
+                    desmine::util::fixed(loaded.shed_rate, 3),
+                    desmine::util::fixed(loaded.p99_ms, 1)});
+  std::cout << overload.to_text(
+      "overload shedding (8 sessions, open-loop offered load)");
+
+  json.key("overload").begin_object();
+  json.key("sessions").value(std::uint64_t{8});
+  json.key("ticks_per_session")
+      .value(static_cast<std::uint64_t>(kOverloadTicks));
+  json.key("capacity_windows_per_sec").value(capacity_wps);
+  json.key("shed_deadline_ms").value(deadline_ms);
+  json.key("runs").begin_array();
+  for (const OverloadRun* run : {&base, &loaded}) {
+    json.begin_object();
+    json.key("load_factor").value(run == &base ? 1.0 : 2.0);
+    json.key("offered_windows_per_sec").value(run->offered_wps);
+    json.key("accepted_windows_per_sec").value(run->accepted_wps);
+    json.key("accepted").value(static_cast<std::uint64_t>(run->accepted));
+    json.key("shed").value(static_cast<std::uint64_t>(run->shed));
+    json.key("shed_rate").value(run->shed_rate);
+    json.key("p99_accepted_latency_ms").value(run->p99_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("shed_rate_positive").value(overload_sheds);
+  json.key("p99_within_2x_of_1x_load").value(overload_p99_bounded);
+  json.key("accepted_within_10pct_of_saturation")
+      .value(overload_throughput_held);
+  json.end_object();
   json.end_object();
 
   std::cout << table.to_text("serving layer throughput (1 artifact, N streams)");
@@ -342,11 +498,22 @@ int main() {
   db::expectation("/metrics exposition overhead (8 sessions)", "<= 2%",
                   desmine::util::fixed(overhead_pct, 2) + "% (" +
                       std::to_string(scrapes) + " scrapes)");
+  db::expectation("overload shed rate at 2x offered load", "> 0",
+                  desmine::util::fixed(loaded.shed_rate, 3) + " (" +
+                      std::to_string(loaded.shed) + " windows)");
+  db::expectation("overload p99 of accepted windows",
+                  "<= 2x 1x-load p99 (" +
+                      desmine::util::fixed(2.0 * base.p99_ms, 1) + " ms)",
+                  desmine::util::fixed(loaded.p99_ms, 1) + " ms");
+  db::expectation("overload accepted throughput",
+                  ">= 90% of saturation (" +
+                      desmine::util::fixed(0.9 * capacity_wps, 1) + " w/s)",
+                  desmine::util::fixed(loaded.accepted_wps, 1) + " w/s");
 
   const std::string out_path = db::artifact_dir() + "/BENCH_serve.json";
   std::ofstream out(out_path);
   out << json.str() << "\n";
   std::cout << "wrote " << out_path << "\n";
   db::dump_observability("serve");
-  return all_identical && speedup_at_8 >= 3.0 ? 0 : 1;
+  return all_identical && speedup_at_8 >= 3.0 && overload_sheds ? 0 : 1;
 }

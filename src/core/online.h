@@ -55,6 +55,14 @@ class OnlineDetector {
     /// Node indices whose edges were excluded from this window (degraded
     /// mode only; empty in strict mode).
     std::vector<std::size_t> unhealthy;
+    /// (src, dst) edges whose score could not be computed — decode failure
+    /// or open circuit breaker. Serving layer only (serve::SessionManager);
+    /// always empty from OnlineDetector.
+    std::vector<std::pair<std::size_t, std::size_t>> failed;
+    /// True when the serving layer shed this window under overload instead
+    /// of scoring it late; the anomaly_score is then a no-verdict
+    /// placeholder 0.0. Always false from OnlineDetector.
+    bool shed = false;
   };
 
   /// `graph` must carry trained models; `encrypter` must be the one the

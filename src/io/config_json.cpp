@@ -201,6 +201,15 @@ JsonValue serve_to_json(const serve::ServeConfig& s) {
   put_number(v, "max_pending_windows",
              static_cast<double>(s.limits.max_pending_windows));
   put_bool(v, "reject_when_full", s.limits.reject_when_full);
+  put_number(v, "max_consecutive_shed",
+             static_cast<double>(s.limits.max_consecutive_shed));
+  put_number(v, "max_global_pending",
+             static_cast<double>(s.max_global_pending));
+  put_number(v, "max_queue_delay_ms", s.max_queue_delay_ms);
+  put_number(v, "circuit_open_after",
+             static_cast<double>(s.circuit_open_after));
+  put_number(v, "circuit_probe_after",
+             static_cast<double>(s.circuit_probe_after));
   put_number(v, "telemetry_port", static_cast<double>(s.telemetry_port));
   put_number(v, "slow_window_ms", s.slow_window_ms);
   put_number(v, "sliding_window_s", s.sliding_window_s);
@@ -475,6 +484,16 @@ void parse_serve(const JsonValue& v, const std::string& prefix,
       out->limits.max_pending_windows = positive_uint_at(value, path);
     } else if (key == "reject_when_full") {
       out->limits.reject_when_full = bool_at(value, path);
+    } else if (key == "max_consecutive_shed") {
+      out->limits.max_consecutive_shed = positive_uint_at(value, path);
+    } else if (key == "max_global_pending") {
+      out->max_global_pending = uint_at(value, path);
+    } else if (key == "max_queue_delay_ms") {
+      out->max_queue_delay_ms = nonneg_at(value, path);
+    } else if (key == "circuit_open_after") {
+      out->circuit_open_after = uint_at(value, path);
+    } else if (key == "circuit_probe_after") {
+      out->circuit_probe_after = positive_uint_at(value, path);
     } else if (key == "telemetry_port") {
       out->telemetry_port = uint_at(value, path);
       if (out->telemetry_port > 65535) bad("key '" + path + "' must be <= 65535");

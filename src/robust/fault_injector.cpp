@@ -14,12 +14,17 @@ FaultAction parse_action(std::string_view name) {
   if (name == "diverge") return FaultAction::kDiverge;
   if (name == "abort") return FaultAction::kAbort;
   if (name == "drop") return FaultAction::kDrop;
+  if (name == "delay") return FaultAction::kDelay;
   throw PreconditionError("unknown fault action '" + std::string(name) + "'");
 }
 
+bool all_digits(const std::string& text) {
+  return !text.empty() &&
+         text.find_first_not_of("0123456789") == std::string::npos;
+}
+
 std::uint64_t parse_number(const std::string& text, const std::string& what) {
-  if (text.empty() ||
-      text.find_first_not_of("0123456789") != std::string::npos) {
+  if (!all_digits(text)) {
     throw PreconditionError("fault spec " + what + " '" + text +
                             "' is not a non-negative integer");
   }
@@ -46,10 +51,35 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(std::string point, std::int64_t key,
                         FaultAction action, std::size_t times) {
+  if (key == -1) {
+    arm_any(std::move(point), action, times);
+    return;
+  }
+  DESMINE_EXPECTS(key >= 0, "integer fault keys must be >= 0 (or -1 = any)");
+  arm(std::move(point), std::to_string(key), action, times);
+}
+
+void FaultInjector::arm(std::string point, std::string key,
+                        FaultAction action, std::size_t times) {
+  if (key == "*") {
+    arm_any(std::move(point), action, times);
+    return;
+  }
+  DESMINE_EXPECTS(!key.empty(), "fault key must be non-empty");
   DESMINE_EXPECTS(action != FaultAction::kNone, "cannot arm a no-op fault");
   DESMINE_EXPECTS(times > 0, "fault must fire at least once");
   std::lock_guard lock(mutex_);
-  specs_.push_back(FaultSpec{std::move(point), key, action, times});
+  specs_.push_back(FaultSpec{std::move(point), std::move(key), false, action,
+                             times});
+  armed_.store(specs_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_any(std::string point, FaultAction action,
+                            std::size_t times) {
+  DESMINE_EXPECTS(action != FaultAction::kNone, "cannot arm a no-op fault");
+  DESMINE_EXPECTS(times > 0, "fault must fire at least once");
+  std::lock_guard lock(mutex_);
+  specs_.push_back(FaultSpec{std::move(point), "", true, action, times});
   armed_.store(specs_.size(), std::memory_order_relaxed);
 }
 
@@ -64,12 +94,13 @@ std::size_t FaultInjector::arm_from_spec(std::string_view spec) {
     if (trimmed.empty()) continue;
     const auto eq = trimmed.find('=');
     const auto colon = trimmed.rfind(':', eq);
-    if (eq == std::string::npos || colon == std::string::npos || colon == 0) {
+    if (eq == std::string::npos || colon == std::string::npos || colon == 0 ||
+        colon + 1 == eq) {
       throw PreconditionError("malformed fault spec '" + trimmed +
                               "' (want point:key=action[*times])");
     }
     const std::string point = trimmed.substr(0, colon);
-    const std::string key_str = trimmed.substr(colon + 1, eq - colon - 1);
+    std::string key_str = trimmed.substr(colon + 1, eq - colon - 1);
     std::string action_str = trimmed.substr(eq + 1);
     std::size_t times = std::size_t(-1);
     if (const auto star = action_str.find('*'); star != std::string::npos) {
@@ -77,10 +108,16 @@ std::size_t FaultInjector::arm_from_spec(std::string_view spec) {
           parse_number(action_str.substr(star + 1), "times"));
       action_str = action_str.substr(0, star);
     }
-    const std::int64_t key =
-        key_str == "*" ? -1
-                       : static_cast<std::int64_t>(parse_number(key_str, "key"));
-    arm(point, key, parse_action(action_str), times);
+    // Numeric keys are canonicalized ("03" arms the same key fire("p", 3)
+    // polls); everything else is a verbatim string key.
+    if (all_digits(key_str)) {
+      key_str = std::to_string(parse_number(key_str, "key"));
+    }
+    if (key_str == "*") {
+      arm_any(point, parse_action(action_str), times);
+    } else {
+      arm(point, key_str, parse_action(action_str), times);
+    }
     ++count;
   }
   return count;
@@ -88,10 +125,16 @@ std::size_t FaultInjector::arm_from_spec(std::string_view spec) {
 
 FaultAction FaultInjector::fire(std::string_view point, std::int64_t key) {
   if (!any_armed()) return FaultAction::kNone;
+  const std::string canonical = std::to_string(key);
+  return fire(point, std::string_view(canonical));
+}
+
+FaultAction FaultInjector::fire(std::string_view point, std::string_view key) {
+  if (!any_armed()) return FaultAction::kNone;
   std::lock_guard lock(mutex_);
   for (auto it = specs_.begin(); it != specs_.end(); ++it) {
     if (it->point != point) continue;
-    if (it->key != -1 && it->key != key) continue;
+    if (!it->any_key && it->key != key) continue;
     const FaultAction action = it->action;
     if (it->remaining != std::size_t(-1) && --it->remaining == 0) {
       specs_.erase(it);

@@ -8,20 +8,34 @@
 //   DESMINE_FAULTS="miner.pair:3=throw;miner.pair:5=diverge*1;miner.pair.done:7=abort"
 //
 // Spec grammar: point:key=action[*times], separated by ';' or ','. key is a
-// non-negative integer or '*' (any key). times bounds how often the fault
-// fires (default: unlimited). Actions:
+// non-negative integer, a non-numeric string (an edge name like "3->7" —
+// any characters except ':', '=', ',', ';'), or '*' (any key). times bounds
+// how often the fault fires (default: unlimited). Actions:
 //   throw    raise a RuntimeError at the injection point
 //   diverge  poison the pair's learning rate so training trips the
 //            divergence guard (a controlled NaN/loss-explosion)
 //   abort    request a run abort (simulates a crash after the point)
 //   drop     suppress the keyed datum (detection-phase points: at
 //            detect.push the keyed sensor's sample goes missing for one
-//            tick; at csv.row the keyed row parses as malformed)
+//            tick; at csv.row the keyed row parses as malformed; at
+//            serve.ingest the tick is silently lost)
+//   delay    stall the injection point for kDelayMillis before it proceeds
+//            (injected latency; serve points use it for overload storms)
 //
 // Detection-phase points (ISSUE 3): "detect.push" keyed by kept-sensor
 // index (fired every tick), "csv.row" keyed by 1-based CSV row number,
 // "model.load" keyed 0 (artifact loads). E.g. dropping sensor 2 for 40
 // consecutive ticks mid-stream: DESMINE_FAULTS="detect.push:2=drop*40".
+//
+// Serving-phase points (ISSUE 7): "serve.decode" keyed by edge name
+// "src->dst" (fired once per scored batch), "serve.model.load" keyed 0
+// (hot-reload artifact loads), "serve.ingest" keyed by session id (fired
+// every tick). E.g. poisoning one edge model until the circuit breaker
+// quarantines it: DESMINE_FAULTS="serve.decode:3->7=throw".
+//
+// Keys are canonicalized to strings internally: integer-keyed arming and
+// firing use the decimal rendering, so "p:3=throw" matches fire("p", 3)
+// and fire("p", "3") alike.
 //
 // The injector is process-wide and disabled (zero overhead beyond one
 // relaxed atomic load) when nothing is armed.
@@ -42,11 +56,16 @@ enum class FaultAction {
   kDiverge,
   kAbort,
   kDrop,
+  kDelay,
 };
+
+/// How long a kDelay action stalls its injection point.
+inline constexpr int kDelayMillis = 25;
 
 struct FaultSpec {
   std::string point;
-  std::int64_t key = -1;  ///< -1 matches any key
+  std::string key;       ///< canonical key; ignored when any_key
+  bool any_key = false;  ///< matches every key of the point
   FaultAction action = FaultAction::kNone;
   std::size_t remaining = 0;  ///< fires left; SIZE_MAX = unlimited
 };
@@ -57,8 +76,14 @@ class FaultInjector {
   /// by the DESMINE_FAULTS environment variable.
   static FaultInjector& instance();
 
-  /// Arm one fault. `times` bounds how often it fires (SIZE_MAX = always).
+  /// Arm one fault on an integer key (-1 = any key). `times` bounds how
+  /// often it fires (SIZE_MAX = always).
   void arm(std::string point, std::int64_t key, FaultAction action,
+           std::size_t times = std::size_t(-1));
+
+  /// Arm one fault on a string key ("*" = any key, e.g. an edge name like
+  /// "3->7"). The key must be non-empty.
+  void arm(std::string point, std::string key, FaultAction action,
            std::size_t times = std::size_t(-1));
 
   /// Arm faults from a spec string (the DESMINE_FAULTS grammar above).
@@ -69,6 +94,7 @@ class FaultInjector {
   /// Poll an injection point. Returns the armed action for (point, key) and
   /// consumes one fire, or kNone. Thread-safe.
   FaultAction fire(std::string_view point, std::int64_t key);
+  FaultAction fire(std::string_view point, std::string_view key);
 
   bool any_armed() const {
     return armed_.load(std::memory_order_relaxed) != 0;
@@ -80,6 +106,8 @@ class FaultInjector {
  private:
   FaultInjector();
 
+  void arm_any(std::string point, FaultAction action, std::size_t times);
+
   mutable std::mutex mutex_;
   std::vector<FaultSpec> specs_;
   std::atomic<std::size_t> armed_{0};
@@ -87,6 +115,9 @@ class FaultInjector {
 
 /// Shorthand for FaultInjector::instance().fire(point, key).
 inline FaultAction fire_fault(std::string_view point, std::int64_t key) {
+  return FaultInjector::instance().fire(point, key);
+}
+inline FaultAction fire_fault(std::string_view point, std::string_view key) {
   return FaultInjector::instance().fire(point, key);
 }
 

@@ -7,8 +7,11 @@ namespace desmine::robust {
 namespace {
 
 volatile std::sig_atomic_t g_interrupted = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 void handle_signal(int) { g_interrupted = 1; }
+
+void handle_reload(int) { g_reload = 1; }
 
 }  // namespace
 
@@ -22,5 +25,17 @@ bool interrupted() { return g_interrupted != 0; }
 void request_interrupt() { g_interrupted = 1; }
 
 void reset_interrupted() { g_interrupted = 0; }
+
+void install_reload_signal() {
+#ifdef SIGHUP
+  std::signal(SIGHUP, handle_reload);
+#endif
+}
+
+bool reload_requested() { return g_reload != 0; }
+
+void request_reload() { g_reload = 1; }
+
+void clear_reload_request() { g_reload = 0; }
 
 }  // namespace desmine::robust

@@ -1,0 +1,85 @@
+// Generation-counted model registry for hot reload (DESIGN.md §13).
+//
+// Serving must swap in a retrained MVRG artifact without restarting or
+// perturbing in-flight work. The registry holds the *current* generation —
+// an immutable bundle of valid-band edge models plus the detector
+// thresholds — behind one mutex; publishing a new generation is a pointer
+// swap. Every window snapshots a shared_ptr to the generation it was
+// ingested under and scores against exactly that state, so a swap never
+// mixes models within a window: windows ingested before the swap finish on
+// the old generation, windows after it start on the new one. When the last
+// in-flight reference drains (scheduler edge states erased, pending windows
+// finalized), the old generation's models free themselves; retired_live()
+// exposes the count of still-referenced retired generations so tests can
+// assert the drain actually released the memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "core/mvr_graph.h"
+#include "nmt/translation.h"
+
+namespace desmine::serve {
+
+/// One valid edge of a generation with its shared trained model.
+struct EdgeModel {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double train_bleu = 0.0;  ///< s(i, j) — the broken threshold baseline
+  std::shared_ptr<nmt::TranslationModel> model;
+};
+
+/// One immutable published model state. Windows and scheduler edge states
+/// hold shared_ptrs to the generation they score against; nothing mutates a
+/// generation after publication.
+struct ModelGeneration {
+  std::uint64_t id = 1;  ///< monotonically increasing across reloads
+  std::vector<EdgeModel> edges;
+  core::DetectorConfig detector;
+};
+
+/// Build a generation from a trained graph: keep the edges whose training
+/// BLEU lies in [detector.valid_lo, detector.valid_hi) — the same valid-band
+/// rule AnomalyDetector applies. Throws PreconditionError when a valid edge
+/// lacks a trained model.
+std::shared_ptr<const ModelGeneration> make_generation(
+    const core::MvrGraph& graph, const core::DetectorConfig& detector,
+    std::uint64_t id);
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::shared_ptr<const ModelGeneration> initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The generation new windows should score against. Thread-safe; the
+  /// returned pointer stays valid for as long as the caller holds it, even
+  /// across publishes.
+  std::shared_ptr<const ModelGeneration> current() const;
+
+  /// Atomically make `next` the current generation (next->id must exceed
+  /// the current id). Returns the retired generation; the registry also
+  /// keeps a weak_ptr to it so retired_live() can observe the drain.
+  std::shared_ptr<const ModelGeneration> publish(
+      std::shared_ptr<const ModelGeneration> next);
+
+  /// Id of the current generation.
+  std::uint64_t generation() const;
+
+  /// Retired generations still referenced somewhere (in-flight windows or
+  /// scheduler edge states). 0 means every old generation's memory has been
+  /// released.
+  std::size_t retired_live() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelGeneration> current_;
+  mutable std::vector<std::weak_ptr<const ModelGeneration>> retired_;
+};
+
+}  // namespace desmine::serve

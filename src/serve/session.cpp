@@ -1,5 +1,6 @@
 #include "serve/session.h"
 
+#include <thread>
 #include <utility>
 
 #include "obs/json.h"
@@ -7,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "robust/fault_injector.h"
 #include "util/error.h"
 
 namespace desmine::serve {
@@ -20,18 +22,20 @@ double ms_between(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
-Session::Session(std::uint64_t id, const SharedModel& shared,
+Session::Session(std::uint64_t id, const ModelRegistry& registry,
                  core::SensorEncrypter encrypter, core::WindowConfig window,
                  core::DegradedConfig degraded, SessionLimits limits,
                  TelemetryPolicy telemetry)
     : id_(id),
-      shared_(shared),
+      registry_(registry),
       limits_(limits),
       telemetry_(telemetry),
       degraded_enabled_(degraded.enabled),
       assembler_(std::move(encrypter), window, degraded) {
   DESMINE_EXPECTS(limits_.max_pending_windows > 0,
                   "max_pending_windows must be > 0");
+  DESMINE_EXPECTS(limits_.max_consecutive_shed > 0,
+                  "max_consecutive_shed must be > 0");
 }
 
 IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
@@ -52,18 +56,41 @@ IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
     if (closed_) return IngestStatus::kClosed;
   }
 
+  // Chaos point: drop loses this tick like a gap in the feed, throw raises
+  // to the caller with the tick unconsumed, delay stalls this session.
+  switch (robust::fire_fault("serve.ingest",
+                             static_cast<std::int64_t>(id_))) {
+    case robust::FaultAction::kThrow:
+      throw RuntimeError("injected serve.ingest fault on session " +
+                         std::to_string(id_));
+    case robust::FaultAction::kDrop:
+      return IngestStatus::kAccepted;
+    case robust::FaultAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(robust::kDelayMillis));
+      break;
+    default:
+      break;
+  }
+
   std::optional<core::WindowAssembler::Window> window =
       assembler_.push(states);
   obs::metrics().counter("serve.ticks").inc();
   if (!window) return IngestStatus::kAccepted;
 
+  // Snapshot the generation this window will score against: a concurrent
+  // hot reload affects the NEXT window, never a window already assembled.
+  std::shared_ptr<const ModelGeneration> gen = registry_.current();
+
   auto pending = std::make_unique<PendingWindow>();
   pending->session_id = id_;
   pending->window_index = window->window_index;
   pending->end_tick = window->end_tick;
+  pending->generation = gen;
   pending->corpora = std::move(window->corpora);
   pending->unhealthy = std::move(window->unhealthy);
   pending->masked = degraded_enabled_;
+  pending->sheddable = sheds_in_row_ < limits_.max_consecutive_shed;
   pending->enqueued = std::chrono::steady_clock::now();
   // Root span of the window's end-to-end trace; carried by value through
   // the scheduler's thread handoffs, closed at delivery (invalid context —
@@ -72,8 +99,9 @@ IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
       "serve.window", {},
       {obs::kv("session", id_), obs::kv("window", pending->window_index)});
 
-  // The per-window valid set: every shared edge, minus edges incident to an
-  // unhealthy sensor — the same exclusion rule AnomalyDetector applies.
+  // The per-window valid set: every generation edge, minus edges incident
+  // to an unhealthy sensor — the same exclusion rule AnomalyDetector
+  // applies.
   std::vector<std::uint8_t> bad;
   if (!pending->unhealthy.empty()) {
     bad.assign(pending->corpora.size(), 0);
@@ -83,12 +111,13 @@ IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
       bad[n] = 1;
     }
   }
-  for (std::size_t e = 0; e < shared_.edges.size(); ++e) {
-    const BatchScheduler::Edge& edge = shared_.edges[e];
+  for (std::size_t e = 0; e < gen->edges.size(); ++e) {
+    const EdgeModel& edge = gen->edges[e];
     if (!bad.empty() && (bad[edge.src] || bad[edge.dst])) continue;
     pending->edges.push_back(e);
   }
   pending->edge_bleu.assign(pending->edges.size(), 0.0);
+  pending->edge_status.assign(pending->edges.size(), 0);
   pending->remaining = pending->edges.size();
 
   ++inflight_;
@@ -104,34 +133,56 @@ IngestStatus Session::ingest(const std::map<std::string, std::string>& states,
 }
 
 void Session::finalize(std::unique_ptr<PendingWindow> window) {
-  // The scored window is exclusively ours here; compute the result before
+  // The resolved window is exclusively ours here; compute the result before
   // taking the session lock. The math mirrors AnomalyDetector::detect()
   // operation for operation so served scores are bit-identical to replay.
+  const ModelGeneration& gen = *window->generation;
   WindowResult out;
   out.window_index = window->window_index;
   out.end_tick = window->end_tick;
   out.unhealthy = std::move(window->unhealthy);
-  const double total = static_cast<double>(shared_.edges.size());
-  const std::size_t surviving = window->edges.size();
-  std::size_t broken = 0;
-  for (std::size_t i = 0; i < window->edges.size(); ++i) {
-    const BatchScheduler::Edge& edge = shared_.edges[window->edges[i]];
-    if (window->edge_bleu[i] < edge.train_bleu - shared_.detector.tolerance) {
-      ++broken;
-      out.broken.emplace_back(edge.src, edge.dst);
-    }
-  }
-  out.coverage =
-      total == 0.0 ? 0.0 : static_cast<double>(surviving) / total;
-  if (window->masked && out.coverage < shared_.detector.min_coverage) {
-    out.degraded = true;
+  if (window->shed) {
+    // Dropped by deadline shedding: a counted no-verdict placeholder keeps
+    // the stream's window indices contiguous.
+    out.shed = true;
     out.anomaly_score = 0.0;
-    obs::metrics().counter("detect.window.degraded").inc();
+    out.coverage = 0.0;
   } else {
-    out.anomaly_score = surviving == 0
-                            ? 0.0
-                            : static_cast<double>(broken) /
-                                  static_cast<double>(surviving);
+    const double total = static_cast<double>(gen.edges.size());
+    std::size_t surviving = 0;
+    std::size_t broken = 0;
+    for (std::size_t i = 0; i < window->edges.size(); ++i) {
+      const EdgeModel& edge = gen.edges[window->edges[i]];
+      if (window->edge_status[i] !=
+          static_cast<std::uint8_t>(SlotStatus::kScored)) {
+        // Decode failure or open breaker: the edge drops out of this
+        // window's score exactly like a health-masked edge would.
+        out.failed.emplace_back(edge.src, edge.dst);
+        continue;
+      }
+      ++surviving;
+      if (window->edge_bleu[i] < edge.train_bleu - gen.detector.tolerance) {
+        ++broken;
+        out.broken.emplace_back(edge.src, edge.dst);
+      }
+    }
+    out.coverage =
+        total == 0.0 ? 0.0 : static_cast<double>(surviving) / total;
+    if ((window->masked || !out.failed.empty()) &&
+        out.coverage < gen.detector.min_coverage) {
+      out.degraded = true;
+      out.anomaly_score = 0.0;
+      obs::metrics().counter("detect.window.degraded").inc();
+    } else {
+      out.anomaly_score = surviving == 0
+                              ? 0.0
+                              : static_cast<double>(broken) /
+                                    static_cast<double>(surviving);
+    }
+    if (!out.failed.empty()) {
+      obs::metrics().counter("serve.window.failed_edges")
+          .inc(out.failed.size());
+    }
   }
 
   obs::metrics().counter("serve.windows_scored").inc();
@@ -145,10 +196,13 @@ void Session::finalize(std::unique_ptr<PendingWindow> window) {
   delivery.scored_done = window->scored_done;
   delivery.scheduled = !window->edges.empty();
   const std::size_t index = delivery.result.window_index;
+  const bool shed = delivery.result.shed;
 
   {
     std::lock_guard lock(mu_);
     --inflight_;
+    sheds_in_row_ = shed ? sheds_in_row_ + 1 : 0;
+    if (shed) ++shed_total_;
     enqueue_result_locked(index, std::move(delivery));
   }
   cv_.notify_all();
@@ -182,6 +236,19 @@ void Session::deliver_telemetry(
       obs::metrics().histogram("serve.stage.reorder_ms");
 
   const double latency_ms = ms_between(d.enqueued, delivered);
+
+  if (d.result.shed) {
+    // A shed window was never scored; its age goes to the shedding
+    // telemetry, NOT the serving latency distributions — p99 latency stays
+    // the latency of accepted windows.
+    obs::metrics().histogram("serve.shed.age_ms").record(latency_ms);
+    if (d.span.valid()) {
+      obs::tracer().finish_span(
+          d.span, {obs::kv("shed", true), obs::kv("age_ms", latency_ms)});
+    }
+    return;
+  }
+
   latency.record(latency_ms);
   obs::telemetry().sliding("serve.window.latency_ms").record(latency_ms);
 
@@ -284,6 +351,7 @@ Session::Stats Session::stats() const {
   s.windows_assembled = assembler_.windows_emitted();
   s.windows_delivered = delivered_;
   s.pending = pending_locked();
+  s.shed = shed_total_;
   return s;
 }
 

@@ -9,6 +9,17 @@
 // Finalization replicates AnomalyDetector::detect()'s per-window math
 // exactly (same order of operations), so a served stream's scores are
 // bit-identical to replaying it through an OnlineDetector.
+//
+// Fault tolerance (DESIGN.md §13): every window snapshots the current
+// ModelGeneration at ingest and scores against exactly that state, so hot
+// reloads never mix models within a window. Slots a worker could not score
+// (decode failure or open circuit breaker) surface as the result's `failed`
+// edge list — the score renormalizes over the surviving edges like PR 3's
+// degraded mode, and the min_coverage quorum gates the verdict. Windows the
+// scheduler shed (deadline exceeded) deliver a counted no-verdict result
+// with the `shed` flag instead of a late score; the consecutive-shed guard
+// marks follow-up windows unsheddable so overload never starves a session
+// entirely.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +34,7 @@
 #include "core/online.h"
 #include "core/window_assembler.h"
 #include "serve/batch_scheduler.h"
+#include "serve/model_registry.h"
 
 namespace desmine::serve {
 
@@ -46,13 +58,9 @@ struct SessionLimits {
   /// Full-budget policy: false blocks ingest() until the client polls (or
   /// the session closes); true returns kRejected immediately.
   bool reject_when_full = false;
-};
-
-/// The immutable trained state every session scores against: the valid-band
-/// edges (shared with the BatchScheduler) and the detector thresholds.
-struct SharedModel {
-  std::vector<BatchScheduler::Edge> edges;
-  core::DetectorConfig detector;
+  /// After this many consecutive shed windows the next window is marked
+  /// unsheddable, guaranteeing forward progress under sustained overload.
+  std::size_t max_consecutive_shed = 8;
 };
 
 /// Per-session telemetry knobs (SessionManager copies them out of
@@ -65,7 +73,9 @@ struct TelemetryPolicy {
 
 class Session {
  public:
-  Session(std::uint64_t id, const SharedModel& shared,
+  /// `registry` outlives the session (SessionManager owns both); each
+  /// window snapshots registry.current() at ingest.
+  Session(std::uint64_t id, const ModelRegistry& registry,
           core::SensorEncrypter encrypter, core::WindowConfig window,
           core::DegradedConfig degraded, SessionLimits limits,
           TelemetryPolicy telemetry = {});
@@ -78,7 +88,7 @@ class Session {
   IngestStatus ingest(const std::map<std::string, std::string>& states,
                       std::unique_ptr<PendingWindow>* to_schedule);
 
-  /// Deliver a fully scored window (BatchScheduler::on_scored). Computes
+  /// Deliver a fully resolved window (BatchScheduler::on_scored). Computes
   /// the WindowResult, reorders, and wakes pollers/blocked ingests.
   void finalize(std::unique_ptr<PendingWindow> window);
 
@@ -101,6 +111,7 @@ class Session {
     std::size_t windows_assembled = 0;
     std::size_t windows_delivered = 0;
     std::size_t pending = 0;  ///< in flight + awaiting poll
+    std::size_t shed = 0;     ///< windows dropped by deadline shedding
   };
   Stats stats() const;
 
@@ -129,7 +140,7 @@ class Session {
                          std::chrono::steady_clock::time_point delivered);
 
   const std::uint64_t id_;
-  const SharedModel& shared_;
+  const ModelRegistry& registry_;
   const SessionLimits limits_;
   const TelemetryPolicy telemetry_;
   const bool degraded_enabled_;
@@ -143,6 +154,10 @@ class Session {
   std::map<std::size_t, Delivery> reorder_;
   std::deque<WindowResult> completed_;
   std::size_t delivered_ = 0;
+  std::size_t shed_total_ = 0;
+  /// Consecutive shed windows at finalize time (finalize order approximates
+  /// window order closely enough for the starvation guard).
+  std::size_t sheds_in_row_ = 0;
 };
 
 }  // namespace desmine::serve

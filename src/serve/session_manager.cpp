@@ -4,9 +4,13 @@
 #include <thread>
 #include <utility>
 
+#include "core/framework.h"
+#include "io/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "robust/fault_injector.h"
 #include "util/error.h"
 
 namespace desmine::serve {
@@ -23,16 +27,8 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   DESMINE_EXPECTS(config_.detector.min_coverage >= 0.0 &&
                       config_.detector.min_coverage <= 1.0,
                   "min_coverage must lie in [0, 1]");
-  shared_.detector = config_.detector;
-  // Same valid-band rule as AnomalyDetector: an edge is served when its
-  // training BLEU lies in [valid_lo, valid_hi).
-  for (const core::MvrEdge& e : graph.edges()) {
-    if (e.bleu >= config_.detector.valid_lo &&
-        e.bleu < config_.detector.valid_hi) {
-      DESMINE_EXPECTS(e.model != nullptr, "valid edge lacks a trained model");
-      shared_.edges.push_back({e.src, e.dst, e.bleu, e.model});
-    }
-  }
+  registry_ = std::make_unique<ModelRegistry>(
+      make_generation(graph, config_.detector, 1));
 
   // Telemetry plane: shape the sliding windows before any instrument is
   // created, then pre-register the scrape-visible instruments so /metrics
@@ -47,17 +43,43 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   obs::metrics().histogram("serve.stage.batch_form_ms");
   obs::metrics().histogram("serve.stage.decode_ms");
   obs::metrics().histogram("serve.stage.reorder_ms");
+  obs::metrics().histogram("serve.shed.age_ms");
   obs::metrics().counter("serve.windows_scored");
   obs::metrics().counter("serve.ticks");
+  obs::metrics().counter("serve.reload.count");
+  obs::metrics().counter("serve.reload.failures");
+  obs::metrics().counter("serve.shed.windows");
+  obs::metrics().counter("serve.shed.global_rejects");
+  obs::metrics().counter("serve.window.failed_edges");
+  obs::metrics().counter("serve.batch.failures");
+  obs::metrics().counter("serve.circuit.opened");
+  obs::metrics().counter("serve.circuit.closed");
+  obs::metrics().counter("serve.circuit.probes");
+  obs::metrics().counter("serve.circuit.quarantined");
+  obs::metrics().gauge("serve.model.generation").set(1.0);
 
+  SchedulerConfig sched;
+  sched.max_batch = config_.max_batch;
+  sched.decode_cache = config_.decode_cache;
+  sched.bleu = config_.detector.bleu;
+  sched.circuit_open_after = config_.circuit_open_after;
+  sched.circuit_probe_after = config_.circuit_probe_after;
+  sched.max_queue_delay_ms = config_.max_queue_delay_ms;
   scheduler_ = std::make_unique<BatchScheduler>(
-      shared_.edges, config_.max_batch, config_.decode_cache,
-      config_.detector.bleu,
+      registry_->current(), sched,
       [this](std::unique_ptr<PendingWindow> window) {
         // The session may already be erased; its in-flight windows are then
         // dropped on the floor by design.
         const std::shared_ptr<Session> session = find(window->session_id);
         if (session) session->finalize(std::move(window));
+        window.reset();  // drop the generation reference before accounting
+        if (config_.max_global_pending > 0) {
+          {
+            std::lock_guard glock(global_mu_);
+            --global_inflight_;
+          }
+          global_cv_.notify_all();
+        }
       });
 
   std::size_t workers = config_.workers;
@@ -72,7 +94,7 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
     });
   }
   DESMINE_LOG_INFO("serve engine up",
-                   {obs::kv("valid_edges", shared_.edges.size()),
+                   {obs::kv("valid_edges", valid_model_count()),
                     obs::kv("workers", workers),
                     obs::kv("max_batch", config_.max_batch)});
 }
@@ -93,7 +115,7 @@ std::uint64_t SessionManager::open(core::DegradedConfig degraded) {
   const std::uint64_t id = next_id_++;
   TelemetryPolicy telemetry;
   telemetry.slow_window_ms = config_.slow_window_ms;
-  sessions_.emplace(id, std::make_shared<Session>(id, shared_, encrypter_,
+  sessions_.emplace(id, std::make_shared<Session>(id, *registry_, encrypter_,
                                                   window_, degraded,
                                                   config_.limits, telemetry));
   obs::metrics().gauge("serve.sessions").set(
@@ -113,9 +135,28 @@ IngestStatus SessionManager::ingest(
     std::uint64_t session, const std::map<std::string, std::string>& states) {
   const std::shared_ptr<Session> s = find(session);
   DESMINE_EXPECTS(s != nullptr, "unknown session id");
+  // Global admission control before the (possibly blocking) session ingest:
+  // a full fleet-wide budget rejects or blocks the tick up front, so one
+  // overloaded deployment never piles unbounded work onto the scheduler.
+  if (config_.max_global_pending > 0) {
+    std::unique_lock glock(global_mu_);
+    while (global_inflight_ >= config_.max_global_pending) {
+      if (config_.limits.reject_when_full) {
+        obs::metrics().counter("serve.shed.global_rejects").inc();
+        return IngestStatus::kRejected;
+      }
+      global_cv_.wait(glock);
+    }
+  }
   std::unique_ptr<PendingWindow> to_schedule;
   const IngestStatus status = s->ingest(states, &to_schedule);
-  if (to_schedule) scheduler_->submit(std::move(to_schedule));
+  if (to_schedule) {
+    if (config_.max_global_pending > 0) {
+      std::lock_guard glock(global_mu_);
+      ++global_inflight_;
+    }
+    scheduler_->submit(std::move(to_schedule));
+  }
   return status;
 }
 
@@ -159,6 +200,66 @@ void SessionManager::erase(std::uint64_t session) {
         static_cast<double>(sessions_.size()));
   }
   DESMINE_LOG_DEBUG("session erased", {obs::kv("session", session)});
+}
+
+std::uint64_t SessionManager::reload(const std::string& path) {
+  std::lock_guard rlock(reload_mu_);
+  const obs::SpanContext span = obs::tracer().start_span(
+      "serve.reload", {}, {obs::kv("path", path)});
+  try {
+    switch (robust::fire_fault("serve.model.load", 0)) {
+      case robust::FaultAction::kThrow:
+        throw RuntimeError("injected serve.model.load fault");
+      case robust::FaultAction::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(robust::kDelayMillis));
+        break;
+      default:
+        break;
+    }
+    // CRC-verified load off the worker threads; the detector band/quorum
+    // this manager was configured with carries over to the new generation.
+    core::FrameworkConfig overlay;
+    overlay.detector = config_.detector;
+    const core::Framework loaded = io::load_framework(path, overlay);
+    DESMINE_EXPECTS(
+        loaded.encrypter().kept_sensors() == encrypter_.kept_sensors(),
+        "reload artifact serves different sensors than this manager");
+    const core::WindowConfig& w = loaded.config().window;
+    DESMINE_EXPECTS(w.word_length == window_.word_length &&
+                        w.word_stride == window_.word_stride &&
+                        w.sentence_length == window_.sentence_length &&
+                        w.sentence_stride == window_.sentence_stride,
+                    "reload artifact was mined with a different window "
+                    "config");
+    std::shared_ptr<const ModelGeneration> next = make_generation(
+        loaded.graph(), config_.detector, registry_->generation() + 1);
+    DESMINE_EXPECTS(!next->edges.empty(),
+                    "reload artifact has no valid-band edges to serve");
+
+    // Publish, then retire the old generation's scheduler states: windows
+    // already in flight finish on their snapshot, new windows score on the
+    // swap — no window ever mixes generations.
+    registry_->publish(next);
+    scheduler_->set_current_generation(next->id);
+    obs::metrics().gauge("serve.model.generation")
+        .set(static_cast<double>(next->id));
+    obs::metrics().counter("serve.reload.count").inc();
+    obs::tracer().finish_span(
+        span, {obs::kv("generation", next->id),
+               obs::kv("valid_edges", next->edges.size())});
+    DESMINE_LOG_INFO("model reloaded",
+                     {obs::kv("path", path), obs::kv("generation", next->id),
+                      obs::kv("valid_edges", next->edges.size())});
+    return next->id;
+  } catch (const std::exception& e) {
+    obs::metrics().counter("serve.reload.failures").inc();
+    obs::tracer().finish_span(span, {obs::kv("error", e.what())});
+    DESMINE_LOG_WARN("model reload failed — keeping current generation",
+                     {obs::kv("path", path), obs::kv("error", e.what()),
+                      obs::kv("generation", registry_->generation())});
+    throw;
+  }
 }
 
 Session::Stats SessionManager::stats(std::uint64_t session) const {

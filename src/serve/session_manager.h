@@ -1,24 +1,38 @@
-// Multi-session streaming detection engine (DESIGN.md §11).
+// Multi-session streaming detection engine (DESIGN.md §11, §13).
 //
 // SessionManager is the serving layer's front door: it owns N independent
-// detection sessions, the cross-session BatchScheduler, and the worker pool
-// that drains it. One trained artifact (MvrGraph + SensorEncrypter +
-// WindowConfig — exactly what io::load_framework restores) serves any
-// number of concurrent streams; per-session strict/degraded semantics are
-// chosen at open(). Ingest is thread-safe per session and across sessions;
-// a flooding session exhausts only its own pending-window budget
-// (SessionLimits) and never stalls or degrades its neighbours.
+// detection sessions, the generation-counted ModelRegistry, the
+// cross-session BatchScheduler, and the worker pool that drains it. One
+// trained artifact (MvrGraph + SensorEncrypter + WindowConfig — exactly
+// what io::load_framework restores) serves any number of concurrent
+// streams; per-session strict/degraded semantics are chosen at open().
+// Ingest is thread-safe per session and across sessions; a flooding session
+// exhausts only its own pending-window budget (SessionLimits) and never
+// stalls or degrades its neighbours.
 //
-// Reported metrics: serve.sessions (gauge), serve.batch.size,
-// serve.window.latency_ms, serve.batch.score_ms, the per-stage breakdown
-// serve.stage.{queue,batch_form,decode,reorder}_ms (histograms),
-// serve.ticks, serve.windows_scored, serve.batch.{decoded,cache_hits},
-// serve.ingest.rejected, and serve.window.slow (counters), plus a sliding
-// serve.window.latency_ms in obs::telemetry() for recent quantiles on
-// /metrics. serve.window.latency_ms is measured at delivery (poll order),
-// so it includes the reorder wait.
+// Fault tolerance (DESIGN.md §13):
+//  * reload(path) hot-swaps a retrained artifact: the new generation is
+//    CRC-verified and validated off the worker threads, published
+//    atomically, and in-flight windows finish on the generation they were
+//    ingested under. The old generation's models free themselves when the
+//    last reference drains (registry().retired_live() observes this).
+//  * Worker supervision + per-edge circuit breakers live in the scheduler;
+//    sessions deliver failed edges as typed results, never severed streams.
+//  * Admission control: `max_global_pending` caps scheduled windows across
+//    ALL sessions on top of the per-session budget (soft bound — racing
+//    ingests may briefly overshoot by the number of ingesting threads),
+//    and `max_queue_delay_ms` sheds stale windows oldest-first without
+//    ever starving a session (SessionLimits::max_consecutive_shed).
+//
+// Reported metrics: everything from PR 5/6 plus serve.model.generation
+// (gauge), serve.reload.{count,failures}, serve.shed.windows,
+// serve.shed.global_rejects, serve.window.failed_edges, serve.batch.failures,
+// and serve.circuit.{opened,closed,probes,quarantined} (counters), plus the
+// serve.shed.age_ms histogram. Shed windows are excluded from
+// serve.window.latency_ms, so its p99 tracks accepted windows only.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,6 +46,7 @@
 #include "core/language.h"
 #include "core/mvr_graph.h"
 #include "serve/batch_scheduler.h"
+#include "serve/model_registry.h"
 #include "serve/session.h"
 #include "util/thread_pool.h"
 
@@ -50,8 +65,23 @@ struct ServeConfig {
   /// discrete streams repeat sentences heavily; caching turns repeat
   /// windows into pure BLEU evaluations, bit-identically.
   std::size_t decode_cache = 4096;
-  /// Per-session flow control (pending-window budget + block/reject).
+  /// Per-session flow control (pending-window budget + block/reject +
+  /// consecutive-shed guard).
   SessionLimits limits{};
+
+  // --- Fault tolerance (DESIGN.md §13) ---
+  /// Global in-flight budget: windows scheduled for scoring across all
+  /// sessions (0 = unlimited). Full-budget policy follows
+  /// limits.reject_when_full (block vs reject the tick).
+  std::size_t max_global_pending = 0;
+  /// Shed sheddable windows older than this at item-pop time instead of
+  /// scoring them late (0 disables shedding).
+  double max_queue_delay_ms = 0.0;
+  /// Consecutive failed batches before an edge's circuit breaker opens
+  /// (0 disables the breaker; failures still yield typed error results).
+  std::size_t circuit_open_after = 5;
+  /// Quarantined items before an open breaker goes half-open and probes.
+  std::size_t circuit_probe_after = 16;
 
   // --- Telemetry plane (DESIGN.md §12) ---
   /// Loopback port for the /metrics + /healthz + /statusz exposition
@@ -104,9 +134,25 @@ class SessionManager {
   /// Close, drain, and forget `session` (unpolled results are dropped).
   void erase(std::uint64_t session);
 
+  /// Hot-swap the served models from a saved artifact (io::load_framework —
+  /// CRC-verified; the artifact must carry the same kept sensors and window
+  /// config this manager was built with). In-flight windows finish on their
+  /// old generation; windows ingested after the swap score on the new one.
+  /// Returns the new generation id. Throws (RuntimeError/PreconditionError)
+  /// and leaves the old generation serving on any failure. Serialized:
+  /// concurrent reloads run one at a time. Call from a control thread, not
+  /// a scoring worker.
+  std::uint64_t reload(const std::string& path);
+
   Session::Stats stats(std::uint64_t session) const;
   std::size_t session_count() const;
-  std::size_t valid_model_count() const { return shared_.edges.size(); }
+  std::size_t valid_model_count() const {
+    return registry_->current()->edges.size();
+  }
+  /// Current model generation id (1 until the first successful reload).
+  std::uint64_t generation() const { return registry_->generation(); }
+  /// The registry, for generation/refcount introspection (tests, tools).
+  const ModelRegistry& registry() const { return *registry_; }
   const ServeConfig& config() const { return config_; }
   const core::SensorEncrypter& encrypter() const { return encrypter_; }
 
@@ -121,10 +167,18 @@ class SessionManager {
   ServeConfig config_;
   core::SensorEncrypter encrypter_;
   core::WindowConfig window_;
-  SharedModel shared_;
 
+  std::unique_ptr<ModelRegistry> registry_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Serializes reload(); never held while scoring.
+  std::mutex reload_mu_;
+
+  /// Global admission control (soft budget, see class comment).
+  std::mutex global_mu_;
+  std::condition_variable global_cv_;
+  std::size_t global_inflight_ = 0;
 
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;

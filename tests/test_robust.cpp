@@ -245,7 +245,44 @@ TEST_F(RobustMiner, InjectorRejectsMalformedSpecs) {
   auto& inj = dr::FaultInjector::instance();
   EXPECT_THROW(inj.arm_from_spec("nonsense"), desmine::PreconditionError);
   EXPECT_THROW(inj.arm_from_spec("a:1=explode"), desmine::PreconditionError);
-  EXPECT_THROW(inj.arm_from_spec("a:x=throw"), desmine::PreconditionError);
+  EXPECT_THROW(inj.arm_from_spec("a:=throw"), desmine::PreconditionError);
+  EXPECT_THROW(inj.arm_from_spec("a:1=throw*x"), desmine::PreconditionError);
+}
+
+TEST_F(RobustMiner, InjectorStringKeysTargetEdges) {
+  auto& inj = dr::FaultInjector::instance();
+  EXPECT_EQ(inj.arm_from_spec("serve.decode:3->7=throw*2"), 1u);
+  EXPECT_EQ(inj.fire("serve.decode", "2->7"), dr::FaultAction::kNone);
+  EXPECT_EQ(inj.fire("serve.decode", "3->7"), dr::FaultAction::kThrow);
+  EXPECT_EQ(inj.fire("serve.decode", "3->7"), dr::FaultAction::kThrow);
+  EXPECT_EQ(inj.fire("serve.decode", "3->7"), dr::FaultAction::kNone);
+}
+
+TEST_F(RobustMiner, InjectorCanonicalizesNumericKeys) {
+  auto& inj = dr::FaultInjector::instance();
+  // "03" and integer 3 name the same key; int fire matches string arming
+  // and vice versa.
+  EXPECT_EQ(inj.arm_from_spec("p:03=throw"), 1u);
+  EXPECT_EQ(inj.fire("p", 3), dr::FaultAction::kThrow);
+  EXPECT_EQ(inj.fire("p", "3"), dr::FaultAction::kThrow);
+  inj.clear();
+  inj.arm("q", std::int64_t{5}, dr::FaultAction::kDrop);
+  EXPECT_EQ(inj.fire("q", "5"), dr::FaultAction::kDrop);
+}
+
+TEST_F(RobustMiner, InjectorWildcardMatchesStringAndIntKeys) {
+  auto& inj = dr::FaultInjector::instance();
+  inj.arm("serve.decode", std::string("*"), dr::FaultAction::kDelay, 2);
+  EXPECT_EQ(inj.fire("serve.decode", "a->b"), dr::FaultAction::kDelay);
+  EXPECT_EQ(inj.fire("serve.decode", 17), dr::FaultAction::kDelay);
+  EXPECT_EQ(inj.fire("serve.decode", "a->b"), dr::FaultAction::kNone);
+}
+
+TEST_F(RobustMiner, InjectorSpecParsesDelayAction) {
+  auto& inj = dr::FaultInjector::instance();
+  EXPECT_EQ(inj.arm_from_spec("serve.ingest:*=delay*1"), 1u);
+  EXPECT_EQ(inj.fire("serve.ingest", 1), dr::FaultAction::kDelay);
+  EXPECT_EQ(inj.fire("serve.ingest", 1), dr::FaultAction::kNone);
 }
 
 // ----------------------------------------------------------- flat JSON -----

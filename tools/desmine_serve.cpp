@@ -15,29 +15,44 @@
 //     in-flight windows, emits them, then acknowledges.
 //   {"op": "stats", "session": "N"}       session counters
 //   {"op": "ping"}                        liveness check
+//   {"op": "reload"}                      hot-swap the served models from a
+//     saved artifact (optional "model": path; defaults to --model). On
+//     success -> {"ok":true,"op":"reload","generation":N}; on failure the
+//     old generation keeps serving. SIGHUP triggers the same reload of the
+//     --model path from the outside.
+//   {"op": "shutdown"}                    drain in-flight windows, ack, then
+//     exit exactly like SIGTERM (exit code 130 — the contract is unchanged)
 // Window events (scored asynchronously, emitted in window order on the
 // session's own connection at the next protocol interaction):
 //   {"event":"window","session":N,"window":W,"end_tick":T,"score":S,
-//    "coverage":C,"degraded":false,"broken":"a->b c->d","unhealthy":"s2"}
+//    "coverage":C,"degraded":false,"broken":"a->b c->d","unhealthy":"s2",
+//    "failed":"a->b","shed":false}
+//   `failed` lists edges whose score was unavailable (decode failure or an
+//   open circuit breaker); `shed` marks windows dropped under overload.
 // Errors: {"ok":false,"error":"..."} — the connection stays up.
 //
 // Options: --model FILE (required), --config FILE / --dump-config,
 // --listen PORT, detector band overrides (--lo --hi --tolerance
 // --min-coverage), serving knobs (--workers --max-batch --decode-cache
-// --max-pending --reject-when-full), telemetry knobs (--telemetry-port
-// --slow-window-ms --sliding-window-s --sliding-epochs; /metrics serves
-// Prometheus text, /statusz the version/uptime/stage-quantiles document),
-// health knobs as desmine_cli detect, and the shared observability flags.
-// Exit codes match desmine_cli:
+// --max-pending --reject-when-full), fault-tolerance knobs
+// (--max-global-pending --max-queue-delay-ms --max-consecutive-shed
+// --circuit-open-after --circuit-probe-after), telemetry knobs
+// (--telemetry-port --slow-window-ms --sliding-window-s --sliding-epochs;
+// /metrics serves Prometheus text, /statusz the version/uptime/generation/
+// stage-quantiles document), health knobs as desmine_cli detect, and the
+// shared observability flags. Exit codes match desmine_cli:
 // 0 ok | 1 runtime error | 2 usage error | 130 interrupted.
 #include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -150,6 +165,17 @@ io::RunConfig effective_config(const Args& args) {
       "max-pending", static_cast<double>(s.limits.max_pending_windows)));
   s.limits.reject_when_full =
       s.limits.reject_when_full || args.flag("reject-when-full");
+  s.limits.max_consecutive_shed = static_cast<std::size_t>(
+      args.number("max-consecutive-shed",
+                  static_cast<double>(s.limits.max_consecutive_shed)));
+  s.max_global_pending = static_cast<std::size_t>(args.number(
+      "max-global-pending", static_cast<double>(s.max_global_pending)));
+  s.max_queue_delay_ms = args.number("max-queue-delay-ms",
+                                     s.max_queue_delay_ms);
+  s.circuit_open_after = static_cast<std::size_t>(args.number(
+      "circuit-open-after", static_cast<double>(s.circuit_open_after)));
+  s.circuit_probe_after = static_cast<std::size_t>(args.number(
+      "circuit-probe-after", static_cast<double>(s.circuit_probe_after)));
   s.telemetry_port = static_cast<std::size_t>(
       args.number("telemetry-port", static_cast<double>(s.telemetry_port)));
   s.slow_window_ms = args.number("slow-window-ms", s.slow_window_ms);
@@ -191,6 +217,7 @@ std::string statusz_json(const serve::SessionManager& manager) {
       static_cast<std::uint64_t>(manager.session_count()));
   w.key("valid_models").value(
       static_cast<std::uint64_t>(manager.valid_model_count()));
+  w.key("generation").value(manager.generation());
   stage_quantiles_json(w);
   w.end_object();
   return w.str();
@@ -261,6 +288,13 @@ std::string window_line(std::uint64_t session,
     unhealthy += names[n];
   }
   w.key("unhealthy").value(unhealthy);
+  std::string failed;
+  for (const auto& [src, dst] : r.failed) {
+    if (!failed.empty()) failed += ' ';
+    failed += names[src] + "->" + names[dst];
+  }
+  w.key("failed").value(failed);
+  w.key("shed").value(r.shed);
   w.end_object();
   return w.str();
 }
@@ -270,8 +304,15 @@ std::string window_line(std::uint64_t session,
 /// sessions on different connections batch into the same decodes.
 class Protocol {
  public:
-  Protocol(serve::SessionManager& manager, core::DegradedConfig degraded)
-      : manager_(manager), degraded_(degraded) {}
+  /// `default_model` backs the reload op when no "model" field is given;
+  /// `shutdown_hook` runs after a shutdown op's ack was written (it mirrors
+  /// SIGTERM: sets the interrupt flag and unblocks the accept loop).
+  Protocol(serve::SessionManager& manager, core::DegradedConfig degraded,
+           std::string default_model, std::function<void()> shutdown_hook)
+      : manager_(manager),
+        degraded_(degraded),
+        default_model_(std::move(default_model)),
+        shutdown_hook_(std::move(shutdown_hook)) {}
 
   ~Protocol() {
     // A dropped connection takes its sessions with it.
@@ -305,6 +346,10 @@ class Protocol {
         cmd_close(fields, out);
       } else if (op == "stats") {
         cmd_stats(fields, out);
+      } else if (op == "reload") {
+        cmd_reload(fields, out);
+      } else if (op == "shutdown") {
+        cmd_shutdown(out);
       } else if (op == "ping") {
         obs::JsonWriter w;
         w.begin_object().key("ok").value(true).key("op").value("ping");
@@ -398,6 +443,8 @@ class Protocol {
     w.key("windows_delivered")
         .value(static_cast<std::uint64_t>(stats.windows_delivered));
     w.key("pending").value(static_cast<std::uint64_t>(stats.pending));
+    w.key("shed").value(static_cast<std::uint64_t>(stats.shed));
+    w.key("generation").value(manager_.generation());
     w.key("uptime_s").value(manager_.uptime_s());
     w.key("version").value(util::desmine_version());
     stage_quantiles_json(w);
@@ -405,24 +452,54 @@ class Protocol {
     out.write(w.str());
   }
 
+  void cmd_reload(const std::map<std::string, std::string>& fields,
+                  LineWriter& out) {
+    const auto it = fields.find("model");
+    const std::string path =
+        it != fields.end() && !it->second.empty() ? it->second
+                                                  : default_model_;
+    const std::uint64_t generation = manager_.reload(path);
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("reload");
+    w.key("generation").value(generation);
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_shutdown(LineWriter& out) {
+    // Drain-then-exit: every in-flight window is scored before the ack, and
+    // the hook then takes the same path SIGTERM does (exit code 130).
+    manager_.drain();
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("shutdown");
+    w.end_object();
+    out.write(w.str());
+    if (shutdown_hook_) shutdown_hook_();
+  }
+
   serve::SessionManager& manager_;
   core::DegradedConfig degraded_;
+  const std::string default_model_;
+  const std::function<void()> shutdown_hook_;
   std::set<std::uint64_t> mine_;
 };
 
-int run_stdin(serve::SessionManager& manager, core::DegradedConfig degraded) {
-  Protocol protocol(manager, degraded);
+int run_stdin(serve::SessionManager& manager, core::DegradedConfig degraded,
+              const std::string& model_path) {
+  Protocol protocol(manager, degraded, model_path,
+                    [] { robust::request_interrupt(); });
   StdoutWriter out;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (robust::interrupted()) return 130;
     protocol.handle(line, out);
+    if (robust::interrupted()) return 130;  // shutdown op, after its ack
   }
   return 0;
 }
 
 int run_tcp(serve::SessionManager& manager, core::DegradedConfig degraded,
-            int port) {
+            const std::string& model_path, int port) {
   // std::signal installs SA_RESTART handlers, under which a blocking
   // accept()/read() silently resumes and SIGINT/SIGTERM never interrupt the
   // server. Re-install without SA_RESTART so they fail with EINTR instead.
@@ -451,6 +528,12 @@ int run_tcp(serve::SessionManager& manager, core::DegradedConfig degraded,
   std::vector<std::thread> connections;
   std::mutex fds_mu;
   std::vector<int> open_fds;
+  // The shutdown op's hook: flag the interrupt like SIGTERM would, then
+  // poke the listener so the accept loop below observes it immediately.
+  const auto shutdown_hook = [listener] {
+    robust::request_interrupt();
+    ::shutdown(listener, SHUT_RDWR);
+  };
   while (!robust::interrupted()) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) break;  // interrupted or listener torn down
@@ -458,8 +541,9 @@ int run_tcp(serve::SessionManager& manager, core::DegradedConfig degraded,
       std::lock_guard lock(fds_mu);
       open_fds.push_back(fd);
     }
-    connections.emplace_back([fd, &manager, degraded] {
-      Protocol protocol(manager, degraded);
+    connections.emplace_back([fd, &manager, degraded, &model_path,
+                              &shutdown_hook] {
+      Protocol protocol(manager, degraded, model_path, shutdown_hook);
       FdWriter out(fd);
       std::string buffer;
       char chunk[4096];
@@ -500,6 +584,10 @@ void usage() {
          "  --lo 80 --hi 90 --tolerance 0 --min-coverage 0.5\n"
          "  --workers 0 --max-batch 32 --decode-cache 4096\n"
          "  --max-pending 64 --reject-when-full\n"
+         "  --max-global-pending 0   cap in-flight windows across sessions\n"
+         "  --max-queue-delay-ms 0   shed windows queued longer than this\n"
+         "  --max-consecutive-shed 8 --circuit-open-after 5\n"
+         "  --circuit-probe-after 16\n"
          "  --telemetry-port P   expose /metrics /healthz /statusz on\n"
          "                       127.0.0.1:P (Prometheus text format)\n"
          "  --slow-window-ms MS  log span trees of windows slower than MS\n"
@@ -508,6 +596,7 @@ void usage() {
          "  0.5 --health-unk-window 64 --health-readmit-after 8\n"
          "  --log-level L --log-json FILE --metrics-out FILE\n"
          "protocol: one flat JSON object per line; see the tool header\n"
+         "signals: SIGHUP hot-reloads --model; SIGTERM/SIGINT drain and exit\n"
          "exit codes: 0 ok | 1 runtime error | 2 usage error | 130 interrupted\n";
 }
 
@@ -541,9 +630,10 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    const std::string model_path = args->get("model");
     core::FrameworkConfig overlay;
     overlay.detector = run.framework.detector;
-    core::Framework fw = io::load_framework(args->get("model"), overlay);
+    core::Framework fw = io::load_framework(model_path, overlay);
     serve::SessionManager manager(fw.graph(), fw.encrypter(),
                                   fw.config().window, run.serve);
     core::DegradedConfig degraded;
@@ -562,12 +652,35 @@ int main(int argc, char** argv) {
                         obs::kv("endpoints", "/metrics /healthz /statusz")});
     }
 
+    // SIGHUP watcher: a control thread polls the reload flag and hot-swaps
+    // the --model artifact off the protocol/worker threads. Reload failures
+    // are logged by the manager and leave the old generation serving.
+    robust::install_reload_signal();
+    std::atomic<bool> watcher_stop{false};
+    std::thread reload_watcher([&manager, &watcher_stop, model_path] {
+      while (!watcher_stop.load(std::memory_order_relaxed)) {
+        if (robust::reload_requested()) {
+          robust::clear_reload_request();
+          try {
+            manager.reload(model_path);
+          } catch (const std::exception&) {
+            // already counted (serve.reload.failures) and logged
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+
     robust::install_signal_flag();
     const std::string listen = args->get_or("listen", "");
     const int rc =
         listen.empty()
-            ? run_stdin(manager, degraded)
-            : run_tcp(manager, degraded, static_cast<int>(std::stod(listen)));
+            ? run_stdin(manager, degraded, model_path)
+            : run_tcp(manager, degraded, model_path,
+                      static_cast<int>(std::stod(listen)));
+
+    watcher_stop.store(true, std::memory_order_relaxed);
+    reload_watcher.join();
 
     const std::string metrics_out = args->get_or("metrics-out", "");
     if (!metrics_out.empty()) {

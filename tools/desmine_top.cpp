@@ -7,6 +7,8 @@
 //   * throughput rates (ticks/s, windows/s) from scrape-to-scrape deltas
 //   * recent latency quantiles (the sliding serve.window.latency_ms summary)
 //   * per-stage p50/p95/p99 (queue / batch_form / decode / reorder)
+//   * fault tolerance (model generation, shed windows, global rejects,
+//     circuit breaker transitions, failed edge scores)
 //   * degraded-mode counters (unhealthy sensors, degraded windows)
 //
 // Options:
@@ -176,6 +178,18 @@ std::string render(const Samples& s, const Samples* prev, double dt_s,
     stages.add_row({stage, fixed_or_dash(mean, 3), util::fixed(count, 0)});
   }
   out += stages.to_text("stage breakdown (cumulative)");
+
+  util::Table faults({"generation", "shed", "shed/s", "global_rejects",
+                      "circuit_open", "circuit_closed", "failed_edges"});
+  faults.add_row(
+      {util::fixed(sample(s, "desmine_serve_model_generation"), 0),
+       util::fixed(sample(s, "desmine_serve_shed_windows_total"), 0),
+       rate(s, prev, "desmine_serve_shed_windows_total", dt_s),
+       util::fixed(sample(s, "desmine_serve_shed_global_rejects_total"), 0),
+       util::fixed(sample(s, "desmine_serve_circuit_opened_total"), 0),
+       util::fixed(sample(s, "desmine_serve_circuit_closed_total"), 0),
+       util::fixed(sample(s, "desmine_serve_window_failed_edges_total"), 0)});
+  out += faults.to_text("fault tolerance");
 
   util::Table degraded({"dropped", "stale", "flooding", "readmitted",
                         "degraded_windows"});
