@@ -50,6 +50,15 @@ PlantDataset generate_plant(const PlantConfig& config) {
       DESMINE_EXPECTS(c < config.num_components, "anomalous component range");
     }
   }
+  for (const PlantDrift& d : config.drifts) {
+    DESMINE_EXPECTS(d.start_day < config.days, "drift start beyond horizon");
+    DESMINE_EXPECTS(d.ramp_days > 0, "drift ramp must span at least one day");
+    DESMINE_EXPECTS(d.phase_fraction >= 0.0 && d.phase_fraction <= 1.0,
+                    "drift phase_fraction outside [0, 1]");
+    for (std::size_t c : d.components) {
+      DESMINE_EXPECTS(c < config.num_components, "drifting component range");
+    }
+  }
 
   util::Rng rng(config.seed);
   const std::size_t total_minutes = config.days * config.minutes_per_day;
@@ -58,6 +67,7 @@ PlantDataset generate_plant(const PlantConfig& config) {
   dataset.minutes_per_day = config.minutes_per_day;
   dataset.days = config.days;
   dataset.anomalies = config.anomalies;
+  dataset.drifts = config.drifts;
 
   // --- Disturbance schedule -------------------------------------------------
   // disturbance[c][t] in {0 = none, 1 = mild precursor, 2 = full anomaly}.
@@ -100,6 +110,16 @@ PlantDataset generate_plant(const PlantConfig& config) {
     const bool multilevel = (c % 16 == 4);
     const std::size_t driver_levels = multilevel ? 7 : 2;
 
+    // Drifts that apply to this component (empty target list = all).
+    std::vector<const PlantDrift*> component_drifts;
+    for (const PlantDrift& d : config.drifts) {
+      const bool applies =
+          d.components.empty() ||
+          std::find(d.components.begin(), d.components.end(), c) !=
+              d.components.end();
+      if (applies) component_drifts.push_back(&d);
+    }
+
     for (std::size_t s = 0; s < config.sensors_per_component; ++s) {
       core::SensorSeries sensor;
       sensor.name = "c" + std::to_string(c) + ".s" + std::to_string(s);
@@ -128,8 +148,31 @@ PlantDataset generate_plant(const PlantConfig& config) {
           eff_phase = phase + period / 2 + s * period / 5;
           noise = std::min(0.25, config.noise * 20);
         }
-        std::size_t level = wave_level(t >= delay ? t - delay : 0, period,
-                                       eff_phase, driver_levels);
+        // Slow migration: a monotone ramp shifts this sensor's phase and
+        // delay by a sensor-dependent amount. Purely deterministic — the
+        // noise RNG stream is untouched, so a drift-free configuration stays
+        // bit-identical and a drifted run differs from its undrifted twin
+        // only where the migration moved a state boundary.
+        std::size_t drift_phase = 0;
+        std::size_t drift_delay = 0;
+        for (const PlantDrift* d : component_drifts) {
+          const std::size_t start = d->start_day * config.minutes_per_day;
+          if (t < start) continue;
+          const double ramp =
+              static_cast<double>(d->ramp_days * config.minutes_per_day);
+          const double level_frac =
+              std::min(1.0, static_cast<double>(t - start) / ramp);
+          drift_phase += static_cast<std::size_t>(std::llround(
+              level_frac * d->phase_fraction * static_cast<double>(period) *
+              static_cast<double>(s + 1) /
+              static_cast<double>(config.sensors_per_component)));
+          drift_delay += static_cast<std::size_t>(std::llround(
+              level_frac * static_cast<double>(d->delay_step * s)));
+        }
+        const std::size_t eff_delay = delay + drift_delay;
+        std::size_t level =
+            wave_level(t >= eff_delay ? t - eff_delay : 0, period,
+                       eff_phase + drift_phase, driver_levels);
         // Quantize the driver level to this sensor's cardinality.
         std::size_t state = level * cardinality / driver_levels;
         if (noise_rng.bernoulli(noise)) {

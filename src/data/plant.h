@@ -36,6 +36,28 @@ struct PlantAnomaly {
   std::vector<std::size_t> components;
 };
 
+/// Slow sensor migration (DESIGN.md §14): a *gradual* phase/threshold shift
+/// that ramps in over many days, modelling aging hardware or re-tuned control
+/// loops. Distinct from PlantAnomaly: drift is monotone, persists after the
+/// ramp, and settles into a new self-consistent steady state — a graph mined
+/// on post-drift data sees nothing anomalous, while a graph mined before the
+/// drift slowly loses translation quality on the migrated component's pairs.
+struct PlantDrift {
+  std::size_t start_day = 0;  ///< 0-based day the migration begins
+  std::size_t ramp_days = 10; ///< days until full strength (>= 1)
+  /// Components that migrate; empty = all components. Popular/lazy/constant
+  /// sensors never drift — migration is a plant-floor phenomenon.
+  std::vector<std::size_t> components;
+  /// Fraction of the driver period each sensor's phase has migrated at full
+  /// strength, scaled by (s + 1) / sensors_per_component so every sensor
+  /// slips by a *different* amount and pairwise timing relations genuinely
+  /// change (a common shift alone would preserve them).
+  double phase_fraction = 0.25;
+  /// Extra response delay (minutes) per sensor index at full strength: sensor
+  /// s gains round(level * delay_step * s) minutes of lag.
+  std::size_t delay_step = 2;
+};
+
 struct PlantConfig {
   std::size_t num_components = 6;
   std::size_t sensors_per_component = 4;
@@ -48,6 +70,7 @@ struct PlantConfig {
   std::size_t days = 30;
   std::size_t minutes_per_day = 1440;
   std::vector<PlantAnomaly> anomalies = {{20, {0, 1}}, {27, {}}};
+  std::vector<PlantDrift> drifts = {};  ///< slow migrations (none by default)
   bool precursors = true;   ///< mild disturbance late on the preceding day
   double noise = 0.005;     ///< per-minute random state-flip probability
   std::uint64_t seed = 7;
@@ -58,6 +81,7 @@ struct PlantDataset {
   std::size_t minutes_per_day = 1440;
   std::size_t days = 30;
   std::vector<PlantAnomaly> anomalies;
+  std::vector<PlantDrift> drifts;
   /// Ground-truth component of each component sensor (name -> component id);
   /// popular/lazy/constant sensors are absent from this map.
   std::map<std::string, std::size_t> component_of;

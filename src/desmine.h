@@ -14,6 +14,8 @@
 //   core::MvrGraph / MvrEdge                 — mined relationship graph
 //   core::SensorEncrypter / LanguageGenerator— event encoding / language gen
 //   serve::SessionManager / ServeConfig      — multi-session batched serving
+//   lifecycle::LifecycleController / DriftMonitor / IncrementalRetrainer
+//                                            — drift -> retrain -> promotion
 //   io::read_csv / save_framework / load_framework — data + artifact io
 //   io::RunConfig / run_config_{to,from}_json — config files (--config)
 //   obs::init_logging / metrics / trace      — structured obs surface
@@ -36,6 +38,7 @@
 #include "io/config_json.h"
 #include "io/csv.h"
 #include "io/serialize.h"
+#include "lifecycle/controller.h"
 #include "obs/http_exposition.h"
 #include "obs/log.h"
 #include "obs/metrics.h"

@@ -217,6 +217,46 @@ JsonValue serve_to_json(const serve::ServeConfig& s) {
   return v;
 }
 
+JsonValue drift_to_json(const lifecycle::DriftConfig& d) {
+  JsonValue v = make_object();
+  put_number(v, "ewma_alpha", d.ewma_alpha);
+  put_number(v, "min_observations", static_cast<double>(d.min_observations));
+  put_number(v, "hysteresis", static_cast<double>(d.hysteresis));
+  put_number(v, "drifting_drop", d.drifting_drop);
+  put_number(v, "drifted_drop", d.drifted_drop);
+  put_number(v, "break_rate", d.break_rate);
+  put_number(v, "max_unk_rate", d.max_unk_rate);
+  return v;
+}
+
+JsonValue retrain_to_json(const lifecycle::RetrainConfig& r) {
+  JsonValue v = make_object();
+  put_number(v, "lr_factor", r.lr_factor);
+  put_number(v, "steps", static_cast<double>(r.steps));
+  put_string(v, "journal_path", r.journal_path);
+  put_string(v, "warm_start_journal", r.warm_start_journal);
+  return v;
+}
+
+JsonValue shadow_to_json(const serve::ShadowConfig& s) {
+  JsonValue v = make_object();
+  put_number(v, "sample_rate", s.sample_rate);
+  put_number(v, "min_windows", static_cast<double>(s.min_windows));
+  put_number(v, "alert_threshold", s.alert_threshold);
+  put_number(v, "max_alert_rate", s.max_alert_rate);
+  put_number(v, "min_agreement", s.min_agreement);
+  put_number(v, "max_failures", static_cast<double>(s.max_failures));
+  return v;
+}
+
+JsonValue lifecycle_to_json(const lifecycle::LifecycleConfig& l) {
+  JsonValue v = make_object();
+  put_object(v, "drift", drift_to_json(l.drift));
+  put_object(v, "retrain", retrain_to_json(l.retrain));
+  put_object(v, "shadow", shadow_to_json(l.shadow));
+  return v;
+}
+
 // ---------------------------------------------------------------------------
 // Parsing. Every reader names the full dotted path of the key it rejects.
 
@@ -509,6 +549,96 @@ void parse_serve(const JsonValue& v, const std::string& prefix,
   }
 }
 
+void parse_drift(const JsonValue& v, const std::string& prefix,
+                 lifecycle::DriftConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "ewma_alpha") {
+      const double d = fraction_at(value, path);
+      if (!(d > 0.0)) bad("key '" + path + "' must lie in (0, 1]");
+      out->ewma_alpha = d;
+    } else if (key == "min_observations") {
+      out->min_observations = positive_uint_at(value, path);
+    } else if (key == "hysteresis") {
+      out->hysteresis = positive_uint_at(value, path);
+    } else if (key == "drifting_drop") {
+      out->drifting_drop = nonneg_at(value, path);
+    } else if (key == "drifted_drop") {
+      out->drifted_drop = nonneg_at(value, path);
+    } else if (key == "break_rate") {
+      out->break_rate = fraction_at(value, path);
+    } else if (key == "max_unk_rate") {
+      out->max_unk_rate = fraction_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+  if (out->drifting_drop > out->drifted_drop) {
+    bad("key '" + prefix + ".drifting_drop' must be <= '" + prefix +
+        ".drifted_drop'");
+  }
+}
+
+void parse_retrain(const JsonValue& v, const std::string& prefix,
+                   lifecycle::RetrainConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "lr_factor") {
+      out->lr_factor = positive_at(value, path);
+    } else if (key == "steps") {
+      out->steps = uint_at(value, path);
+    } else if (key == "journal_path") {
+      out->journal_path = string_at(value, path);
+    } else if (key == "warm_start_journal") {
+      out->warm_start_journal = string_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_shadow(const JsonValue& v, const std::string& prefix,
+                  serve::ShadowConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "sample_rate") {
+      out->sample_rate = positive_at(value, path);
+    } else if (key == "min_windows") {
+      out->min_windows = positive_uint_at(value, path);
+    } else if (key == "alert_threshold") {
+      out->alert_threshold = fraction_at(value, path);
+    } else if (key == "max_alert_rate") {
+      out->max_alert_rate = fraction_at(value, path);
+    } else if (key == "min_agreement") {
+      out->min_agreement = fraction_at(value, path);
+    } else if (key == "max_failures") {
+      out->max_failures = uint_at(value, path);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
+void parse_lifecycle(const JsonValue& v, const std::string& prefix,
+                     lifecycle::LifecycleConfig* out) {
+  expect_object(v, prefix);
+  for (const auto& [key, value] : v.object) {
+    const std::string path = prefix + "." + key;
+    if (key == "drift") {
+      parse_drift(value, path, &out->drift);
+    } else if (key == "retrain") {
+      parse_retrain(value, path, &out->retrain);
+    } else if (key == "shadow") {
+      parse_shadow(value, path, &out->shadow);
+    } else {
+      bad("unknown key '" + path + "'");
+    }
+  }
+}
+
 }  // namespace
 
 std::string run_config_to_json(const RunConfig& config) {
@@ -518,6 +648,7 @@ std::string run_config_to_json(const RunConfig& config) {
   put_object(doc, "detector", detector_to_json(config.framework.detector));
   put_object(doc, "health", health_to_json(config.health));
   put_object(doc, "serve", serve_to_json(config.serve));
+  put_object(doc, "lifecycle", lifecycle_to_json(config.lifecycle));
   std::string out;
   dump(doc, out, 0);
   out += '\n';
@@ -539,11 +670,14 @@ RunConfig run_config_from_json(std::string_view text) {
       parse_health(value, key, &config.health);
     } else if (key == "serve") {
       parse_serve(value, key, &config.serve);
+    } else if (key == "lifecycle") {
+      parse_lifecycle(value, key, &config.lifecycle);
     } else {
       bad("unknown key '" + key + "'");
     }
   }
   config.serve.detector = config.framework.detector;
+  config.serve.shadow = config.lifecycle.shadow;
   return config;
 }
 

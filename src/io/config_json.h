@@ -2,7 +2,8 @@
 //
 // RunConfig bundles everything a tool run is parameterised by: the
 // FrameworkConfig (window / miner / detector), the degraded-mode
-// HealthConfig, and the serving-layer ServeConfig. run_config_to_json
+// HealthConfig, the serving-layer ServeConfig, and the continual-mining
+// LifecycleConfig (DESIGN.md §14). run_config_to_json
 // emits a pretty-printed document with every knob at its current value —
 // `desmine_cli --dump-config` uses it to print a complete, editable
 // starting point. run_config_from_json parses and validates strictly:
@@ -12,15 +13,18 @@
 // their defaults, which makes partial override files work.
 //
 // Deliberately NOT covered: callback hooks (MinerConfig::on_pair,
-// should_abort) and ServeConfig::detector (the detector section is the
+// should_abort), ServeConfig::detector (the detector section is the
 // single source of truth; callers mirror it into ServeConfig themselves,
-// as run_config_from_json already does).
+// as run_config_from_json already does), ServeConfig::shadow (mirrored
+// from lifecycle.shadow the same way), and RetrainConfig::seed (a test
+// determinism knob, not an operator-facing one).
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "core/framework.h"
+#include "lifecycle/controller.h"
 #include "robust/sensor_health.h"
 #include "serve/session_manager.h"
 
@@ -30,8 +34,9 @@ struct RunConfig {
   core::FrameworkConfig framework{};
   robust::HealthConfig health{};
   /// serve.detector is kept mirrored from framework.detector rather than
-  /// serialized separately.
+  /// serialized separately; serve.shadow is mirrored from lifecycle.shadow.
   serve::ServeConfig serve{};
+  lifecycle::LifecycleConfig lifecycle{};
 };
 
 /// Pretty-printed JSON document covering every RunConfig knob.

@@ -1,0 +1,106 @@
+// Incremental retraining of drifted pair models (DESIGN.md §14).
+//
+// A full remine retrains all N(N-1) pair models; drift usually touches a
+// handful. The IncrementalRetrainer fine-tunes *only* the drifted pairs,
+// warm-started from the miner's checkpoint sidecar artifacts (PR 2's
+// `<journal>.models/pair_<p>.bin`) — or, when no journal is available, from
+// a deep copy of the in-memory model — with the learning rate scaled by
+// `lr_factor` and the trainer's divergence guard active. The result is a
+// *candidate* graph: every untouched edge is shared with the active graph,
+// every retrained edge carries a fresh model and a re-measured s(i, j).
+//
+// Durability mirrors the miner: with a journal path configured, each
+// retrained pair is appended to an append-only JSON-lines journal and its
+// model republished as a CRC-trailed, temp+fsync+rename sidecar artifact,
+// so a crash mid-cycle never leaves a half-written candidate — the caller
+// only persists the whole-framework candidate artifact after retrain()
+// returns.
+//
+// Fault injection: point "lifecycle.retrain" keyed by edge name "src->dst".
+//   throw/diverge  the pair fails (old edge kept, failure recorded);
+//   abort          the whole cycle aborts (simulated crash — no candidate);
+//   delay          the pair stalls for robust::kDelayMillis first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/mvr_graph.h"
+#include "nmt/translation.h"
+
+namespace desmine::lifecycle {
+
+struct RetrainConfig {
+  /// Learning-rate multiplier for fine-tuning (warm starts want a fraction
+  /// of the from-scratch rate; the ISSUE's "halved LR").
+  double lr_factor = 0.5;
+  /// Fine-tuning steps; 0 keeps the translation config's trainer steps.
+  std::size_t steps = 0;
+  /// Lifecycle journal path: retrained pairs are appended here and their
+  /// models republished under `<journal>.models/`. Empty disables the
+  /// journal (the candidate then lives only in the returned graph).
+  std::string journal_path;
+  /// The miner checkpoint journal whose `.models/` sidecars seed the warm
+  /// start. Empty falls back to deep-copying the in-memory edge models.
+  std::string warm_start_journal;
+  /// Master seed for the fine-tuning RNG streams (forked per pair).
+  std::uint64_t seed = 97;
+};
+
+/// Outcome of one pair's fine-tune.
+struct RetrainedPair {
+  std::size_t pair_index = 0;  ///< miner enumeration order (sidecar naming)
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  bool ok = false;
+  bool warm_started = false;  ///< seeded from a checkpoint sidecar artifact
+  double old_bleu = 0.0;      ///< s(i, j) the active graph carries
+  double new_bleu = 0.0;      ///< re-measured s(i, j) after fine-tuning
+  double wall_s = 0.0;
+  std::size_t steps_run = 0;
+  std::string error;       ///< failure reason when !ok (old edge kept)
+  std::string model_file;  ///< republished sidecar artifact when journaled
+};
+
+struct RetrainReport {
+  std::vector<RetrainedPair> pairs;
+  std::size_t retrained = 0;  ///< pairs whose candidate edge is new
+  std::size_t failed = 0;     ///< pairs that kept the old edge
+};
+
+class IncrementalRetrainer {
+ public:
+  /// `translation` must be the configuration the active graph was mined
+  /// with (architecture and BLEU options must match for the re-measured
+  /// s(i, j) to stay comparable).
+  IncrementalRetrainer(RetrainConfig config,
+                       nmt::TranslationConfig translation);
+
+  /// Fine-tune the given (src, dst) pairs of `graph` on fresh normal-
+  /// operation corpora and return the candidate graph. `languages` must
+  /// align with the graph's sensor nodes. Pairs without an active edge are
+  /// recorded as failures. Throws robust::Interrupted on an injected abort
+  /// (simulated crash: no candidate graph exists afterwards).
+  core::MvrGraph retrain(
+      const core::MvrGraph& graph,
+      const std::vector<core::SensorLanguage>& languages,
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs,
+      RetrainReport* report = nullptr);
+
+  const RetrainConfig& config() const { return config_; }
+
+ private:
+  RetrainConfig config_;
+  nmt::TranslationConfig translation_;
+};
+
+/// Miner pair enumeration order: the 0-based index of ordered pair
+/// (src, dst) among all N(N-1) directed pairs — the sidecar artifact
+/// numbering shared by the miner's checkpoint journal.
+std::size_t pair_index_of(std::size_t src, std::size_t dst,
+                          std::size_t sensor_count);
+
+}  // namespace desmine::lifecycle

@@ -57,6 +57,18 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   obs::metrics().counter("serve.circuit.probes");
   obs::metrics().counter("serve.circuit.quarantined");
   obs::metrics().gauge("serve.model.generation").set(1.0);
+  obs::metrics().histogram("serve.reload.duration_ms");
+  obs::metrics().gauge("serve.model.retired_live").set(0.0);
+  obs::metrics().counter("serve.shadow.windows");
+  obs::metrics().counter("serve.shadow.alerts");
+  obs::metrics().counter("serve.shadow.failures");
+  obs::metrics().counter("serve.shadow.edge_failures");
+  obs::metrics().counter("serve.shadow.agreements");
+  obs::metrics().counter("serve.shadow.disagreements");
+  obs::metrics().gauge("serve.shadow.active").set(0.0);
+  obs::metrics().gauge("serve.shadow.agreement").set(0.0);
+  obs::metrics().counter("lifecycle.promotions");
+  obs::metrics().counter("lifecycle.rollbacks");
 
   SchedulerConfig sched;
   sched.max_batch = config_.max_batch;
@@ -68,6 +80,19 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   scheduler_ = std::make_unique<BatchScheduler>(
       registry_->current(), sched,
       [this](std::unique_ptr<PendingWindow> window) {
+        // Shadow mirroring: lift what candidate scoring needs out of the
+        // window BEFORE finalize() consumes it. Candidate decoding itself
+        // runs after delivery and accounting, so shadow load never delays
+        // the client-visible result or backpressure release.
+        std::shared_ptr<ShadowScorer> shadow;
+        {
+          std::lock_guard slock(shadow_mu_);
+          shadow = shadow_;
+        }
+        std::optional<ShadowSample> sample;
+        if (shadow && shadow->admit(*window)) {
+          sample = ShadowScorer::capture(*window);
+        }
         // The session may already be erased; its in-flight windows are then
         // dropped on the floor by design.
         const std::shared_ptr<Session> session = find(window->session_id);
@@ -80,6 +105,7 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
           }
           global_cv_.notify_all();
         }
+        if (sample) shadow->observe(std::move(*sample));
       });
 
   std::size_t workers = config_.workers;
@@ -202,40 +228,51 @@ void SessionManager::erase(std::uint64_t session) {
   DESMINE_LOG_DEBUG("session erased", {obs::kv("session", session)});
 }
 
+std::shared_ptr<const ModelGeneration> SessionManager::load_generation_locked(
+    const std::string& path) {
+  switch (robust::fire_fault("serve.model.load", 0)) {
+    case robust::FaultAction::kThrow:
+      throw RuntimeError("injected serve.model.load fault");
+    case robust::FaultAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(robust::kDelayMillis));
+      break;
+    default:
+      break;
+  }
+  // CRC-verified load off the worker threads; the detector band/quorum
+  // this manager was configured with carries over to the new generation.
+  core::FrameworkConfig overlay;
+  overlay.detector = config_.detector;
+  const core::Framework loaded = io::load_framework(path, overlay);
+  DESMINE_EXPECTS(
+      loaded.encrypter().kept_sensors() == encrypter_.kept_sensors(),
+      "artifact serves different sensors than this manager");
+  const core::WindowConfig& w = loaded.config().window;
+  DESMINE_EXPECTS(w.word_length == window_.word_length &&
+                      w.word_stride == window_.word_stride &&
+                      w.sentence_length == window_.sentence_length &&
+                      w.sentence_stride == window_.sentence_stride,
+                  "artifact was mined with a different window config");
+  std::shared_ptr<const ModelGeneration> next = make_generation(
+      loaded.graph(), config_.detector, registry_->generation() + 1);
+  DESMINE_EXPECTS(!next->edges.empty(),
+                  "artifact has no valid-band edges to serve");
+  return next;
+}
+
 std::uint64_t SessionManager::reload(const std::string& path) {
   std::lock_guard rlock(reload_mu_);
+  const auto reload_start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [reload_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - reload_start)
+        .count();
+  };
   const obs::SpanContext span = obs::tracer().start_span(
       "serve.reload", {}, {obs::kv("path", path)});
   try {
-    switch (robust::fire_fault("serve.model.load", 0)) {
-      case robust::FaultAction::kThrow:
-        throw RuntimeError("injected serve.model.load fault");
-      case robust::FaultAction::kDelay:
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(robust::kDelayMillis));
-        break;
-      default:
-        break;
-    }
-    // CRC-verified load off the worker threads; the detector band/quorum
-    // this manager was configured with carries over to the new generation.
-    core::FrameworkConfig overlay;
-    overlay.detector = config_.detector;
-    const core::Framework loaded = io::load_framework(path, overlay);
-    DESMINE_EXPECTS(
-        loaded.encrypter().kept_sensors() == encrypter_.kept_sensors(),
-        "reload artifact serves different sensors than this manager");
-    const core::WindowConfig& w = loaded.config().window;
-    DESMINE_EXPECTS(w.word_length == window_.word_length &&
-                        w.word_stride == window_.word_stride &&
-                        w.sentence_length == window_.sentence_length &&
-                        w.sentence_stride == window_.sentence_stride,
-                    "reload artifact was mined with a different window "
-                    "config");
-    std::shared_ptr<const ModelGeneration> next = make_generation(
-        loaded.graph(), config_.detector, registry_->generation() + 1);
-    DESMINE_EXPECTS(!next->edges.empty(),
-                    "reload artifact has no valid-band edges to serve");
+    std::shared_ptr<const ModelGeneration> next = load_generation_locked(path);
 
     // Publish, then retire the old generation's scheduler states: windows
     // already in flight finish on their snapshot, new windows score on the
@@ -244,7 +281,14 @@ std::uint64_t SessionManager::reload(const std::string& path) {
     scheduler_->set_current_generation(next->id);
     obs::metrics().gauge("serve.model.generation")
         .set(static_cast<double>(next->id));
+    obs::metrics().gauge("serve.model.retired_live")
+        .set(static_cast<double>(registry_->retired_live()));
     obs::metrics().counter("serve.reload.count").inc();
+    obs::metrics().histogram("serve.reload.duration_ms").record(elapsed_ms());
+    {
+      std::lock_guard slock(shadow_mu_);
+      last_reload_error_.clear();
+    }
     obs::tracer().finish_span(
         span, {obs::kv("generation", next->id),
                obs::kv("valid_edges", next->edges.size())});
@@ -253,13 +297,128 @@ std::uint64_t SessionManager::reload(const std::string& path) {
                       obs::kv("valid_edges", next->edges.size())});
     return next->id;
   } catch (const std::exception& e) {
+    // Failed reloads are timed too: a slow failure (giant corrupt artifact,
+    // hung storage) must be visible in latency telemetry, not only in logs.
     obs::metrics().counter("serve.reload.failures").inc();
+    obs::metrics().histogram("serve.reload.duration_ms").record(elapsed_ms());
+    {
+      std::lock_guard slock(shadow_mu_);
+      last_reload_error_ = e.what();
+    }
     obs::tracer().finish_span(span, {obs::kv("error", e.what())});
     DESMINE_LOG_WARN("model reload failed — keeping current generation",
                      {obs::kv("path", path), obs::kv("error", e.what()),
                       obs::kv("generation", registry_->generation())});
     throw;
   }
+}
+
+std::uint64_t SessionManager::begin_shadow(const std::string& path) {
+  std::lock_guard rlock(reload_mu_);
+  // Any load/validation failure throws here, before shadow state changes:
+  // a corrupt candidate artifact can never arm a scorer, let alone reach
+  // the active generation.
+  std::shared_ptr<const ModelGeneration> next = load_generation_locked(path);
+  auto scorer =
+      std::make_shared<ShadowScorer>(next, config_.shadow, path);
+  std::shared_ptr<ShadowScorer> previous;
+  {
+    std::lock_guard slock(shadow_mu_);
+    previous = std::exchange(shadow_, std::move(scorer));
+  }
+  if (previous) previous->seal();
+  obs::metrics().gauge("serve.shadow.active").set(1.0);
+  obs::metrics().gauge("serve.shadow.agreement").set(0.0);
+  DESMINE_LOG_INFO("shadow candidate armed",
+                   {obs::kv("path", path), obs::kv("candidate", next->id),
+                    obs::kv("valid_edges", next->edges.size()),
+                    obs::kv("replaced_previous", previous != nullptr)});
+  return next->id;
+}
+
+std::uint64_t SessionManager::promote() {
+  std::lock_guard rlock(reload_mu_);
+  std::shared_ptr<ShadowScorer> shadow;
+  {
+    std::lock_guard slock(shadow_mu_);
+    shadow = shadow_;
+  }
+  DESMINE_EXPECTS(shadow != nullptr, "no shadow candidate armed");
+  if (!shadow->gate_passed()) {
+    throw PreconditionError("shadow gate not passed: " +
+                            shadow->gate_reason());
+  }
+  const std::shared_ptr<const ModelGeneration>& next = shadow->candidate();
+  DESMINE_EXPECTS(next->id == registry_->generation() + 1,
+                  "shadow candidate is stale (a reload superseded it); "
+                  "rearm with begin_shadow");
+
+  // Detach the scorer first so no new samples start, then seal() — which
+  // waits out any in-flight candidate decode — before the scheduler's
+  // workers may touch the same (single-threaded) models.
+  {
+    std::lock_guard slock(shadow_mu_);
+    shadow_.reset();
+  }
+  shadow->seal();
+  registry_->publish(next);
+  scheduler_->set_current_generation(next->id);
+  obs::metrics().gauge("serve.model.generation")
+      .set(static_cast<double>(next->id));
+  obs::metrics().gauge("serve.model.retired_live")
+      .set(static_cast<double>(registry_->retired_live()));
+  obs::metrics().gauge("serve.shadow.active").set(0.0);
+  obs::metrics().counter("lifecycle.promotions").inc();
+  const ShadowScorer::Status st = shadow->status();
+  DESMINE_LOG_INFO("shadow candidate promoted",
+                   {obs::kv("generation", next->id),
+                    obs::kv("sampled", st.sampled),
+                    obs::kv("alert_rate", st.alert_rate()),
+                    obs::kv("agreement", st.agreement())});
+  return next->id;
+}
+
+std::string SessionManager::rollback() {
+  std::lock_guard rlock(reload_mu_);
+  std::shared_ptr<ShadowScorer> shadow;
+  {
+    std::lock_guard slock(shadow_mu_);
+    shadow = std::exchange(shadow_, nullptr);
+  }
+  DESMINE_EXPECTS(shadow != nullptr, "no shadow candidate armed");
+  shadow->seal();
+  obs::metrics().gauge("serve.shadow.active").set(0.0);
+  obs::metrics().counter("lifecycle.rollbacks").inc();
+  const ShadowScorer::Status st = shadow->status();
+  DESMINE_LOG_INFO("shadow candidate rolled back — serving unchanged",
+                   {obs::kv("path", st.path),
+                    obs::kv("sampled", st.sampled),
+                    obs::kv("reason", shadow->gate_reason())});
+  return st.path;
+}
+
+std::optional<ShadowScorer::Status> SessionManager::shadow_status() const {
+  std::shared_ptr<ShadowScorer> shadow;
+  {
+    std::lock_guard slock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (!shadow) return std::nullopt;
+  return shadow->status();
+}
+
+bool SessionManager::shadow_gate_passed() const {
+  std::shared_ptr<ShadowScorer> shadow;
+  {
+    std::lock_guard slock(shadow_mu_);
+    shadow = shadow_;
+  }
+  return shadow != nullptr && shadow->gate_passed();
+}
+
+std::string SessionManager::last_reload_error() const {
+  std::lock_guard slock(shadow_mu_);
+  return last_reload_error_;
 }
 
 Session::Stats SessionManager::stats(std::uint64_t session) const {

@@ -48,6 +48,7 @@
 #include "serve/batch_scheduler.h"
 #include "serve/model_registry.h"
 #include "serve/session.h"
+#include "serve/shadow_scorer.h"
 #include "util/thread_pool.h"
 
 namespace desmine::serve {
@@ -95,6 +96,10 @@ struct ServeConfig {
   /// seconds and the number of ring epochs it is divided into.
   double sliding_window_s = 60.0;
   std::size_t sliding_epochs = 6;
+
+  // --- Continual mining lifecycle (DESIGN.md §14) ---
+  /// Shadow-promotion gate for begin_shadow()/promote() candidates.
+  ShadowConfig shadow{};
 };
 
 class SessionManager {
@@ -144,6 +149,40 @@ class SessionManager {
   /// a scoring worker.
   std::uint64_t reload(const std::string& path);
 
+  // --- Shadow-gated promotion (DESIGN.md §14) ---
+
+  /// Arm a candidate generation from a saved artifact (same CRC and
+  /// compatibility validations as reload()). The candidate shadow-scores a
+  /// sampled slice of live windows per config().shadow with no client-
+  /// visible effect; serving stays entirely on the active generation.
+  /// Replaces any previously armed candidate. Returns the id the candidate
+  /// will publish under if promoted (current generation + 1). Throws and
+  /// leaves shadow state unchanged on a corrupt or incompatible artifact.
+  std::uint64_t begin_shadow(const std::string& path);
+
+  /// Promote the armed candidate into serving via the hot-reload path.
+  /// Requires the shadow gate to pass and the candidate to still be the
+  /// next generation (an interleaved reload() stales it). Throws
+  /// PreconditionError (gate/staleness) and leaves serving untouched on
+  /// failure. In-flight windows finish on their old generation.
+  std::uint64_t promote();
+
+  /// Discard the armed candidate. Serving is untouched — the active
+  /// generation remains bit-identical. Returns the discarded candidate's
+  /// artifact path. Throws PreconditionError when no candidate is armed.
+  std::string rollback();
+
+  /// Gate progress of the armed candidate; nullopt when none is armed.
+  std::optional<ShadowScorer::Status> shadow_status() const;
+
+  /// True when a candidate is armed and its gate currently passes.
+  bool shadow_gate_passed() const;
+
+  /// Why the last reload() failed; empty after a success (or when none
+  /// failed yet). Exposed on /statusz and the stats op so operators see
+  /// reload failures without scraping logs.
+  std::string last_reload_error() const;
+
   Session::Stats stats(std::uint64_t session) const;
   std::size_t session_count() const;
   std::size_t valid_model_count() const {
@@ -162,6 +201,11 @@ class SessionManager {
  private:
   std::shared_ptr<Session> find(std::uint64_t session) const;
 
+  /// Load + validate a candidate/reload artifact (CRC, kept sensors,
+  /// window config) and build the next generation. Caller holds reload_mu_.
+  std::shared_ptr<const ModelGeneration> load_generation_locked(
+      const std::string& path);
+
   const std::chrono::steady_clock::time_point started_ =
       std::chrono::steady_clock::now();
   ServeConfig config_;
@@ -172,8 +216,15 @@ class SessionManager {
   std::unique_ptr<BatchScheduler> scheduler_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  /// Serializes reload(); never held while scoring.
+  /// Serializes reload()/begin_shadow()/promote()/rollback(); never held
+  /// while scoring.
   std::mutex reload_mu_;
+
+  /// Guards shadow_ and last_reload_error_. Leaf lock: never held while
+  /// calling into the scorer, registry, or scheduler.
+  mutable std::mutex shadow_mu_;
+  std::shared_ptr<ShadowScorer> shadow_;
+  std::string last_reload_error_;
 
   /// Global admission control (soft budget, see class comment).
   std::mutex global_mu_;

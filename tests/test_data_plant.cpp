@@ -199,3 +199,98 @@ TEST(PlantGenerator, InvalidConfigThrows) {
   cfg.anomalies = {{1, {7}}};
   EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
 }
+
+// ---------------------------------------------------------------------------
+// Slow drift (DESIGN.md §14)
+
+namespace {
+
+dd::PlantConfig drift_config() {
+  auto cfg = small_config();
+  cfg.days = 5;
+  cfg.anomalies = {};
+  cfg.precursors = false;
+  cfg.noise = 0.0;  // make the drifted-vs-undrifted diff purely drift-caused
+  cfg.drifts = {{/*start_day=*/1, /*ramp_days=*/2, /*components=*/{0},
+                 /*phase_fraction=*/0.5, /*delay_step=*/2}};
+  return cfg;
+}
+
+/// Fraction of day `day`'s minutes where any component-`component` sensor
+/// disagrees between the two datasets.
+double day_mismatch(const dd::PlantDataset& a, const dd::PlantDataset& b,
+                    std::size_t day, std::size_t component) {
+  std::size_t diffs = 0, total = 0;
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    const auto it = a.component_of.find(a.series[s].name);
+    if (it == a.component_of.end() || it->second != component) continue;
+    for (std::size_t t = day * a.minutes_per_day;
+         t < (day + 1) * a.minutes_per_day; ++t) {
+      ++total;
+      diffs += a.series[s].events[t] != b.series[s].events[t] ? 1 : 0;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(diffs) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+// The migration is monotone: nothing moves before start_day, the per-day
+// divergence from an undrifted twin never decreases through the ramp, and it
+// persists at full strength afterwards — the signature that distinguishes
+// drift from a one-day injected fault.
+TEST(PlantGenerator, DriftIsMonotoneAndConfinedToItsComponent) {
+  const auto cfg = drift_config();
+  const auto drifted = dd::generate_plant(cfg);
+  auto clean_cfg = cfg;
+  clean_cfg.drifts = {};
+  const auto clean = dd::generate_plant(clean_cfg);
+
+  EXPECT_EQ(day_mismatch(drifted, clean, 0, 0), 0.0);
+  double prev = 0.0;
+  for (std::size_t day = 1; day < cfg.days; ++day) {
+    const double m = day_mismatch(drifted, clean, day, 0);
+    EXPECT_GE(m, prev) << "day " << day;
+    prev = m;
+  }
+  EXPECT_GT(prev, 0.0);  // the steady state really did migrate
+
+  // Other components (and the popular/lazy/constant sensors) are untouched.
+  EXPECT_EQ(day_mismatch(drifted, clean, cfg.days - 1, 1), 0.0);
+  EXPECT_EQ(day_mismatch(drifted, clean, cfg.days - 1, 2), 0.0);
+  for (std::size_t s = 0; s < drifted.series.size(); ++s) {
+    if (drifted.component_of.count(drifted.series[s].name) != 0) continue;
+    EXPECT_EQ(drifted.series[s].events, clean.series[s].events)
+        << drifted.series[s].name;
+  }
+}
+
+// Drift must not perturb the RNG streams: with drifts configured the output
+// is still deterministic, and an undrifted config stays bit-identical to one
+// that never heard of drift (noise on, to exercise the RNG paths).
+TEST(PlantGenerator, DriftIsDeterministicAndLeavesNoiseStreamsAlone) {
+  auto cfg = drift_config();
+  cfg.noise = 0.01;
+  const auto a = dd::generate_plant(cfg);
+  const auto b = dd::generate_plant(cfg);
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    EXPECT_EQ(a.series[s].events, b.series[s].events) << a.series[s].name;
+  }
+  EXPECT_EQ(a.drifts.size(), 1u);
+}
+
+TEST(PlantGenerator, InvalidDriftConfigThrows) {
+  auto cfg = drift_config();
+  cfg.drifts[0].start_day = cfg.days;  // out of horizon
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+  cfg = drift_config();
+  cfg.drifts[0].ramp_days = 0;
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+  cfg = drift_config();
+  cfg.drifts[0].components = {9};
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+  cfg = drift_config();
+  cfg.drifts[0].phase_fraction = 1.5;
+  EXPECT_THROW(dd::generate_plant(cfg), desmine::PreconditionError);
+}

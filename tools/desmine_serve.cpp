@@ -20,6 +20,16 @@
 //     success -> {"ok":true,"op":"reload","generation":N}; on failure the
 //     old generation keeps serving. SIGHUP triggers the same reload of the
 //     --model path from the outside.
+//   {"op": "shadow", "model": PATH}       arm PATH as a shadow candidate
+//     (DESIGN.md §14): it scores a mirrored sample of live windows with no
+//     client-visible effect. "model" defaults to --model.
+//     -> {"ok":true,"op":"shadow","candidate":N}
+//   {"op": "promote"}                     promote the armed candidate into
+//     serving; requires the shadow gate to pass.
+//     -> {"ok":true,"op":"promote","generation":N}
+//   {"op": "rollback"}                    discard the armed candidate; the
+//     active generation stays bit-identical.
+//     -> {"ok":true,"op":"rollback","path":PATH}
 //   {"op": "shutdown"}                    drain in-flight windows, ack, then
 //     exit exactly like SIGTERM (exit code 130 — the contract is unchanged)
 // Window events (scored asynchronously, emitted in window order on the
@@ -206,8 +216,35 @@ void stage_quantiles_json(obs::JsonWriter& w) {
   w.end_object();
 }
 
+/// Model-lifecycle fields shared by the stats op and /statusz: generation,
+/// retired-generation drain, last reload failure, and the armed shadow
+/// candidate's gate progress (null when none is armed).
+void lifecycle_fields_json(obs::JsonWriter& w,
+                           const serve::SessionManager& manager) {
+  w.key("generation").value(manager.generation());
+  w.key("retired_live").value(
+      static_cast<std::uint64_t>(manager.registry().retired_live()));
+  w.key("last_reload_error").value(manager.last_reload_error());
+  w.key("candidate");
+  const auto status = manager.shadow_status();
+  if (!status) {
+    w.null();
+    return;
+  }
+  w.begin_object();
+  w.key("path").value(status->path);
+  w.key("candidate_id").value(status->candidate_id);
+  w.key("observed").value(static_cast<std::uint64_t>(status->observed));
+  w.key("sampled").value(static_cast<std::uint64_t>(status->sampled));
+  w.key("alert_rate").value(status->alert_rate());
+  w.key("agreement").value(status->agreement());
+  w.key("failures").value(static_cast<std::uint64_t>(status->failures));
+  w.key("gate_passed").value(manager.shadow_gate_passed());
+  w.end_object();
+}
+
 /// The /statusz document: build identity, uptime, live session/model
-/// counts, and the per-stage quantiles.
+/// counts, lifecycle state, and the per-stage quantiles.
 std::string statusz_json(const serve::SessionManager& manager) {
   obs::JsonWriter w;
   w.begin_object();
@@ -217,7 +254,7 @@ std::string statusz_json(const serve::SessionManager& manager) {
       static_cast<std::uint64_t>(manager.session_count()));
   w.key("valid_models").value(
       static_cast<std::uint64_t>(manager.valid_model_count()));
-  w.key("generation").value(manager.generation());
+  lifecycle_fields_json(w, manager);
   stage_quantiles_json(w);
   w.end_object();
   return w.str();
@@ -348,6 +385,12 @@ class Protocol {
         cmd_stats(fields, out);
       } else if (op == "reload") {
         cmd_reload(fields, out);
+      } else if (op == "shadow") {
+        cmd_shadow(fields, out);
+      } else if (op == "promote") {
+        cmd_promote(out);
+      } else if (op == "rollback") {
+        cmd_rollback(out);
       } else if (op == "shutdown") {
         cmd_shutdown(out);
       } else if (op == "ping") {
@@ -444,7 +487,7 @@ class Protocol {
         .value(static_cast<std::uint64_t>(stats.windows_delivered));
     w.key("pending").value(static_cast<std::uint64_t>(stats.pending));
     w.key("shed").value(static_cast<std::uint64_t>(stats.shed));
-    w.key("generation").value(manager_.generation());
+    lifecycle_fields_json(w, manager_);
     w.key("uptime_s").value(manager_.uptime_s());
     w.key("version").value(util::desmine_version());
     stage_quantiles_json(w);
@@ -462,6 +505,38 @@ class Protocol {
     obs::JsonWriter w;
     w.begin_object().key("ok").value(true).key("op").value("reload");
     w.key("generation").value(generation);
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_shadow(const std::map<std::string, std::string>& fields,
+                  LineWriter& out) {
+    const auto it = fields.find("model");
+    const std::string path =
+        it != fields.end() && !it->second.empty() ? it->second
+                                                  : default_model_;
+    const std::uint64_t candidate = manager_.begin_shadow(path);
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("shadow");
+    w.key("candidate").value(candidate);
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_promote(LineWriter& out) {
+    const std::uint64_t generation = manager_.promote();
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("promote");
+    w.key("generation").value(generation);
+    w.end_object();
+    out.write(w.str());
+  }
+
+  void cmd_rollback(LineWriter& out) {
+    const std::string path = manager_.rollback();
+    obs::JsonWriter w;
+    w.begin_object().key("ok").value(true).key("op").value("rollback");
+    w.key("path").value(path);
     w.end_object();
     out.write(w.str());
   }
@@ -596,6 +671,8 @@ void usage() {
          "  0.5 --health-unk-window 64 --health-readmit-after 8\n"
          "  --log-level L --log-json FILE --metrics-out FILE\n"
          "protocol: one flat JSON object per line; see the tool header\n"
+         "lifecycle ops: shadow (arm a candidate), promote (gate-checked\n"
+         "hot swap), rollback (discard; serving untouched) — DESIGN.md §14\n"
          "signals: SIGHUP hot-reloads --model; SIGTERM/SIGINT drain and exit\n"
          "exit codes: 0 ok | 1 runtime error | 2 usage error | 130 interrupted\n";
 }

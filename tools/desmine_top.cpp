@@ -9,6 +9,9 @@
 //   * per-stage p50/p95/p99 (queue / batch_form / decode / reorder)
 //   * fault tolerance (model generation, shed windows, global rejects,
 //     circuit breaker transitions, failed edge scores)
+//   * continual mining lifecycle (drift verdict counts, armed shadow
+//     candidate, shadow agreement, promotions/rollbacks, retired
+//     generations still live)
 //   * degraded-mode counters (unhealthy sensors, degraded windows)
 //
 // Options:
@@ -190,6 +193,20 @@ std::string render(const Samples& s, const Samples* prev, double dt_s,
        util::fixed(sample(s, "desmine_serve_circuit_closed_total"), 0),
        util::fixed(sample(s, "desmine_serve_window_failed_edges_total"), 0)});
   out += faults.to_text("fault tolerance");
+
+  util::Table lifecycle({"drifting", "drifted", "shadow", "shadow_windows",
+                         "agreement", "promoted", "rolled_back",
+                         "retired_live"});
+  lifecycle.add_row(
+      {util::fixed(sample(s, "desmine_lifecycle_drift_drifting"), 0),
+       util::fixed(sample(s, "desmine_lifecycle_drift_drifted"), 0),
+       sample(s, "desmine_serve_shadow_active") > 0 ? "armed" : "-",
+       util::fixed(sample(s, "desmine_serve_shadow_windows_total"), 0),
+       fixed_or_dash(sample(s, "desmine_serve_shadow_agreement")),
+       util::fixed(sample(s, "desmine_lifecycle_promotions_total"), 0),
+       util::fixed(sample(s, "desmine_lifecycle_rollbacks_total"), 0),
+       util::fixed(sample(s, "desmine_serve_model_retired_live"), 0)});
+  out += lifecycle.to_text("lifecycle");
 
   util::Table degraded({"dropped", "stale", "flooding", "readmitted",
                         "degraded_windows"});
