@@ -211,6 +211,8 @@ JsonValue serve_to_json(const serve::ServeConfig& s) {
   put_number(v, "circuit_probe_after",
              static_cast<double>(s.circuit_probe_after));
   put_number(v, "telemetry_port", static_cast<double>(s.telemetry_port));
+  put_number(v, "resident_bytes", static_cast<double>(s.resident_bytes));
+  put_number(v, "resident_edges", static_cast<double>(s.resident_edges));
   put_number(v, "slow_window_ms", s.slow_window_ms);
   put_number(v, "sliding_window_s", s.sliding_window_s);
   put_number(v, "sliding_epochs", static_cast<double>(s.sliding_epochs));
@@ -537,6 +539,10 @@ void parse_serve(const JsonValue& v, const std::string& prefix,
     } else if (key == "telemetry_port") {
       out->telemetry_port = uint_at(value, path);
       if (out->telemetry_port > 65535) bad("key '" + path + "' must be <= 65535");
+    } else if (key == "resident_bytes") {
+      out->resident_bytes = uint_at(value, path);
+    } else if (key == "resident_edges") {
+      out->resident_edges = uint_at(value, path);
     } else if (key == "slow_window_ms") {
       out->slow_window_ms = nonneg_at(value, path);
     } else if (key == "sliding_window_s") {

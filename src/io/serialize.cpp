@@ -12,6 +12,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/artifact_map.h"
+#include "io/wire.h"
 #include "robust/fault_injector.h"
 #include "util/crc32.h"
 #include "util/error.h"
@@ -22,66 +24,26 @@ namespace desmine::io {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'E', 'S', 'M'};
-// v2 adds the attention kind; v3 adds the CRC trailer + failed pairs.
-constexpr std::uint32_t kVersion = kArtifactVersion;
 constexpr char kCrcMagic[4] = {'C', 'R', 'C', '1'};
 constexpr std::size_t kCrcTrailerSize = 8;  // magic + u32 crc
 
-// ---- primitives ------------------------------------------------------------
+using wire::read_f64;
+using wire::read_string;
+using wire::read_u32;
+using wire::read_u64;
+using wire::write_f32;
+using wire::write_f64;
+using wire::write_string;
+using wire::write_u32;
+using wire::write_u64;
 
-void write_u32(std::ostream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+}  // namespace
 
-std::uint32_t read_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw RuntimeError("unexpected end of stream reading u32");
-  return v;
-}
-
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw RuntimeError("unexpected end of stream reading u64");
-  return v;
-}
-
-void write_f32(std::ostream& os, float v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_f64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-double read_f64(std::istream& is) {
-  double v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw RuntimeError("unexpected end of stream reading f64");
-  return v;
-}
-
-void write_string(std::ostream& os, const std::string& s) {
-  write_u64(os, s.size());
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  if (!is) throw RuntimeError("unexpected end of stream reading string");
-  return s;
-}
-
-void write_header(std::ostream& os) {
+void write_header(std::ostream& os, std::uint32_t version) {
+  DESMINE_EXPECTS(version >= 1 && version <= kArtifactVersion,
+                  "unknown artifact version to write");
   os.write(kMagic, 4);
-  write_u32(os, kVersion);
+  write_u32(os, version);
 }
 
 std::uint32_t read_header(std::istream& is) {
@@ -91,21 +53,24 @@ std::uint32_t read_header(std::istream& is) {
     throw RuntimeError("not a desmine artifact (bad magic)");
   }
   const std::uint32_t version = read_u32(is);
-  if (version < 1 || version > kVersion) {
+  if (version < 1 || version > kArtifactVersion) {
     throw RuntimeError("unsupported artifact version " +
                        std::to_string(version));
   }
   return version;
 }
 
-void write_seq2seq_config(std::ostream& os, const nmt::Seq2SeqConfig& c) {
+void write_seq2seq_config(std::ostream& os, const nmt::Seq2SeqConfig& c,
+                          std::uint32_t version) {
   write_u64(os, c.embedding_dim);
   write_u64(os, c.hidden_dim);
   write_u64(os, c.num_layers);
   write_f32(os, c.dropout);
   write_f32(os, c.init_scale);
   write_u64(os, c.max_decode_length);
-  write_u32(os, static_cast<std::uint32_t>(c.attention));  // v2
+  if (version >= 2) {
+    write_u32(os, static_cast<std::uint32_t>(c.attention));
+  }
 }
 
 nmt::Seq2SeqConfig read_seq2seq_config(std::istream& is,
@@ -124,9 +89,7 @@ nmt::Seq2SeqConfig read_seq2seq_config(std::istream& is,
   return c;
 }
 
-}  // namespace
-
-void write_matrix(std::ostream& os, const tensor::Matrix& m) {
+void write_matrix(std::ostream& os, tensor::ConstMatrixView m) {
   write_u64(os, m.rows());
   write_u64(os, m.cols());
   os.write(reinterpret_cast<const char*>(m.data()),
@@ -167,13 +130,16 @@ text::Vocabulary read_vocabulary(std::istream& is) {
 }
 
 void write_translation_model(std::ostream& os, nmt::TranslationModel& model,
-                             const nmt::Seq2SeqConfig& config) {
+                             const nmt::Seq2SeqConfig& config,
+                             std::uint32_t version) {
   write_vocabulary(os, model.src_vocab());
   write_vocabulary(os, model.tgt_vocab());
-  write_seq2seq_config(os, config);
+  write_seq2seq_config(os, config, version);
   const auto& params = model.model().params().params();
   write_u64(os, params.size());
-  for (const nn::Param* p : params) write_matrix(os, p->value);
+  // Weights are read through view(), so a mapped (v4) model deep-copies to
+  // an owned stream artifact exactly like a heap model.
+  for (const nn::Param* p : params) write_matrix(os, p->view());
 }
 
 nmt::TranslationModel read_translation_model(std::istream& is,
@@ -201,7 +167,8 @@ nmt::TranslationModel read_translation_model(std::istream& is,
 }
 
 void write_mvr_graph(std::ostream& os, const core::MvrGraph& graph,
-                     const nmt::Seq2SeqConfig& config) {
+                     const nmt::Seq2SeqConfig& config,
+                     std::uint32_t version) {
   write_u64(os, graph.sensor_count());
   for (const std::string& name : graph.sensor_names()) {
     write_string(os, name);
@@ -213,15 +180,17 @@ void write_mvr_graph(std::ostream& os, const core::MvrGraph& graph,
     write_f64(os, e.bleu);
     write_f64(os, e.runtime_seconds);
     write_u32(os, e.model ? 1 : 0);
-    if (e.model) write_translation_model(os, *e.model, config);
+    if (e.model) write_translation_model(os, *e.model, config, version);
   }
-  // v3: permanently failed pairs (absent edges with a reason).
-  write_u64(os, graph.failures().size());
-  for (const core::PairFailure& f : graph.failures()) {
-    write_u64(os, f.src);
-    write_u64(os, f.dst);
-    write_string(os, f.reason);
-    write_u32(os, f.attempts);
+  if (version >= 3) {
+    // v3: permanently failed pairs (absent edges with a reason).
+    write_u64(os, graph.failures().size());
+    for (const core::PairFailure& f : graph.failures()) {
+      write_u64(os, f.src);
+      write_u64(os, f.dst);
+      write_string(os, f.reason);
+      write_u32(os, f.attempts);
+    }
   }
 }
 
@@ -359,29 +328,57 @@ std::string read_artifact_file(const std::string& path) {
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof(version));
-  if (std::memcmp(bytes.data(), kMagic, 4) == 0 && version >= 3) {
-    if (bytes.size() < 8 + kCrcTrailerSize ||
-        std::memcmp(bytes.data() + bytes.size() - kCrcTrailerSize, kCrcMagic,
-                    4) != 0) {
-      throw RuntimeError("artifact truncated (missing CRC trailer): " + path);
+  if (std::memcmp(bytes.data(), kMagic, 4) == 0) {
+    if (version >= 4) {
+      // The mapped layout has internal header/TOC/extent CRCs instead of a
+      // stream trailer; parsing it as a stream would misread the payload.
+      throw ArtifactError(ArtifactError::Section::kHeader,
+                          "version " + std::to_string(version) +
+                              " artifact is mapped, not streamed — open it "
+                              "via io::ArtifactMap or load_framework: " +
+                              path);
     }
-    std::uint32_t stored = 0;
-    std::memcpy(&stored, bytes.data() + bytes.size() - 4, sizeof(stored));
-    bytes.resize(bytes.size() - kCrcTrailerSize);
-    const std::uint32_t actual = util::crc32(bytes);
-    if (stored != actual) {
-      throw RuntimeError("artifact checksum mismatch (corrupt or truncated): " +
-                         path);
+    if (version == 3) {
+      if (bytes.size() < 8 + kCrcTrailerSize ||
+          std::memcmp(bytes.data() + bytes.size() - kCrcTrailerSize, kCrcMagic,
+                      4) != 0) {
+        throw RuntimeError("artifact truncated (missing CRC trailer): " +
+                           path);
+      }
+      std::uint32_t stored = 0;
+      std::memcpy(&stored, bytes.data() + bytes.size() - 4, sizeof(stored));
+      bytes.resize(bytes.size() - kCrcTrailerSize);
+      const std::uint32_t actual = util::crc32(bytes);
+      if (stored != actual) {
+        throw RuntimeError(
+            "artifact checksum mismatch (corrupt or truncated): " + path);
+      }
     }
   }
   return bytes;
 }
 
+std::uint32_t peek_artifact_version(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw RuntimeError("cannot open for reading: " + path);
+  char head[8] = {};
+  is.read(head, sizeof(head));
+  if (is.gcount() != sizeof(head)) {
+    throw RuntimeError("artifact truncated (no header): " + path);
+  }
+  if (std::memcmp(head, kMagic, 4) != 0) {
+    throw RuntimeError("not a desmine artifact (bad magic): " + path);
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, head + 4, sizeof(version));
+  return version;
+}
+
 void save_pair_model(const std::string& path, nmt::TranslationModel& model,
                      const nmt::Seq2SeqConfig& config) {
   std::ostringstream os(std::ios::binary);
-  write_header(os);
-  write_translation_model(os, model, config);
+  write_header(os, kStreamArtifactVersion);
+  write_translation_model(os, model, config, kStreamArtifactVersion);
   if (!os) throw RuntimeError("serialization failed for " + path);
   write_artifact_file(path, os.str());
 }
@@ -395,11 +392,18 @@ nmt::TranslationModel load_pair_model(const std::string& path) {
   return read_translation_model(is, version);
 }
 
-void save_framework(const core::Framework& framework,
-                    const std::string& path) {
+void save_framework(const core::Framework& framework, const std::string& path,
+                    std::uint32_t version) {
   DESMINE_EXPECTS(framework.fitted(), "cannot save an unfitted framework");
+  DESMINE_EXPECTS(version >= 1 && version <= kArtifactVersion,
+                  "unknown artifact version to write");
+  if (version == kMappedArtifactVersion) {
+    write_framework_v4(framework, path);
+    return;
+  }
+
   std::ostringstream os(std::ios::binary);
-  write_header(os);
+  write_header(os, version);
 
   const core::WindowConfig& w = framework.config().window;
   write_u64(os, w.word_length);
@@ -409,15 +413,26 @@ void save_framework(const core::Framework& framework,
 
   write_encrypter(os, framework.encrypter());
   write_mvr_graph(os, framework.graph(),
-                  framework.config().miner.translation.model);
+                  framework.config().miner.translation.model, version);
   if (!os) throw RuntimeError("serialization failed for " + path);
-  write_artifact_file(path, os.str());
+  // Only the v3 stream carries the CRC trailer; v1/v2 predate it.
+  if (version >= 3) {
+    write_artifact_file(path, os.str());
+  } else {
+    write_file_atomic(path, os.str());
+  }
 }
 
 core::Framework load_framework(const std::string& path,
                                core::FrameworkConfig config_overlay) {
   if (robust::fire_fault("model.load", 0) == robust::FaultAction::kThrow) {
     throw RuntimeError("injected fault at model.load for " + path);
+  }
+  if (peek_artifact_version(path) == kMappedArtifactVersion) {
+    // Mapped open: header + TOC verified eagerly, models bound as zero-copy
+    // views; the returned models pin the map for their lifetime.
+    return ArtifactMap::open(path)->materialize_framework(
+        std::move(config_overlay));
   }
   std::istringstream is(read_artifact_file(path), std::ios::binary);
   const std::uint32_t version = read_header(is);

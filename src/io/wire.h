@@ -1,0 +1,75 @@
+// io-internal little-endian stream primitives.
+//
+// Shared by the tagged stream serializer (serialize.cpp) and the mapped v4
+// artifact layer (artifact_map.cpp): the v4 TOC and per-edge meta blobs are
+// written with exactly these primitives, so the two layers can never drift
+// on byte order or framing. Not part of the public io API.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.h"
+
+namespace desmine::io::wire {
+
+inline void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading u32");
+  return v;
+}
+
+inline void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading u64");
+  return v;
+}
+
+inline void write_f32(std::ostream& os, float v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline float read_f32(std::istream& is) {
+  float v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading f32");
+  return v;
+}
+
+inline void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw RuntimeError("unexpected end of stream reading f64");
+  return v;
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw RuntimeError("unexpected end of stream reading string");
+  return s;
+}
+
+}  // namespace desmine::io::wire

@@ -32,19 +32,25 @@ std::vector<std::vector<std::int32_t>> to_timesteps(
 
 Seq2SeqModel::Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
                            const Seq2SeqConfig& config, util::Rng rng,
-                           tensor::Workspace* workspace)
+                           tensor::Workspace* workspace,
+                           nn::WeightStorage storage)
     : config_(config),
       rng_(rng),
-      src_embed_(src_vocab, config.embedding_dim, rng_, config.init_scale),
-      tgt_embed_(tgt_vocab, config.embedding_dim, rng_, config.init_scale),
+      storage_(storage),
+      src_embed_(src_vocab, config.embedding_dim, rng_, config.init_scale,
+                 storage),
+      tgt_embed_(tgt_vocab, config.embedding_dim, rng_, config.init_scale,
+                 storage),
       encoder_("enc", config.embedding_dim, config.hidden_dim,
-               config.num_layers, rng_, config.dropout, config.init_scale),
+               config.num_layers, rng_, config.dropout, config.init_scale,
+               storage),
       decoder_("dec", config.embedding_dim, config.hidden_dim,
-               config.num_layers, rng_, config.dropout, config.init_scale),
+               config.num_layers, rng_, config.dropout, config.init_scale,
+               storage),
       attention_("attn", config.hidden_dim, rng_, config.init_scale,
-                 config.attention),
+                 config.attention, storage),
       out_("out", config.hidden_dim, tgt_vocab, rng_, /*with_bias=*/true,
-           config.init_scale),
+           config.init_scale, storage),
       ws_(workspace != nullptr ? workspace : &own_ws_) {
   DESMINE_EXPECTS(src_vocab > text::Vocabulary::kEos &&
                       tgt_vocab > text::Vocabulary::kEos,
@@ -170,6 +176,8 @@ double Seq2SeqModel::run_teacher_forced(
 
 double Seq2SeqModel::train_batch(
     const std::vector<const EncodedPair*>& batch) {
+  DESMINE_EXPECTS(trainable(),
+                  "cannot train a model serving mapped (read-only) weights");
   return run_teacher_forced(batch, /*train=*/true);
 }
 

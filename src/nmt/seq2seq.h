@@ -54,9 +54,14 @@ class Seq2SeqModel {
   /// determines the initial model. `workspace`, if given, backs the model's
   /// hot path (the model rewinds it per batch/decode and must be its only
   /// concurrent user); otherwise the model owns a private arena.
+  /// With `storage == kDeferred` no weight tensors are allocated or
+  /// initialized: the caller binds every registry Param to external
+  /// read-only storage (io::ArtifactMap) before the first forward pass, and
+  /// the model is inference-only (train_batch throws).
   Seq2SeqModel(std::size_t src_vocab, std::size_t tgt_vocab,
                const Seq2SeqConfig& config, util::Rng rng,
-               tensor::Workspace* workspace = nullptr);
+               tensor::Workspace* workspace = nullptr,
+               nn::WeightStorage storage = nn::WeightStorage::kOwned);
 
   /// Teacher-forced forward+backward over a batch. All sources must share
   /// one length and all targets another (the trainer buckets accordingly).
@@ -106,6 +111,9 @@ class Seq2SeqModel {
 
   nn::ParamRegistry& params() { return registry_; }
   const Seq2SeqConfig& config() const { return config_; }
+  /// False when the weights are bound views over external (mapped) storage;
+  /// such a model can decode and evaluate but never train.
+  bool trainable() const { return storage_ == nn::WeightStorage::kOwned; }
   std::size_t src_vocab() const { return src_embed_.vocab_size(); }
   std::size_t tgt_vocab() const { return out_.out_dim(); }
 
@@ -121,6 +129,7 @@ class Seq2SeqModel {
 
   Seq2SeqConfig config_;
   util::Rng rng_;
+  nn::WeightStorage storage_ = nn::WeightStorage::kOwned;
 
   nn::Embedding src_embed_;
   nn::Embedding tgt_embed_;

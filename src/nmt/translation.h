@@ -58,10 +58,18 @@ class TranslationModel {
   const text::Vocabulary& tgt_vocab() const { return tgt_vocab_; }
   Seq2SeqModel& model() { return *model_; }
 
+  /// Keep `pin` alive as long as this model: a mapped model's weights are
+  /// views into an io::ArtifactMap's pages, so the map must outlive every
+  /// reader (DESIGN.md §15). Idempotent per pin; owned models never call it.
+  void pin_storage(std::shared_ptr<const void> pin) {
+    storage_pin_ = std::move(pin);
+  }
+
  private:
   text::Vocabulary src_vocab_;
   text::Vocabulary tgt_vocab_;
   std::unique_ptr<Seq2SeqModel> model_;
+  std::shared_ptr<const void> storage_pin_;
 };
 
 /// Encode aligned string corpora into id pairs with the given vocabularies.

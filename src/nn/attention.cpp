@@ -9,14 +9,16 @@ namespace desmine::nn {
 
 LuongAttention::LuongAttention(const std::string& name, std::size_t hidden,
                                util::Rng& rng, float init_scale,
-                               AttentionScore score)
+                               AttentionScore score, WeightStorage storage)
     : hidden_(hidden),
       score_(score),
-      wa_(name + ".Wa", hidden, hidden),
-      wc_(name + ".Wc", 2 * hidden, hidden) {
+      wa_(name + ".Wa", hidden, hidden, storage),
+      wc_(name + ".Wc", 2 * hidden, hidden, storage) {
   DESMINE_EXPECTS(hidden > 0, "attention hidden must be > 0");
-  wa_.value.init_uniform(rng, init_scale);
-  wc_.value.init_uniform(rng, init_scale);
+  if (storage == WeightStorage::kOwned) {
+    wa_.value.init_uniform(rng, init_scale);
+    wc_.value.init_uniform(rng, init_scale);
+  }
 }
 
 void LuongAttention::begin(
@@ -46,7 +48,7 @@ void LuongAttention::begin(
                     "encoder output shape");
     if (score_ == AttentionScore::kGeneral) {
       tensor::MatrixView t = ws_->alloc(batch, hidden_);
-      tensor::matmul(e, wa_.value, t);
+      tensor::matmul(e, wa_.view(), t);
       transformed_.push_back(t);
     } else {
       transformed_.push_back(e);  // dot score: transformed == encoder output
@@ -123,7 +125,7 @@ tensor::ConstMatrixView LuongAttention::step(tensor::ConstMatrixView h_dec) {
   }
 
   cache.attn = ws_->alloc(batch_, hidden_);
-  tensor::matmul(cache.concat, wc_.value, cache.attn);
+  tensor::matmul(cache.concat, wc_.view(), cache.attn);
   cache.attn.apply([](float v) { return std::tanh(v); });
 
   steps_.push_back(cache);
@@ -158,7 +160,7 @@ tensor::MatrixView LuongAttention::backward_step(
   // Through the combine layer: attn_pre = concat * Wc.
   tensor::matmul_transA_accum(cache.concat, dpre, wc_.grad);
   tensor::MatrixView dconcat = ws_->alloc(batch_, 2 * hidden_);
-  tensor::matmul_transB_accum(dpre, wc_.value, dconcat);
+  tensor::matmul_transB_accum(dpre, wc_.view(), dconcat);
 
   // Split into dcontext (first H) and dh_dec (second H).
   for (std::size_t b = 0; b < batch_; ++b) {
@@ -223,7 +225,7 @@ tensor::MatrixView LuongAttention::backward_step(
       // transformed[s] = enc[s] * Wa:
       //   dWa += enc[s]^T dtr; denc[s] += dtr Wa^T.
       tensor::matmul_transA_accum(e, dtr, wa_.grad);
-      tensor::matmul_transB_accum(dtr, wa_.value, de);
+      tensor::matmul_transB_accum(dtr, wa_.view(), de);
     } else {
       de += dtr;  // dot score: transformed == enc
     }
@@ -271,7 +273,7 @@ tensor::Matrix LuongAttention::infer(const tensor::Matrix& h_dec) const {
   }
 
   tensor::Matrix attn(B, hidden_);
-  tensor::matmul(concat, wc_.value, attn);
+  tensor::matmul(concat, wc_.view(), attn);
   attn.apply([](float v) { return std::tanh(v); });
   return attn;
 }

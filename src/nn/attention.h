@@ -36,7 +36,8 @@ class LuongAttention {
  public:
   LuongAttention(const std::string& name, std::size_t hidden, util::Rng& rng,
                  float init_scale = 0.1f,
-                 AttentionScore score = AttentionScore::kGeneral);
+                 AttentionScore score = AttentionScore::kGeneral,
+                 WeightStorage storage = WeightStorage::kOwned);
 
   /// Bind the encoder outputs (one (batch x H) view per source position) for
   /// the coming decode. The viewed storage must outlive the sequence.

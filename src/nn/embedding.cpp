@@ -7,10 +7,12 @@
 namespace desmine::nn {
 
 Embedding::Embedding(std::size_t vocab_size, std::size_t dim, util::Rng& rng,
-                     float init_scale)
-    : table_("embedding", vocab_size, dim) {
+                     float init_scale, WeightStorage storage)
+    : table_("embedding", vocab_size, dim, storage) {
   DESMINE_EXPECTS(vocab_size > 0 && dim > 0, "embedding dims must be > 0");
-  table_.value.init_uniform(rng, init_scale);
+  if (storage == WeightStorage::kOwned) {
+    table_.value.init_uniform(rng, init_scale);
+  }
 }
 
 tensor::Matrix Embedding::forward(const std::vector<std::int32_t>& ids) const {
@@ -23,10 +25,11 @@ void Embedding::forward_into(const std::vector<std::int32_t>& ids,
                              tensor::MatrixView out) const {
   DESMINE_EXPECTS(out.rows() == ids.size() && out.cols() == dim(),
                   "embedding output shape");
+  const tensor::ConstMatrixView table = table_.view();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto id = static_cast<std::size_t>(ids[i]);
     DESMINE_EXPECTS(ids[i] >= 0 && id < vocab_size(), "embedding id range");
-    std::copy(table_.value.row(id), table_.value.row(id) + dim(), out.row(i));
+    std::copy(table.row(id), table.row(id) + dim(), out.row(i));
   }
 }
 

@@ -14,7 +14,8 @@ namespace desmine::nn {
 class Embedding {
  public:
   Embedding(std::size_t vocab_size, std::size_t dim, util::Rng& rng,
-            float init_scale = 0.1f);
+            float init_scale = 0.1f,
+            WeightStorage storage = WeightStorage::kOwned);
 
   /// Look up a batch of ids; returns (batch x dim). Ids must be < vocab.
   tensor::Matrix forward(const std::vector<std::int32_t>& ids) const;
@@ -29,8 +30,8 @@ class Embedding {
 
   void register_params(ParamRegistry& reg) { reg.add(&table_); }
 
-  std::size_t vocab_size() const { return table_.value.rows(); }
-  std::size_t dim() const { return table_.value.cols(); }
+  std::size_t vocab_size() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
   Param& table() { return table_; }
 
  private:

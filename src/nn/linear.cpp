@@ -5,12 +5,15 @@
 namespace desmine::nn {
 
 Linear::Linear(std::string name, std::size_t in, std::size_t out,
-               util::Rng& rng, bool with_bias, float init_scale)
-    : weight_(name + ".W", in, out),
-      bias_(name + ".b", 1, out),
+               util::Rng& rng, bool with_bias, float init_scale,
+               WeightStorage storage)
+    : weight_(name + ".W", in, out, storage),
+      bias_(name + ".b", 1, out, storage),
       with_bias_(with_bias) {
   DESMINE_EXPECTS(in > 0 && out > 0, "linear dims must be > 0");
-  weight_.value.init_uniform(rng, init_scale);
+  if (storage == WeightStorage::kOwned) {
+    weight_.value.init_uniform(rng, init_scale);
+  }
 }
 
 tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
@@ -24,8 +27,8 @@ void Linear::forward_into(tensor::ConstMatrixView x,
   DESMINE_EXPECTS(x.cols() == in_dim(), "linear input dim mismatch");
   DESMINE_EXPECTS(y.rows() == x.rows() && y.cols() == out_dim(),
                   "linear output shape");
-  tensor::matmul(x, weight_.value, y);
-  if (with_bias_) tensor::add_row_bias(y, bias_.value);
+  tensor::matmul(x, weight_.view(), y);
+  if (with_bias_) tensor::add_row_bias(y, bias_.view());
 }
 
 tensor::Matrix Linear::backward(const tensor::Matrix& x,
@@ -54,7 +57,7 @@ void Linear::backward_into(tensor::ConstMatrixView x,
   // dx = dy * W^T (grad_in is overwritten, like the fresh matrix the owning
   // overload allocates)
   grad_in.zero();
-  tensor::matmul_transB_accum(grad_out, weight_.value, grad_in);
+  tensor::matmul_transB_accum(grad_out, weight_.view(), grad_in);
 }
 
 }  // namespace desmine::nn

@@ -17,7 +17,8 @@ namespace desmine::nn {
 class Linear {
  public:
   Linear(std::string name, std::size_t in, std::size_t out, util::Rng& rng,
-         bool with_bias = true, float init_scale = 0.1f);
+         bool with_bias = true, float init_scale = 0.1f,
+         WeightStorage storage = WeightStorage::kOwned);
 
   tensor::Matrix forward(const tensor::Matrix& x) const;
 
@@ -39,8 +40,8 @@ class Linear {
     if (with_bias_) reg.add(&bias_);
   }
 
-  std::size_t in_dim() const { return weight_.value.rows(); }
-  std::size_t out_dim() const { return weight_.value.cols(); }
+  std::size_t in_dim() const { return weight_.rows(); }
+  std::size_t out_dim() const { return weight_.cols(); }
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
 

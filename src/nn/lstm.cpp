@@ -15,7 +15,8 @@ inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
                      std::size_t hidden_dim, std::size_t num_layers,
-                     util::Rng& rng, float dropout, float init_scale)
+                     util::Rng& rng, float dropout, float init_scale,
+                     WeightStorage storage)
     : input_dim_(input_dim), hidden_dim_(hidden_dim), dropout_(dropout) {
   DESMINE_EXPECTS(input_dim > 0 && hidden_dim > 0 && num_layers > 0,
                   "lstm dims must be > 0");
@@ -24,15 +25,19 @@ LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
   for (std::size_t l = 0; l < num_layers; ++l) {
     const std::size_t in = (l == 0) ? input_dim : hidden_dim;
     Layer layer{
-        Param(name + ".l" + std::to_string(l) + ".Wx", in, 4 * hidden_dim),
+        Param(name + ".l" + std::to_string(l) + ".Wx", in, 4 * hidden_dim,
+              storage),
         Param(name + ".l" + std::to_string(l) + ".Wh", hidden_dim,
-              4 * hidden_dim),
-        Param(name + ".l" + std::to_string(l) + ".b", 1, 4 * hidden_dim)};
-    layer.wx.value.init_uniform(rng, init_scale);
-    layer.wh.value.init_uniform(rng, init_scale);
-    // Forget-gate bias starts at 1 so early training does not flush memory.
-    for (std::size_t cidx = hidden_dim; cidx < 2 * hidden_dim; ++cidx) {
-      layer.b.value(0, cidx) = 1.0f;
+              4 * hidden_dim, storage),
+        Param(name + ".l" + std::to_string(l) + ".b", 1, 4 * hidden_dim,
+              storage)};
+    if (storage == WeightStorage::kOwned) {
+      layer.wx.value.init_uniform(rng, init_scale);
+      layer.wh.value.init_uniform(rng, init_scale);
+      // Forget-gate bias starts at 1 so early training does not flush memory.
+      for (std::size_t cidx = hidden_dim; cidx < 2 * hidden_dim; ++cidx) {
+        layer.b.value(0, cidx) = 1.0f;
+      }
     }
     layers_.push_back(std::move(layer));
   }
@@ -91,9 +96,9 @@ void LstmStack::step_layer(std::size_t l, tensor::ConstMatrixView input,
   // The fused pre-activation is transient: reclaim it once the gates are out.
   const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
   tensor::MatrixView z = ws_->alloc(batch_, 4 * H);
-  tensor::matmul_accum(input, layers_[l].wx.value, z);
-  tensor::matmul_accum(h_prev, layers_[l].wh.value, z);
-  tensor::add_row_bias(z, layers_[l].b.value);
+  tensor::matmul_accum(input, layers_[l].wx.view(), z);
+  tensor::matmul_accum(h_prev, layers_[l].wh.view(), z);
+  tensor::add_row_bias(z, layers_[l].b.view());
 
   for (std::size_t r = 0; r < batch_; ++r) {
     const float* zr = z.row(r);
@@ -287,7 +292,7 @@ LstmStack::BackwardResult LstmStack::backward(
       // Gradient to previous hidden state.
       tensor::MatrixView dh_prev = dh_alt[l];
       dh_prev.zero();
-      tensor::matmul_transB_accum(dz, layers_[l].wh.value, dh_prev);
+      tensor::matmul_transB_accum(dz, layers_[l].wh.view(), dh_prev);
       std::swap(dh_cur[l], dh_alt[l]);
 
       // Gradient to the layer input (dropout mask re-applied).
@@ -299,7 +304,7 @@ LstmStack::BackwardResult LstmStack::backward(
         use_a = !use_a;
         din.zero();
       }
-      tensor::matmul_transB_accum(dz, layers_[l].wx.value, din);
+      tensor::matmul_transB_accum(dz, layers_[l].wx.view(), din);
       if (lc.mask.rows() > 0) din.hadamard(lc.mask);
       if (l > 0) d_from_above = din;
     }
@@ -345,9 +350,9 @@ tensor::Matrix LstmStack::infer_step(const tensor::Matrix& x_t,
     DESMINE_EXPECTS(state.h[l].rows() == B && state.h[l].cols() == H,
                     "infer_step state shape");
     tensor::Matrix z(B, 4 * H);
-    tensor::matmul_accum(layer_in, layers_[l].wx.value, z);
-    tensor::matmul_accum(state.h[l], layers_[l].wh.value, z);
-    tensor::add_row_bias(z, layers_[l].b.value);
+    tensor::matmul_accum(layer_in, layers_[l].wx.view(), z);
+    tensor::matmul_accum(state.h[l], layers_[l].wh.view(), z);
+    tensor::add_row_bias(z, layers_[l].b.view());
 
     tensor::Matrix h(B, H);
     for (std::size_t r = 0; r < B; ++r) {

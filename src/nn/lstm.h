@@ -37,7 +37,8 @@ class LstmStack {
  public:
   LstmStack(const std::string& name, std::size_t input_dim,
             std::size_t hidden_dim, std::size_t num_layers, util::Rng& rng,
-            float dropout = 0.0f, float init_scale = 0.1f);
+            float dropout = 0.0f, float init_scale = 0.1f,
+            WeightStorage storage = WeightStorage::kOwned);
 
   /// Reset caches and set the initial state (zero state if `init` is empty).
   /// `train` enables dropout; `dropout_rng` must outlive the sequence when

@@ -5,20 +5,67 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "util/error.h"
 
 namespace desmine::nn {
 
-/// One trainable tensor: value plus accumulated gradient of equal shape.
+/// Where a model's weights live (ISSUE 9, DESIGN.md §15).
+///  * kOwned    — each Param allocates heap value + grad tensors (training
+///                and v1–v3 stream loads).
+///  * kDeferred — no allocation at construction; the weight bytes arrive
+///                later via Param::bind(), typically views into an mmap'd
+///                v4 artifact. Deferred models are inference-only.
+enum class WeightStorage { kOwned, kDeferred };
+
+/// One model tensor: an owned value/gradient pair (training), or a shape
+/// plus a bound read-only view over external storage (mapped serving).
+///
+/// Every forward kernel reads weights through view(), which aliases the
+/// bound storage when present and the owned heap matrix otherwise — the
+/// same bytes flow through the same kernels either way, so a mapped decode
+/// is bit-identical to the heap decode of the same artifact.
 struct Param {
   Param() = default;
-  Param(std::string name, std::size_t rows, std::size_t cols)
-      : name(std::move(name)), value(rows, cols), grad(rows, cols) {}
+  Param(std::string name, std::size_t rows, std::size_t cols,
+        WeightStorage storage = WeightStorage::kOwned)
+      : name(std::move(name)), rows_(rows), cols_(cols) {
+    if (storage == WeightStorage::kOwned) {
+      value = tensor::Matrix(rows, cols);
+      grad = tensor::Matrix(rows, cols);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+
+  /// Read path for forward/inference kernels.
+  tensor::ConstMatrixView view() const {
+    return bound_.data() != nullptr ? bound_ : tensor::ConstMatrixView(value);
+  }
+
+  /// True when this Param owns mutable storage the optimizer may update.
+  bool trainable() const { return !value.empty(); }
+
+  /// Alias external read-only storage (mmap'd artifact pages). The storage
+  /// must match this Param's shape and outlive every view() reader; the
+  /// owner (io::ArtifactMap) pins it via nmt::TranslationModel.
+  void bind(tensor::ConstMatrixView external) {
+    DESMINE_EXPECTS(external.rows() == rows_ && external.cols() == cols_,
+                    "bound storage shape mismatch for " + name);
+    bound_ = external;
+  }
 
   void zero_grad() { grad.zero(); }
 
   std::string name;
   tensor::Matrix value;
   tensor::Matrix grad;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  tensor::ConstMatrixView bound_;
 };
 
 /// Non-owning list of a model's parameters, in a stable order.
@@ -43,7 +90,7 @@ class ParamRegistry {
   /// Total number of scalar parameters.
   std::size_t scalar_count() const {
     std::size_t n = 0;
-    for (const Param* p : params_) n += p->value.size();
+    for (const Param* p : params_) n += p->size();
     return n;
   }
 

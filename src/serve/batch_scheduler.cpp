@@ -283,7 +283,7 @@ void BatchScheduler::score_batch(EdgeState& state,
   }
   std::vector<text::Sentence> fresh;
   if (!misses.empty()) {
-    fresh = edge.model->translate_batch(misses);
+    fresh = edge.acquire()->translate_batch(misses);
     decoded.inc(misses.size());
   }
 

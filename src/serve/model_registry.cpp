@@ -17,7 +17,38 @@ std::shared_ptr<const ModelGeneration> make_generation(
   for (const core::MvrEdge& e : graph.edges()) {
     if (e.bleu >= detector.valid_lo && e.bleu < detector.valid_hi) {
       DESMINE_EXPECTS(e.model != nullptr, "valid edge lacks a trained model");
-      gen->edges.push_back({e.src, e.dst, e.bleu, e.model});
+      EdgeModel edge;
+      edge.src = e.src;
+      edge.dst = e.dst;
+      edge.train_bleu = e.bleu;
+      edge.model = e.model;
+      gen->edges.push_back(std::move(edge));
+    }
+  }
+  return gen;
+}
+
+std::shared_ptr<const ModelGeneration> make_generation(
+    std::shared_ptr<io::ArtifactMap> map, const core::DetectorConfig& detector,
+    std::uint64_t id, const ResidencyConfig& residency) {
+  DESMINE_EXPECTS(detector.valid_lo <= detector.valid_hi, "valid band order");
+  auto gen = std::make_shared<ModelGeneration>();
+  gen->id = id;
+  gen->detector = detector;
+  gen->residency =
+      std::make_shared<ResidencyManager>(std::move(map), residency);
+  const auto& entries = gen->residency->map()->edges();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const io::EdgeEntry& e = entries[i];
+    if (e.bleu >= detector.valid_lo && e.bleu < detector.valid_hi) {
+      DESMINE_EXPECTS(e.has_model, "valid edge lacks a trained model");
+      EdgeModel edge;
+      edge.src = e.src;
+      edge.dst = e.dst;
+      edge.train_bleu = e.bleu;
+      edge.residency = gen->residency;
+      edge.map_index = i;
+      gen->edges.push_back(std::move(edge));
     }
   }
   return gen;

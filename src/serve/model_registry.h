@@ -22,24 +22,44 @@
 #include "core/anomaly.h"
 #include "core/mvr_graph.h"
 #include "nmt/translation.h"
+#include "serve/residency.h"
 
 namespace desmine::serve {
 
-/// One valid edge of a generation with its shared trained model.
+/// One valid edge of a generation. Heap generations (v1–v3 artifacts, or a
+/// graph handed in directly) carry the shared trained model in `model`;
+/// mapped (v4) generations leave `model` null and materialize through the
+/// generation's ResidencyManager on demand. Scorers always go through
+/// acquire(), which hides the difference.
 struct EdgeModel {
   std::size_t src = 0;
   std::size_t dst = 0;
   double train_bleu = 0.0;  ///< s(i, j) — the broken threshold baseline
   std::shared_ptr<nmt::TranslationModel> model;
+  /// Mapped generations only: the residency cache and this edge's index
+  /// into the map's TOC.
+  std::shared_ptr<ResidencyManager> residency;
+  std::size_t map_index = 0;
+
+  /// The model to score with: the owned model when present, else the
+  /// residency cache's (materializing on first touch — io::ArtifactError
+  /// surfaces corruption; the scheduler's per-edge failure handling treats
+  /// it like any scoring error).
+  std::shared_ptr<nmt::TranslationModel> acquire() const {
+    return model != nullptr ? model : residency->acquire(map_index);
+  }
 };
 
 /// One immutable published model state. Windows and scheduler edge states
 /// hold shared_ptrs to the generation they score against; nothing mutates a
-/// generation after publication.
+/// generation after publication. For mapped generations, `residency` pins
+/// the io::ArtifactMap (and with it the weight pages) for the generation's
+/// whole lifetime.
 struct ModelGeneration {
   std::uint64_t id = 1;  ///< monotonically increasing across reloads
   std::vector<EdgeModel> edges;
   core::DetectorConfig detector;
+  std::shared_ptr<ResidencyManager> residency;  ///< null for heap generations
 };
 
 /// Build a generation from a trained graph: keep the edges whose training
@@ -49,6 +69,15 @@ struct ModelGeneration {
 std::shared_ptr<const ModelGeneration> make_generation(
     const core::MvrGraph& graph, const core::DetectorConfig& detector,
     std::uint64_t id);
+
+/// Build a generation over a mapped (v4) artifact: same valid-band rule,
+/// but no model is deserialized — edges materialize lazily through a fresh
+/// ResidencyManager budgeted by `residency`. Open-to-serveable cost is
+/// O(TOC), independent of weight bytes. Throws PreconditionError when a
+/// valid-band TOC entry lacks a model blob.
+std::shared_ptr<const ModelGeneration> make_generation(
+    std::shared_ptr<io::ArtifactMap> map, const core::DetectorConfig& detector,
+    std::uint64_t id, const ResidencyConfig& residency);
 
 class ModelRegistry {
  public:

@@ -1,0 +1,79 @@
+#include "serve/residency.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace desmine::serve {
+
+ResidencyManager::ResidencyManager(std::shared_ptr<io::ArtifactMap> map,
+                                   ResidencyConfig config)
+    : map_(std::move(map)), config_(config) {
+  DESMINE_EXPECTS(map_ != nullptr, "residency manager needs a mapped artifact");
+}
+
+std::shared_ptr<nmt::TranslationModel> ResidencyManager::acquire(
+    std::size_t map_index) {
+  std::lock_guard lock(mu_);
+  if (const auto it = cache_.find(map_index); it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.model;
+  }
+  ++misses_;
+  // Materialization under the lock serializes cold edges against each other,
+  // which is what we want: it bounds the transient overshoot above the
+  // budget to a single edge.
+  Entry entry;
+  entry.model = map_->materialize_edge(map_index);
+  entry.cost_bytes = map_->edge_cost_bytes(map_index);
+  lru_.push_front(map_index);
+  entry.lru_pos = lru_.begin();
+  resident_bytes_ += entry.cost_bytes;
+  std::shared_ptr<nmt::TranslationModel> model = entry.model;
+  cache_.emplace(map_index, std::move(entry));
+  enforce_budget_locked(map_index);
+  publish_gauges_locked();
+  return model;
+}
+
+void ResidencyManager::enforce_budget_locked(std::size_t keep) {
+  const auto over = [this] {
+    return (config_.max_resident_bytes > 0 &&
+            resident_bytes_ > config_.max_resident_bytes) ||
+           (config_.max_resident_edges > 0 &&
+            cache_.size() > config_.max_resident_edges);
+  };
+  while (over() && !lru_.empty() && lru_.back() != keep) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = cache_.find(victim);
+    resident_bytes_ -= it->second.cost_bytes;
+    // Only the cache's reference is dropped: a scorer mid-decode on this
+    // edge holds its own shared_ptr and finishes safely.
+    cache_.erase(it);
+    ++evictions_;
+    obs::metrics().counter("serve.model.evictions").inc();
+  }
+}
+
+void ResidencyManager::publish_gauges_locked() const {
+  obs::metrics().gauge("serve.model.resident_edges")
+      .set(static_cast<double>(cache_.size()));
+  obs::metrics().gauge("serve.model.resident_bytes")
+      .set(static_cast<double>(resident_bytes_));
+}
+
+ResidencyManager::Stats ResidencyManager::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.resident_edges = cache_.size();
+  s.resident_bytes = resident_bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
+}
+
+}  // namespace desmine::serve

@@ -1,0 +1,90 @@
+// LRU edge residency for mapped model generations (DESIGN.md §15).
+//
+// A v4 artifact maps hundreds of edge models but a serving deployment's
+// valid band usually touches far fewer at a time. The ResidencyManager is
+// the serving layer's materialization cache over one io::ArtifactMap: the
+// first acquire() of an edge verifies its CRCs, binds its weights as
+// zero-copy views, and builds its decode state (vocabularies, scaffolding,
+// workspace); later acquires return the same instance and refresh its LRU
+// position. When the configured budget (bytes and/or edge count) is
+// exceeded, the least-recently-used edges are evicted — eviction only drops
+// the cache's reference, so any in-flight scorer holding the shared_ptr
+// finishes safely and the decode state frees itself when the last reference
+// drains. The mapped weight pages themselves are kernel-cache-resident and
+// never counted: evicting an edge costs re-building its decode state, not
+// re-reading its weights.
+//
+// Gauges serve.model.resident_edges / serve.model.resident_bytes track the
+// cache, counter serve.model.evictions the churn.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "io/artifact_map.h"
+#include "nmt/translation.h"
+
+namespace desmine::serve {
+
+struct ResidencyConfig {
+  /// Evict LRU edges while the resident decode-state estimate exceeds this
+  /// (0 = unlimited). The most-recently-acquired edge is never evicted, so
+  /// a budget smaller than one edge still serves (with a cache of one).
+  std::uint64_t max_resident_bytes = 0;
+  /// Cap on materialized edges regardless of bytes (0 = unlimited).
+  std::size_t max_resident_edges = 0;
+};
+
+class ResidencyManager {
+ public:
+  ResidencyManager(std::shared_ptr<io::ArtifactMap> map,
+                   ResidencyConfig config);
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  /// The model for edges()[map_index], materializing on first touch (CRC
+  /// verification + weight binding; io::ArtifactError on corruption) and
+  /// from cache afterwards. Thread-safe. The returned pointer stays valid
+  /// for as long as the caller holds it, even across evictions.
+  std::shared_ptr<nmt::TranslationModel> acquire(std::size_t map_index);
+
+  struct Stats {
+    std::size_t resident_edges = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  const std::shared_ptr<io::ArtifactMap>& map() const { return map_; }
+  const ResidencyConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<nmt::TranslationModel> model;
+    std::uint64_t cost_bytes = 0;
+    std::list<std::size_t>::iterator lru_pos;
+  };
+
+  /// Caller holds mu_. Evict LRU entries (never `keep`) until within budget.
+  void enforce_budget_locked(std::size_t keep);
+  void publish_gauges_locked() const;
+
+  std::shared_ptr<io::ArtifactMap> map_;
+  ResidencyConfig config_;
+
+  mutable std::mutex mu_;
+  std::list<std::size_t> lru_;  ///< front = most recently used
+  std::unordered_map<std::size_t, Entry> cache_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace desmine::serve

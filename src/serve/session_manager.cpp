@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/framework.h"
+#include "io/artifact_map.h"
 #include "io/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -22,13 +23,43 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   DESMINE_EXPECTS(
       graph.sensor_count() == encrypter_.kept_sensors().size(),
       "graph/encrypter sensor counts disagree");
+  registry_ = std::make_unique<ModelRegistry>(
+      make_generation(graph, config.detector, 1));
+  start();
+}
+
+SessionManager::SessionManager(const std::string& artifact_path,
+                               ServeConfig config)
+    : config_(std::move(config)) {
+  if (io::peek_artifact_version(artifact_path) == io::kMappedArtifactVersion) {
+    // Mapped open: O(header + TOC); no weight bytes are read or copied
+    // until an edge actually scores.
+    std::shared_ptr<io::ArtifactMap> map = io::ArtifactMap::open(artifact_path);
+    encrypter_ = map->encrypter();
+    window_ = map->window();
+    registry_ = std::make_unique<ModelRegistry>(make_generation(
+        std::move(map), config_.detector, 1,
+        ResidencyConfig{config_.resident_bytes, config_.resident_edges}));
+  } else {
+    core::FrameworkConfig overlay;
+    overlay.detector = config_.detector;
+    const core::Framework loaded = io::load_framework(artifact_path, overlay);
+    encrypter_ = loaded.encrypter();
+    window_ = loaded.config().window;
+    // The generation shares the graph's model shared_ptrs, so letting the
+    // framework die here releases only the graph scaffolding.
+    registry_ = std::make_unique<ModelRegistry>(
+        make_generation(loaded.graph(), config_.detector, 1));
+  }
+  start();
+}
+
+void SessionManager::start() {
   DESMINE_EXPECTS(config_.detector.valid_lo <= config_.detector.valid_hi,
                   "valid band order");
   DESMINE_EXPECTS(config_.detector.min_coverage >= 0.0 &&
                       config_.detector.min_coverage <= 1.0,
                   "min_coverage must lie in [0, 1]");
-  registry_ = std::make_unique<ModelRegistry>(
-      make_generation(graph, config_.detector, 1));
 
   // Telemetry plane: shape the sliding windows before any instrument is
   // created, then pre-register the scrape-visible instruments so /metrics
@@ -59,6 +90,9 @@ SessionManager::SessionManager(const core::MvrGraph& graph,
   obs::metrics().gauge("serve.model.generation").set(1.0);
   obs::metrics().histogram("serve.reload.duration_ms");
   obs::metrics().gauge("serve.model.retired_live").set(0.0);
+  obs::metrics().gauge("serve.model.resident_edges").set(0.0);
+  obs::metrics().gauge("serve.model.resident_bytes").set(0.0);
+  obs::metrics().counter("serve.model.evictions");
   obs::metrics().counter("serve.shadow.windows");
   obs::metrics().counter("serve.shadow.alerts");
   obs::metrics().counter("serve.shadow.failures");
@@ -240,22 +274,41 @@ std::shared_ptr<const ModelGeneration> SessionManager::load_generation_locked(
     default:
       break;
   }
-  // CRC-verified load off the worker threads; the detector band/quorum
+  // Integrity-verified load off the worker threads; the detector band/quorum
   // this manager was configured with carries over to the new generation.
-  core::FrameworkConfig overlay;
-  overlay.detector = config_.detector;
-  const core::Framework loaded = io::load_framework(path, overlay);
-  DESMINE_EXPECTS(
-      loaded.encrypter().kept_sensors() == encrypter_.kept_sensors(),
-      "artifact serves different sensors than this manager");
-  const core::WindowConfig& w = loaded.config().window;
-  DESMINE_EXPECTS(w.word_length == window_.word_length &&
-                      w.word_stride == window_.word_stride &&
-                      w.sentence_length == window_.sentence_length &&
-                      w.sentence_stride == window_.sentence_stride,
-                  "artifact was mined with a different window config");
-  std::shared_ptr<const ModelGeneration> next = make_generation(
-      loaded.graph(), config_.detector, registry_->generation() + 1);
+  const auto check_compatible = [this](const core::SensorEncrypter& enc,
+                                       const core::WindowConfig& w) {
+    DESMINE_EXPECTS(enc.kept_sensors() == encrypter_.kept_sensors(),
+                    "artifact serves different sensors than this manager");
+    DESMINE_EXPECTS(w.word_length == window_.word_length &&
+                        w.word_stride == window_.word_stride &&
+                        w.sentence_length == window_.sentence_length &&
+                        w.sentence_stride == window_.sentence_stride,
+                    "artifact was mined with a different window config");
+  };
+  std::shared_ptr<const ModelGeneration> next;
+  if (io::peek_artifact_version(path) == io::kMappedArtifactVersion) {
+    // Mapped promotion is a remap: open + TOC verification + valid-band
+    // filtering, no weight deserialization. Unlike cold start (lazy CRCs
+    // for O(header+TOC) readiness), swapping a LIVE fleet demands the §13
+    // contract — integrity-verified before publication — so every edge CRC
+    // is swept eagerly here; a corrupt candidate keeps the old generation.
+    // The retiring generation's map stays pinned until its last in-flight
+    // window drains.
+    std::shared_ptr<io::ArtifactMap> map = io::ArtifactMap::open(path);
+    check_compatible(map->encrypter(), map->window());
+    map->verify_all();
+    next = make_generation(
+        std::move(map), config_.detector, registry_->generation() + 1,
+        ResidencyConfig{config_.resident_bytes, config_.resident_edges});
+  } else {
+    core::FrameworkConfig overlay;
+    overlay.detector = config_.detector;
+    const core::Framework loaded = io::load_framework(path, overlay);
+    check_compatible(loaded.encrypter(), loaded.config().window);
+    next = make_generation(loaded.graph(), config_.detector,
+                           registry_->generation() + 1);
+  }
   DESMINE_EXPECTS(!next->edges.empty(),
                   "artifact has no valid-band edges to serve");
   return next;

@@ -97,6 +97,14 @@ struct ServeConfig {
   double sliding_window_s = 60.0;
   std::size_t sliding_epochs = 6;
 
+  // --- Mapped model store (DESIGN.md §15) ---
+  /// Byte budget for materialized edge decode state when serving a mapped
+  /// (v4) artifact (0 = unlimited). LRU edges evict past the budget;
+  /// in-flight scorers are never interrupted. Ignored for heap generations.
+  std::uint64_t resident_bytes = 0;
+  /// Cap on concurrently materialized mapped edges (0 = unlimited).
+  std::size_t resident_edges = 0;
+
   // --- Continual mining lifecycle (DESIGN.md §14) ---
   /// Shadow-promotion gate for begin_shadow()/promote() candidates.
   ShadowConfig shadow{};
@@ -109,6 +117,18 @@ class SessionManager {
   /// io::load_framework artifact restores).
   SessionManager(const core::MvrGraph& graph, core::SensorEncrypter encrypter,
                  core::WindowConfig window, ServeConfig config = {});
+
+  /// Serve straight from a saved artifact, dispatching on its version:
+  /// a mapped (v4) artifact is opened via io::ArtifactMap — the encrypter,
+  /// window config and edge TOC come from O(header + TOC) work, weights
+  /// stay on disk and edges materialize lazily under the residency budget
+  /// (config.resident_bytes/resident_edges) — while v1–v3 artifacts
+  /// deserialize through io::load_framework exactly as before. Scoring is
+  /// bit-identical either way. Throws io::ArtifactError / RuntimeError on a
+  /// corrupt or unreadable artifact.
+  explicit SessionManager(const std::string& artifact_path,
+                          ServeConfig config = {});
+
   /// Stops workers after draining every queued score; results never polled
   /// are discarded.
   ~SessionManager();
@@ -201,8 +221,14 @@ class SessionManager {
  private:
   std::shared_ptr<Session> find(std::uint64_t session) const;
 
+  /// Shared tail of both constructors: validates config_, registers the
+  /// telemetry instruments, and brings up the scheduler + worker pool.
+  /// Requires encrypter_/window_/registry_ to be set.
+  void start();
+
   /// Load + validate a candidate/reload artifact (CRC, kept sensors,
-  /// window config) and build the next generation. Caller holds reload_mu_.
+  /// window config) and build the next generation — mapped for v4
+  /// artifacts, heap for v1–v3. Caller holds reload_mu_.
   std::shared_ptr<const ModelGeneration> load_generation_locked(
       const std::string& path);
 

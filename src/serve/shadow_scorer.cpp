@@ -116,7 +116,7 @@ void ShadowScorer::observe(ShadowSample sample) {
         default:
           break;
       }
-      const double f = edge.model
+      const double f = edge.acquire()
                            ->score(sample.corpora[edge.src],
                                    sample.corpora[edge.dst],
                                    candidate_->detector.bleu)

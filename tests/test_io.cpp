@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "core/framework.h"
 #include "data/plant.h"
+#include "io/artifact_map.h"
 #include "io/serialize.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -73,7 +75,7 @@ TEST(Serialize, TranslationModelRoundTripSameOutputs) {
 
   std::stringstream ss;
   di::write_translation_model(ss, model, cfg.model);
-  auto back = di::read_translation_model(ss);
+  auto back = di::read_translation_model(ss, di::kStreamArtifactVersion);
 
   for (const auto& sentence : src) {
     EXPECT_EQ(back.translate(sentence), model.translate(sentence));
@@ -269,11 +271,24 @@ TEST(Serialize, CorruptFrameworkSnapshotThrows) {
 
   const TempFile file("framework_corrupt.bin");
   di::save_framework(fw, file.path);
+  // Flip a byte inside the first model edge's weight region — a position
+  // guaranteed to be CRC-covered in the (default, v4) layout.
+  std::size_t flip_at = 0;
+  {
+    const auto map = di::ArtifactMap::open(file.path);
+    for (const di::EdgeEntry& e : map->edges()) {
+      if (e.has_model) {
+        flip_at = e.weights_off + e.weights_len / 2;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(flip_at, 0u);
   std::ifstream is(file.path, std::ios::binary);
   std::ostringstream buf;
   buf << is.rdbuf();
   std::string bytes = buf.str();
-  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x40);
   write_bytes(file.path, bytes);
   EXPECT_THROW(di::load_framework(file.path, fcfg), desmine::RuntimeError);
 }
@@ -300,3 +315,317 @@ TEST(Serialize, LoadMissingFileThrows) {
   EXPECT_THROW(di::load_framework("/tmp/desmine_does_not_exist.bin"),
                desmine::RuntimeError);
 }
+
+// ---------------------------------------------------------------------------
+// Mapped (v4) model store: cross-version matrix, typed corruption errors,
+// page sharing, heap fallback (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One small fitted framework shared by the v4 tests (training dominates
+/// test time; the artifact tests only need *a* graph with real models).
+const dc::Framework& fitted_framework() {
+  static const dc::Framework* fw = [] {
+    dd::PlantConfig pcfg;
+    pcfg.num_components = 2;
+    pcfg.sensors_per_component = 2;
+    pcfg.num_popular = 0;
+    pcfg.num_lazy = 0;
+    pcfg.num_constant = 0;
+    pcfg.days = 4;
+    pcfg.minutes_per_day = 180;
+    pcfg.anomalies = {{3, {0}}};
+    pcfg.precursors = false;
+    pcfg.seed = 9;
+    const auto plant = dd::generate_plant(pcfg);
+
+    dc::FrameworkConfig fcfg;
+    fcfg.window.word_length = 5;
+    fcfg.window.word_stride = 1;
+    fcfg.window.sentence_length = 5;
+    fcfg.window.sentence_stride = 5;
+    fcfg.miner.translation.model.embedding_dim = 12;
+    fcfg.miner.translation.model.hidden_dim = 12;
+    fcfg.miner.translation.model.num_layers = 1;
+    fcfg.miner.translation.model.dropout = 0.0f;
+    fcfg.miner.translation.trainer.steps = 60;
+    fcfg.miner.translation.trainer.batch_size = 4;
+    fcfg.miner.seed = 3;
+    fcfg.detector.valid_lo = 0.0;
+    fcfg.detector.valid_hi = 100.5;
+    auto* out = new dc::Framework(fcfg);
+    out->fit(plant.days_slice(0, 2), plant.days_slice(2, 1));
+    return out;
+  }();
+  return *fw;
+}
+
+dc::MultivariateSeries v4_test_slice() {
+  dd::PlantConfig pcfg;
+  pcfg.num_components = 2;
+  pcfg.sensors_per_component = 2;
+  pcfg.num_popular = 0;
+  pcfg.num_lazy = 0;
+  pcfg.num_constant = 0;
+  pcfg.days = 4;
+  pcfg.minutes_per_day = 180;
+  pcfg.anomalies = {{3, {0}}};
+  pcfg.precursors = false;
+  pcfg.seed = 9;
+  return dd::generate_plant(pcfg).days_slice(3, 1);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// True when the CI heap-fallback job disables mmap process-wide; tests
+/// that assert on the mapping itself adapt or skip.
+bool forced_heap() {
+  const char* v = std::getenv("DESMINE_FORCE_HEAP_FALLBACK");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+}  // namespace
+
+TEST(ArtifactV4, CrossVersionMatrixScoresBitIdentically) {
+  // Every writable version must round-trip to bit-identical detection:
+  // v1/v2 (no CRC), v3 (CRC trailer), v4 (mapped). IEEE-754 equality, not
+  // tolerance — the weight bytes are the same bytes.
+  const dc::Framework& fw = fitted_framework();
+  const auto test_slice = v4_test_slice();
+  const auto expect = fw.detect(test_slice);
+  for (std::uint32_t version = 1; version <= di::kArtifactVersion; ++version) {
+    const TempFile file("xver_v" + std::to_string(version) + ".bin");
+    di::save_framework(fw, file.path, version);
+    EXPECT_EQ(di::peek_artifact_version(file.path), version);
+    dc::Framework loaded = di::load_framework(file.path, fw.config());
+    const auto got = loaded.detect(test_slice);
+    ASSERT_EQ(got.anomaly_scores.size(), expect.anomaly_scores.size())
+        << "version " << version;
+    for (std::size_t t = 0; t < expect.anomaly_scores.size(); ++t) {
+      EXPECT_DOUBLE_EQ(got.anomaly_scores[t], expect.anomaly_scores[t])
+          << "version " << version << " tick " << t;
+    }
+  }
+}
+
+TEST(ArtifactV4, MapExposesGraphStructure) {
+  const dc::Framework& fw = fitted_framework();
+  const TempFile file("v4_structure.bin");
+  di::save_framework(fw, file.path);
+  const auto map = di::ArtifactMap::open(file.path);
+  EXPECT_EQ(map->mapped(), !forced_heap());
+  EXPECT_EQ(map->sensor_names(), fw.graph().sensor_names());
+  ASSERT_EQ(map->edges().size(), fw.graph().edges().size());
+  EXPECT_EQ(map->encrypter().kept_sensors(), fw.encrypter().kept_sensors());
+  EXPECT_EQ(map->window().word_length, fw.config().window.word_length);
+  for (std::size_t i = 0; i < map->edges().size(); ++i) {
+    const di::EdgeEntry& e = map->edges()[i];
+    EXPECT_EQ(e.src, fw.graph().edges()[i].src);
+    EXPECT_EQ(e.dst, fw.graph().edges()[i].dst);
+    EXPECT_DOUBLE_EQ(e.bleu, fw.graph().edges()[i].bleu);
+    if (e.has_model) {
+      EXPECT_EQ(e.weights_off % di::kV4PageAlign, 0u);
+      for (const di::ParamExtent& x : e.params) {
+        EXPECT_EQ(x.off % di::kV4WeightAlign, 0u);
+      }
+    }
+  }
+}
+
+TEST(ArtifactV4, TruncationRaisesTypedErrors) {
+  const dc::Framework& fw = fitted_framework();
+  const TempFile file("v4_truncate.bin");
+  di::save_framework(fw, file.path);
+  const std::string bytes = slurp(file.path);
+  ASSERT_GT(bytes.size(), di::kV4HeaderSize);
+
+  const std::vector<std::size_t> cuts = {0, 1, 16, di::kV4HeaderSize - 1,
+                                         di::kV4HeaderSize, bytes.size() / 2,
+                                         bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    write_bytes(file.path, bytes.substr(0, cut));
+    try {
+      di::ArtifactMap::open(file.path);
+      FAIL() << "truncation at byte " << cut << " was not rejected";
+    } catch (const di::ArtifactError& e) {
+      EXPECT_EQ(e.section(), di::ArtifactError::Section::kTruncated)
+          << "cut " << cut << ": " << e.what();
+    }
+  }
+}
+
+TEST(ArtifactV4, BitFlipsRaiseSectionTypedErrors) {
+  const dc::Framework& fw = fitted_framework();
+  const TempFile file("v4_bitflip.bin");
+  di::save_framework(fw, file.path);
+  const std::string clean = slurp(file.path);
+
+  // Locate each section with a clean map, then corrupt them one at a time.
+  std::size_t meta_at = 0, weights_at = 0, toc_at = 0;
+  std::size_t flip_edge = 0;
+  {
+    const auto map = di::ArtifactMap::open(file.path);
+    for (std::size_t i = 0; i < map->edges().size(); ++i) {
+      const di::EdgeEntry& e = map->edges()[i];
+      if (e.has_model) {
+        flip_edge = i;
+        meta_at = e.meta_off + e.meta_len / 2;
+        weights_at = e.weights_off + 64;  // inside the first parameter
+        break;
+      }
+    }
+    toc_at = clean.size() - 8;  // inside the TOC (its tail is the last bytes)
+  }
+  ASSERT_GT(meta_at, 0u);
+  ASSERT_GT(weights_at, 0u);
+
+  const auto flipped = [&clean](std::size_t at) {
+    std::string bytes = clean;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x01);
+    return bytes;
+  };
+
+  // Header flip (inside the CRC-covered span): rejected at open.
+  write_bytes(file.path, flipped(20));
+  try {
+    di::ArtifactMap::open(file.path);
+    FAIL() << "header flip not rejected";
+  } catch (const di::ArtifactError& e) {
+    EXPECT_EQ(e.section(), di::ArtifactError::Section::kHeader);
+  }
+
+  // TOC flip: rejected at open.
+  write_bytes(file.path, flipped(toc_at));
+  try {
+    di::ArtifactMap::open(file.path);
+    FAIL() << "TOC flip not rejected";
+  } catch (const di::ArtifactError& e) {
+    EXPECT_EQ(e.section(), di::ArtifactError::Section::kToc);
+  }
+
+  // Meta flip: open succeeds (lazy), first materialization of that edge
+  // throws kMeta; other edges stay servable.
+  write_bytes(file.path, flipped(meta_at));
+  {
+    const auto map = di::ArtifactMap::open(file.path);
+    try {
+      map->materialize_edge(flip_edge);
+      FAIL() << "meta flip not rejected";
+    } catch (const di::ArtifactError& e) {
+      EXPECT_EQ(e.section(), di::ArtifactError::Section::kMeta);
+    }
+  }
+
+  // Weight-page flip: same lazy contract, kWeights.
+  write_bytes(file.path, flipped(weights_at));
+  {
+    const auto map = di::ArtifactMap::open(file.path);
+    try {
+      map->materialize_edge(flip_edge);
+      FAIL() << "weight flip not rejected";
+    } catch (const di::ArtifactError& e) {
+      EXPECT_EQ(e.section(), di::ArtifactError::Section::kWeights);
+    }
+  }
+}
+
+TEST(ArtifactV4, HeapFallbackIsBitIdentical) {
+  const dc::Framework& fw = fitted_framework();
+  const auto test_slice = v4_test_slice();
+  const TempFile file("v4_heap.bin");
+  di::save_framework(fw, file.path);
+
+  di::ArtifactMapOptions opt;
+  opt.force_heap = true;
+  const auto map = di::ArtifactMap::open(file.path, opt);
+  EXPECT_FALSE(map->mapped());
+  dc::Framework loaded = map->materialize_framework(fw.config());
+  const auto expect = fw.detect(test_slice);
+  const auto got = loaded.detect(test_slice);
+  ASSERT_EQ(got.anomaly_scores.size(), expect.anomaly_scores.size());
+  for (std::size_t t = 0; t < expect.anomaly_scores.size(); ++t) {
+    EXPECT_DOUBLE_EQ(got.anomaly_scores[t], expect.anomaly_scores[t]);
+  }
+}
+
+TEST(ArtifactV4, MappedModelsRefuseTraining) {
+  const dc::Framework& fw = fitted_framework();
+  const TempFile file("v4_frozen.bin");
+  di::save_framework(fw, file.path);
+  const auto map = di::ArtifactMap::open(file.path);
+  for (std::size_t i = 0; i < map->edges().size(); ++i) {
+    if (!map->edges()[i].has_model) continue;
+    const auto model = map->materialize_edge(i);
+    EXPECT_FALSE(model->model().trainable());
+    EXPECT_THROW(model->model().train_batch({}), desmine::PreconditionError);
+    break;
+  }
+}
+
+TEST(ArtifactV4, PairModelSidecarsStayStreamV3) {
+  const TempFile file("v4_sidecar.bin");
+  make_pair_artifact(file.path);
+  EXPECT_EQ(di::peek_artifact_version(file.path), di::kStreamArtifactVersion);
+}
+
+#ifdef __linux__
+namespace {
+
+/// Sum one smaps field (kB) over every mapping of `path`.
+std::size_t smaps_field_kb(const std::string& path, const std::string& field) {
+  std::ifstream smaps("/proc/self/smaps");
+  std::string line;
+  bool in_target = false;
+  std::size_t total = 0;
+  while (std::getline(smaps, line)) {
+    // Mapping headers look like "7f12...-7f34... r--s 00000000 08:01 ...";
+    // field lines like "Shared_Clean:  4 kB". The address range in the first
+    // token (and only there) contains '-'.
+    const std::string first = line.substr(0, line.find(' '));
+    if (first.find('-') != std::string::npos) {
+      in_target = line.size() >= path.size() &&
+                  line.compare(line.size() - path.size(), path.size(),
+                               path) == 0;
+      continue;
+    }
+    if (in_target && line.rfind(field + ":", 0) == 0) {
+      std::istringstream fields(line.substr(field.size() + 1));
+      std::size_t kb = 0;
+      fields >> kb;
+      total += kb;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(ArtifactV4, TwoMapsShareCleanPages) {
+  if (forced_heap()) GTEST_SKIP() << "mmap disabled via env";
+  const dc::Framework& fw = fitted_framework();
+  const TempFile file("v4_share.bin");
+  di::save_framework(fw, file.path);
+
+  const auto a = di::ArtifactMap::open(file.path);
+  const auto b = di::ArtifactMap::open(file.path);
+  ASSERT_TRUE(a->mapped());
+  ASSERT_TRUE(b->mapped());
+  // Touch every weight page through both maps (CRC sweep reads all bytes).
+  for (std::size_t i = 0; i < a->edges().size(); ++i) {
+    if (!a->edges()[i].has_model) continue;
+    a->materialize_edge(i);
+    b->materialize_edge(i);
+  }
+  // Read-only MAP_SHARED file pages: nothing may be private-dirty, and the
+  // doubly-mapped weight pages must show up as shared in at least one
+  // mapping — the kernel holds ONE physical copy for both maps.
+  EXPECT_EQ(smaps_field_kb(file.path, "Private_Dirty"), 0u);
+  EXPECT_GT(smaps_field_kb(file.path, "Shared_Clean"), 0u);
+}
+#endif  // __linux__

@@ -32,6 +32,7 @@
 #include "core/mvr_graph.h"
 #include "core/online.h"
 #include "data/plant.h"
+#include "io/artifact_map.h"
 #include "io/config_json.h"
 #include "io/serialize.h"
 #include "lifecycle/controller.h"
@@ -701,7 +702,21 @@ TEST(Lifecycle, CorruptCandidateArtifactNeverArms) {
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
     ASSERT_GT(bytes.size(), 64u);
-    bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+    // Flip a bit inside a CRC-covered weight region (the candidate is a v4
+    // mapped artifact; a blind mid-file flip could land in CRC-exempt
+    // alignment padding). Weight CRCs verify lazily on materialization, so
+    // this also proves begin_shadow's eager verify_all sweep.
+    std::size_t flip_at = bytes.size() / 2;
+    {
+      const auto map = dio::ArtifactMap::open(kCandidatePath);
+      for (const dio::EdgeEntry& e : map->edges()) {
+        if (e.has_model) {
+          flip_at = e.weights_off + e.weights_len / 2;
+          break;
+        }
+      }
+    }
+    bytes[flip_at] ^= 0x40;
     std::ofstream out(corrupt.path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }

@@ -85,8 +85,8 @@ using namespace desmine;
 namespace {
 
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"dump-config",
-                                              "reject-when-full"};
+  static const std::set<std::string> flags = {
+      "dump-config", "reject-when-full", "force-heap-fallback"};
   return flags;
 }
 
@@ -188,6 +188,10 @@ io::RunConfig effective_config(const Args& args) {
       "circuit-probe-after", static_cast<double>(s.circuit_probe_after)));
   s.telemetry_port = static_cast<std::size_t>(
       args.number("telemetry-port", static_cast<double>(s.telemetry_port)));
+  s.resident_bytes = static_cast<std::uint64_t>(args.number(
+      "resident-bytes", static_cast<double>(s.resident_bytes)));
+  s.resident_edges = static_cast<std::size_t>(args.number(
+      "resident-edges", static_cast<double>(s.resident_edges)));
   s.slow_window_ms = args.number("slow-window-ms", s.slow_window_ms);
   s.sliding_window_s = args.number("sliding-window-s", s.sliding_window_s);
   s.sliding_epochs = static_cast<std::size_t>(args.number(
@@ -665,6 +669,11 @@ void usage() {
          "  --circuit-probe-after 16\n"
          "  --telemetry-port P   expose /metrics /healthz /statusz on\n"
          "                       127.0.0.1:P (Prometheus text format)\n"
+         "  --resident-bytes 0   mapped (v4) models: LRU byte budget for\n"
+         "                       materialized edge decode state (0 = all)\n"
+         "  --resident-edges 0   mapped models: cap on materialized edges\n"
+         "  --force-heap-fallback  read v4 artifacts into heap memory\n"
+         "                       instead of mmap (debug/portability)\n"
          "  --slow-window-ms MS  log span trees of windows slower than MS\n"
          "  --sliding-window-s 60 --sliding-epochs 6\n"
          "  --health-drop-after 3 --health-stale-after 0 --health-unk-rate\n"
@@ -708,11 +717,14 @@ int main(int argc, char** argv) {
     }
 
     const std::string model_path = args->get("model");
-    core::FrameworkConfig overlay;
-    overlay.detector = run.framework.detector;
-    core::Framework fw = io::load_framework(model_path, overlay);
-    serve::SessionManager manager(fw.graph(), fw.encrypter(),
-                                  fw.config().window, run.serve);
+    if (args->flag("force-heap-fallback")) {
+      // Honored by io::ArtifactMap::open for this process and any reload.
+      ::setenv("DESMINE_FORCE_HEAP_FALLBACK", "1", 1);
+    }
+    // Version-dispatching open: a v4 artifact is mmap()ed and served through
+    // zero-copy weight views (restart-to-first-window is O(header + TOC));
+    // v1–v3 deserialize onto the heap as before. Bit-identical either way.
+    serve::SessionManager manager(model_path, run.serve);
     core::DegradedConfig degraded;
     degraded.enabled = true;
     degraded.health = run.health;
