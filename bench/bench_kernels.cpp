@@ -19,6 +19,7 @@
 #include "nn/attention.h"
 #include "nn/lstm.h"
 #include "nmt/translation.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 #include "tensor/workspace.h"
 #include "text/bleu.h"
@@ -31,19 +32,77 @@ namespace dx = desmine::text;
 using desmine::util::Rng;
 
 static void BM_Matmul(benchmark::State& state) {
+  // Startup-default backend (auto-detected): the perf-trajectory anchor the
+  // pre-dispatch BM_Matmul numbers compare against.
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
   dt::Matrix a(n, n), b(n, n), c(n, n);
   a.init_uniform(rng, 1.0f);
   b.init_uniform(rng, 1.0f);
   for (auto _ : state) {
-    dt::matmul(a, b, c);
+    dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a.view(), b.view(),
+             0.0f, c.view());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+/// Pin `backend` for the benchmark body, restoring the startup default
+/// (env override, else best available) afterwards so later benchmarks keep
+/// measuring what the tools would run.
+class BackendGuard {
+ public:
+  explicit BackendGuard(dt::kernels::Backend b) { dt::kernels::set_backend(b); }
+  ~BackendGuard() { dt::kernels::select_backend("auto"); }
+};
+
+static void BM_Gemm(benchmark::State& state, dt::kernels::Backend backend) {
+  // The backend column of the speedup table: same GEMM, explicit backend.
+  if (!dt::kernels::backend_available(backend)) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const BackendGuard guard(backend);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  dt::Matrix a(n, n), b(n, n), c(n, n);
+  a.init_uniform(rng, 1.0f);
+  b.init_uniform(rng, 1.0f);
+  for (auto _ : state) {
+    dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a.view(), b.view(),
+             0.0f, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK_CAPTURE(BM_Gemm, scalar, dt::kernels::Backend::kScalar)
+    ->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, blocked, dt::kernels::Backend::kBlocked)
+    ->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_CAPTURE(BM_Gemm, avx2, dt::kernels::Backend::kAvx2)
+    ->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_GemmI8(benchmark::State& state) {
+  // The int8 decode GEMM (dynamic per-row activation quantization +
+  // int32 accumulation + dequant), on the startup-default backend.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  dt::Matrix a(n, n), w(n, n), c(n, n);
+  a.init_uniform(rng, 1.0f);
+  w.init_uniform(rng, 1.0f);
+  const dt::QuantizedTensor wq = dt::quantize_absmax(w.view());
+  for (auto _ : state) {
+    c.zero();
+    dt::gemm_i8_accum(a.view(), wq, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmI8)->Arg(64)->Arg(128)->Arg(256);
 
 static void BM_LstmStep(benchmark::State& state) {
   // Forward-only stepping: the greedy-decode / encoder inner loop.
@@ -60,6 +119,33 @@ static void BM_LstmStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
 }
 BENCHMARK(BM_LstmStep)->Arg(24)->Arg(64);
+
+static void BM_LstmStepBackend(benchmark::State& state,
+                               dt::kernels::Backend backend) {
+  // BM_LstmStep with an explicit backend column, for per-shape speedups.
+  if (!dt::kernels::backend_available(backend)) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const BackendGuard guard(backend);
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  dn::LstmStack lstm("l", hidden, hidden, 2, rng, 0.0f);
+  dt::Matrix x(8, hidden, 0.1f);
+  for (auto _ : state) {
+    lstm.begin(8);
+    for (int t = 0; t < 10; ++t) {
+      benchmark::DoNotOptimize(lstm.step(x).data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK_CAPTURE(BM_LstmStepBackend, scalar, dt::kernels::Backend::kScalar)
+    ->Arg(24)->Arg(64);
+BENCHMARK_CAPTURE(BM_LstmStepBackend, blocked, dt::kernels::Backend::kBlocked)
+    ->Arg(24)->Arg(64);
+BENCHMARK_CAPTURE(BM_LstmStepBackend, avx2, dt::kernels::Backend::kAvx2)
+    ->Arg(24)->Arg(64);
 
 static void BM_LstmBptt(benchmark::State& state) {
   // Full backpropagation through time over a 10-step sequence: the

@@ -20,10 +20,20 @@
 //   io::RunConfig / run_config_{to,from}_json — config files (--config)
 //   obs::init_logging / metrics / trace      — structured obs surface
 //   obs::telemetry / HttpExposition          — live scrape plane (/metrics)
+//   tensor::kernels (Backend / select_backend / apply_kernel_config)
+//   tensor::Precision + tensor::gemm         — compute-kernel dispatch and
+//                                              decode precision (DESIGN.md
+//                                              §16): backend chosen per
+//                                              process via config key
+//                                              tensor.kernels / --kernels /
+//                                              DESMINE_KERNELS; precision
+//                                              (f32 | int8) flows through
+//                                              DetectOptions and ServeConfig
 //
-// Everything else under src/ (tensor, nn, nmt, text, robust internals,
-// serve::BatchScheduler, util) is internal: tools and tests may reach in,
-// but embedders should not — those layers rearrange freely between PRs.
+// Everything else under src/ (tensor internals beyond the kernel dispatch
+// surface, nn, nmt, text, robust internals, serve::BatchScheduler, util) is
+// internal: tools and tests may reach in, but embedders should not — those
+// layers rearrange freely between PRs.
 #pragma once
 
 #include "core/anomaly.h"
@@ -46,3 +56,4 @@
 #include "obs/trace.h"
 #include "robust/sensor_health.h"
 #include "serve/session_manager.h"
+#include "tensor/kernels.h"

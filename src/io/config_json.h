@@ -16,8 +16,9 @@
 // should_abort), ServeConfig::detector (the detector section is the
 // single source of truth; callers mirror it into ServeConfig themselves,
 // as run_config_from_json already does), ServeConfig::shadow (mirrored
-// from lifecycle.shadow the same way), and RetrainConfig::seed (a test
-// determinism knob, not an operator-facing one).
+// from lifecycle.shadow the same way), ServeConfig::precision (mirrored
+// from tensor.precision), and RetrainConfig::seed (a test determinism
+// knob, not an operator-facing one).
 #pragma once
 
 #include <string>
@@ -27,6 +28,7 @@
 #include "lifecycle/controller.h"
 #include "robust/sensor_health.h"
 #include "serve/session_manager.h"
+#include "tensor/kernels.h"
 
 namespace desmine::io {
 
@@ -37,6 +39,13 @@ struct RunConfig {
   /// serialized separately; serve.shadow is mirrored from lifecycle.shadow.
   serve::ServeConfig serve{};
   lifecycle::LifecycleConfig lifecycle{};
+  /// Compute-kernel backend + decode precision (DESIGN.md §16). Parsing
+  /// validates the names only; availability (e.g. avx2 on a non-AVX2 CPU)
+  /// is checked when a tool applies the choice via
+  /// tensor::kernels::apply_kernel_config, so a config file written on one
+  /// machine still parses on another. serve.precision mirrors
+  /// tensor.precision.
+  tensor::kernels::KernelConfig tensor{};
 };
 
 /// Pretty-printed JSON document covering every RunConfig knob.

@@ -73,7 +73,7 @@ std::vector<double> TranslationModel::score_batch(
   for (std::size_t i = 0; i < sources.size(); ++i) {
     DESMINE_EXPECTS(references[i] != nullptr, "null reference sentence");
     scores[i] =
-        text::corpus_bleu({candidates[i]}, {*references[i]}, options).score;
+        text::sentence_bleu(candidates[i], *references[i], options).score;
   }
   return scores;
 }

@@ -48,7 +48,7 @@ class TranslationModel {
   /// Batched per-sentence scoring (the serve hot path): sentence BLEU
   /// (0..100) of the batched greedy translation of each source against its
   /// aligned reference. Element i is bit-identical to
-  /// corpus_bleu({translate(*sources[i])}, {*references[i]}, options).score.
+  /// sentence_bleu(translate(*sources[i]), *references[i], options).score.
   std::vector<double> score_batch(
       const std::vector<const text::Sentence*>& sources,
       const std::vector<const text::Sentence*>& references,
@@ -57,6 +57,15 @@ class TranslationModel {
   const text::Vocabulary& src_vocab() const { return src_vocab_; }
   const text::Vocabulary& tgt_vocab() const { return tgt_vocab_; }
   Seq2SeqModel& model() { return *model_; }
+
+  /// Numeric mode of greedy decodes (translate / translate_batch /
+  /// score / score_batch); forwards to Seq2SeqModel::set_decode_precision.
+  void set_decode_precision(tensor::Precision p) {
+    model_->set_decode_precision(p);
+  }
+  tensor::Precision decode_precision() const {
+    return model_->decode_precision();
+  }
 
   /// Keep `pin` alive as long as this model: a mapped model's weights are
   /// views into an io::ArtifactMap's pages, so the map must outlive every

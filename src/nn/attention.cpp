@@ -24,12 +24,14 @@ LuongAttention::LuongAttention(const std::string& name, std::size_t hidden,
 void LuongAttention::begin(
     const std::vector<tensor::ConstMatrixView>& encoder_outputs,
     std::size_t batch, tensor::Workspace* workspace,
-    const std::vector<std::size_t>* source_lengths) {
+    const std::vector<std::size_t>* source_lengths,
+    tensor::Precision precision) {
   DESMINE_EXPECTS(!encoder_outputs.empty(), "attention needs encoder outputs");
   ws_ = workspace != nullptr ? workspace : &own_ws_;
   if (workspace == nullptr) own_ws_.reset();
   enc_.assign(encoder_outputs.begin(), encoder_outputs.end());
   batch_ = batch;
+  precision_ = precision;
   if (source_lengths != nullptr) {
     DESMINE_EXPECTS(source_lengths->size() == batch,
                     "one source length per batch row");
@@ -48,7 +50,12 @@ void LuongAttention::begin(
                     "encoder output shape");
     if (score_ == AttentionScore::kGeneral) {
       tensor::MatrixView t = ws_->alloc(batch, hidden_);
-      tensor::matmul(e, wa_.view(), t);
+      if (precision_ == tensor::Precision::kInt8) {
+        tensor::gemm_i8_accum(e, wa_.quantized(), t);  // t is zero-alloc'd
+      } else {
+        tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, e,
+                     wa_.view(), 0.0f, t);
+      }
       transformed_.push_back(t);
     } else {
       transformed_.push_back(e);  // dot score: transformed == encoder output
@@ -125,7 +132,12 @@ tensor::ConstMatrixView LuongAttention::step(tensor::ConstMatrixView h_dec) {
   }
 
   cache.attn = ws_->alloc(batch_, hidden_);
-  tensor::matmul(cache.concat, wc_.view(), cache.attn);
+  if (precision_ == tensor::Precision::kInt8) {
+    tensor::gemm_i8_accum(cache.concat, wc_.quantized(), cache.attn);
+  } else {
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f,
+                 cache.concat, wc_.view(), 0.0f, cache.attn);
+  }
   cache.attn.apply([](float v) { return std::tanh(v); });
 
   steps_.push_back(cache);
@@ -158,9 +170,11 @@ tensor::MatrixView LuongAttention::backward_step(
   }
 
   // Through the combine layer: attn_pre = concat * Wc.
-  tensor::matmul_transA_accum(cache.concat, dpre, wc_.grad);
+  tensor::gemm(tensor::Transpose::kTrans, tensor::Transpose::kNo, 1.0f,
+               cache.concat, dpre, 1.0f, wc_.grad);
   tensor::MatrixView dconcat = ws_->alloc(batch_, 2 * hidden_);
-  tensor::matmul_transB_accum(dpre, wc_.view(), dconcat);
+  tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kTrans, 1.0f, dpre,
+               wc_.view(), 0.0f, dconcat);
 
   // Split into dcontext (first H) and dh_dec (second H).
   for (std::size_t b = 0; b < batch_; ++b) {
@@ -224,8 +238,10 @@ tensor::MatrixView LuongAttention::backward_step(
     if (score_ == AttentionScore::kGeneral) {
       // transformed[s] = enc[s] * Wa:
       //   dWa += enc[s]^T dtr; denc[s] += dtr Wa^T.
-      tensor::matmul_transA_accum(e, dtr, wa_.grad);
-      tensor::matmul_transB_accum(dtr, wa_.view(), de);
+      tensor::gemm(tensor::Transpose::kTrans, tensor::Transpose::kNo, 1.0f, e,
+                   dtr, 1.0f, wa_.grad);
+      tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kTrans, 1.0f,
+                   dtr, wa_.view(), 1.0f, de);
     } else {
       de += dtr;  // dot score: transformed == enc
     }
@@ -273,7 +289,12 @@ tensor::Matrix LuongAttention::infer(const tensor::Matrix& h_dec) const {
   }
 
   tensor::Matrix attn(B, hidden_);
-  tensor::matmul(concat, wc_.view(), attn);
+  if (precision_ == tensor::Precision::kInt8) {
+    tensor::gemm_i8_accum(concat, wc_.quantized(), attn);
+  } else {
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, concat,
+                 wc_.view(), 0.0f, attn);
+  }
   attn.apply([](float v) { return std::tanh(v); });
   return attn;
 }

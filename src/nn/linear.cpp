@@ -22,12 +22,18 @@ tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
   return y;
 }
 
-void Linear::forward_into(tensor::ConstMatrixView x,
-                          tensor::MatrixView y) const {
+void Linear::forward_into(tensor::ConstMatrixView x, tensor::MatrixView y,
+                          tensor::Precision precision) const {
   DESMINE_EXPECTS(x.cols() == in_dim(), "linear input dim mismatch");
   DESMINE_EXPECTS(y.rows() == x.rows() && y.cols() == out_dim(),
                   "linear output shape");
-  tensor::matmul(x, weight_.view(), y);
+  if (precision == tensor::Precision::kInt8) {
+    y.zero();
+    tensor::gemm_i8_accum(x, weight_.quantized(), y);
+  } else {
+    tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kNo, 1.0f, x,
+                 weight_.view(), 0.0f, y);
+  }
   if (with_bias_) tensor::add_row_bias(y, bias_.view());
 }
 
@@ -46,7 +52,8 @@ void Linear::backward_into(tensor::ConstMatrixView x,
   DESMINE_EXPECTS(grad_in.rows() == x.rows() && grad_in.cols() == in_dim(),
                   "linear backward grad_in shape");
   // dW += x^T * dy
-  tensor::matmul_transA_accum(x, grad_out, weight_.grad);
+  tensor::gemm(tensor::Transpose::kTrans, tensor::Transpose::kNo, 1.0f, x,
+               grad_out, 1.0f, weight_.grad);
   if (with_bias_) {
     float* bg = bias_.grad.row(0);
     for (std::size_t r = 0; r < grad_out.rows(); ++r) {
@@ -56,8 +63,8 @@ void Linear::backward_into(tensor::ConstMatrixView x,
   }
   // dx = dy * W^T (grad_in is overwritten, like the fresh matrix the owning
   // overload allocates)
-  grad_in.zero();
-  tensor::matmul_transB_accum(grad_out, weight_.view(), grad_in);
+  tensor::gemm(tensor::Transpose::kNo, tensor::Transpose::kTrans, 1.0f,
+               grad_out, weight_.view(), 0.0f, grad_in);
 }
 
 }  // namespace desmine::nn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/error.h"
 
 namespace desmine::nn {
@@ -54,15 +55,10 @@ XentResult softmax_xent(tensor::ConstMatrixView logits,
 }
 
 std::vector<std::int32_t> argmax_rows(tensor::ConstMatrixView logits) {
+  // Thin owning wrapper over the dispatched kernel (strict >, first maximum
+  // wins — bit-exact tie breaking in every backend).
   std::vector<std::int32_t> out(logits.rows());
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const float* row = logits.row(r);
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < logits.cols(); ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    out[r] = static_cast<std::int32_t>(best);
-  }
+  tensor::argmax_rows(logits, out.data());
   return out;
 }
 

@@ -1,17 +1,12 @@
 #include "nn/lstm.h"
 
-#include <cmath>
 #include <utility>
 
 #include "util/error.h"
 
 namespace desmine::nn {
 
-namespace {
-
-inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
-
-}  // namespace
+using tensor::Transpose;
 
 LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
                      std::size_t hidden_dim, std::size_t num_layers,
@@ -44,10 +39,14 @@ LstmStack::LstmStack(const std::string& name, std::size_t input_dim,
 }
 
 void LstmStack::begin(std::size_t batch, const LstmState* init, bool train,
-                      util::Rng* dropout_rng, tensor::Workspace* workspace) {
+                      util::Rng* dropout_rng, tensor::Workspace* workspace,
+                      tensor::Precision precision) {
   DESMINE_EXPECTS(batch > 0, "lstm batch must be > 0");
+  DESMINE_EXPECTS(!train || precision == tensor::Precision::kF32,
+                  "int8 precision is inference-only");
   batch_ = batch;
   train_ = train;
+  precision_ = precision;
   dropout_rng_ = dropout_rng;
   if (train_ && dropout_ > 0.0f) {
     DESMINE_EXPECTS(dropout_rng_ != nullptr,
@@ -96,30 +95,20 @@ void LstmStack::step_layer(std::size_t l, tensor::ConstMatrixView input,
   // The fused pre-activation is transient: reclaim it once the gates are out.
   const tensor::Workspace::Checkpoint scratch = ws_->checkpoint();
   tensor::MatrixView z = ws_->alloc(batch_, 4 * H);
-  tensor::matmul_accum(input, layers_[l].wx.view(), z);
-  tensor::matmul_accum(h_prev, layers_[l].wh.view(), z);
+  if (precision_ == tensor::Precision::kInt8) {
+    tensor::gemm_i8_accum(input, layers_[l].wx.quantized(), z);
+    tensor::gemm_i8_accum(h_prev, layers_[l].wh.quantized(), z);
+  } else {
+    tensor::gemm(Transpose::kNo, Transpose::kNo, 1.0f, input,
+                 layers_[l].wx.view(), 1.0f, z);
+    tensor::gemm(Transpose::kNo, Transpose::kNo, 1.0f, h_prev,
+                 layers_[l].wh.view(), 1.0f, z);
+  }
   tensor::add_row_bias(z, layers_[l].b.view());
 
-  for (std::size_t r = 0; r < batch_; ++r) {
-    const float* zr = z.row(r);
-    const float* cp = c_prev.row(r);
-    float* ir = cache.i.row(r);
-    float* fr = cache.f.row(r);
-    float* gr = cache.g.row(r);
-    float* orow = cache.o.row(r);
-    float* cr = cache.c.row(r);
-    float* tcr = cache.tanh_c.row(r);
-    float* hr = cache.h.row(r);
-    for (std::size_t k = 0; k < H; ++k) {
-      ir[k] = sigmoidf(zr[k]);
-      fr[k] = sigmoidf(zr[H + k]);
-      gr[k] = std::tanh(zr[2 * H + k]);
-      orow[k] = sigmoidf(zr[3 * H + k]);
-      cr[k] = fr[k] * cp[k] + ir[k] * gr[k];
-      tcr[k] = std::tanh(cr[k]);
-      hr[k] = orow[k] * tcr[k];
-    }
-  }
+  tensor::lstm_gate_fusion(z, c_prev,
+                           {cache.i, cache.f, cache.g, cache.o, cache.c,
+                            cache.tanh_c, cache.h});
   ws_->rewind(scratch);
 }
 
@@ -276,11 +265,13 @@ LstmStack::BackwardResult LstmStack::backward(
       }
 
       // Parameter gradients.
-      tensor::matmul_transA_accum(lc.input, dz, layers_[l].wx.grad);
+      tensor::gemm(Transpose::kTrans, Transpose::kNo, 1.0f, lc.input, dz, 1.0f,
+                   layers_[l].wx.grad);
       const tensor::ConstMatrixView h_prev =
           (ti == 0) ? tensor::ConstMatrixView(state0_.h[l])
                     : cache_at(ti - 1, l).h;
-      tensor::matmul_transA_accum(h_prev, dz, layers_[l].wh.grad);
+      tensor::gemm(Transpose::kTrans, Transpose::kNo, 1.0f, h_prev, dz, 1.0f,
+                   layers_[l].wh.grad);
       {
         float* bg = layers_[l].b.grad.row(0);
         for (std::size_t r = 0; r < batch_; ++r) {
@@ -291,8 +282,8 @@ LstmStack::BackwardResult LstmStack::backward(
 
       // Gradient to previous hidden state.
       tensor::MatrixView dh_prev = dh_alt[l];
-      dh_prev.zero();
-      tensor::matmul_transB_accum(dz, layers_[l].wh.view(), dh_prev);
+      tensor::gemm(Transpose::kNo, Transpose::kTrans, 1.0f, dz,
+                   layers_[l].wh.view(), 0.0f, dh_prev);
       std::swap(dh_cur[l], dh_alt[l]);
 
       // Gradient to the layer input (dropout mask re-applied).
@@ -302,9 +293,11 @@ LstmStack::BackwardResult LstmStack::backward(
       } else {
         din = use_a ? din_a : din_b;
         use_a = !use_a;
-        din.zero();
       }
-      tensor::matmul_transB_accum(dz, layers_[l].wx.view(), din);
+      // dx[ti] comes from the arena pre-zeroed; the beta == 0 overwrite
+      // makes the ping-pong slots equivalent.
+      tensor::gemm(Transpose::kNo, Transpose::kTrans, 1.0f, dz,
+                   layers_[l].wx.view(), 0.0f, din);
       if (lc.mask.rows() > 0) din.hadamard(lc.mask);
       if (l > 0) d_from_above = din;
     }
@@ -345,29 +338,25 @@ tensor::Matrix LstmStack::infer_step(const tensor::Matrix& x_t,
   const std::size_t B = x_t.rows();
   const std::size_t H = hidden_dim_;
 
+  // Gate scratch for the fused activation kernel; the cell view aliases
+  // state.c[l] (updated in place), which lstm_gate_fusion permits.
+  tensor::Matrix gi(B, H), gf(B, H), gg(B, H), go(B, H), tanh_c(B, H);
+
   tensor::Matrix layer_in = x_t;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     DESMINE_EXPECTS(state.h[l].rows() == B && state.h[l].cols() == H,
                     "infer_step state shape");
     tensor::Matrix z(B, 4 * H);
-    tensor::matmul_accum(layer_in, layers_[l].wx.view(), z);
-    tensor::matmul_accum(state.h[l], layers_[l].wh.view(), z);
+    tensor::gemm(Transpose::kNo, Transpose::kNo, 1.0f, layer_in,
+                 layers_[l].wx.view(), 1.0f, z);
+    tensor::gemm(Transpose::kNo, Transpose::kNo, 1.0f, state.h[l],
+                 layers_[l].wh.view(), 1.0f, z);
     tensor::add_row_bias(z, layers_[l].b.view());
 
     tensor::Matrix h(B, H);
-    for (std::size_t r = 0; r < B; ++r) {
-      const float* zr = z.row(r);
-      float* cr = state.c[l].row(r);
-      float* hr = h.row(r);
-      for (std::size_t k = 0; k < H; ++k) {
-        const float i = sigmoidf(zr[k]);
-        const float f = sigmoidf(zr[H + k]);
-        const float g = std::tanh(zr[2 * H + k]);
-        const float o = sigmoidf(zr[3 * H + k]);
-        cr[k] = f * cr[k] + i * g;
-        hr[k] = o * std::tanh(cr[k]);
-      }
-    }
+    tensor::lstm_gate_fusion(z, state.c[l],
+                             {gi.view(), gf.view(), gg.view(), go.view(),
+                              state.c[l].view(), tanh_c.view(), h.view()});
     state.h[l] = h;
     layer_in = std::move(h);
   }

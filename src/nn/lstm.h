@@ -3,7 +3,8 @@
 // The stack is driven step by step (the seq2seq decoder must interleave
 // attention between steps), caching all activations; backward() then runs
 // full BPTT given per-step gradients on the top-layer outputs. Gates are
-// fused into one (dim x 4H) matmul per layer per step in [i f g o] order.
+// fused into one (dim x 4H) GEMM per layer per step in [i f g o] order and
+// activated through the backend-dispatched tensor::lstm_gate_fusion kernel.
 // Dropout (inverted) is applied to each layer's input during training, i.e.
 // to the non-recurrent connections, following Luong et al.'s setup.
 //
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "nn/param.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 #include "tensor/workspace.h"
 #include "util/rng.h"
@@ -45,10 +47,13 @@ class LstmStack {
   /// training with dropout > 0. `workspace`, if given, backs all caches for
   /// this sequence (the caller rewinds it between sequences; begin() never
   /// rewinds a shared workspace). With no workspace an internal arena is
-  /// used and reset here.
+  /// used and reset here. `precision` selects the weight GEMM mode for this
+  /// sequence: kInt8 runs the Wx/Wh products through the quantized decode
+  /// path (inference only — backward() requires an f32 forward).
   void begin(std::size_t batch, const LstmState* init = nullptr,
              bool train = false, util::Rng* dropout_rng = nullptr,
-             tensor::Workspace* workspace = nullptr);
+             tensor::Workspace* workspace = nullptr,
+             tensor::Precision precision = tensor::Precision::kF32);
 
   /// Advance one timestep with input (batch x input_dim); returns the
   /// top-layer hidden output (batch x hidden).
@@ -145,6 +150,7 @@ class LstmStack {
   // Per-sequence scratch (reset by begin()).
   std::size_t batch_ = 0;
   bool train_ = false;
+  tensor::Precision precision_ = tensor::Precision::kF32;
   util::Rng* dropout_rng_ = nullptr;
   tensor::Workspace* ws_ = nullptr;
   tensor::Workspace own_ws_;

@@ -267,15 +267,21 @@ void BatchScheduler::score_batch(EdgeState& state,
   const std::size_t cache_capacity = config_.decode_cache;
 
   // Partition into cache hits and sources still to decode. The decode pass
-  // itself dedups identical sources, so `misses` may hold repeats.
+  // itself dedups identical sources, so `misses` may hold repeats. One map
+  // lookup per item: the hit's translation pointer is kept for the scoring
+  // loop below (map references stay valid across the inserts at the end).
   std::vector<const text::Sentence*> sources(batch.size());
+  std::vector<const text::Sentence*> candidates(batch.size(), nullptr);
   std::vector<const text::Sentence*> misses;
   std::vector<std::size_t> miss_index;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const PendingWindow& w = *batch[i].window;
     sources[i] = &w.corpora[edge.src].front();
-    if (cache_capacity > 0 && cache.count(*sources[i]) != 0) {
+    const auto hit = cache_capacity > 0 ? cache.find(*sources[i])
+                                        : cache.end();
+    if (hit != cache.end()) {
       cache_hits.inc();
+      candidates[i] = &hit->second;
     } else {
       misses.push_back(sources[i]);
       miss_index.push_back(i);
@@ -283,23 +289,23 @@ void BatchScheduler::score_batch(EdgeState& state,
   }
   std::vector<text::Sentence> fresh;
   if (!misses.empty()) {
-    fresh = edge.acquire()->translate_batch(misses);
+    const std::shared_ptr<nmt::TranslationModel> model = edge.acquire();
+    model->set_decode_precision(config_.precision);
+    fresh = model->translate_batch(misses);
     decoded.inc(misses.size());
   }
 
   // Score every item. Hits and fresh decodes are interchangeable bit for
   // bit: greedy decoding is a pure function of the source tokens.
-  std::vector<const text::Sentence*> candidates(batch.size(), nullptr);
   for (std::size_t m = 0; m < miss_index.size(); ++m) {
     candidates[miss_index[m]] = &fresh[m];
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const PendingWindow& w = *batch[i].window;
-    const text::Sentence& candidate =
-        candidates[i] != nullptr ? *candidates[i] : cache.at(*sources[i]);
+    const text::Sentence& candidate = *candidates[i];
     const text::Sentence& reference = w.corpora[edge.dst].front();
     batch[i].window->edge_bleu[batch[i].slot] =
-        text::corpus_bleu({candidate}, {reference}, config_.bleu).score;
+        text::sentence_bleu(candidate, reference, config_.bleu).score;
   }
 
   if (cache_capacity > 0) {

@@ -116,7 +116,9 @@ void ShadowScorer::observe(ShadowSample sample) {
         default:
           break;
       }
-      const double f = edge.acquire()
+      const std::shared_ptr<nmt::TranslationModel> model = edge.acquire();
+      model->set_decode_precision(config_.precision);
+      const double f = model
                            ->score(sample.corpora[edge.src],
                                    sample.corpora[edge.dst],
                                    candidate_->detector.bleu)

@@ -1,0 +1,97 @@
+// Cache-blocked scalar backend (ISSUE 10). Pure loop reordering over the
+// reference kernels: every out element still accumulates its contributions
+// in ascending-k order with the same mul+add arithmetic and the same
+// av == 0 skips, so this backend is bit-identical to kScalar (the
+// conformance suite asserts exact equality). The win is locality — a
+// (KC x NC) tile of B stays hot in L1/L2 across all rows of A instead of
+// streaming the whole of B once per row.
+#include <algorithm>
+
+#include "tensor/kernels/internal.h"
+
+namespace desmine::tensor::kernels {
+
+namespace {
+
+// Tile sizes in floats: KC rows of B per pass, NC columns per pass.
+// KC * NC * 4 bytes = 64 KiB — comfortably L2-resident next to the A rows,
+// with the NC slice of `out` staying L1-resident.
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 256;
+
+void gemm_nn_blocked(float alpha, ConstMatrixView a, ConstMatrixView b,
+                     MatrixView out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t jb = 0; jb < n; jb += kNc) {
+    const std::size_t je = std::min(jb + kNc, n);
+    for (std::size_t kb = 0; kb < k; kb += kKc) {
+      const std::size_t ke = std::min(kb + kKc, k);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t p = kb; p < ke; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (std::size_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn_blocked(float alpha, ConstMatrixView a, ConstMatrixView b,
+                     MatrixView out) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t jb = 0; jb < n; jb += kNc) {
+    const std::size_t je = std::min(jb + kNc, n);
+    for (std::size_t pb = 0; pb < k; pb += kKc) {
+      const std::size_t pe = std::min(pb + kKc, k);
+      for (std::size_t i = 0; i < m; ++i) {
+        float* orow = out.row(i);
+        for (std::size_t p = pb; p < pe; ++p) {
+          const float av = alpha * a(p, i);
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (std::size_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt_blocked(float alpha, ConstMatrixView a, ConstMatrixView b,
+                     MatrixView out) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  // Tile over B rows so a j-tile of B (kNc rows x k) is reused across every
+  // row of A. The per-(i, j) dot still runs p = 0..k sequentially, keeping
+  // the reduction order — and therefore the bits — of the reference.
+  for (std::size_t jb = 0; jb < n; jb += kNc) {
+    const std::size_t je = std::min(jb + kNc, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t j = jb; j < je; ++j) {
+        const float* brow = b.row(j);
+        float dot = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+        orow[j] += alpha * dot;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const Ops& blocked_ops() {
+  static const Ops ops = [] {
+    Ops ops = scalar_ops();  // axpy/bias/softmax/gates/argmax/i8: reference
+    ops.gemm_nn = &gemm_nn_blocked;
+    ops.gemm_tn = &gemm_tn_blocked;
+    ops.gemm_nt = &gemm_nt_blocked;
+    return ops;
+  }();
+  return ops;
+}
+
+}  // namespace desmine::tensor::kernels

@@ -1,7 +1,6 @@
 #include "tensor/matrix.h"
 
 #include <algorithm>
-#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -126,102 +125,8 @@ void MatrixView::apply(const std::function<float(float)>& f) const {
   for (std::size_t i = 0; i < size(); ++i) data_[i] = f(data_[i]);
 }
 
-namespace {
-
-void check_matmul_shapes(std::size_t am, std::size_t ak, std::size_t bk,
-                         std::size_t bn, MatrixView out) {
-  DESMINE_EXPECTS(ak == bk, "inner dimensions must agree");
-  DESMINE_EXPECTS(out.rows() == am && out.cols() == bn,
-                  "output shape mismatch");
-}
-
-}  // namespace
-
-void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
-  out.zero();
-  matmul_accum(a, b, out);
-}
-
-// i-k-j loop order keeps B and out accesses sequential, which the compiler
-// auto-vectorizes well; good enough for the hidden sizes desmine uses (<=256).
-void matmul_accum(ConstMatrixView a, ConstMatrixView b, MatrixView out) {
-  check_matmul_shapes(a.rows(), a.cols(), b.rows(), b.cols(), out);
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-void matmul_transA_accum(ConstMatrixView a, ConstMatrixView b,
-                         MatrixView out) {
-  check_matmul_shapes(a.cols(), a.rows(), b.rows(), b.cols(), out);
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.row(i);
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-void matmul_transB_accum(ConstMatrixView a, ConstMatrixView b,
-                         MatrixView out) {
-  check_matmul_shapes(a.rows(), a.cols(), b.cols(), b.rows(), out);
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float dot = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
-      orow[j] += dot;
-    }
-  }
-}
-
-void add_row_bias(MatrixView m, ConstMatrixView bias) {
-  DESMINE_EXPECTS(bias.rows() == 1 && bias.cols() == m.cols(),
-                  "bias must be 1 x cols");
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r);
-    const float* b = bias.row(0);
-    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
-  }
-}
-
-void axpy(float alpha, ConstMatrixView x, MatrixView y) {
-  DESMINE_EXPECTS(x.same_shape(y), "axpy shape mismatch");
-  const float* xs = x.data();
-  float* ys = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
-}
-
-void softmax_rows(MatrixView m) {
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    float* row = m.row(r);
-    float mx = row[0];
-    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
-    float sum = 0.0f;
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    const float inv = 1.0f / sum;
-    for (std::size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
-  }
-}
+// The dense kernels (gemm, add_row_bias, axpy, softmax_rows) live in
+// tensor/kernels/dispatch.cpp behind the runtime backend dispatch.
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m) {
   os << "Matrix(" << m.rows() << "x" << m.cols() << ")[";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -13,6 +14,7 @@ namespace {
 
 /// Count n-grams of one order in a sentence. N-grams are keyed by joining
 /// tokens with '\x1f' (a separator that cannot occur in sensor words).
+/// Fallback path for sentence pairs the packed-key fast path cannot encode.
 std::map<std::string, std::size_t> ngram_counts(const Sentence& sentence,
                                                 std::size_t order) {
   std::map<std::string, std::size_t> counts;
@@ -28,40 +30,120 @@ std::map<std::string, std::size_t> ngram_counts(const Sentence& sentence,
   return counts;
 }
 
-}  // namespace
-
-BleuBreakdown corpus_bleu(const Corpus& candidates, const Corpus& references,
-                          const BleuOptions& options) {
-  DESMINE_EXPECTS(candidates.size() == references.size(),
-                  "candidate/reference corpora must align");
-  DESMINE_EXPECTS(options.max_order >= 1, "max_order >= 1");
-
-  BleuBreakdown out;
-  out.precisions.assign(options.max_order, 0.0);
-  if (candidates.empty()) return out;
-
-  std::vector<std::size_t> matched(options.max_order, 0);
-  std::vector<std::size_t> total(options.max_order, 0);
-
-  for (std::size_t s = 0; s < candidates.size(); ++s) {
-    const Sentence& cand = candidates[s];
-    const Sentence& ref = references[s];
-    out.candidate_length += cand.size();
-    out.reference_length += ref.size();
-
-    for (std::size_t order = 1; order <= options.max_order; ++order) {
-      const auto cand_counts = ngram_counts(cand, order);
-      const auto ref_counts = ngram_counts(ref, order);
-      for (const auto& [gram, count] : cand_counts) {
-        total[order - 1] += count;
-        const auto it = ref_counts.find(gram);
-        if (it != ref_counts.end()) {
-          // Modified precision: clip by the reference count.
-          matched[order - 1] += std::min(count, it->second);
-        }
+/// Running clipped-match totals for one candidate/reference pair, shared by
+/// the map fallback and the packed fast path. Both produce the same counts,
+/// so BLEU scores are bit-identical whichever path ran.
+void accumulate_pair_map(const Sentence& cand, const Sentence& ref,
+                         std::size_t max_order, std::size_t* matched,
+                         std::size_t* total) {
+  for (std::size_t order = 1; order <= max_order; ++order) {
+    const auto cand_counts = ngram_counts(cand, order);
+    const auto ref_counts = ngram_counts(ref, order);
+    for (const auto& [gram, count] : cand_counts) {
+      total[order - 1] += count;
+      const auto it = ref_counts.find(gram);
+      if (it != ref_counts.end()) {
+        // Modified precision: clip by the reference count.
+        matched[order - 1] += std::min(count, it->second);
       }
     }
   }
+}
+
+/// Scratch buffers for the packed fast path, reused across the sentences of
+/// a corpus so the steady-state cost is sorting two small vectors per order.
+struct PackScratch {
+  std::vector<const std::string*> dict;  ///< shared token dictionary
+  std::vector<std::uint64_t> cand_ids, ref_ids;
+  std::vector<std::uint64_t> cand_keys, ref_keys;
+};
+
+/// The serve hot path scores one short candidate/reference pair per
+/// (window, edge) work item; the map path above allocates ~8 string-keyed
+/// maps per pair, which dominates the batched scorer once decoding is
+/// vectorized (DESIGN.md §16). This path maps tokens to small ids through a
+/// dictionary shared by both sentences, packs each n-gram into one uint64
+/// (16 bits per token, orders 1..4), and counts via sort + linear merge —
+/// no per-n-gram allocations. Returns false when the pair cannot be packed
+/// (order > 4 or very long sentences); the caller then uses the map path.
+bool accumulate_pair_packed(const Sentence& cand, const Sentence& ref,
+                            std::size_t max_order, std::size_t* matched,
+                            std::size_t* total, PackScratch& scratch) {
+  // 16-bit ids and 4 ids per key; the length cap also bounds the O(n^2)
+  // linear-scan dictionary build to small n.
+  constexpr std::size_t kMaxTokens = 512;
+  if (max_order > 4 || cand.size() + ref.size() > kMaxTokens) return false;
+
+  scratch.dict.clear();
+  const auto id_of = [&scratch](const std::string& token) -> std::uint64_t {
+    for (std::size_t i = 0; i < scratch.dict.size(); ++i) {
+      if (*scratch.dict[i] == token) return i;
+    }
+    scratch.dict.push_back(&token);
+    return scratch.dict.size() - 1;
+  };
+  scratch.cand_ids.clear();
+  scratch.ref_ids.clear();
+  for (const std::string& t : cand) scratch.cand_ids.push_back(id_of(t));
+  for (const std::string& t : ref) scratch.ref_ids.push_back(id_of(t));
+
+  const auto collect_keys = [](const std::vector<std::uint64_t>& ids,
+                               std::size_t order,
+                               std::vector<std::uint64_t>& keys) {
+    keys.clear();
+    if (ids.size() < order) return;
+    for (std::size_t i = 0; i + order <= ids.size(); ++i) {
+      std::uint64_t key = 1;  // leading 1 separates orders' key spaces
+      for (std::size_t k = 0; k < order; ++k) key = (key << 16) | ids[i + k];
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+  };
+
+  for (std::size_t order = 1; order <= max_order; ++order) {
+    collect_keys(scratch.cand_ids, order, scratch.cand_keys);
+    collect_keys(scratch.ref_ids, order, scratch.ref_keys);
+    total[order - 1] += scratch.cand_keys.size();
+    // Merge the two sorted runs, clipping each candidate n-gram's count by
+    // its reference count — exactly the map path's modified precision.
+    std::size_t c = 0, r = 0;
+    while (c < scratch.cand_keys.size() && r < scratch.ref_keys.size()) {
+      const std::uint64_t key = scratch.cand_keys[c];
+      if (scratch.ref_keys[r] < key) {
+        ++r;
+        continue;
+      }
+      std::size_t c_run = 0;
+      while (c < scratch.cand_keys.size() && scratch.cand_keys[c] == key) {
+        ++c;
+        ++c_run;
+      }
+      if (scratch.ref_keys[r] == key) {
+        std::size_t r_run = 0;
+        while (r < scratch.ref_keys.size() && scratch.ref_keys[r] == key) {
+          ++r;
+          ++r_run;
+        }
+        matched[order - 1] += std::min(c_run, r_run);
+      }
+    }
+    // Candidate keys with no reference run left only add to `total`, which
+    // the collect step above already did.
+  }
+  return true;
+}
+
+/// Shared scoring tail: turn accumulated clipped counts + lengths into the
+/// smoothed geometric-mean BLEU. Identical arithmetic for every entry point.
+BleuBreakdown finalize(const std::vector<std::size_t>& matched,
+                       const std::vector<std::size_t>& total,
+                       std::size_t candidate_length,
+                       std::size_t reference_length,
+                       const BleuOptions& options) {
+  BleuBreakdown out;
+  out.precisions.assign(options.max_order, 0.0);
+  out.candidate_length = candidate_length;
+  out.reference_length = reference_length;
 
   double log_precision_sum = 0.0;
   for (std::size_t order = 0; order < options.max_order; ++order) {
@@ -104,10 +186,52 @@ BleuBreakdown corpus_bleu(const Corpus& candidates, const Corpus& references,
   return out;
 }
 
+}  // namespace
+
+BleuBreakdown corpus_bleu(const Corpus& candidates, const Corpus& references,
+                          const BleuOptions& options) {
+  DESMINE_EXPECTS(candidates.size() == references.size(),
+                  "candidate/reference corpora must align");
+  DESMINE_EXPECTS(options.max_order >= 1, "max_order >= 1");
+
+  if (candidates.empty()) {
+    BleuBreakdown out;
+    out.precisions.assign(options.max_order, 0.0);
+    return out;
+  }
+
+  std::vector<std::size_t> matched(options.max_order, 0);
+  std::vector<std::size_t> total(options.max_order, 0);
+  std::size_t candidate_length = 0, reference_length = 0;
+
+  PackScratch scratch;
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    const Sentence& cand = candidates[s];
+    const Sentence& ref = references[s];
+    candidate_length += cand.size();
+    reference_length += ref.size();
+    if (!accumulate_pair_packed(cand, ref, options.max_order, matched.data(),
+                                total.data(), scratch)) {
+      accumulate_pair_map(cand, ref, options.max_order, matched.data(),
+                          total.data());
+    }
+  }
+  return finalize(matched, total, candidate_length, reference_length, options);
+}
+
 BleuBreakdown sentence_bleu(const Sentence& candidate,
                             const Sentence& reference,
                             const BleuOptions& options) {
-  return corpus_bleu({candidate}, {reference}, options);
+  DESMINE_EXPECTS(options.max_order >= 1, "max_order >= 1");
+  std::vector<std::size_t> matched(options.max_order, 0);
+  std::vector<std::size_t> total(options.max_order, 0);
+  PackScratch scratch;
+  if (!accumulate_pair_packed(candidate, reference, options.max_order,
+                              matched.data(), total.data(), scratch)) {
+    accumulate_pair_map(candidate, reference, options.max_order,
+                        matched.data(), total.data());
+  }
+  return finalize(matched, total, candidate.size(), reference.size(), options);
 }
 
 }  // namespace desmine::text

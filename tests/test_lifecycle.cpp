@@ -39,6 +39,7 @@
 #include "robust/errors.h"
 #include "robust/fault_injector.h"
 #include "serve/session_manager.h"
+#include "tensor/kernels.h"
 #include "util/error.h"
 
 namespace dc = desmine::core;
@@ -49,6 +50,16 @@ namespace dio = desmine::io;
 namespace dr = desmine::robust;
 
 namespace {
+
+// The drift fixtures assert exact drifted-pair counts from seed-trained
+// models — deterministic only under fixed kernel numerics. Pin the scalar
+// reference backend before main() so the fixtures stay valid regardless of
+// the machine's auto-detected backend (DESIGN.md §16).
+const bool kPinScalarBackend = [] {
+  desmine::tensor::kernels::set_backend(
+      desmine::tensor::kernels::Backend::kScalar);
+  return true;
+}();
 
 constexpr char kMineJournal[] = "/tmp/desmine_test_lifecycle_mine.journal";
 constexpr char kRetrainJournal[] =

@@ -100,7 +100,7 @@ TEST(Matrix, MatmulMatchesNaive) {
     const auto a = random_matrix(m, k, rng);
     const auto b = random_matrix(k, n, rng);
     dt::Matrix out(m, n);
-    dt::matmul(a, b, out);
+    dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b, 0.0f, out);
     expect_near(out, naive_matmul(a, b));
   }
 }
@@ -110,7 +110,7 @@ TEST(Matrix, MatmulTransAMatchesNaive) {
   const auto a = random_matrix(5, 3, rng);  // (k x m)
   const auto b = random_matrix(5, 4, rng);  // (k x n)
   dt::Matrix out(3, 4);
-  dt::matmul_transA_accum(a, b, out);
+  dt::gemm(dt::Transpose::kTrans, dt::Transpose::kNo, 1.0f, a, b, 1.0f, out);
   expect_near(out, naive_matmul(a.transposed(), b));
 }
 
@@ -119,7 +119,7 @@ TEST(Matrix, MatmulTransBMatchesNaive) {
   const auto a = random_matrix(4, 6, rng);  // (m x k)
   const auto b = random_matrix(5, 6, rng);  // (n x k)
   dt::Matrix out(4, 5);
-  dt::matmul_transB_accum(a, b, out);
+  dt::gemm(dt::Transpose::kNo, dt::Transpose::kTrans, 1.0f, a, b, 1.0f, out);
   expect_near(out, naive_matmul(a, b.transposed()));
 }
 
@@ -128,7 +128,7 @@ TEST(Matrix, MatmulAccumAddsToExisting) {
   const auto a = random_matrix(3, 3, rng);
   const auto b = random_matrix(3, 3, rng);
   dt::Matrix out(3, 3, 1.0f);
-  dt::matmul_accum(a, b, out);
+  dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b, 1.0f, out);
   auto expected = naive_matmul(a, b);
   expected += dt::Matrix(3, 3, 1.0f);
   expect_near(out, expected);
@@ -136,9 +136,28 @@ TEST(Matrix, MatmulAccumAddsToExisting) {
 
 TEST(Matrix, MatmulShapeChecks) {
   dt::Matrix a(2, 3), b(4, 5), out(2, 5);
-  EXPECT_THROW(dt::matmul(a, b, out), desmine::PreconditionError);
+  EXPECT_THROW(dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b,
+                        0.0f, out),
+               desmine::PreconditionError);
   dt::Matrix b2(3, 5), out_bad(3, 5);
-  EXPECT_THROW(dt::matmul(a, b2, out_bad), desmine::PreconditionError);
+  EXPECT_THROW(dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b2,
+                        0.0f, out_bad),
+               desmine::PreconditionError);
+}
+
+TEST(Matrix, DeprecatedMatmulShimStillWorks) {
+  // One release of source compatibility (ISSUE 10): the pre-gemm matmul
+  // name keeps compiling and forwarding. Conformance of all four shims
+  // lives in test_kernels.
+  Rng rng(8);
+  const auto a = random_matrix(3, 4, rng);
+  const auto b = random_matrix(4, 2, rng);
+  dt::Matrix out(3, 2);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  dt::matmul(a, b, out);
+#pragma GCC diagnostic pop
+  expect_near(out, naive_matmul(a, b));
 }
 
 TEST(Matrix, AddRowBias) {
@@ -231,11 +250,11 @@ TEST(MatrixView, KernelsMatchOwnedPath) {
   const auto a = random_matrix(4, 6, rng);
   const auto b = random_matrix(6, 5, rng);
   dt::Matrix owned(4, 5);
-  dt::matmul(a, b, owned);
+  dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b, 0.0f, owned);
 
   dt::Workspace ws;
   dt::MatrixView out = ws.alloc(4, 5);
-  dt::matmul(a, b, out);
+  dt::gemm(dt::Transpose::kNo, dt::Transpose::kNo, 1.0f, a, b, 0.0f, out);
   for (std::size_t i = 0; i < owned.size(); ++i) {
     EXPECT_EQ(out.data()[i], owned.data()[i]) << "at flat index " << i;
   }

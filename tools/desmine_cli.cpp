@@ -58,6 +58,7 @@
 #include "obs/trace.h"
 #include "robust/errors.h"
 #include "robust/interrupt.h"
+#include "tensor/kernels.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -131,6 +132,16 @@ io::RunConfig base_config(const Args& args) {
   const std::string path = args.get_or("config", "");
   if (path.empty()) return {};
   return io::load_run_config(path);
+}
+
+/// Fold --kernels/--precision over the config file's `tensor` section
+/// (explicit flags win, like every other option). The caller applies the
+/// result via tensor::kernels::apply_kernel_config after any --dump-config
+/// exit, so a dump reflects the flags without requiring the backend to be
+/// available on this machine.
+void merge_tensor_flags(const Args& args, io::RunConfig& run) {
+  run.tensor.kernels = args.get_or("kernels", run.tensor.kernels);
+  run.tensor.precision = args.get_or("precision", run.tensor.precision);
 }
 
 core::FrameworkConfig config_from(const Args& args,
@@ -212,10 +223,16 @@ int cmd_generate(const Args& args) {
 int cmd_train(const Args& args) {
   io::RunConfig run = base_config(args);
   run.framework = config_from(args, run.framework);
+  merge_tensor_flags(args, run);
   if (args.flag("dump-config")) {
     std::cout << io::run_config_to_json(run);
     return 0;
   }
+  // Training always runs f32; --kernels still picks the backend it runs on.
+  tensor::kernels::apply_kernel_config(run.tensor);
+  obs::logger().info("compute kernels selected",
+                     {obs::kv("backend", tensor::kernels::backend_name(
+                                             tensor::kernels::active_backend()))});
   const auto train_series = io::read_series_csv(args.get("train"));
   const auto dev_series = io::read_series_csv(args.get("dev"));
   core::FrameworkConfig cfg = run.framework;
@@ -293,12 +310,20 @@ int cmd_detect(const Args& args) {
   cfg.detector.min_coverage =
       args.number("min-coverage", cfg.detector.min_coverage);
   const robust::HealthConfig health = health_from(args, run.health);
+  merge_tensor_flags(args, run);
   if (args.flag("dump-config")) {
     run.framework.detector = cfg.detector;
     run.health = health;
     std::cout << io::run_config_to_json(run);
     return 0;
   }
+  const tensor::Precision precision =
+      tensor::kernels::apply_kernel_config(run.tensor);
+  obs::logger().info(
+      "compute kernels selected",
+      {obs::kv("backend", tensor::kernels::backend_name(
+                              tensor::kernels::active_backend())),
+       obs::kv("precision", tensor::precision_name(precision))});
 
   const bool degraded_mode = args.flag("degraded");
   io::CsvOptions csv_opts;
@@ -331,8 +356,9 @@ int cmd_detect(const Args& args) {
 
   const auto result =
       degraded_mode
-          ? fw.detect_degraded(test_series, health, report.missing_ticks)
-          : fw.detect(test_series);
+          ? fw.detect_degraded(test_series, health, report.missing_ticks,
+                               precision)
+          : fw.detect(test_series, precision);
 
   std::size_t degraded_windows = 0;
   if (degraded_mode) {
@@ -383,7 +409,11 @@ int cmd_inspect(const Args& args) {
   core::Framework fw = io::load_framework(args.get("model"));
   const auto& g = fw.graph();
   std::cout << "sensors: " << g.sensor_count()
-            << ", directional models: " << g.edges().size() << "\n";
+            << ", directional models: " << g.edges().size()
+            << ", kernels: "
+            << tensor::kernels::backend_name(
+                   tensor::kernels::active_backend())
+            << "\n";
 
   util::Table t({"BLEU band", "edges", "active sensors", "max in-degree"});
   const double edges_total = static_cast<double>(g.edges().size());
@@ -434,6 +464,12 @@ void usage() {
          "                       flags still win); see --dump-config\n"
          "  --dump-config        print the effective config as JSON and exit\n"
          "                       (also: desmine_cli --dump-config for defaults)\n"
+         "compute kernels (train/detect; config keys tensor.kernels/.precision):\n"
+         "  --kernels auto|scalar|blocked|avx2   backend for the dense kernels\n"
+         "                       (default auto: DESMINE_KERNELS env, else best\n"
+         "                       available for this CPU)\n"
+         "  --precision f32|int8 decode precision for detect scoring (training\n"
+         "                       always runs f32)\n"
          "observability (any subcommand; --key=value also accepted):\n"
          "  --log-level trace|debug|info|warn|error|off   (default info)\n"
          "  --log-json FILE      JSON-lines log in addition to stderr\n"

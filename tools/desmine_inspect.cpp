@@ -28,6 +28,7 @@
 #include "core/framework.h"
 #include "io/artifact_map.h"
 #include "io/serialize.h"
+#include "tensor/kernels.h"
 #include "util/error.h"
 #include "util/version.h"
 
@@ -103,6 +104,23 @@ struct InspectOptions {
   std::size_t max_edges = 16;  // 0 = all
 };
 
+/// "avx2 (scalar blocked avx2 available)" — what this host would decode
+/// with, for ops parity with /statusz.
+std::string kernels_summary() {
+  std::string out = tensor::kernels::backend_name(
+      tensor::kernels::active_backend());
+  out += " (";
+  bool first = true;
+  for (const tensor::kernels::Backend b :
+       tensor::kernels::available_backends()) {
+    if (!first) out += ' ';
+    first = false;
+    out += tensor::kernels::backend_name(b);
+  }
+  out += " available)";
+  return out;
+}
+
 /// v4: everything comes from the header + TOC; --verify additionally CRCs
 /// every edge (first materialization-grade touch of the weight pages).
 int inspect_mapped(const std::string& path, const InspectOptions& opt) {
@@ -143,7 +161,9 @@ int inspect_mapped(const std::string& path, const InspectOptions& opt) {
        << ",\"sentence_length\":" << map->window().sentence_length
        << ",\"sentence_stride\":" << map->window().sentence_stride << "}"
        << ",\"verified_edges\":" << (opt.verify ? verified : 0)
-       << ",\"edge_table\":[";
+       << ",\"kernels\":\""
+       << tensor::kernels::backend_name(tensor::kernels::active_backend())
+       << "\",\"edge_table\":[";
     for (std::size_t i = 0; i < shown; ++i) {
       const io::EdgeEntry& e = edges[i];
       if (i != 0) os << ",";
@@ -178,7 +198,8 @@ int inspect_mapped(const std::string& path, const InspectOptions& opt) {
             << (opt.verify
                     ? ", " + std::to_string(verified) + " edge CRCs OK"
                     : " (edge CRCs verify lazily; --verify checks now)")
-            << "\n";
+            << "\n"
+            << "  kernels:    " << kernels_summary() << "\n";
   for (std::size_t i = 0; i < shown; ++i) {
     const io::EdgeEntry& e = edges[i];
     std::cout << "  edge " << e.src << "->" << e.dst << " bleu=" << e.bleu;
@@ -220,7 +241,9 @@ int inspect_stream(const std::string& path, std::uint32_t version,
        << ",\"word_stride\":" << fw.config().window.word_stride
        << ",\"sentence_length\":" << fw.config().window.sentence_length
        << ",\"sentence_stride\":" << fw.config().window.sentence_stride
-       << "},\"edge_table\":[";
+       << "},\"kernels\":\""
+       << tensor::kernels::backend_name(tensor::kernels::active_backend())
+       << "\",\"edge_table\":[";
     for (std::size_t i = 0; i < shown; ++i) {
       const core::MvrEdge& e = graph.edges()[i];
       if (i != 0) os << ",";
@@ -244,7 +267,8 @@ int inspect_stream(const std::string& path, std::uint32_t version,
             << fw.config().window.sentence_stride << "\n"
             << "  integrity:  "
             << (version >= 3 ? "CRC trailer OK" : "no CRC (pre-v3 stream)")
-            << "\n";
+            << "\n"
+            << "  kernels:    " << kernels_summary() << "\n";
   for (std::size_t i = 0; i < shown; ++i) {
     const core::MvrEdge& e = graph.edges()[i];
     std::cout << "  edge " << e.src << "->" << e.dst << " bleu=" << e.bleu

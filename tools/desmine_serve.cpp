@@ -46,7 +46,8 @@
 // --min-coverage), serving knobs (--workers --max-batch --decode-cache
 // --max-pending --reject-when-full), fault-tolerance knobs
 // (--max-global-pending --max-queue-delay-ms --max-consecutive-shed
-// --circuit-open-after --circuit-probe-after), telemetry knobs
+// --circuit-open-after --circuit-probe-after), compute-kernel knobs
+// (--kernels --precision, DESIGN.md §16), telemetry knobs
 // (--telemetry-port --slow-window-ms --sliding-window-s --sliding-epochs;
 // /metrics serves Prometheus text, /statusz the version/uptime/generation/
 // stage-quantiles document), health knobs as desmine_cli detect, and the
@@ -197,6 +198,12 @@ io::RunConfig effective_config(const Args& args) {
   s.sliding_epochs = static_cast<std::size_t>(args.number(
       "sliding-epochs", static_cast<double>(s.sliding_epochs)));
   s.detector = d;
+
+  // --kernels/--precision override the config file's `tensor` section; the
+  // choice is validated and applied at startup (after any --dump-config
+  // exit), never mid-stream.
+  run.tensor.kernels = args.get_or("kernels", run.tensor.kernels);
+  run.tensor.precision = args.get_or("precision", run.tensor.precision);
   return run;
 }
 
@@ -258,6 +265,10 @@ std::string statusz_json(const serve::SessionManager& manager) {
       static_cast<std::uint64_t>(manager.session_count()));
   w.key("valid_models").value(
       static_cast<std::uint64_t>(manager.valid_model_count()));
+  w.key("kernels").value(
+      tensor::kernels::backend_name(tensor::kernels::active_backend()));
+  w.key("precision").value(
+      tensor::precision_name(manager.config().precision));
   lifecycle_fields_json(w, manager);
   stage_quantiles_json(w);
   w.end_object();
@@ -491,6 +502,10 @@ class Protocol {
         .value(static_cast<std::uint64_t>(stats.windows_delivered));
     w.key("pending").value(static_cast<std::uint64_t>(stats.pending));
     w.key("shed").value(static_cast<std::uint64_t>(stats.shed));
+    w.key("kernels").value(
+        tensor::kernels::backend_name(tensor::kernels::active_backend()));
+    w.key("precision").value(
+        tensor::precision_name(manager_.config().precision));
     lifecycle_fields_json(w, manager_);
     w.key("uptime_s").value(manager_.uptime_s());
     w.key("version").value(util::desmine_version());
@@ -674,6 +689,10 @@ void usage() {
          "  --resident-edges 0   mapped models: cap on materialized edges\n"
          "  --force-heap-fallback  read v4 artifacts into heap memory\n"
          "                       instead of mmap (debug/portability)\n"
+         "  --kernels auto|scalar|blocked|avx2   compute-kernel backend\n"
+         "                       (default auto: DESMINE_KERNELS env, else\n"
+         "                       best available for this CPU)\n"
+         "  --precision f32|int8 decode precision for window scoring\n"
          "  --slow-window-ms MS  log span trees of windows slower than MS\n"
          "  --sliding-window-s 60 --sliding-epochs 6\n"
          "  --health-drop-after 3 --health-stale-after 0 --health-unk-rate\n"
@@ -710,11 +729,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const io::RunConfig run = effective_config(*args);
+    io::RunConfig run = effective_config(*args);
     if (args->flag("dump-config")) {
       std::cout << io::run_config_to_json(run);
       return 0;
     }
+    run.serve.precision = tensor::kernels::apply_kernel_config(run.tensor);
+    DESMINE_LOG_INFO(
+        "compute kernels selected",
+        {obs::kv("backend", tensor::kernels::backend_name(
+                                tensor::kernels::active_backend())),
+         obs::kv("precision", tensor::precision_name(run.serve.precision))});
 
     const std::string model_path = args->get("model");
     if (args->flag("force-heap-fallback")) {
